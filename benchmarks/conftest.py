@@ -1,0 +1,42 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table or figure of the paper via the same
+harnesses in :mod:`repro.experiments`, asserts the qualitative shape the
+paper reports, times the (simulated) experiment once, and prints the rows
+so ``bench_output.txt`` doubles as the reproduction record.
+
+Scale: benchmarks run the harnesses' scaled-down configurations by
+default; set ``REPRO_FULL=1`` to regenerate the paper-scale versions
+(3.2TB inputs, RMAT-30, 12-hour simulated timeouts).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import format_rows
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time a harness exactly once (simulated experiments are deterministic)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def show(title: str, rows) -> None:
+    print(f"\n## {title}")
+    if isinstance(rows, list):
+        print(format_rows(rows))
+    else:
+        for key, value in rows.items():
+            if key == "timeline":
+                print(f"timeline: {len(value)} samples")
+            else:
+                print(f"{key}: {value}")
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

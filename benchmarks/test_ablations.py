@@ -1,0 +1,104 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's own ablation (Figures 7/8, batch factor) and
+probe the remaining fixed choices: the 2-second clone-message interval,
+the 4MB chunk size, and the Eq. 2 heuristic variants.
+"""
+
+import pytest
+from conftest import show
+
+from repro.apps.clicklog import build_clicklog_sim
+from repro.experiments.common import run_sim
+from repro.units import GB, MB
+
+INPUT = 24 * GB
+MACHINES = 16
+SKEW = 1.0
+
+
+def _run(**overrides):
+    app, inputs = build_clicklog_sim(INPUT, skew=SKEW)
+    return run_sim(app, inputs, machines=MACHINES, overrides=overrides)
+
+
+def test_ablation_clone_interval(once):
+    """Paper fixes 2s between clone messages. Faster pacing ramps phase 1
+    quicker; much slower pacing visibly delays the whole job."""
+
+    def sweep():
+        rows = []
+        for interval in (0.5, 2.0, 8.0):
+            report = _run(clone_interval=interval)
+            rows.append(
+                {
+                    "clone_interval_s": interval,
+                    "runtime_s": report.runtime,
+                    "clones": report.clones_granted,
+                }
+            )
+        return rows
+
+    rows = once(sweep)
+    show("Ablation — clone-message interval", rows)
+    by_interval = {row["clone_interval_s"]: row["runtime_s"] for row in rows}
+    assert by_interval[0.5] <= by_interval[2.0] * 1.05
+    assert by_interval[8.0] > by_interval[2.0] * 1.1
+
+
+def test_ablation_chunk_size(once):
+    """Paper fixes 4MB chunks. In the simulation the choice is mild: small
+    chunks pay per-request latency but balance better, huge chunks the
+    reverse — all three sizes must stay within a modest band of each other
+    (the paper's 4MB was driven by real-disk seek behaviour that the
+    latency model only partially captures; see EXPERIMENTS.md)."""
+
+    def sweep():
+        rows = []
+        for chunk in (512 * 1024, 4 * MB, 32 * MB):
+            report = _run(chunk_size=chunk)
+            rows.append(
+                {"chunk_bytes": chunk, "runtime_s": report.runtime}
+            )
+        return rows
+
+    rows = once(sweep)
+    show("Ablation — chunk size", rows)
+    runtimes = [row["runtime_s"] for row in rows]
+    assert max(runtimes) < 1.4 * min(runtimes)
+
+
+def test_ablation_heuristic(once):
+    """Eq. 2 variants: disabling the heuristic (always clone when asked)
+    must not beat the heuristic by much, and the paper's coarse estimator
+    must remain within a reasonable band of the cost-aware one."""
+
+    def sweep():
+        rows = []
+        for label, overrides in (
+            ("eq2-cost-aware", {}),
+            ("eq2-paper-estimator", {"paper_estimator": True}),
+            ("always-clone", {"heuristic_enabled": False}),
+        ):
+            report = _run(**overrides)
+            rows.append(
+                {
+                    "policy": label,
+                    "runtime_s": report.runtime,
+                    "clones": report.clones_granted,
+                    "rejected": report.clones_rejected,
+                }
+            )
+        return rows
+
+    rows = once(sweep)
+    show("Ablation — cloning heuristic", rows)
+    by_policy = {row["policy"]: row for row in rows}
+    base = by_policy["eq2-cost-aware"]["runtime_s"]
+    assert by_policy["always-clone"]["runtime_s"] > base * 0.8
+    assert by_policy["eq2-paper-estimator"]["runtime_s"] < base * 1.6
+    # The paper's estimator over-prices merges, so it rejects more clones.
+    assert (
+        by_policy["eq2-paper-estimator"]["clones"]
+        <= by_policy["eq2-cost-aware"]["clones"]
+    )

@@ -1,0 +1,22 @@
+"""Eq. 1: batch-sampling storage utilization, analytic vs Monte-Carlo.
+
+Shape checks: the Section 3.3 ladder (63%/86%/95% for b=1/2/3, >99% at
+b=10 even for a thousand storage nodes) and agreement between the closed
+form and simulation.
+"""
+
+from conftest import show
+
+from repro.experiments.eq1 import run_eq1
+
+
+def test_eq1(once):
+    rows = once(run_eq1)
+    show("Eq. 1 — rho(b, m) utilization", rows)
+    ladder = {1: 0.63, 2: 0.86, 3: 0.95}
+    for row in rows:
+        if row["b"] in ladder:
+            assert abs(row["analytic"] - ladder[row["b"]]) < 0.02
+        if row["b"] == 10:
+            assert row["analytic"] > 0.99
+        assert abs(row["monte_carlo"] - row["analytic"]) < 0.03

@@ -1,0 +1,106 @@
+"""Benches for the beyond-paper extensions.
+
+* **GC pauses**: with the desynchronized-GC model enabled (the phenomenon
+  the paper blames for half of its worst-case Figure 5 overhead), the
+  disk-bound ClickLog run slows measurably — closing the one systematic
+  gap between our Figure 5 and the paper's.
+* **Machine skew**: the third skew class from Section 1 — cloning absorbs
+  a slow machine, static partitioning cannot.
+* **Elasticity**: Section 3.4 — compute nodes added mid-job shorten the
+  run; a retired node never breaks it.
+"""
+
+from conftest import show
+
+from repro.apps.clicklog import build_clicklog_sim
+from repro.cluster.spec import paper_cluster
+from repro.experiments.common import auto_granularity, run_sim
+from repro.runtime.config import HurricaneConfig, InputSpec
+from repro.runtime.job import SimJob
+from repro.units import GB
+
+
+def test_gc_pause_model(once):
+    def sweep():
+        rows = []
+        for label, overrides in (
+            ("no-gc", {}),
+            ("gc-2s-every-20s", {"gc_pause_seconds": 2.0, "gc_interval": 20.0}),
+        ):
+            app, inputs = build_clicklog_sim(160 * GB, skew=1.0)
+            report = run_sim(app, inputs, machines=16, overrides=overrides)
+            rows.append({"config": label, "runtime_s": report.runtime})
+        return rows
+
+    rows = once(sweep)
+    show("Extension — desynchronized GC pauses", rows)
+    by_config = {row["config"]: row["runtime_s"] for row in rows}
+    assert by_config["gc-2s-every-20s"] > by_config["no-gc"] * 1.03
+    assert by_config["gc-2s-every-20s"] < by_config["no-gc"] * 2.0
+
+
+def test_machine_skew(once):
+    """A 4x slower machine: cloning absorbs it, NC pays for it."""
+
+    def sweep():
+        factors = [1.0] * 7 + [0.25]
+        rows = []
+        for label, cloning in (("cloning", True), ("static", False)):
+            app, inputs = build_clicklog_sim(40 * GB, skew=0.0, phase1_tasks=8)
+            job = SimJob(
+                app.graph,
+                inputs,
+                cluster_spec=paper_cluster(8),
+                config=HurricaneConfig(
+                    granularity=auto_granularity(40 * GB),
+                    cloning_enabled=cloning,
+                ),
+                speed_factors=factors,
+            )
+            report = job.run(timeout=6 * 3600)
+            rows.append(
+                {
+                    "system": label,
+                    "runtime_s": report.runtime,
+                    "clones": report.clones_granted,
+                }
+            )
+        return rows
+
+    rows = once(sweep)
+    show("Extension — machine skew (one 4x-slow machine)", rows)
+    by_system = {row["system"]: row["runtime_s"] for row in rows}
+    assert by_system["cloning"] < by_system["static"]
+
+
+def test_elasticity(once):
+    """Section 3.4: nodes joining mid-job speed it up."""
+
+    def sweep():
+        rows = []
+        for label, joiners in (("static-4-nodes", []), ("grow-to-8-nodes", [4, 5, 6, 7])):
+            app, inputs = build_clicklog_sim(24 * GB, skew=0.5)
+            job = SimJob(
+                app.graph,
+                inputs,
+                cluster_spec=paper_cluster(8),
+                config=HurricaneConfig(
+                    granularity=auto_granularity(24 * GB),
+                    compute_nodes=[0, 1, 2, 3],
+                ),
+            )
+
+            def join_later(job=job, joiners=joiners):
+                yield job.env.timeout(8.0)
+                for node in joiners:
+                    job.add_compute_node(node)
+
+            job.env.process(join_later())
+            report = job.run(timeout=6 * 3600)
+            rows.append({"config": label, "runtime_s": report.runtime})
+        return rows
+
+    rows = once(sweep)
+    show("Extension — elastic compute (nodes join at t=8s)", rows)
+    by_config = {row["config"]: row["runtime_s"] for row in rows}
+    assert by_config["grow-to-8-nodes"] < by_config["static-4-nodes"]

@@ -1,0 +1,24 @@
+"""Figure 10: batch sampling factor sweep (b = 1..32).
+
+Shape checks: prefetching more than one chunk materially improves Phase-1
+runtime (the paper reports ~33% at b=10); b=10 is at or near the sweet
+spot; over-prefetch (b=32) gives no further win.
+"""
+
+from conftest import show
+
+from repro.experiments.fig10 import run_fig10
+
+
+def test_fig10(once):
+    rows = once(run_fig10)
+    show("Figure 10 — batch sampling factor", rows)
+    by_b = {row["b"]: row["normalized_to_b1"] for row in rows}
+    assert by_b[1] == 1.0
+    # b=10 is much better than b=1 (paper: ~33% faster).
+    assert by_b[10] <= 0.8
+    # The curve is monotone-ish down to the sweet spot.
+    assert by_b[2] <= by_b[1] + 0.02
+    assert by_b[10] <= by_b[2] + 0.02
+    # Over-prefetching does not keep helping much.
+    assert by_b[32] >= by_b[10] - 0.10

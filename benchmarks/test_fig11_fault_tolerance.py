@@ -1,0 +1,28 @@
+"""Figure 11: throughput with compute-node and master crashes.
+
+Shape checks: the job completes through two node crashes and two master
+crashes; node crashes cost visible but bounded time (families restart);
+master crashes barely move throughput (recovery replays the done bag in
+under a second while compute nodes keep draining bags).
+"""
+
+from conftest import show
+
+from repro.experiments.fig11 import run_fig11
+
+
+def test_fig11(once):
+    result = once(run_fig11)
+    show("Figure 11 — fault tolerance timeline", result)
+    events = result["events"]
+    assert len(events["compute_crash"]) == 2
+    assert len(events["master_crash"]) == 2
+    assert len(events["master_recovered"]) == 2
+    assert events["family_restarted"], "crashed families must restart"
+    # Faults slow the job, but within a small factor of the clean run.
+    assert result["faulty_runtime_s"] >= result["clean_runtime_s"]
+    assert result["faulty_runtime_s"] < 3.5 * result["clean_runtime_s"]
+    # Master crashes barely dent throughput.
+    before, after = result["throughput_around_master_crash"]
+    if before and before > 100:
+        assert after > 0.4 * before

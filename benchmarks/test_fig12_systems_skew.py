@@ -1,0 +1,34 @@
+"""Figure 12: slowdown under skew across systems (320MB and 32GB).
+
+Shape checks: Hurricane's normalized slowdown stays low at every skew;
+Hadoop degrades severely at 32GB/s=1 (skewed reducers spill); Spark
+*crashes* at 32GB/s=1 (the 16GB task-memory OOM the paper reports as a
+negative bar); nobody crashes on the small input.
+"""
+
+from conftest import show
+
+from repro.experiments.fig12 import run_fig12
+
+
+def test_fig12(once):
+    rows = once(run_fig12)
+    show("Figure 12 — slowdown under skew across systems", rows)
+    by_key = {(r["input"], r["system"], r["skew"]): r for r in rows}
+
+    # Hurricane stays graceful everywhere it completed.
+    for row in rows:
+        if row["system"] == "hurricane":
+            assert row["outcome"] == "ok"
+            assert row["normalized"] <= 2.6
+
+    # Spark OOM-crashes at 32GB with the highest skew only.
+    assert by_key[("32.0GB", "spark", 1.0)]["outcome"] == "crash"
+    assert by_key[("32.0GB", "spark", 0.5)]["outcome"] == "ok"
+    assert by_key[("320.0MB", "spark", 1.0)]["outcome"] == "ok"
+
+    # Hadoop completes but degrades much more than Hurricane at high skew.
+    hadoop = by_key[("32.0GB", "hadoop", 1.0)]
+    hurricane = by_key[("32.0GB", "hurricane", 1.0)]
+    assert hadoop["outcome"] == "ok"
+    assert hadoop["normalized"] > 2 * hurricane["normalized"]

@@ -1,0 +1,25 @@
+"""Figure 5: ClickLog slowdown under increasing skew.
+
+Shape checks: the headline claim — Hurricane's worst-case slowdown stays
+at or below ~2.4x across every (size, skew) combination, far under the
+7.1x Amdahl bound for unsplit partitions — and slowdown is mild for small
+inputs (little cloning) while cloning engages for the larger ones.
+"""
+
+from conftest import show
+
+from repro.analysis.amdahl import amdahl_best_slowdown
+from repro.experiments.fig5 import run_fig5
+from repro.workloads.zipf import largest_share, zipf_weights
+
+
+def test_fig5(once):
+    rows = once(run_fig5)
+    show("Figure 5 — slowdown vs skew (normalized to uniform)", rows)
+    bound = amdahl_best_slowdown(largest_share(zipf_weights(64, 1.0)), 32)
+    for row in rows:
+        assert row["normalized"] <= 2.6, f"slowdown above paper's claim: {row}"
+        assert row["normalized"] < bound
+    # Cloning engages for the 1GB/machine high-skew runs.
+    heavy = [r for r in rows if r["input/machine"] == "1.0GB" and r["skew"] == 1.0]
+    assert heavy and heavy[0]["clones"] > 0

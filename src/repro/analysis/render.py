@@ -1,0 +1,84 @@
+"""Text rendering of throughput timelines and experiment rows.
+
+The paper's Figures 9 and 11 are throughput-vs-time plots; in a terminal
+repository the closest faithful artifact is a block-character chart with
+event markers, which the experiment runner and ``bench_output.txt`` embed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Series = List[Tuple[float, float]]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(series: Series, width: int = 80) -> str:
+    """One-line block chart of a (time, value) series.
+
+    >>> sparkline([(0, 0.0), (1, 5.0), (2, 10.0)], width=3)
+    ' ▄█'
+    """
+    if not series:
+        return ""
+    values = [v for _, v in series]
+    peak = max(values) or 1.0
+    if len(values) > width:
+        # Average down to `width` buckets.
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(values[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    return "".join(
+        _BLOCKS[min(len(_BLOCKS) - 1, int(v / peak * (len(_BLOCKS) - 1)))]
+        for v in values
+    )
+
+
+def timeline_chart(
+    series: Series,
+    events: Optional[Sequence[Tuple[float, str]]] = None,
+    height: int = 10,
+    width: int = 72,
+) -> str:
+    """Multi-line chart of a throughput timeline with event markers.
+
+    ``events`` is a list of (time, label); each is drawn as a caret row
+    under the x-axis.
+    """
+    if not series:
+        return "(empty timeline)"
+    t_end = series[-1][0] or 1.0
+    peak = max(v for _, v in series) or 1.0
+    columns = [0.0] * width
+    counts = [0] * width
+    for t, v in series:
+        col = min(width - 1, int(t / t_end * width))
+        columns[col] += v
+        counts[col] += 1
+    levels = [
+        (columns[i] / counts[i] / peak if counts[i] else 0.0) for i in range(width)
+    ]
+    rows = []
+    for row in range(height, 0, -1):
+        threshold = row / height
+        line = "".join("█" if level >= threshold else " " for level in levels)
+        label = f"{peak * row / height:8.0f} |" if row in (height, 1) else "         |"
+        rows.append(label + line)
+    rows.append("         +" + "-" * width)
+    rows.append(f"          0{'':{width - 12}}{t_end:6.0f}s")
+    for t, label in events or ():
+        col = min(width - 1, int(t / t_end * width))
+        rows.append("          " + " " * col + f"^ {label} (t={t:.0f}s)")
+    return "\n".join(rows)
+
+
+def render_report_timeline(report, kinds: Sequence[str] = ()) -> str:
+    """Chart a RunReport's throughput with selected event kinds marked."""
+    events = [
+        (t, kind) for t, kind, _info in report.events if not kinds or kind in kinds
+    ]
+    return timeline_chart(report.timeline, events)

@@ -1,0 +1,43 @@
+"""Throughput-timeline analysis for the Figure 9/11 harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+Series = List[Tuple[float, float]]
+
+
+def plateau_throughput(series: Series, quantile: float = 0.9) -> float:
+    """A robust 'sustained peak' level: the given quantile of samples."""
+    if not series:
+        return 0.0
+    values = sorted(v for _, v in series)
+    index = min(len(values) - 1, int(quantile * len(values)))
+    return values[index]
+
+
+def ramp_up_time(series: Series, fraction: float = 0.8) -> Optional[float]:
+    """First time throughput reaches ``fraction`` of the plateau level."""
+    target = fraction * plateau_throughput(series)
+    for t, v in series:
+        if v >= target:
+            return t
+    return None
+
+
+def time_to_drop(
+    series: Series, after: float, fraction: float = 0.5
+) -> Optional[float]:
+    """First time after ``after`` that throughput drops below ``fraction``
+    of the plateau — used to locate crash dips in Figure 11."""
+    threshold = fraction * plateau_throughput(series)
+    for t, v in series:
+        if t >= after and v < threshold:
+            return t
+    return None
+
+
+def mean_between(series: Series, start: float, end: float) -> float:
+    """Average throughput over [start, end]."""
+    values = [v for t, v in series if start <= t <= end]
+    return sum(values) / len(values) if values else 0.0

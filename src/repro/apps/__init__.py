@@ -1,0 +1,32 @@
+"""The paper's three evaluation applications (Section 5.3).
+
+Each application comes in two forms sharing the same dataflow graph shape:
+
+* ``build_*_sim`` — a cost-annotated graph for the cluster simulator
+  (used by every table/figure harness);
+* ``build_*_local`` — the same graph with real record-level task functions
+  and merges for the local engine (used to validate semantics end-to-end
+  on real data).
+
+Calibration constants (CPU cost per MB, output sizes) live in
+:mod:`repro.apps.calibration` and were fit against Table 1; see
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.apps.clicklog import (
+    build_clicklog_local,
+    build_clicklog_sim,
+    clicklog_region_weights,
+)
+from repro.apps.hashjoin import build_hashjoin_local, build_hashjoin_sim
+from repro.apps.pagerank import build_pagerank_local, build_pagerank_sim
+
+__all__ = [
+    "build_clicklog_local",
+    "build_clicklog_sim",
+    "build_hashjoin_local",
+    "build_hashjoin_sim",
+    "build_pagerank_local",
+    "build_pagerank_sim",
+    "clicklog_region_weights",
+]

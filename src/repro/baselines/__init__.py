@@ -1,0 +1,58 @@
+"""Static-partitioning baseline engines (Hadoop 2.7.4 / Spark 2.2.0 / GraphX).
+
+The paper compares Hurricane against systems that fix partition bounds
+before execution and reconcile them with a sort-based shuffle. This package
+models that execution style on the *same* simulated cluster hardware:
+
+* stages separated by barriers; one core per task (Spark/Hadoop task model);
+* map tasks read node-local splits (the paper ensures local HDFS reads),
+  sort-partition their output, and write shuffle data to local disk;
+* reduce tasks fetch their partition from every map node, and their
+  partition sizes are whatever the static key partitioning dictates — so a
+  skewed key makes one straggler task that the stage barrier waits on;
+* per-task memory accounting: Spark enforces the 16 GB hard task limit the
+  paper hits (OOM -> job crash); Hadoop and GraphX spill to disk instead,
+  paying extra I/O passes.
+
+:class:`~repro.baselines.engine.EngineProfile` captures the per-system
+constants; :mod:`repro.baselines.jobs` builds the ClickLog / HashJoin /
+PageRank stage lists from the same workload parameters the Hurricane
+builders use.
+"""
+
+from repro.baselines.aqe import AQEConfig, AQEEngine, SplittableTask
+from repro.baselines.engine import (
+    BaselineEngine,
+    BaselineReport,
+    EngineProfile,
+    Stage,
+    StageTask,
+    GRAPHX_PROFILE,
+    HADOOP_PROFILE,
+    SPARK_PROFILE,
+)
+from repro.baselines.jobs import (
+    clicklog_baseline,
+    hashjoin_baseline,
+    pagerank_baseline,
+)
+from repro.baselines.skewtune import SkewTuneConfig, SkewTuneEngine
+
+__all__ = [
+    "AQEConfig",
+    "AQEEngine",
+    "BaselineEngine",
+    "BaselineReport",
+    "EngineProfile",
+    "GRAPHX_PROFILE",
+    "HADOOP_PROFILE",
+    "SPARK_PROFILE",
+    "SkewTuneConfig",
+    "SkewTuneEngine",
+    "SplittableTask",
+    "Stage",
+    "StageTask",
+    "clicklog_baseline",
+    "hashjoin_baseline",
+    "pagerank_baseline",
+]

@@ -1,0 +1,122 @@
+"""A Spark-AQE-style adaptive baseline (modern post-paper comparison).
+
+Spark's Adaptive Query Execution (3.x) mitigates skew at *stage
+boundaries*: after the map stage materializes shuffle output, oversized
+reduce partitions are split into sub-partitions before the reduce stage is
+dispatched. Two properties distinguish it from Hurricane:
+
+* the split is decided **once**, between stages — not continuously during
+  execution (no reaction to compute skew or machine skew mid-task);
+* it only applies where sub-partition outputs need no reconciliation —
+  skewed-join probe sides split fine, but a single key group feeding an
+  arbitrary aggregation (ClickLog's per-region distinct count) cannot be
+  split without exactly the merge support Hurricane builds in.
+
+:class:`AQEEngine` implements that: reduce tasks marked ``splittable``
+(the join builders set it) whose input exceeds ``skew_factor`` x the
+stage median are split into median-sized sub-tasks before dispatch; the
+build side is replicated to each sub-task (the cost AQE pays for skewed
+joins). Non-splittable skewed tasks run as-is — straggling or OOM-ing
+exactly like plain Spark. Used by ``benchmarks/test_aqe_comparison.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.baselines.engine import (
+    BaselineEngine,
+    EngineProfile,
+    SPARK_PROFILE,
+    Stage,
+    StageTask,
+)
+from repro.cluster.spec import ClusterSpec
+
+
+@dataclass(frozen=True)
+class AQEConfig:
+    #: A reduce task is "skewed" if its input exceeds this multiple of the
+    #: stage's median task input (Spark's skewedPartitionFactor).
+    skew_factor: float = 5.0
+    #: Per-split planning/dispatch overhead at the stage boundary.
+    replan_overhead: float = 0.5
+
+
+@dataclass(frozen=True)
+class SplittableTask(StageTask):
+    """A reduce task AQE may split.
+
+    ``replicated_bytes`` (the join build side) is re-read by every
+    sub-task; the rest of the input and the cpu/output split evenly.
+    """
+
+    replicated_bytes: float = 0.0
+    replicated_cpu_seconds: float = 0.0
+
+
+class AQEEngine(BaselineEngine):
+    def __init__(
+        self,
+        cluster_spec: Optional[ClusterSpec] = None,
+        config: Optional[AQEConfig] = None,
+        profile: EngineProfile = SPARK_PROFILE,
+    ):
+        super().__init__(profile, cluster_spec)
+        self.config = config or AQEConfig()
+        self.splits = 0
+
+    def _job_proc(self, stages: List[Stage], report):
+        adapted = [self._adapt(stage) for stage in stages]
+        return super()._job_proc(adapted, report)
+
+    def _adapt(self, stage: Stage) -> Stage:
+        """The stage-boundary replan: split oversized splittable tasks."""
+        if stage.kind != "reduce" or len(stage.tasks) < 2:
+            return stage
+        sizes = sorted(task.input_bytes for task in stage.tasks)
+        median = sizes[len(sizes) // 2] or 1.0
+        new_tasks: List[StageTask] = []
+        for task in stage.tasks:
+            splittable = isinstance(task, SplittableTask)
+            oversized = task.input_bytes > self.config.skew_factor * median
+            if not (splittable and oversized):
+                new_tasks.append(task)
+                continue
+            streamed = task.input_bytes - task.replicated_bytes
+            if task.replicated_bytes > streamed:
+                # The *build* side carries the skew: split it by rows and
+                # replicate the (small) probe side to every sub-task.
+                pieces = max(2, math.ceil(task.replicated_bytes / median))
+                replicated_per_piece = streamed
+                split_per_piece = task.replicated_bytes / pieces
+            else:
+                # Classic AQE skewed-join: split the probe side, replicate
+                # the build side.
+                pieces = max(2, math.ceil(streamed / median))
+                replicated_per_piece = task.replicated_bytes
+                split_per_piece = streamed / pieces
+            self.splits += pieces - 1
+            for piece in range(pieces):
+                new_tasks.append(
+                    StageTask(
+                        index=task.index * 100_000 + piece,
+                        input_bytes=replicated_per_piece + split_per_piece,
+                        cpu_seconds=task.cpu_seconds / pieces,
+                        shuffle_out_bytes=task.shuffle_out_bytes / pieces,
+                        final_out_bytes=task.final_out_bytes / pieces,
+                        working_set_bytes=task.working_set_bytes / pieces,
+                        spillable=task.spillable,
+                    )
+                )
+        return Stage(stage.name, stage.kind, tuple(new_tasks))
+
+    def run(self, job_name, stages, timeout=None):
+        report = super().run(job_name, stages, timeout=timeout)
+        # Stage-boundary replanning costs a little wall time per split.
+        report.runtime += self.splits * self.config.replan_overhead / max(
+            1, len(self.cluster.machines)
+        )
+        return report

@@ -1,0 +1,270 @@
+"""The stage/barrier execution engine and per-system profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.spec import ClusterSpec, paper_cluster
+from repro.errors import TaskMemoryExceeded
+from repro.sim.kernel import Environment
+from repro.sim.resources import Resource
+from repro.units import GB, MB
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Per-system execution constants (fit against Tables 2-4)."""
+
+    name: str
+    job_startup: float  # driver/AM startup before stage 0
+    stage_overhead: float  # scheduling barrier cost per stage
+    task_launch_overhead: float  # per-task launch (JVM fork for Hadoop)
+    slots_per_machine: int = 16  # one core per task
+    #: Hard per-task memory cap; exceeding it crashes the job (Spark's 16GB).
+    memory_limit_bytes: Optional[int] = None
+    #: Above this working set the task spills (Hadoop/GraphX behaviour).
+    spill_threshold_bytes: Optional[int] = None
+    #: Extra disk bytes per spilled byte (write + re-read merge passes).
+    spill_io_factor: float = 3.0
+    #: In-memory working set per byte of reduce input (JVM object overhead).
+    memory_expansion: float = 2.5
+    #: CPU factor applied to every task's cpu_seconds (framework tax).
+    cpu_factor: float = 1.0
+    #: Disk I/O granularity for simulated transfers.
+    io_unit: int = 32 * MB
+
+
+#: Spark 2.2.0: fast tasks, 16 GB hard task-memory limit (Section 5.3).
+SPARK_PROFILE = EngineProfile(
+    name="spark",
+    job_startup=3.5,
+    stage_overhead=0.6,
+    task_launch_overhead=0.03,
+    memory_limit_bytes=16 * GB,
+    memory_expansion=2.5,
+)
+
+#: Hadoop 2.7.4: heavy JVM-per-task model, spills instead of crashing.
+HADOOP_PROFILE = EngineProfile(
+    name="hadoop",
+    job_startup=22.0,
+    stage_overhead=4.0,
+    task_launch_overhead=0.8,
+    spill_threshold_bytes=1 * GB,
+    spill_io_factor=3.0,
+    memory_expansion=2.5,
+    cpu_factor=1.6,
+)
+
+#: GraphX on Spark: per-iteration stage pairs, serialization-heavy CPU,
+#: spills when a partition's working set exceeds the task budget.
+GRAPHX_PROFILE = EngineProfile(
+    name="graphx",
+    job_startup=8.0,
+    stage_overhead=2.5,
+    task_launch_overhead=0.03,
+    spill_threshold_bytes=16 * GB,
+    # Fit to Table 4's RMAT-27 row (GraphX 3007s): vertex-cut replication,
+    # boxed-object message overhead and GC thrash give GraphX a ~10x memory
+    # amplification and very expensive spill passes; with these two numbers
+    # calibrated at RMAT-27, the RMAT-30 prediction independently lands at
+    # the paper's ">12h" outcome.
+    spill_io_factor=16.0,
+    memory_expansion=10.0,
+    cpu_factor=2.0,
+)
+
+
+@dataclass(frozen=True)
+class StageTask:
+    """One task of one stage.
+
+    ``input_bytes`` is what the task reads (a local split for map stages, a
+    shuffled partition for reduce stages); ``shuffle_out_bytes`` is written
+    to local disk for the next stage; ``working_set_bytes`` drives the
+    memory limit / spill model.
+    """
+
+    index: int
+    input_bytes: float
+    cpu_seconds: float
+    shuffle_out_bytes: float = 0.0
+    final_out_bytes: float = 0.0
+    working_set_bytes: float = 0.0
+    #: Whether the working structure can spill to disk (an external sort /
+    #: sort-merge join can; ClickLog's in-memory bitset cannot — exceeding
+    #: the task limit then crashes the job, as in Figure 12).
+    spillable: bool = False
+
+
+@dataclass(frozen=True)
+class Stage:
+    name: str
+    kind: str  # "map" (local input) or "reduce" (fetch from all map nodes)
+    tasks: Tuple[StageTask, ...]
+
+    def __post_init__(self):
+        if self.kind not in ("map", "reduce"):
+            raise ValueError(f"unknown stage kind {self.kind!r}")
+
+
+@dataclass
+class BaselineReport:
+    system: str
+    job: str
+    runtime: float
+    stage_times: Dict[str, float] = field(default_factory=dict)
+    straggler_times: Dict[str, float] = field(default_factory=dict)
+    spilled_bytes: float = 0.0
+    crashed: Optional[str] = None
+    timed_out: bool = False
+
+    @property
+    def completed(self) -> bool:
+        return self.crashed is None and not self.timed_out
+
+
+class BaselineEngine:
+    """Runs a stage list with barriers on the simulated cluster."""
+
+    def __init__(
+        self,
+        profile: EngineProfile,
+        cluster_spec: Optional[ClusterSpec] = None,
+    ):
+        self.profile = profile
+        self.env = Environment()
+        self.cluster = Cluster(self.env, cluster_spec or paper_cluster())
+        machines = len(self.cluster)
+        self._slots = Resource(
+            self.env, profile.slots_per_machine * machines, name="slots"
+        )
+        self._free = {m: profile.slots_per_machine for m in range(machines)}
+        self.spilled_bytes = 0.0
+        self._crash: Optional[BaseException] = None
+
+    # -- slot management -----------------------------------------------------
+
+    def _acquire_slot(self, preferred: Optional[int]):
+        yield self._slots.request()
+        if preferred is not None and self._free[preferred] > 0:
+            machine = preferred
+        else:
+            machine = max(self._free, key=self._free.get)
+        self._free[machine] -= 1
+        return machine
+
+    def _release_slot(self, machine: int) -> None:
+        self._free[machine] += 1
+        self._slots.release()
+
+    # -- task body -----------------------------------------------------------------
+
+    def _chunked_io(self, machine, nbytes: float):
+        """Disk I/O in io_unit chunks so long transfers share fairly."""
+        unit = self.profile.io_unit
+        remaining = nbytes
+        while remaining > 0:
+            step = min(unit, remaining)
+            yield machine.disk_io(step)
+            remaining -= step
+
+    def _fetch_shuffle(self, dest_machine, nbytes: float):
+        """Reduce-side fetch: partition bytes live on every map machine."""
+        machines = self.cluster.machines
+        share = nbytes / len(machines)
+        pending = []
+        for source in machines:
+            pending.append(self.env.process(self._fetch_one(source, dest_machine, share)))
+        yield self.env.all_of(pending)
+
+    def _fetch_one(self, source, dest, nbytes: float):
+        yield from self._chunked_io(source, nbytes)
+        yield from self.cluster.network.transfer(source, dest, nbytes)
+
+    def _task_proc(self, stage: Stage, task: StageTask, preferred: Optional[int]):
+        profile = self.profile
+        machine_index = yield from self._acquire_slot(preferred)
+        machine = self.cluster.machine(machine_index)
+        try:
+            yield self.env.timeout(profile.task_launch_overhead)
+            if stage.kind == "map":
+                yield from self._chunked_io(machine, task.input_bytes)
+            else:
+                yield from self._fetch_shuffle(machine, task.input_bytes)
+            working = task.working_set_bytes or (
+                task.input_bytes * profile.memory_expansion
+            )
+            limit = profile.memory_limit_bytes
+            if limit is not None and working > limit:
+                if not task.spillable:
+                    raise TaskMemoryExceeded(
+                        f"{stage.name}[{task.index}]", int(working), limit
+                    )
+                # Spillable structure: pay external-sort passes instead of
+                # crashing (Spark's sort-merge join under the task limit).
+                spill = (working - limit) * profile.spill_io_factor
+                self.spilled_bytes += spill
+                yield from self._chunked_io(machine, spill)
+            if (
+                profile.spill_threshold_bytes is not None
+                and working > profile.spill_threshold_bytes
+            ):
+                spill = (working - profile.spill_threshold_bytes) * profile.spill_io_factor
+                self.spilled_bytes += spill
+                yield from self._chunked_io(machine, spill)
+            if task.cpu_seconds > 0:
+                yield machine.compute(task.cpu_seconds * profile.cpu_factor)
+            if task.shuffle_out_bytes > 0:
+                yield from self._chunked_io(machine, task.shuffle_out_bytes)
+            if task.final_out_bytes > 0:
+                yield from self._chunked_io(machine, task.final_out_bytes)
+        finally:
+            self._release_slot(machine_index)
+
+    # -- job driver --------------------------------------------------------------------
+
+    def _job_proc(self, stages: List[Stage], report: BaselineReport):
+        yield self.env.timeout(self.profile.job_startup)
+        machines = len(self.cluster)
+        for stage in stages:
+            yield self.env.timeout(self.profile.stage_overhead)
+            start = self.env.now
+            procs = []
+            task_starts = []
+            for position, task in enumerate(stage.tasks):
+                preferred = position % machines if stage.kind == "map" else None
+                procs.append(
+                    self.env.process(self._task_proc(stage, task, preferred))
+                )
+                task_starts.append(start)
+            yield self.env.all_of(procs)
+            report.stage_times[stage.name] = self.env.now - start
+            report.straggler_times[stage.name] = self.env.now - start
+        return self.env.now
+
+    def run(
+        self, job_name: str, stages: List[Stage], timeout: Optional[float] = None
+    ) -> BaselineReport:
+        report = BaselineReport(system=self.profile.name, job=job_name, runtime=0.0)
+        driver = self.env.process(self._job_proc(stages, report))
+        try:
+            if timeout is not None:
+                finish = self.env.any_of([driver, self.env.timeout(timeout, "timeout")])
+                event, _value = self.env.run(until=finish)
+                if event is not driver:
+                    report.timed_out = True
+                    report.runtime = timeout
+                    return report
+            else:
+                self.env.run(until=driver)
+        except TaskMemoryExceeded as oom:
+            report.crashed = str(oom)
+            report.runtime = self.env.now
+            report.spilled_bytes = self.spilled_bytes
+            return report
+        report.runtime = self.env.now
+        report.spilled_bytes = self.spilled_bytes
+        return report

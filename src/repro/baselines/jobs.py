@@ -1,0 +1,191 @@
+"""Stage-list builders: the evaluation apps on the baseline engines.
+
+These mirror the paper's "optimized implementations in Hadoop and Spark"
+(Section 5.3): identical data structures and operations where possible
+(ClickLog uses bitsets in all systems), static key partitioning, and a
+sort-based shuffle. Workload parameters (sizes, Zipf skew, region count)
+are shared with the Hurricane builders so comparisons line up.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.calibration import (
+    CLICKLOG_COUNT_BYTES,
+    CLICKLOG_P1_CPU_PER_MB,
+    CLICKLOG_P2_CPU_PER_MB,
+    JOIN_BASE_OUTPUT_RATIO,
+    JOIN_EMIT_CPU_PER_MB,
+    JOIN_PARTITION_CPU_PER_MB,
+    JOIN_PROBE_CPU_PER_MB,
+    JOIN_SORT_CPU_PER_MB,
+    PAGERANK_EDGE_BYTES,
+    PAGERANK_GATHER_CPU_PER_MB,
+    PAGERANK_MESSAGE_BYTES,
+    PAGERANK_SCATTER_CPU_PER_MB,
+    PAGERANK_VERTEX_BYTES,
+)
+from repro.baselines.engine import Stage, StageTask
+from repro.units import MB
+from repro.workloads.clicklog_data import REGION_COUNT
+from repro.workloads.rmat import RmatSpec, rmat_partition_profile
+from repro.workloads.zipf import range_partition_weights, zipf_weights
+
+#: HDFS-style input split size for map stages.
+SPLIT_BYTES = 128 * MB
+#: Sort cost per MB shuffled (both sides of the sort-based shuffle).
+SHUFFLE_SORT_CPU_PER_MB = 0.004
+
+
+def _map_tasks(total_bytes: float, cpu_per_mb: float, shuffle_ratio: float):
+    """Split ``total_bytes`` into HDFS-sized map tasks."""
+    splits = max(1, int(round(total_bytes / SPLIT_BYTES)))
+    share = total_bytes / splits
+    share_mb = share / MB
+    return tuple(
+        StageTask(
+            index=i,
+            input_bytes=share,
+            cpu_seconds=(cpu_per_mb + SHUFFLE_SORT_CPU_PER_MB) * share_mb,
+            shuffle_out_bytes=share * shuffle_ratio,
+        )
+        for i in range(splits)
+    )
+
+
+def clicklog_baseline(
+    total_bytes: int, skew: float, regions: int = REGION_COUNT
+) -> List[Stage]:
+    """ClickLog as a map + reduce job keyed by region.
+
+    The reduce side has exactly ``regions`` non-empty partitions no matter
+    how many reducers are configured (the paper swept 100..10000 and took
+    the best), so the static partitioning puts the largest region's
+    ``zipf_weights[0]`` share on one task — the straggler/OOM driver.
+    """
+    weights = zipf_weights(regions, skew)
+    map_stage = Stage(
+        name="map-geolocate",
+        kind="map",
+        tasks=_map_tasks(total_bytes, CLICKLOG_P1_CPU_PER_MB, shuffle_ratio=1.0),
+    )
+    reduce_tasks = []
+    for index, weight in enumerate(weights):
+        region_bytes = total_bytes * weight
+        reduce_tasks.append(
+            StageTask(
+                index=index,
+                input_bytes=region_bytes,
+                cpu_seconds=(CLICKLOG_P2_CPU_PER_MB + SHUFFLE_SORT_CPU_PER_MB)
+                * region_bytes
+                / MB,
+                final_out_bytes=CLICKLOG_COUNT_BYTES,
+            )
+        )
+    reduce_stage = Stage(
+        name="reduce-distinct", kind="reduce", tasks=tuple(reduce_tasks)
+    )
+    return [map_stage, reduce_stage]
+
+
+def hashjoin_baseline(
+    small_bytes: int,
+    large_bytes: int,
+    skew: float,
+    partitions: int = 256,
+    key_space: int = 1 << 20,
+) -> List[Stage]:
+    """HashJoin as partition-both + sort-merge-join reduce.
+
+    Key-range partitions inherit the smaller relation's Zipf skew exactly
+    as in the Hurricane builder; a hot partition concentrates build-side
+    tuples and output volume on one reduce task.
+    """
+    r_weights = range_partition_weights(key_space, partitions, skew)
+    map_r = Stage(
+        name="partition-r",
+        kind="map",
+        tasks=_map_tasks(small_bytes, JOIN_PARTITION_CPU_PER_MB, shuffle_ratio=1.0),
+    )
+    map_s = Stage(
+        name="partition-s",
+        kind="map",
+        tasks=_map_tasks(large_bytes, JOIN_PARTITION_CPU_PER_MB, shuffle_ratio=1.0),
+    )
+    from repro.baselines.aqe import SplittableTask
+
+    join_tasks = []
+    for p in range(partitions):
+        r_bytes = small_bytes * r_weights[p]
+        s_bytes = large_bytes / partitions
+        hit_rate = r_weights[p] * partitions
+        out_bytes = s_bytes * JOIN_BASE_OUTPUT_RATIO * hit_rate
+        sort_cpu = JOIN_SORT_CPU_PER_MB * r_bytes / MB
+        cpu = sort_cpu + (
+            JOIN_PROBE_CPU_PER_MB * s_bytes + JOIN_EMIT_CPU_PER_MB * out_bytes
+        ) / MB
+        # SplittableTask: a plain StageTask to the Spark/Hadoop engines; the
+        # AQE engine may split the probe side (replicating the build side).
+        join_tasks.append(
+            SplittableTask(
+                index=p,
+                input_bytes=r_bytes + s_bytes,
+                cpu_seconds=cpu,
+                final_out_bytes=out_bytes,
+                # The build side is held (and sorted) in memory; matches
+                # stream out and do not accumulate. Sort-merge joins spill
+                # rather than crash (paper: the big skewed join runs >12h).
+                working_set_bytes=r_bytes * 2.5,
+                spillable=True,
+                replicated_bytes=r_bytes,
+                replicated_cpu_seconds=sort_cpu,
+            )
+        )
+    return [map_r, map_s, Stage(name="join", kind="reduce", tasks=tuple(join_tasks))]
+
+
+def pagerank_baseline(
+    spec: RmatSpec, iterations: int = 5, partitions: int = 512
+) -> List[Stage]:
+    """PageRank the GraphX way: one scatter/gather stage pair per iteration.
+
+    Message volume per iteration equals the edge count; the hub partition
+    (R-MAT concentrates edges on low vertex ranges) receives a profile[0]
+    share of all messages, which is what blows past memory and spills at
+    the larger scales in Table 4.
+    """
+    profile = rmat_partition_profile(spec, partitions)
+    edge_bytes = spec.edges * PAGERANK_EDGE_BYTES
+    msg_bytes = spec.edges * PAGERANK_MESSAGE_BYTES
+    rank_bytes = spec.vertices * PAGERANK_VERTEX_BYTES
+    stages: List[Stage] = []
+    for i in range(iterations):
+        stages.append(
+            Stage(
+                name=f"iter{i}-scatter",
+                kind="map",
+                tasks=_map_tasks(
+                    edge_bytes + rank_bytes,
+                    PAGERANK_SCATTER_CPU_PER_MB,
+                    shuffle_ratio=msg_bytes / (edge_bytes + rank_bytes),
+                ),
+            )
+        )
+        gather_tasks = []
+        for p in range(partitions):
+            part_msgs = msg_bytes * profile[p]
+            gather_tasks.append(
+                StageTask(
+                    index=p,
+                    input_bytes=part_msgs,
+                    cpu_seconds=(PAGERANK_GATHER_CPU_PER_MB + SHUFFLE_SORT_CPU_PER_MB)
+                    * part_msgs
+                    / MB,
+                    final_out_bytes=rank_bytes * (1.0 / partitions),
+                )
+            )
+        stages.append(
+            Stage(name=f"iter{i}-gather", kind="reduce", tasks=tuple(gather_tasks))
+        )
+    return stages

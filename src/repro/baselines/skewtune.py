@@ -1,0 +1,158 @@
+"""A SkewTune-like mitigator (Kwon et al., SIGMOD'12) — related work.
+
+The paper positions Hurricane against SkewTune (Section 6): SkewTune
+detects a straggler reduce task at runtime, *stops* it, scans and
+repartitions its remaining input across idle nodes, and concatenates the
+sub-task outputs in order. Compared to Hurricane's cloning this
+
+* moves data at mitigation time (the remaining input is read from the
+  straggler's node and redistributed over the network),
+* reacts once per detection rather than continuously, and
+* can mispredict near task completion (SkewTune's own caveat).
+
+:class:`SkewTuneEngine` adds that behaviour to the Hadoop-style engine:
+reduce tasks execute in slices; when a task's projected remaining time
+exceeds ``mitigation_factor`` x the stage's mean task estimate and idle
+slots exist, the remainder is repartitioned (paying read + spread-write
+I/O) and finished by parallel sub-tasks. Used by the related-work bench
+``benchmarks/test_skewtune_comparison.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.baselines.engine import (
+    BaselineEngine,
+    EngineProfile,
+    HADOOP_PROFILE,
+    Stage,
+    StageTask,
+)
+from repro.cluster.spec import ClusterSpec
+
+#: SkewTune runs on Hadoop; reuse its cost profile.
+SKEWTUNE_PROFILE = HADOOP_PROFILE
+
+
+@dataclass(frozen=True)
+class SkewTuneConfig:
+    #: Remaining time must exceed this multiple of the stage's mean task
+    #: time before mitigation triggers (SkewTune's "half the average" rule
+    #: inverted into a straggler threshold).
+    mitigation_factor: float = 2.0
+    #: Execution progress is re-evaluated this many times per task.
+    slices: int = 10
+    #: Scheduling + planning cost of one mitigation.
+    planning_overhead: float = 1.0
+
+
+class SkewTuneEngine(BaselineEngine):
+    def __init__(
+        self,
+        cluster_spec: Optional[ClusterSpec] = None,
+        config: Optional[SkewTuneConfig] = None,
+        profile: EngineProfile = SKEWTUNE_PROFILE,
+    ):
+        super().__init__(profile, cluster_spec)
+        self.config = config or SkewTuneConfig()
+        self.mitigations = 0
+
+    def _task_proc(self, stage: Stage, task: StageTask, preferred: Optional[int]):
+        if stage.kind != "reduce":
+            yield from super()._task_proc(stage, task, preferred)
+            return
+        yield from self._sliced_reduce(stage, task)
+
+    def _mean_cpu(self, stage: Stage) -> float:
+        return sum(t.cpu_seconds for t in stage.tasks) / len(stage.tasks)
+
+    def _sliced_reduce(self, stage: Stage, task: StageTask):
+        """A reduce task that SkewTune may split mid-flight."""
+        profile = self.profile
+        config = self.config
+        machine_index = yield from self._acquire_slot(None)
+        machine = self.cluster.machine(machine_index)
+        mitigated = False
+        try:
+            yield self.env.timeout(profile.task_launch_overhead)
+            yield from self._fetch_shuffle(machine, task.input_bytes)
+            yield from self._spill_if_needed(stage, task, machine)
+            total_cpu = task.cpu_seconds * profile.cpu_factor
+            slice_cpu = total_cpu / config.slices
+            done_slices = 0
+            while done_slices < config.slices:
+                yield machine.compute(slice_cpu)
+                done_slices += 1
+                if mitigated:
+                    continue
+                remaining_cpu = (config.slices - done_slices) * slice_cpu
+                idle = self._idle_slots()
+                if (
+                    remaining_cpu > config.mitigation_factor * self._mean_cpu(stage)
+                    and idle > 0
+                ):
+                    mitigated = True
+                    self.mitigations += 1
+                    remaining_fraction = (config.slices - done_slices) / config.slices
+                    yield from self._mitigate(
+                        stage, task, machine, remaining_fraction, idle
+                    )
+                    done_slices = config.slices  # remainder ran in sub-tasks
+            if task.final_out_bytes > 0:
+                yield from self._chunked_io(machine, task.final_out_bytes)
+        finally:
+            self._release_slot(machine_index)
+
+    def _idle_slots(self) -> int:
+        return sum(self._free.values())
+
+    def _spill_if_needed(self, stage: Stage, task: StageTask, machine):
+        working = task.working_set_bytes or (
+            task.input_bytes * self.profile.memory_expansion
+        )
+        threshold = self.profile.spill_threshold_bytes
+        if threshold is not None and working > threshold:
+            spill = (working - threshold) * self.profile.spill_io_factor
+            self.spilled_bytes += spill
+            yield from self._chunked_io(machine, spill)
+
+    def _mitigate(self, stage, task, machine, remaining_fraction, idle):
+        """Stop, scan, repartition, and finish the remainder in parallel.
+
+        Costs: planning, a full read of the remaining input from this node,
+        a network spread to the helpers, and the remaining CPU split across
+        ``idle + 1`` workers (each pays a task launch).
+        """
+        config = self.config
+        profile = self.profile
+        remaining_bytes = task.input_bytes * remaining_fraction
+        remaining_cpu = task.cpu_seconds * profile.cpu_factor * remaining_fraction
+        yield self.env.timeout(config.planning_overhead)
+        # Scan + redistribute the remainder (this is the data movement
+        # Hurricane's spread-everything design avoids).
+        yield from self._chunked_io(machine, remaining_bytes)
+        helpers = min(idle, 8)
+        split = remaining_bytes / (helpers + 1)
+        subtasks: List = []
+        for _ in range(helpers + 1):
+            subtasks.append(
+                self.env.process(
+                    self._subtask(split, remaining_cpu / (helpers + 1), machine)
+                )
+            )
+        yield self.env.all_of(subtasks)
+
+    def _subtask(self, input_bytes, cpu_seconds, source_machine):
+        index = yield from self._acquire_slot(None)
+        helper = self.cluster.machine(index)
+        try:
+            yield self.env.timeout(self.profile.task_launch_overhead)
+            yield from self.cluster.network.transfer(
+                source_machine, helper, input_bytes
+            )
+            yield from self._chunked_io(helper, input_bytes)
+            yield helper.compute(cpu_seconds)
+        finally:
+            self._release_slot(index)

@@ -1,0 +1,24 @@
+"""Simulated cluster hardware.
+
+Machines have a multi-core CPU (processor-sharing, one-core cap per
+thread), a RAID disk array, and full-duplex NICs; the network provides full
+bisection bandwidth so only NIC endpoints constrain transfers — matching
+the paper's deployment assumption (Section 3.5). The default
+:func:`~repro.cluster.spec.paper_cluster` preset reproduces the paper's
+testbed: 32 machines, 2x Xeon E5-2630v3 (16 cores), 128 GB RAM, RAID-0 at
+330 MB/s, 40 GigE.
+"""
+
+from repro.cluster.machine import Machine
+from repro.cluster.network import Network
+from repro.cluster.spec import ClusterSpec, MachineSpec, paper_cluster
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "Machine",
+    "MachineSpec",
+    "Network",
+    "paper_cluster",
+]

@@ -1,0 +1,57 @@
+"""The assembled cluster: machines plus network."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cluster.machine import Machine
+from repro.cluster.network import Network
+from repro.cluster.spec import ClusterSpec
+from repro.sim.kernel import Environment
+
+
+class Cluster:
+    """All machines of a job plus the fabric connecting them.
+
+    ``speed_factors`` (one per machine) injects machine skew; the default is
+    a homogeneous cluster. Compute node *i* and storage node *i* are
+    co-located on machine *i*, as in the paper's deployment, but the runtime
+    layers treat the two roles independently, so experiments can use any
+    subset of machines for either role.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: ClusterSpec,
+        speed_factors: Optional[Sequence[float]] = None,
+    ):
+        if speed_factors is not None and len(speed_factors) != spec.machines:
+            raise ValueError(
+                f"got {len(speed_factors)} speed factors for {spec.machines} machines"
+            )
+        self.env = env
+        self.spec = spec
+        self.machines: List[Machine] = [
+            Machine(
+                env,
+                spec.machine,
+                index,
+                speed_factor=(speed_factors[index] if speed_factors else 1.0),
+            )
+            for index in range(spec.machines)
+        ]
+        self.network = Network(env, rtt=spec.machine.network_rtt)
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def machine(self, index: int) -> Machine:
+        return self.machines[index]
+
+    def alive_machines(self) -> List[Machine]:
+        return [m for m in self.machines if m.alive]
+
+    def aggregate_disk_bandwidth(self) -> float:
+        """Peak cluster-wide storage bandwidth (bytes/s) across live machines."""
+        return sum(m.spec.disk_bandwidth for m in self.alive_machines())

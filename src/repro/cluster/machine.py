@@ -1,0 +1,85 @@
+"""One simulated machine: CPU, disk array, and NIC endpoints."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import StorageNodeDown
+from repro.sim.kernel import Environment, Event
+from repro.sim.resources import BandwidthServer
+from repro.cluster.spec import MachineSpec
+
+
+class Machine:
+    """A machine hosting a co-located compute node and storage node.
+
+    * ``cpu`` — processor sharing at ``cores * core_speed`` core-seconds per
+      second, capped at ``core_speed`` per flow (a thread cannot exceed one
+      core).
+    * ``disk`` — the RAID array, shared by reads and writes.
+    * ``nic_out`` / ``nic_in`` — full-duplex NIC directions.
+
+    ``speed_factor`` scales the CPU only — the lever used to inject machine
+    skew (slow/heterogeneous machines, Section 1).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: MachineSpec,
+        index: int,
+        speed_factor: float = 1.0,
+    ):
+        if speed_factor <= 0:
+            raise ValueError(f"speed_factor must be positive, got {speed_factor}")
+        self.env = env
+        self.spec = spec
+        self.index = index
+        self.speed_factor = speed_factor
+        self.alive = True
+        core = spec.core_speed * speed_factor
+        self.cpu = BandwidthServer(
+            env, rate=spec.cores * core, per_flow_cap=core, name=f"cpu{index}"
+        )
+        self.disk = BandwidthServer(env, rate=spec.disk_bandwidth, name=f"disk{index}")
+        self.nic_out = BandwidthServer(
+            env, rate=spec.nic_bandwidth, name=f"nic{index}.out"
+        )
+        self.nic_in = BandwidthServer(
+            env, rate=spec.nic_bandwidth, name=f"nic{index}.in"
+        )
+
+    def compute(self, core_seconds: float) -> Event:
+        """One thread performing ``core_seconds`` of work."""
+        return self.cpu.transfer(core_seconds)
+
+    def disk_io(self, nbytes: float) -> Event:
+        """Read or write ``nbytes`` on the RAID array (bandwidth only)."""
+        return self.disk.transfer(nbytes)
+
+    def cpu_demand(self) -> float:
+        """Instantaneous CPU demand relative to capacity (>1 = saturated)."""
+        return self.cpu.demand()
+
+    def nic_utilization(self) -> float:
+        return max(self.nic_in.utilization(), self.nic_out.utilization())
+
+    def crash(self) -> None:
+        """Crash the storage role of this machine (the Hurricane server).
+
+        ``alive`` guards storage serving: replica lookups skip this node and
+        every in-flight disk request fails with
+        :class:`~repro.errors.StorageNodeDown` so clients retry on a backup.
+        The compute role (CPU, NICs) is unaffected — compute-node crashes
+        are injected by killing the task manager, matching the paper's
+        experiment where the machine keeps serving one role.
+        """
+        self.alive = False
+        self.disk.abort_all(fail_with=StorageNodeDown(f"storage node {self.index}"))
+
+    def restart(self) -> None:
+        self.alive = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"<Machine {self.index} {state}>"

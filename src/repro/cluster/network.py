@@ -1,0 +1,45 @@
+"""Full-bisection network model.
+
+The paper assumes the network is never the critical bottleneck: machines
+hang off a single ToR switch with full bisection bandwidth, so a transfer
+is constrained only by the two NIC endpoints (Section 3.5). A transfer
+therefore places a flow on the sender's outbound NIC and the receiver's
+inbound NIC simultaneously and completes when both have served the bytes;
+co-located transfers (machine to itself) skip the NICs entirely, modeling
+loopback.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cluster.machine import Machine
+from repro.sim.kernel import Environment
+
+
+class Network:
+    def __init__(self, env: Environment, rtt: float):
+        self.env = env
+        self.rtt = rtt
+        self.bytes_moved = 0.0
+
+    def transfer(
+        self, src: Machine, dst: Machine, nbytes: float
+    ) -> Generator:
+        """Process: move ``nbytes`` from ``src`` to ``dst``.
+
+        Usage: ``yield from network.transfer(a, b, n)`` inside a process, or
+        ``env.process(network.transfer(a, b, n))`` for a fire-and-forget copy.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        yield self.env.timeout(self.rtt / 2.0)
+        if src is not dst and nbytes > 0:
+            self.bytes_moved += nbytes
+            yield self.env.all_of(
+                [src.nic_out.transfer(nbytes), dst.nic_in.transfer(nbytes)]
+            )
+
+    def rpc_delay(self) -> Generator:
+        """Process: one small request/response round trip."""
+        yield self.env.timeout(self.rtt)

@@ -1,0 +1,58 @@
+"""Hardware specifications and the paper's testbed preset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.units import GB, MB
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of one machine.
+
+    Defaults match the paper's evaluation hardware (Section 5): 16 cores
+    (2x Xeon E5-2630v3), 128 GB DDR3, two 6TB disks in RAID-0 sustaining
+    ~330 MB/s, and a 40 GigE NIC (5 GB/s per direction).
+    """
+
+    cores: int = 16
+    core_speed: float = 1.0  # core-seconds of work per wall second per core
+    memory_bytes: int = 128 * GB
+    disk_bandwidth: float = 330 * MB  # bytes/s, shared by reads and writes
+    nic_bandwidth: float = 5 * GB  # bytes/s per direction (40 GigE)
+    disk_latency: float = 0.002  # seconds per I/O request
+    network_rtt: float = 0.0002  # seconds round trip within the rack
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        for name in ("core_speed", "disk_bandwidth", "nic_bandwidth"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of ``machines`` identical machines.
+
+    Per the paper's deployment, compute nodes and storage nodes are
+    co-located one-to-one on every machine; heterogeneity (machine skew)
+    can be injected by the fault/skew harnesses via per-machine speed
+    factors at cluster construction.
+    """
+
+    machines: int = 32
+    machine: MachineSpec = MachineSpec()
+
+    def __post_init__(self):
+        if self.machines < 1:
+            raise ValueError(f"machines must be >= 1, got {self.machines}")
+
+    def scaled(self, machines: int) -> "ClusterSpec":
+        return replace(self, machines=machines)
+
+
+def paper_cluster(machines: int = 32) -> ClusterSpec:
+    """The paper's 32-machine testbed (Section 5), optionally resized."""
+    return ClusterSpec(machines=machines, machine=MachineSpec())

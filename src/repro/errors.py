@@ -1,0 +1,91 @@
+"""Exception taxonomy for the Hurricane reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base type. Subsystem-specific failures get their own
+subclasses; the simulated failure modes that the paper's evaluation exercises
+(Spark OOM crashes, job timeouts) have dedicated types so the benchmark
+harnesses can distinguish "crashed" from "did not finish" exactly the way
+Figure 12 does (negative bar = crash, full bar = >1h timeout).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """An application graph is malformed (cycle, dangling bag, duplicate id)."""
+
+
+class BagError(ReproError):
+    """Illegal operation on a data or work bag."""
+
+
+class BagSealedError(BagError):
+    """Insert attempted on a bag that has been sealed (its producers finished)."""
+
+
+class SerdeError(ReproError):
+    """A chunk could not be encoded or decoded."""
+
+
+class ChunkOverflowError(SerdeError):
+    """A single record does not fit in one chunk (records may not span chunks)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulingError(ReproError):
+    """The runtime could not schedule a task (e.g. unknown task id)."""
+
+
+class WorkerCrash(ReproError):
+    """A (simulated) compute-node worker crashed while executing a task."""
+
+
+class TaskMemoryExceeded(ReproError):
+    """A baseline task exceeded its per-task memory limit (Spark-style OOM)."""
+
+    def __init__(self, task: str, needed_bytes: int, limit_bytes: int):
+        super().__init__(
+            f"task {task!r} needs {needed_bytes} bytes but the per-task "
+            f"limit is {limit_bytes} bytes"
+        )
+        self.task = task
+        self.needed_bytes = needed_bytes
+        self.limit_bytes = limit_bytes
+
+
+class JobTimeout(ReproError):
+    """A job did not complete within the experiment's wall-clock budget."""
+
+    def __init__(self, job: str, budget_seconds: float):
+        super().__init__(f"job {job!r} exceeded its budget of {budget_seconds}s")
+        self.job = job
+        self.budget_seconds = budget_seconds
+
+
+class JobCrashed(ReproError):
+    """A whole baseline job aborted (e.g. repeated task OOMs)."""
+
+    def __init__(self, job: str, reason: str):
+        super().__init__(f"job {job!r} crashed: {reason}")
+        self.job = job
+        self.reason = reason
+
+
+class ReplicationError(ReproError):
+    """Not enough live replicas to serve a bag after storage failures."""
+
+
+class StorageNodeDown(ReproError):
+    """An in-flight storage request was lost because its server crashed.
+
+    Clients catch this and re-issue the request; with replication the retry
+    is served by a backup replica (Section 4.4).
+    """
+

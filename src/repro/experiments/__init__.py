@@ -1,0 +1,22 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every harness returns plain row dictionaries (and prints a table via
+``python -m repro.experiments.runner <experiment>``), so the benchmark
+suite, the tests, and EXPERIMENTS.md all consume the same code path.
+
+Scale control: each harness has a ``full`` switch. ``full=False`` (the
+default used by the benchmark suite) runs a scaled-down but
+shape-preserving version of the experiment; ``full=True`` — or setting
+the environment variable ``REPRO_FULL=1`` — reproduces the paper's exact
+sizes (3.2 TB ClickLog inputs, RMAT-30, 12-hour timeouts), which takes a
+few minutes of wall-clock simulation per experiment.
+"""
+
+from repro.experiments.common import (
+    auto_granularity,
+    format_rows,
+    full_scale,
+    run_sim,
+)
+
+__all__ = ["auto_granularity", "format_rows", "full_scale", "run_sim"]

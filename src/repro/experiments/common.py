@@ -1,0 +1,80 @@
+"""Shared plumbing for the experiment harnesses."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.cluster.spec import paper_cluster
+from repro.model.application import Application
+from repro.runtime.config import HurricaneConfig, InputSpec
+from repro.runtime.faults import FaultPlan
+from repro.runtime.job import SimJob
+from repro.runtime.report import RunReport
+from repro.units import MB
+
+#: Target chunk-event count per simulated job; inputs larger than
+#: ``target * 4MB`` raise the I/O granularity (a fidelity/wall-time knob —
+#: batch sampling then moves super-chunks, preserving semantics).
+DEFAULT_TARGET_CHUNKS = 12_000
+
+
+def full_scale(full: Optional[bool] = None) -> bool:
+    """Whether to run paper-scale configurations (REPRO_FULL=1 forces on)."""
+    if full is not None:
+        return full
+    return os.environ.get("REPRO_FULL", "") not in ("", "0", "false")
+
+
+def auto_granularity(total_bytes: int, target_chunks: int = DEFAULT_TARGET_CHUNKS) -> int:
+    """Chunks-per-request needed to keep a job near ``target_chunks`` events."""
+    return max(1, int(total_bytes / (target_chunks * 4 * MB)))
+
+
+def run_sim(
+    app: Application,
+    inputs: Dict[str, InputSpec],
+    machines: int = 32,
+    overrides: Optional[dict] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    timeout: Optional[float] = 6 * 3600.0,
+) -> RunReport:
+    """Run an application on a paper-spec cluster with auto granularity."""
+    total = sum(spec.total_bytes for spec in inputs.values())
+    config = HurricaneConfig(granularity=auto_granularity(total))
+    if overrides:
+        config = config.with_overrides(**overrides)
+    job = SimJob(
+        app.graph,
+        inputs,
+        cluster_spec=paper_cluster(machines),
+        config=config,
+        fault_plan=fault_plan,
+    )
+    return job.run(timeout=timeout)
+
+
+def format_rows(rows: List[dict], columns: Optional[List[str]] = None) -> str:
+    """Render row dicts as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = columns or list(rows[0].keys())
+    widths = {
+        col: max(len(col), *(len(_cell(row.get(col))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "  ".join(_cell(row.get(col)).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,43 @@
+"""Export experiment rows to CSV or JSON for external plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+
+def rows_to_csv(rows: List[dict], path: Optional[Union[str, Path]] = None) -> str:
+    """Serialize row dicts to CSV; optionally also write to ``path``."""
+    if not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def rows_to_json(rows: List[dict], path: Optional[Union[str, Path]] = None) -> str:
+    """Serialize row dicts to pretty JSON; optionally also write to ``path``."""
+    text = json.dumps(rows, indent=2, default=_jsonable)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def _jsonable(value):
+    if isinstance(value, (set, tuple)):
+        return list(value)
+    return str(value)

@@ -1,0 +1,94 @@
+"""Figure 12: ClickLog slowdown under skew — Hurricane vs Spark vs Hadoop.
+
+Each system is normalized to its *own* uniform runtime (320MB and 32GB
+inputs). Expected shape: Hurricane stays near 1x; Hadoop degrades badly
+(skewed reducers spill); Spark degrades and *crashes* (OOM against the
+16GB task limit) at 32GB with high skew. Crashes are reported as
+``normalized = None, outcome = "crash"`` — the paper draws them as
+negative bars; timeouts (>1h) as full bars.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.apps.clicklog import build_clicklog_sim
+from repro.baselines import (
+    BaselineEngine,
+    HADOOP_PROFILE,
+    SPARK_PROFILE,
+    clicklog_baseline,
+)
+from repro.cluster.spec import paper_cluster
+from repro.errors import JobTimeout
+from repro.experiments.common import format_rows, full_scale, run_sim
+from repro.units import GB, HOUR, MB, fmt_bytes
+
+SKEWS = (0.0, 0.2, 0.5, 0.8, 1.0)
+INPUTS_FULL = (320 * MB, 32 * GB)
+INPUTS_QUICK = (320 * MB, 32 * GB)
+
+
+def run_fig12(
+    full: Optional[bool] = None,
+    machines: int = 32,
+    skews: Sequence[float] = SKEWS,
+) -> List[dict]:
+    rows = []
+    sizes = INPUTS_FULL if full_scale(full) else INPUTS_QUICK
+    for total_bytes in sizes:
+        baselines = {}
+        for skew in skews:
+            # Hurricane
+            app, inputs = build_clicklog_sim(total_bytes, skew=skew)
+            try:
+                report = run_sim(app, inputs, machines=machines, timeout=HOUR)
+                runtime, outcome = report.runtime, "ok"
+            except JobTimeout:
+                runtime, outcome = None, "timeout"
+            rows.append(
+                _row("hurricane", total_bytes, skew, runtime, outcome, baselines)
+            )
+            # Spark & Hadoop
+            for profile in (SPARK_PROFILE, HADOOP_PROFILE):
+                engine = BaselineEngine(profile, paper_cluster(machines))
+                result = engine.run(
+                    "clicklog", clicklog_baseline(total_bytes, skew), timeout=HOUR
+                )
+                if result.crashed:
+                    runtime, outcome = None, "crash"
+                elif result.timed_out:
+                    runtime, outcome = None, "timeout"
+                else:
+                    runtime, outcome = result.runtime, "ok"
+                rows.append(
+                    _row(profile.name, total_bytes, skew, runtime, outcome, baselines)
+                )
+    return rows
+
+
+def _row(system, total_bytes, skew, runtime, outcome, baselines) -> dict:
+    key = (system, total_bytes)
+    if skew == 0.0 and runtime is not None:
+        baselines[key] = runtime
+    normalized = (
+        runtime / baselines[key]
+        if runtime is not None and key in baselines
+        else None
+    )
+    return {
+        "input": fmt_bytes(total_bytes),
+        "system": system,
+        "skew": skew,
+        "runtime_s": runtime,
+        "normalized": normalized,
+        "outcome": outcome,
+    }
+
+
+def main() -> None:
+    print(format_rows(run_fig12()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Figure 6: Hurricane vs HurricaneNC with increasing partition counts.
+
+32GB input at skew s=1; partitions swept 32..4096. HurricaneNC (cloning
+disabled, phase 1 statically split over all machines for fairness) tracks
+the Amdahl best-case slowdown because a single worker must process the
+largest partition; Hurricane stays below it by cloning. Smaller partitions
+alone do not fix skew, and too many partitions add scheduling/storage
+overhead (visible in phase 1 for both systems).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.amdahl import amdahl_best_slowdown
+from repro.apps.clicklog import build_clicklog_sim
+from repro.experiments.common import format_rows, full_scale, run_sim
+from repro.units import GB
+from repro.workloads.zipf import zipf_weights
+
+PARTITIONS_FULL = (32, 64, 128, 256, 512, 1024, 2048, 4096)
+PARTITIONS_QUICK = (32, 128, 512, 2048)
+INPUT_BYTES = 32 * GB
+SKEW = 1.0
+
+
+def run_fig6(
+    full: Optional[bool] = None,
+    machines: int = 32,
+    partitions: Optional[Sequence[int]] = None,
+) -> List[dict]:
+    sweep = partitions or (PARTITIONS_FULL if full_scale(full) else PARTITIONS_QUICK)
+    app, inputs = build_clicklog_sim(INPUT_BYTES, skew=0.0)
+    baseline = run_sim(app, inputs, machines=machines).runtime
+    rows = []
+    for parts in sweep:
+        for system, cloning in (("HurricaneNC", False), ("Hurricane", True)):
+            app, inputs = build_clicklog_sim(
+                INPUT_BYTES,
+                skew=SKEW,
+                partitions=parts,
+                phase1_tasks=1 if cloning else machines,
+            )
+            report = run_sim(
+                app, inputs, machines=machines, overrides={"cloning_enabled": cloning}
+            )
+            phases = {
+                name: span[1] - span[0] for name, span in report.phases.items()
+            }
+            rows.append(
+                {
+                    "system": system,
+                    "partitions": parts,
+                    "runtime_s": report.runtime,
+                    "normalized": report.runtime / baseline,
+                    "amdahl_bound": amdahl_best_slowdown(
+                        max(zipf_weights(parts, SKEW)), machines
+                    ),
+                    "phase1_s": phases.get("phase1", 0.0),
+                    "phase2_s": phases.get("phase2", 0.0),
+                    "phase3_s": phases.get("phase3", 0.0),
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    print(format_rows(run_fig6()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Figures 7 & 8: the cloning x data-spreading ablation.
+
+ClickLog on 8 machines with 80GB (10GB/machine), four configurations:
+
+1. cloning off, local data      3. cloning on, local data
+2. cloning off, spread data     4. cloning on, spread data
+
+"Local data" places the initial input on the storage node co-located with
+the (single) phase-1 task and writes every worker's output to its own
+node; "spread" is the Hurricane default. Figure 7 reports Phase 1 (no
+skew — spreading dominates), Figure 8 reports Phase 2 (skew — cloning and
+spreading both matter).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.apps.clicklog import build_clicklog_sim
+from repro.experiments.common import format_rows, full_scale, run_sim
+from repro.units import GB
+
+SKEWS_FULL = (0.0, 0.2, 0.5, 0.8, 1.0)
+SKEWS_QUICK = (0.0, 1.0)
+MACHINES = 8
+INPUT_BYTES = 80 * GB
+#: The machine that holds the input (and all outputs) in local-data mode.
+LOCAL_HOME = 0
+
+CONFIGS = (
+    ("c=off,local", False, False),
+    ("c=off,spread", False, True),
+    ("c=on,local", True, False),
+    ("c=on,spread", True, True),
+)
+
+
+def run_fig7_fig8(
+    full: Optional[bool] = None,
+    skews: Optional[Sequence[float]] = None,
+    input_bytes: int = INPUT_BYTES,
+) -> List[dict]:
+    sweep = skews or (SKEWS_FULL if full_scale(full) else SKEWS_QUICK)
+    rows = []
+    for label, cloning, spread in CONFIGS:
+        for skew in sweep:
+            app, inputs = build_clicklog_sim(
+                input_bytes,
+                skew=skew,
+                placement="spread" if spread else LOCAL_HOME,
+            )
+            report = run_sim(
+                app,
+                inputs,
+                machines=MACHINES,
+                overrides={
+                    "cloning_enabled": cloning,
+                    "spread_data": spread,
+                },
+            )
+            phases = {n: s[1] - s[0] for n, s in report.phases.items()}
+            rows.append(
+                {
+                    "config": label,
+                    "skew": skew,
+                    "phase1_s": phases.get("phase1", 0.0),  # Figure 7
+                    "phase2_s": phases.get("phase2", 0.0),  # Figure 8
+                    "runtime_s": report.runtime,
+                    "clones": report.clones_granted,
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    print(format_rows(run_fig7_fig8()))
+
+
+if __name__ == "__main__":
+    main()

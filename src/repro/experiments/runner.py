@@ -1,0 +1,91 @@
+"""CLI entry point: ``python -m repro.experiments.runner <experiment>``.
+
+``--full`` (or ``REPRO_FULL=1``) runs the paper-scale configuration.
+``all`` runs every experiment in order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments import common
+from repro.experiments.common import format_rows
+
+
+def _table_main(run_fn):
+    def main(full):
+        print(format_rows(run_fn(full=full)))
+
+    return main
+
+
+def _dict_main(run_fn):
+    def main(full):
+        result = run_fn(full=full)
+        for key, value in result.items():
+            if key == "timeline":
+                print(f"timeline: {len(value)} samples")
+            else:
+                print(f"{key}: {value}")
+
+    return main
+
+
+def _registry():
+    from repro.experiments import (
+        eq1,
+        fig5,
+        fig6,
+        fig7_fig8,
+        fig9,
+        fig10,
+        fig11,
+        fig12,
+        storage_scaling,
+        table1,
+        table2,
+        table3,
+        table4,
+    )
+
+    return {
+        "table1": _table_main(table1.run_table1),
+        "table2": _table_main(table2.run_table2),
+        "table3": _table_main(table3.run_table3),
+        "table4": _table_main(table4.run_table4),
+        "fig5": _table_main(fig5.run_fig5),
+        "fig6": _table_main(fig6.run_fig6),
+        "fig7_fig8": _table_main(fig7_fig8.run_fig7_fig8),
+        "fig9": _dict_main(fig9.run_fig9),
+        "fig10": _table_main(fig10.run_fig10),
+        "fig11": _dict_main(fig11.run_fig11),
+        "fig12": _table_main(fig12.run_fig12),
+        "eq1": lambda full: print(format_rows(eq1.run_eq1())),
+        "storage_scaling": _table_main(storage_scaling.run_storage_scaling),
+    }
+
+
+def main(argv=None) -> int:
+    registry = _registry()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiment", choices=sorted(registry) + ["all"], help="which experiment"
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="run the paper-scale configuration"
+    )
+    args = parser.parse_args(argv)
+    names = sorted(registry) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"\n=== {name} ===")
+        started = time.time()
+        registry[name](full=args.full or None)
+        print(f"[{name}: {time.time() - started:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Storage throughput scaling (Section 5.2, "Throughput and Storage
+Utilization").
+
+The paper's synthetic benchmark: every worker writes a fixed amount of
+random data through the bag abstraction and reads it back, doubling the
+machine count from 1 to 32. Expected result: aggregate read/write
+bandwidth scales nearly linearly with storage nodes (330 MB/s at 1 machine
+to ~10.5 GB/s at 32, a 31.9x speedup for 32x machines).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.spec import paper_cluster
+from repro.experiments.common import format_rows, full_scale
+from repro.sim.kernel import Environment
+from repro.storage.bags import BagCatalog
+from repro.storage.client import StorageClient
+from repro.units import DEFAULT_CHUNK_SIZE, GB, MB
+
+MACHINE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def _scaling_run(machines: int, per_machine_bytes: int) -> dict:
+    env = Environment()
+    cluster = Cluster(env, paper_cluster(machines))
+    nodes = list(range(machines))
+    granularity = max(
+        1, int(per_machine_bytes * machines / (6000 * DEFAULT_CHUNK_SIZE))
+    )
+    catalog = BagCatalog(nodes, DEFAULT_CHUNK_SIZE)
+    clients = {
+        n: StorageClient(env, cluster, catalog, n, granularity=granularity)
+        for n in nodes
+    }
+    for n in nodes:
+        catalog.create(f"data.{n}")
+
+    def write_phase(node: int):
+        writer = clients[node].writer(f"data.{node}")
+        writer.add(per_machine_bytes)
+        yield from writer.close()
+
+    def read_phase(node: int):
+        reader = clients[node].reader(f"data.{node}")
+        while True:
+            nbytes = yield from reader.next_chunk()
+            if nbytes is None:
+                return
+
+    start = env.now
+    env.run(until=env.all_of([env.process(write_phase(n)) for n in nodes]))
+    write_seconds = env.now - start
+    for n in nodes:
+        catalog.get(f"data.{n}").seal()
+    start = env.now
+    env.run(until=env.all_of([env.process(read_phase(n)) for n in nodes]))
+    read_seconds = env.now - start
+    total = per_machine_bytes * machines
+    return {
+        "machines": machines,
+        "write_gbps": total / write_seconds / GB,
+        "read_gbps": total / read_seconds / GB,
+    }
+
+
+def run_storage_scaling(
+    full: Optional[bool] = None,
+    machine_counts: Sequence[int] = MACHINE_COUNTS,
+) -> List[dict]:
+    per_machine = 100 * GB if full_scale(full) else 4 * GB
+    rows = []
+    base_read = base_write = None
+    for machines in machine_counts:
+        row = _scaling_run(machines, per_machine)
+        if base_read is None:
+            base_read, base_write = row["read_gbps"], row["write_gbps"]
+        row["read_speedup"] = row["read_gbps"] / base_read
+        row["write_speedup"] = row["write_gbps"] / base_write
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    print(format_rows(run_storage_scaling()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Table 1: ClickLog runtime over uniform inputs, 320MB .. 3.2TB."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.apps.clicklog import build_clicklog_sim
+from repro.experiments.common import format_rows, full_scale, run_sim
+from repro.units import GB, MB, TB, fmt_bytes
+
+#: (total input bytes, paper-reported runtime in seconds)
+PAPER_ROWS = [
+    (320 * MB, 5.7),
+    (int(3.2 * GB), 8.9),
+    (32 * GB, 22.8),
+    (320 * GB, 90.0),
+    (int(3.2 * TB), 959.0),
+]
+
+
+def run_table1(full: Optional[bool] = None, machines: int = 32) -> List[dict]:
+    rows = []
+    ladder = PAPER_ROWS if full_scale(full) else PAPER_ROWS[:4]
+    for total_bytes, paper_seconds in ladder:
+        app, inputs = build_clicklog_sim(total_bytes, skew=0.0)
+        report = run_sim(app, inputs, machines=machines)
+        rows.append(
+            {
+                "input": fmt_bytes(total_bytes),
+                "measured_s": report.runtime,
+                "paper_s": paper_seconds,
+                "ratio": report.runtime / paper_seconds,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print(format_rows(run_table1()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Table 2: ClickLog on uniform input — Hurricane vs Spark vs Hadoop."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.apps.clicklog import build_clicklog_sim
+from repro.baselines import (
+    BaselineEngine,
+    HADOOP_PROFILE,
+    SPARK_PROFILE,
+    clicklog_baseline,
+)
+from repro.cluster.spec import paper_cluster
+from repro.experiments.common import format_rows, run_sim
+from repro.units import GB, MB, fmt_bytes
+
+#: (input bytes, paper runtimes {system: seconds})
+PAPER_ROWS = [
+    (320 * MB, {"hurricane": 5.7, "spark": 8.2, "hadoop": 37.1}),
+    (32 * GB, {"hurricane": 22.8, "spark": 32.4, "hadoop": 50.3}),
+]
+
+
+def run_table2(full: Optional[bool] = None, machines: int = 32) -> List[dict]:
+    rows = []
+    for total_bytes, paper in PAPER_ROWS:
+        app, inputs = build_clicklog_sim(total_bytes, skew=0.0)
+        hurricane = run_sim(app, inputs, machines=machines)
+        results = {"hurricane": hurricane.runtime}
+        for profile in (SPARK_PROFILE, HADOOP_PROFILE):
+            engine = BaselineEngine(profile, paper_cluster(machines))
+            report = engine.run(
+                "clicklog", clicklog_baseline(total_bytes, skew=0.0), timeout=3600
+            )
+            results[profile.name] = report.runtime
+        for system in ("hurricane", "spark", "hadoop"):
+            rows.append(
+                {
+                    "input": fmt_bytes(total_bytes),
+                    "system": system,
+                    "measured_s": results[system],
+                    "paper_s": paper[system],
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    print(format_rows(run_table2()))
+
+
+if __name__ == "__main__":
+    main()

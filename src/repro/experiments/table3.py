@@ -1,0 +1,90 @@
+"""Table 3: HashJoin — Hurricane vs Spark, two size pairs, s = 0 and 1.
+
+Paper numbers: 3.2GB⋈32GB: Hurricane 56s/89s (s=0/1), Spark 81s/1615s
+(the 18x headline); 32GB⋈320GB: Hurricane 519s/1216s, Spark 920s/>12h.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.apps.hashjoin import build_hashjoin_sim
+from repro.baselines import BaselineEngine, SPARK_PROFILE, hashjoin_baseline
+from repro.cluster.spec import paper_cluster
+from repro.errors import JobTimeout
+from repro.experiments.common import format_rows, full_scale, run_sim
+from repro.units import GB, HOUR, fmt_bytes
+
+#: ((small bytes, large bytes), {(system, skew): paper seconds or None=">12h"})
+PAPER_ROWS = [
+    (
+        (int(3.2 * GB), 32 * GB),
+        {
+            ("hurricane", 0.0): 56.0,
+            ("hurricane", 1.0): 89.0,
+            ("spark", 0.0): 81.0,
+            ("spark", 1.0): 1615.0,
+        },
+    ),
+    (
+        (32 * GB, 320 * GB),
+        {
+            ("hurricane", 0.0): 519.0,
+            ("hurricane", 1.0): 1216.0,
+            ("spark", 0.0): 920.0,
+            ("spark", 1.0): None,  # > 12h
+        },
+    ),
+]
+
+TIMEOUT = 12 * HOUR
+
+
+def run_table3(full: Optional[bool] = None, machines: int = 32) -> List[dict]:
+    pairs = PAPER_ROWS if full_scale(full) else PAPER_ROWS[:1]
+    rows = []
+    for (small, large), paper in pairs:
+        for skew in (0.0, 1.0):
+            app, inputs = build_hashjoin_sim(small, large, skew=skew)
+            try:
+                report = run_sim(app, inputs, machines=machines, timeout=TIMEOUT)
+                hurricane_runtime, hurricane_outcome = report.runtime, "ok"
+            except JobTimeout:
+                hurricane_runtime, hurricane_outcome = None, ">12h"
+            rows.append(
+                {
+                    "join": f"{fmt_bytes(small)} x {fmt_bytes(large)}",
+                    "skew": skew,
+                    "system": "hurricane",
+                    "measured_s": hurricane_runtime,
+                    "outcome": hurricane_outcome,
+                    "paper_s": paper[("hurricane", skew)],
+                }
+            )
+            engine = BaselineEngine(SPARK_PROFILE, paper_cluster(machines))
+            result = engine.run(
+                "hashjoin", hashjoin_baseline(small, large, skew), timeout=TIMEOUT
+            )
+            rows.append(
+                {
+                    "join": f"{fmt_bytes(small)} x {fmt_bytes(large)}",
+                    "skew": skew,
+                    "system": "spark",
+                    "measured_s": None if result.timed_out else result.runtime,
+                    "outcome": (
+                        ">12h"
+                        if result.timed_out
+                        else ("crash" if result.crashed else "ok")
+                    ),
+                    "paper_s": paper[("spark", skew)],
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    print(format_rows(run_table3()))
+
+
+if __name__ == "__main__":
+    main()

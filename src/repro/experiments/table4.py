@@ -1,0 +1,71 @@
+"""Table 4: PageRank (5 iterations) — Hurricane vs GraphX.
+
+Paper numbers: RMAT-24: 38s vs 189s; RMAT-27: 225s vs 3007s;
+RMAT-30: 688s vs >12h. Hurricane clones the hub-partition scatter/gather
+tasks; GraphX straggles and spills on the same partitions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.apps.pagerank import build_pagerank_sim
+from repro.baselines import BaselineEngine, GRAPHX_PROFILE, pagerank_baseline
+from repro.cluster.spec import paper_cluster
+from repro.errors import JobTimeout
+from repro.experiments.common import format_rows, full_scale, run_sim
+from repro.units import HOUR
+from repro.workloads.rmat import RmatSpec
+
+#: (scale, {system: paper seconds or None=">12h"})
+PAPER_ROWS = [
+    (24, {"hurricane": 38.0, "graphx": 189.0}),
+    (27, {"hurricane": 225.0, "graphx": 3007.0}),
+    (30, {"hurricane": 688.0, "graphx": None}),
+]
+
+TIMEOUT = 12 * HOUR
+
+
+def run_table4(full: Optional[bool] = None, machines: int = 32) -> List[dict]:
+    ladder = PAPER_ROWS if full_scale(full) else PAPER_ROWS[:2]
+    rows = []
+    for scale, paper in ladder:
+        spec = RmatSpec(scale=scale)
+        app, inputs = build_pagerank_sim(spec, iterations=5, partitions=32)
+        try:
+            report = run_sim(app, inputs, machines=machines, timeout=TIMEOUT)
+            hurricane_runtime, outcome = report.runtime, "ok"
+        except JobTimeout:
+            hurricane_runtime, outcome = None, ">12h"
+        rows.append(
+            {
+                "graph": f"RMAT-{scale}",
+                "system": "hurricane",
+                "measured_s": hurricane_runtime,
+                "outcome": outcome,
+                "paper_s": paper["hurricane"],
+            }
+        )
+        engine = BaselineEngine(GRAPHX_PROFILE, paper_cluster(machines))
+        result = engine.run(
+            "pagerank", pagerank_baseline(spec, iterations=5), timeout=TIMEOUT
+        )
+        rows.append(
+            {
+                "graph": f"RMAT-{scale}",
+                "system": "graphx",
+                "measured_s": None if result.timed_out else result.runtime,
+                "outcome": ">12h" if result.timed_out else "ok",
+                "paper_s": paper["graphx"],
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print(format_rows(run_table4()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Task-side API for the local engine (the paper's worker library).
+
+A :class:`TaskContext` gives a task function:
+
+* ``records()`` — late-binding iteration over the stream input bag: each
+  call to the underlying ``remove`` grabs the next unprocessed chunk, so
+  concurrent clones share the bag safely and each record is seen exactly
+  once across the family;
+* ``side_records(i)`` — a non-destructive full read of side input ``i``
+  (the state a clone re-loads);
+* ``emit(bag_id, record)`` — buffered, chunked insertion into an output
+  bag (``bag_id=None`` targets the task's first output).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+from repro.errors import BagError
+from repro.model.execution_graph import ExecutionNode
+from repro.serde.chunks import ChunkBuilder, iter_chunk
+from repro.serde.codecs import codec_for
+
+
+class _ObjectBatcher:
+    """Chunk builder for codec-less bags: chunks are record lists."""
+
+    def __init__(self, batch: int):
+        self.batch = batch
+        self._records = []
+
+    def add(self, record: Any) -> Optional[list]:
+        completed = None
+        if len(self._records) >= self.batch:
+            completed, self._records = self._records, []
+        self._records.append(record)
+        return completed
+
+    def flush(self) -> Optional[list]:
+        if not self._records:
+            return None
+        completed, self._records = self._records, []
+        return completed
+
+
+class TaskContext:
+    def __init__(self, runtime, node: ExecutionNode):
+        self._runtime = runtime
+        self._node = node
+        self._graph = runtime.graph
+        self._builders: Dict[str, object] = {}
+        self.records_in = 0
+        self.chunks_in = 0
+
+    # -- input ----------------------------------------------------------------
+
+    def _codec_of(self, bag_id: str):
+        spec = self._graph.bags[bag_id].codec_spec
+        return codec_for(spec) if spec is not None else None
+
+    def _decode(self, bag_id: str, chunk) -> Iterator[Any]:
+        codec = self._codec_of(bag_id)
+        if codec is None:
+            return iter(chunk)  # object chunk: a list of records
+        return iter_chunk(chunk, codec)
+
+    def records(self) -> Iterator[Any]:
+        """Late-binding iteration over the stream input (exactly-once)."""
+        bag = self._runtime.store.get(self._node.stream_input)
+        while True:
+            chunk = bag.remove()
+            if chunk is None:
+                return  # input bags are sealed before the task starts
+            self.chunks_in += 1
+            for record in self._decode(self._node.stream_input, chunk):
+                self.records_in += 1
+                yield record
+
+    def side_records(self, index: int) -> Iterator[Any]:
+        """Non-destructive full read of side input ``index`` (task state)."""
+        try:
+            bag_id = self._node.side_inputs[index]
+        except IndexError:
+            raise BagError(
+                f"task {self._node.node_id!r} has no side input {index}"
+            ) from None
+        bag = self._runtime.store.get(bag_id)
+        for chunk in bag.read_all():
+            yield from self._decode(bag_id, chunk)
+
+    # -- output ------------------------------------------------------------------
+
+    def _builder_for(self, bag_id: str):
+        if bag_id not in self._builders:
+            codec = self._codec_of(bag_id)
+            if codec is None:
+                self._builders[bag_id] = _ObjectBatcher(
+                    self._runtime.records_per_chunk
+                )
+            else:
+                self._builders[bag_id] = ChunkBuilder(
+                    codec, self._runtime.chunk_size
+                )
+        return self._builders[bag_id]
+
+    def emit(self, bag_id: Optional[str], record: Any) -> None:
+        """Append a record to an output bag (buffered into chunks)."""
+        target = bag_id if bag_id is not None else self._node.outputs[0]
+        if target not in self._node.spec.outputs and target not in self._node.outputs:
+            raise BagError(
+                f"task {self._node.task_id!r} cannot emit to {target!r}; "
+                f"declared outputs are {self._node.spec.outputs}"
+            )
+        chunk = self._builder_for(target).add(record)
+        if chunk is not None:
+            self._runtime.store.get(target).insert(chunk)
+
+    def flush(self) -> None:
+        """Push every buffered tail chunk (called by the runtime at task end)."""
+        for bag_id, builder in self._builders.items():
+            chunk = builder.flush()
+            if chunk is not None:
+                self._runtime.store.get(bag_id).insert(chunk)

@@ -1,0 +1,71 @@
+"""Library of merge procedures (Section 2.3).
+
+A *merge procedure* combines two partial task outputs into one output that
+is equivalent to what a single un-cloned task would have produced. Merges
+are plain callables ``merge(partial_a, partial_b) -> combined``; the paper
+notes they need not be commutative-associative reductions (merge-sort,
+medians and distinct counts all work), so this library covers:
+
+* concatenation / bag-union style merges (:mod:`repro.merges.basic`),
+* set/bitset unions for distinct counting (:mod:`repro.merges.bitset`),
+* order-preserving merges — merge-sort, top-k, median
+  (:mod:`repro.merges.sorted`),
+* mergeable sketches — Count-Min and HyperLogLog
+  (:mod:`repro.merges.sketches`).
+
+Merges are also registered by name (:mod:`repro.merges.registry`) so task
+blueprints can reference them symbolically, the way Hurricane ships task
+code plus bag ids to remote task managers.
+"""
+
+from repro.merges.basic import (
+    concat_merge,
+    counter_merge,
+    dict_sum_merge,
+    max_merge,
+    min_merge,
+    set_union_merge,
+    sum_merge,
+)
+from repro.merges.bitset import Bitset, bitset_union_merge
+from repro.merges.quantiles import (
+    QuantileSketch,
+    ReservoirSample,
+    quantile_merge,
+    reservoir_merge,
+)
+from repro.merges.registry import get_merge, merge_names, register_merge
+from repro.merges.sketches import CountMinSketch, HyperLogLog
+from repro.merges.sorted import (
+    MedianState,
+    TopK,
+    median_merge,
+    sorted_merge,
+    topk_merge,
+)
+
+__all__ = [
+    "Bitset",
+    "CountMinSketch",
+    "HyperLogLog",
+    "MedianState",
+    "QuantileSketch",
+    "ReservoirSample",
+    "TopK",
+    "bitset_union_merge",
+    "concat_merge",
+    "counter_merge",
+    "dict_sum_merge",
+    "get_merge",
+    "max_merge",
+    "median_merge",
+    "merge_names",
+    "min_merge",
+    "quantile_merge",
+    "register_merge",
+    "reservoir_merge",
+    "set_union_merge",
+    "sorted_merge",
+    "sum_merge",
+    "topk_merge",
+]

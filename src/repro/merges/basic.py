@@ -1,0 +1,49 @@
+"""Elementary merge procedures.
+
+``concat_merge`` is Hurricane's default: when a task needs no reconciliation
+(maps, filters, selects), the outputs of all clones are simply concatenated
+(Section 2.1). The rest cover the common aggregation shapes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Sequence, Set
+
+
+def concat_merge(a: Sequence, b: Sequence) -> List:
+    """The default merge: concatenate the two partial outputs."""
+    return list(a) + list(b)
+
+
+def sum_merge(a, b):
+    """Merge two partial numeric aggregates by addition (ClickLog Phase 3)."""
+    return a + b
+
+
+def min_merge(a, b):
+    return a if a <= b else b
+
+
+def max_merge(a, b):
+    return a if a >= b else b
+
+
+def counter_merge(a: Counter, b: Counter) -> Counter:
+    """Merge two multiset counts (word-count style reductions)."""
+    merged = Counter(a)
+    merged.update(b)
+    return merged
+
+
+def dict_sum_merge(a: Dict[Any, float], b: Dict[Any, float]) -> Dict[Any, float]:
+    """Merge two key->numeric maps by per-key addition (PageRank gather)."""
+    merged = dict(a)
+    for key, value in b.items():
+        merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def set_union_merge(a: Set, b: Set) -> Set:
+    """Merge two distinct-element sets (unique counts without a bitset)."""
+    return set(a) | set(b)

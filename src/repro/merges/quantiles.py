@@ -1,0 +1,155 @@
+"""Mergeable quantile estimation and uniform sampling.
+
+Two more members of the paper's "tasks that need real merges" class
+(Section 2.3 names unique counts, medians, sketches):
+
+* :class:`QuantileSketch` — a GK-flavoured compacting sketch: keeps a
+  bounded number of weighted samples per level; merging concatenates
+  levels and re-compacts, so clone partials reconcile to a sketch whose
+  rank error stays bounded by ~1/k per compaction level.
+* :class:`ReservoirSample` — Algorithm-R reservoir with weighted merge:
+  the merged reservoir is distributed as a uniform sample of the
+  concatenated streams.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.rand import rng_from
+
+
+class QuantileSketch:
+    """A simple compacting (KLL-style) quantile sketch.
+
+    ``k`` bounds the buffer per level; error grows slowly with compactions.
+    Exact while fewer than ``k`` items have been seen.
+    """
+
+    def __init__(self, k: int = 128, seed: int = 17):
+        if k < 8:
+            raise ValueError(f"k must be >= 8, got {k}")
+        self.k = k
+        self.seed = seed
+        #: levels[i] holds sorted values, each representing 2**i originals.
+        self._levels: List[List[float]] = [[]]
+        self.count = 0
+        self._rng = rng_from("quantile-sketch", k, seed)
+
+    def add(self, value: float) -> None:
+        insort(self._levels[0], value)
+        self.count += 1
+        self._compact()
+
+    def _compact(self) -> None:
+        level = 0
+        while level < len(self._levels):
+            buffer = self._levels[level]
+            if len(buffer) <= self.k:
+                level += 1
+                continue
+            if level + 1 == len(self._levels):
+                self._levels.append([])
+            # Keep alternate elements (random phase), promote the rest.
+            phase = self._rng.randrange(2)
+            survivors = buffer[phase::2]
+            for value in survivors:
+                insort(self._levels[level + 1], value)
+            self._levels[level] = []
+            level += 1
+
+    def _weighted(self) -> List[Tuple[float, int]]:
+        out: List[Tuple[float, int]] = []
+        for level, buffer in enumerate(self._levels):
+            weight = 1 << level
+            out.extend((value, weight) for value in buffer)
+        out.sort()
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError("quantile of an empty sketch")
+        target = q * self.count
+        seen = 0
+        weighted = self._weighted()
+        for value, weight in weighted:
+            seen += weight
+            if seen >= target:
+                return value
+        return weighted[-1][0]
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        if self.k != other.k:
+            raise ValueError(f"cannot merge sketches with k={self.k} and k={other.k}")
+        merged = QuantileSketch(self.k, self.seed)
+        merged.count = self.count + other.count
+        depth = max(len(self._levels), len(other._levels))
+        merged._levels = [[] for _ in range(depth)]
+        for source in (self, other):
+            for level, buffer in enumerate(source._levels):
+                for value in buffer:
+                    insort(merged._levels[level], value)
+        merged._compact()
+        return merged
+
+
+def quantile_merge(a: QuantileSketch, b: QuantileSketch) -> QuantileSketch:
+    return a.merge(b)
+
+
+class ReservoirSample:
+    """Algorithm-R reservoir sampling with a weighted, distribution-correct
+    merge: each slot of the merged reservoir draws from either side with
+    probability proportional to the side's stream length."""
+
+    def __init__(self, capacity: int, seed: int = 23, label: object = 0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.seed = seed
+        self.items: List = []
+        self.count = 0
+        self._rng = rng_from("reservoir", capacity, seed, label)
+
+    def add(self, item) -> None:
+        self.count += 1
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            return
+        index = self._rng.randrange(self.count)
+        if index < self.capacity:
+            self.items[index] = item
+
+    def merge(self, other: "ReservoirSample") -> "ReservoirSample":
+        if self.capacity != other.capacity:
+            raise ValueError("cannot merge reservoirs of different capacity")
+        merged = ReservoirSample(
+            self.capacity, self.seed, label=(self.count, other.count)
+        )
+        merged.count = self.count + other.count
+        pool_self = list(self.items)
+        pool_other = list(other.items)
+        for _ in range(min(self.capacity, merged.count)):
+            take_self = False
+            total = self.count + other.count
+            if pool_self and pool_other:
+                take_self = merged._rng.random() < self.count / total
+            elif pool_self:
+                take_self = True
+            if take_self and pool_self:
+                merged.items.append(
+                    pool_self.pop(merged._rng.randrange(len(pool_self)))
+                )
+            elif pool_other:
+                merged.items.append(
+                    pool_other.pop(merged._rng.randrange(len(pool_other)))
+                )
+        return merged
+
+
+def reservoir_merge(a: ReservoirSample, b: ReservoirSample) -> ReservoirSample:
+    return a.merge(b)

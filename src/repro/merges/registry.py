@@ -1,0 +1,65 @@
+"""Named registry of merge procedures.
+
+Task blueprints travel through work bags as (task id, code reference, bag
+ids); referencing merges by name keeps blueprints serializable the way the
+real system ships them (Section 3.1). Applications can register their own
+merges; the built-in library pre-registers the common ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ReproError
+from repro.merges.basic import (
+    concat_merge,
+    counter_merge,
+    dict_sum_merge,
+    max_merge,
+    min_merge,
+    set_union_merge,
+    sum_merge,
+)
+from repro.merges.bitset import bitset_union_merge
+from repro.merges.quantiles import quantile_merge, reservoir_merge
+from repro.merges.sorted import median_merge, sorted_merge, topk_merge
+
+MergeFn = Callable
+
+_REGISTRY: Dict[str, MergeFn] = {}
+
+
+def register_merge(name: str, fn: MergeFn, overwrite: bool = False) -> None:
+    """Register ``fn`` under ``name``; refuses silent redefinition."""
+    if name in _REGISTRY and not overwrite:
+        raise ReproError(f"merge {name!r} is already registered")
+    _REGISTRY[name] = fn
+
+
+def get_merge(name: str) -> MergeFn:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(f"no merge registered under {name!r}") from None
+
+
+def merge_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+for _name, _fn in [
+    ("concat", concat_merge),
+    ("sum", sum_merge),
+    ("min", min_merge),
+    ("max", max_merge),
+    ("counter", counter_merge),
+    ("dict_sum", dict_sum_merge),
+    ("set_union", set_union_merge),
+    ("bitset_union", bitset_union_merge),
+    ("sorted", sorted_merge),
+    ("topk", topk_merge),
+    ("median", median_merge),
+    ("quantile_sketch", quantile_merge),
+    ("reservoir", reservoir_merge),
+]:
+    register_merge(_name, _fn)

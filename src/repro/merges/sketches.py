@@ -1,0 +1,135 @@
+"""Mergeable sketches: Count-Min and HyperLogLog.
+
+The paper cites sketches [16, 22] as a class of tasks that needs real merge
+support (Section 2.3). Both sketches here merge exactly (same-shape sketches
+combine losslessly into the sketch of the union stream), so a cloned
+sketch-building task reconciles to precisely the un-cloned result.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, List
+
+from repro.sim.rand import derive_seed
+
+_MASK64 = (1 << 64) - 1
+
+
+def _hash64(value: Hashable, salt: int) -> int:
+    """A stable 64-bit hash independent of PYTHONHASHSEED."""
+    return derive_seed(salt, value)
+
+
+class CountMinSketch:
+    """Count-Min sketch [Cormode & Muthukrishnan 2005].
+
+    ``estimate`` never under-counts; the overestimate is bounded by
+    ``eps * total`` with probability ``1 - delta`` for
+    ``width = ceil(e / eps)`` and ``depth = ceil(ln(1 / delta))``.
+    """
+
+    def __init__(self, width: int = 1024, depth: int = 4, seed: int = 7):
+        if width < 1 or depth < 1:
+            raise ValueError("width and depth must be >= 1")
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self.total = 0
+
+    @classmethod
+    def for_error(cls, eps: float, delta: float, seed: int = 7) -> "CountMinSketch":
+        width = math.ceil(math.e / eps)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width=width, depth=depth, seed=seed)
+
+    def _buckets(self, item: Hashable):
+        for row in range(self.depth):
+            yield row, _hash64(item, self.seed + row) % self.width
+
+    def add(self, item: Hashable, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("Count-Min only supports non-negative updates")
+        self.total += count
+        for row, col in self._buckets(item):
+            self._rows[row][col] += count
+
+    def estimate(self, item: Hashable) -> int:
+        return min(self._rows[row][col] for row, col in self._buckets(item))
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        if (self.width, self.depth, self.seed) != (
+            other.width,
+            other.depth,
+            other.seed,
+        ):
+            raise ValueError("can only merge identically-shaped Count-Min sketches")
+        merged = CountMinSketch(self.width, self.depth, self.seed)
+        merged.total = self.total + other.total
+        merged._rows = [
+            [a + b for a, b in zip(row_a, row_b)]
+            for row_a, row_b in zip(self._rows, other._rows)
+        ]
+        return merged
+
+
+class HyperLogLog:
+    """HyperLogLog cardinality estimator [Flajolet et al. 2007].
+
+    ``2**p`` registers; standard alpha constant with small-range (linear
+    counting) correction. Merging takes the register-wise max, which equals
+    the sketch of the union stream.
+    """
+
+    def __init__(self, p: int = 12, seed: int = 11):
+        if not 4 <= p <= 18:
+            raise ValueError(f"p must be in [4, 18], got {p}")
+        self.p = p
+        self.m = 1 << p
+        self.seed = seed
+        self._registers = bytearray(self.m)
+
+    @property
+    def _alpha(self) -> float:
+        if self.m == 16:
+            return 0.673
+        if self.m == 32:
+            return 0.697
+        if self.m == 64:
+            return 0.709
+        return 0.7213 / (1.0 + 1.079 / self.m)
+
+    def add(self, item: Hashable) -> None:
+        h = _hash64(item, self.seed)
+        index = h >> (64 - self.p)
+        remainder = (h << self.p) & _MASK64
+        # rank = position of the leftmost 1-bit in the remaining 64-p bits.
+        rank = 1
+        probe = 1 << 63
+        while rank <= 64 - self.p and not remainder & probe:
+            rank += 1
+            probe >>= 1
+        if rank > self._registers[index]:
+            self._registers[index] = rank
+
+    def cardinality(self) -> float:
+        inv_sum = 0.0
+        zeros = 0
+        for register in self._registers:
+            inv_sum += 2.0 ** -register
+            if register == 0:
+                zeros += 1
+        estimate = self._alpha * self.m * self.m / inv_sum
+        if estimate <= 2.5 * self.m and zeros:
+            return self.m * math.log(self.m / zeros)
+        return estimate
+
+    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+        if (self.p, self.seed) != (other.p, other.seed):
+            raise ValueError("can only merge identically-configured HLL sketches")
+        merged = HyperLogLog(self.p, self.seed)
+        merged._registers = bytearray(
+            max(a, b) for a, b in zip(self._registers, other._registers)
+        )
+        return merged

@@ -1,0 +1,87 @@
+"""Order-aware merges: merge-sort, top-k, and medians.
+
+These demonstrate the paper's claim that Hurricane merges are *more general*
+than shuffle-and-sort combiners — non commutative-associative outputs
+(sorted runs, medians, duplicate removal) merge cleanly (Section 2.3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import Any, Callable, List, Optional, Sequence
+
+
+def sorted_merge(a: Sequence, b: Sequence, key: Optional[Callable] = None) -> List:
+    """Merge two sorted runs into one sorted run (classic merge step)."""
+    return list(heapq.merge(a, b, key=key))
+
+
+class TopK:
+    """A mergeable top-k accumulator (largest ``k`` values by ``key``)."""
+
+    def __init__(self, k: int, items: Optional[Sequence] = None):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._heap: List[Any] = []
+        for item in items or ():
+            self.add(item)
+
+    def add(self, item: Any) -> None:
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, item)
+        else:
+            heapq.heappushpop(self._heap, item)
+
+    def items(self) -> List[Any]:
+        """The top-k items in descending order."""
+        return sorted(self._heap, reverse=True)
+
+    def merge(self, other: "TopK") -> "TopK":
+        if self.k != other.k:
+            raise ValueError(f"cannot merge TopK with k={self.k} and k={other.k}")
+        merged = TopK(self.k, self._heap)
+        for item in other._heap:
+            merged.add(item)
+        return merged
+
+
+def topk_merge(a: TopK, b: TopK) -> TopK:
+    return a.merge(b)
+
+
+class MedianState:
+    """An exact mergeable median: keeps a sorted list of observations.
+
+    Medians are the paper's canonical non commutative-associative example;
+    an exact merge must retain the full multiset, so this is O(n) state —
+    the point is API generality, not sublinearity (use a sketch for that).
+    """
+
+    def __init__(self, values: Optional[Sequence[float]] = None):
+        self._values: List[float] = sorted(values or ())
+
+    def add(self, value: float) -> None:
+        insort(self._values, value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def median(self) -> float:
+        if not self._values:
+            raise ValueError("median of empty state")
+        n = len(self._values)
+        mid = n // 2
+        if n % 2:
+            return self._values[mid]
+        return (self._values[mid - 1] + self._values[mid]) / 2.0
+
+    def merge(self, other: "MedianState") -> "MedianState":
+        merged = MedianState()
+        merged._values = list(heapq.merge(self._values, other._values))
+        return merged
+
+
+def median_merge(a: MedianState, b: MedianState) -> MedianState:
+    return a.merge(b)

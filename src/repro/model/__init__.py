@@ -1,0 +1,27 @@
+"""The Hurricane application model (Section 2).
+
+An application is a directed graph of *tasks* and *data bags*: bag outputs
+feed task inputs and task outputs feed bags. The model layer is shared by
+both engines — the discrete-event cluster simulator executes
+:class:`~repro.model.costs.TaskCost` annotations, while the local runtime
+executes the task's real Python function over real chunks. The
+:class:`~repro.model.execution_graph.ExecutionGraph` tracks the runtime
+shape of a job — clones added on the fly and the merge nodes they induce —
+exactly as Figure 2 of the paper illustrates.
+"""
+
+from repro.model.application import Application
+from repro.model.costs import TaskCost
+from repro.model.execution_graph import ExecutionGraph, ExecutionNode, NodeKind
+from repro.model.graph import AppGraph, BagSpec, TaskSpec
+
+__all__ = [
+    "AppGraph",
+    "Application",
+    "BagSpec",
+    "ExecutionGraph",
+    "ExecutionNode",
+    "NodeKind",
+    "TaskCost",
+    "TaskSpec",
+]

@@ -1,0 +1,55 @@
+"""Cost annotations consumed by the cluster simulator.
+
+A :class:`TaskCost` tells the simulated worker how expensive one byte of
+input is and where the output bytes go. The unit conventions:
+
+* CPU work is measured in **core-seconds**; a task with
+  ``cpu_seconds_per_mb = 0.04`` processes 25 MB/s on one core.
+* ``output_ratio`` is total output bytes per input byte.
+* ``output_weights`` splits the output across the task's output bags
+  (Phase 1 of ClickLog splits by region weight); it defaults to uniform.
+* ``fixed_output_bytes`` models aggregation tasks whose output size does not
+  scale with input (a bitset, a count).
+* Side inputs (every input bag except the first) are *state*: they are read
+  fully when a worker — original or clone — starts, which is exactly the
+  "loading task state in a new clone" cost in the paper's cloning heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class TaskCost:
+    #: Core-seconds of CPU per MB of streamed input.
+    cpu_seconds_per_mb: float = 0.0
+    #: Output bytes produced per streamed input byte (across all output bags).
+    output_ratio: float = 1.0
+    #: Fraction of output routed to each output bag id; defaults to uniform.
+    output_weights: Optional[Dict[str, float]] = None
+    #: Output bytes that are produced once per task regardless of input size
+    #: (e.g. ClickLog Phase 2 emits one bitset). Split by output_weights.
+    fixed_output_bytes: int = 0
+    #: Core-seconds per MB spent by the merge task over clone partial outputs.
+    merge_cpu_seconds_per_mb: float = 0.01
+    #: Size of the merged output relative to the *largest* partial output
+    #: (1.0 for bitset-union/count merges; clones of concat tasks don't merge).
+    merge_output_ratio: float = 1.0
+    #: One-off core-seconds at worker start (JVM-ish task setup).
+    startup_cpu_seconds: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def weights_for(self, output_bags) -> Dict[str, float]:
+        """Normalized output weights over ``output_bags``."""
+        bags = list(output_bags)
+        if not bags:
+            return {}
+        if self.output_weights is None:
+            share = 1.0 / len(bags)
+            return {bag: share for bag in bags}
+        total = sum(self.output_weights.get(bag, 0.0) for bag in bags)
+        if total <= 0:
+            raise ValueError("output_weights assign zero weight to every output bag")
+        return {bag: self.output_weights.get(bag, 0.0) / total for bag in bags}

@@ -1,0 +1,28 @@
+"""The Hurricane runtime on the simulated cluster.
+
+This package is the paper's primary contribution: an application master
+that schedules tasks through distributed work bags, per-node task managers
+executing workers, overload detection that emits clone messages at most
+every two seconds, the cloning heuristic ``T > (k + 1) * T_IO`` (Eq. 2),
+merge-task insertion, and checkpoint-replay fault tolerance.
+
+Entry point: :class:`~repro.runtime.job.SimJob` — build an
+:class:`~repro.model.application.Application`, describe its input bags,
+and ``run()`` returns a :class:`~repro.runtime.report.RunReport` with the
+runtime, per-phase breakdown, clone counts, and a throughput timeline.
+"""
+
+from repro.runtime.config import HurricaneConfig, InputSpec
+from repro.runtime.faults import FaultPlan
+from repro.runtime.job import SimJob, run_app
+from repro.runtime.report import MetricsRecorder, RunReport
+
+__all__ = [
+    "FaultPlan",
+    "HurricaneConfig",
+    "InputSpec",
+    "MetricsRecorder",
+    "RunReport",
+    "SimJob",
+    "run_app",
+]

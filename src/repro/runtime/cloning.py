@@ -1,0 +1,182 @@
+"""Overload detection and the cloning heuristic (Sections 3.2 and 4.2).
+
+**Overload detection.** Each compute node runs a monitor that samples CPU
+demand and NIC utilization every ``monitor_interval``. When either exceeds
+its threshold for two consecutive samples and the node has a running
+worker, the node sends the master a clone request for its heaviest running
+task — at most one request every ``clone_interval`` (2s in the paper, which
+is what makes the clone count double roughly every 2 seconds in Figure 9).
+
+**Cloning heuristic.** The master accepts a request only if an idle worker
+slot exists elsewhere and cloning is expected to pay off (Eq. 2):
+
+    T > (k + 1) * T_IO
+
+where ``T`` is the estimated time to finish the task at the current drain
+rate and ``T_IO`` the extra I/O a new clone causes: loading side-input
+state plus, for merge tasks, writing and re-reading the clone's partial
+output. The paper estimates partial-output size as the clone's share of the
+remaining input; our cost model knows the task's actual output shape
+(``fixed_output_bytes`` / ``output_ratio``), so the estimate uses it. Set
+``paper_estimator=True`` to use the cruder size-of-remaining-input estimate
+verbatim (ablated in ``benchmarks/test_ablation_heuristic.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.model.graph import TaskSpec
+from repro.storage.bags import BagCatalog
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class CloneRequest:
+    task_id: str
+    from_node: int
+    at: float
+
+
+@dataclass
+class DrainStats:
+    """Master-side drain-rate tracking for one task's stream input bag."""
+
+    last_time: float
+    last_remaining: float
+    rate: float = 0.0  # bytes/s, EMA-smoothed
+
+    def update(self, now: float, remaining: float, alpha: float = 0.5) -> None:
+        dt = now - self.last_time
+        if dt <= 0:
+            return
+        instant = max(0.0, (self.last_remaining - remaining) / dt)
+        self.rate = instant if self.rate == 0.0 else (
+            alpha * instant + (1 - alpha) * self.rate
+        )
+        self.last_time = now
+        self.last_remaining = remaining
+
+
+class CloningPolicy:
+    """Implements Eq. 2 over the master's drain statistics."""
+
+    def __init__(
+        self,
+        catalog: BagCatalog,
+        disk_bandwidth: float,
+        heuristic_enabled: bool = True,
+        paper_estimator: bool = False,
+        clone_setup_seconds: float = 0.35,
+    ):
+        self.catalog = catalog
+        self.disk_bandwidth = disk_bandwidth
+        self.heuristic_enabled = heuristic_enabled
+        self.paper_estimator = paper_estimator
+        #: Fixed cost of standing a clone up: scheduling latency plus worker
+        #: launch. Part of "loading task state in a new clone"; it is what
+        #: stops Eq. 2 from approving clones of near-finished tiny tasks.
+        self.clone_setup_seconds = clone_setup_seconds
+
+    def state_bytes(self, spec: TaskSpec) -> float:
+        """Side-input state a new clone must load before streaming."""
+        return float(
+            sum(self.catalog.get(b).written_total() for b in spec.side_inputs)
+        )
+
+    def estimate_tio(self, spec: TaskSpec, k: int, remaining: float) -> float:
+        """Expected extra I/O seconds caused by one more clone."""
+        seconds = (
+            self.clone_setup_seconds + self.state_bytes(spec) / self.disk_bandwidth
+        )
+        if spec.needs_merge:
+            if self.paper_estimator:
+                partial = remaining / (k + 1)
+            else:
+                cost = spec.cost
+                partial = cost.fixed_output_bytes + cost.output_ratio * (
+                    remaining / (k + 1)
+                )
+            # The partial output is written once and read back once to merge.
+            seconds += 2.0 * partial / self.disk_bandwidth
+        return seconds
+
+    def should_clone(
+        self, spec: TaskSpec, k: int, remaining: float, drain_rate: float
+    ) -> bool:
+        """Eq. 2: clone iff T > (k + 1) * T_IO."""
+        if remaining <= 0:
+            return False
+        if not self.heuristic_enabled:
+            return True
+        if drain_rate <= 0:
+            # No rate sample yet: assume the family drains at one machine's
+            # storage bandwidth (conservative — avoids cloning tiny tasks the
+            # master has not even observed for one poll interval).
+            drain_rate = self.disk_bandwidth
+        t_finish = remaining / drain_rate
+        t_io = self.estimate_tio(spec, k, remaining)
+        return t_finish > (k + 1) * t_io
+
+
+class OverloadMonitor:
+    """Per-compute-node overload detector (runs as a simulation process)."""
+
+    def __init__(
+        self,
+        runtime,  # SimJob internals; duck-typed to avoid a cycle
+        node: int,
+        monitor_interval: float,
+        clone_interval: float,
+        cpu_threshold: float,
+        nic_threshold: float,
+    ):
+        self.runtime = runtime
+        self.node = node
+        self.monitor_interval = monitor_interval
+        self.clone_interval = clone_interval
+        self.cpu_threshold = cpu_threshold
+        self.nic_threshold = nic_threshold
+        self._last_request: Optional[float] = None
+        self._hot_since: Optional[float] = None
+        self.stopped = False
+
+    def _overloaded(self) -> bool:
+        machine = self.runtime.cluster.machine(self.node)
+        return (
+            machine.cpu_demand() >= self.cpu_threshold
+            or machine.nic_utilization() >= self.nic_threshold
+        )
+
+    def run(self):
+        """Simulation process body."""
+        env = self.runtime.env
+        while not self.stopped:
+            yield env.timeout(self.monitor_interval)
+            if self.stopped:
+                return
+            now = env.now
+            if not self._overloaded():
+                self._hot_since = None
+                continue
+            if self._hot_since is None:
+                self._hot_since = now
+            # "At least 2 seconds apart" (Section 4.2), anchored on overload
+            # onset: a node must be overloaded for a full clone interval
+            # before its first message, and between messages. This is what
+            # makes the clone count double about every 2s in Figure 9.
+            if now - self._hot_since < self.clone_interval:
+                continue
+            if (
+                self._last_request is not None
+                and now - self._last_request < self.clone_interval
+            ):
+                continue
+            task_id = self.runtime.heaviest_running_task(self.node)
+            if task_id is None:
+                continue
+            self._last_request = now
+            self.runtime.submit_clone_request(
+                CloneRequest(task_id=task_id, from_node=self.node, at=now)
+            )

@@ -1,0 +1,87 @@
+"""Runtime configuration knobs.
+
+Defaults follow the paper: 4MB chunks, batch factor b=10, clone messages at
+least 2 seconds apart, no replication unless stated. The ``spread_data`` and
+``cloning_enabled`` switches reproduce the four-way ablation of Figures 7/8;
+``heuristic_enabled`` ablates Eq. 2 separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Union
+
+from repro.units import DEFAULT_CHUNK_SIZE
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """How one source bag is materialized before the job starts.
+
+    ``placement`` is ``"spread"`` (uniform across storage nodes — the
+    Hurricane default) or an integer storage-node index for the
+    local-placement ablation.
+    """
+
+    total_bytes: int
+    placement: Union[str, int] = "spread"
+
+    def __post_init__(self):
+        if self.total_bytes < 0:
+            raise ValueError(f"negative input size {self.total_bytes}")
+
+
+@dataclass(frozen=True)
+class HurricaneConfig:
+    # Storage (Sections 3.3, 4.5)
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    batch_factor: int = 10
+    replication: int = 1
+    spread_data: bool = True
+    #: Chunks moved per storage request. Semantically a super-chunk; raise it
+    #: for very large simulated inputs to bound the event count (fidelity
+    #: knob, documented in DESIGN.md).
+    granularity: int = 1
+
+    # Compute (Section 3)
+    worker_slots: int = 2
+    worker_threads: Optional[int] = None  # None -> all cores of the machine
+
+    # Cloning (Sections 3.2, 4.2)
+    cloning_enabled: bool = True
+    heuristic_enabled: bool = True
+    #: Use the paper's coarse T_IO estimator (2x the clone's share of the
+    #: remaining input) instead of the cost-model-aware one. Ablation knob.
+    paper_estimator: bool = False
+    clone_interval: float = 2.0
+    monitor_interval: float = 0.5
+    overload_cpu: float = 0.95
+    overload_nic: float = 0.95
+
+    # Optional JVM garbage-collection model (off by default). The paper
+    # attributes half of its worst-case Figure 5 overhead to desynchronized
+    # GC pauses at storage nodes [Maas et al., HotOS'15]; enabling this
+    # stalls each machine's disk for ``gc_pause_seconds`` roughly every
+    # ``gc_interval`` seconds, desynchronized across machines.
+    gc_pause_seconds: float = 0.0
+    gc_interval: float = 30.0
+
+    # Control plane
+    scheduler_poll: float = 0.1
+    master_poll: float = 0.1
+    startup_delay: float = 2.0  # framework/job startup before first task
+    task_start_overhead: float = 0.15  # worker launch cost per task
+    crash_detect_timeout: float = 3.0
+    master_recovery_delay: float = 0.8
+
+    # Topology: default = every machine is both compute and storage node.
+    compute_nodes: Optional[List[int]] = None
+    storage_nodes: Optional[List[int]] = None
+
+    def with_overrides(self, **kwargs) -> "HurricaneConfig":
+        return replace(self, **kwargs)
+
+    def resolve_nodes(self, n_machines: int):
+        compute = self.compute_nodes or list(range(n_machines))
+        storage = self.storage_nodes or list(range(n_machines))
+        return compute, storage

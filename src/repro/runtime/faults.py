@@ -1,0 +1,65 @@
+"""Fault injection (Section 4.4 / Figure 11).
+
+A :class:`FaultPlan` schedules compute-node crashes, application-master
+crashes, and storage-node crashes at fixed simulation times. The plan is
+executed by injector processes inside :class:`~repro.runtime.job.SimJob`:
+
+* a **compute crash** kills the node's task manager and all of its workers
+  (the co-located storage node keeps serving, as in the paper's
+  experiment); the master notices after ``crash_detect_timeout`` and
+  restarts the affected task families;
+* a **master crash** interrupts the master process; a recovery master is
+  spawned after the crash and replays the work bags;
+* a **storage crash** takes the machine's disk and NICs down; reads fail
+  over to backup replicas when replication > 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class ComputeCrash:
+    at: float
+    node: int
+    restart_after: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class MasterCrash:
+    at: float
+
+
+@dataclass(frozen=True)
+class StorageCrash:
+    at: float
+    node: int
+    restart_after: Optional[float] = None
+
+
+@dataclass
+class FaultPlan:
+    compute_crashes: List[ComputeCrash] = field(default_factory=list)
+    master_crashes: List[MasterCrash] = field(default_factory=list)
+    storage_crashes: List[StorageCrash] = field(default_factory=list)
+
+    def crash_compute(
+        self, at: float, node: int, restart_after: Optional[float] = None
+    ) -> "FaultPlan":
+        self.compute_crashes.append(ComputeCrash(at, node, restart_after))
+        return self
+
+    def crash_master(self, at: float) -> "FaultPlan":
+        self.master_crashes.append(MasterCrash(at))
+        return self
+
+    def crash_storage(
+        self, at: float, node: int, restart_after: Optional[float] = None
+    ) -> "FaultPlan":
+        self.storage_crashes.append(StorageCrash(at, node, restart_after))
+        return self
+
+    def empty(self) -> bool:
+        return not (self.compute_crashes or self.master_crashes or self.storage_crashes)

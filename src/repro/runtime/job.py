@@ -1,0 +1,374 @@
+"""SimJob: wires an application onto a simulated cluster and runs it.
+
+Responsibilities: materialize source bags, create storage clients / work
+bags / task managers / overload monitors, start the master, execute the
+fault plan, and assemble the :class:`~repro.runtime.report.RunReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.spec import ClusterSpec, paper_cluster
+from repro.errors import JobTimeout, SchedulingError
+from repro.model.application import Application
+from repro.model.execution_graph import ExecutionGraph, NodeKind
+from repro.model.graph import AppGraph
+from repro.runtime.cloning import CloneRequest, OverloadMonitor
+from repro.runtime.config import HurricaneConfig, InputSpec
+from repro.runtime.faults import FaultPlan
+from repro.runtime.master import Master
+from repro.runtime.report import MetricsRecorder, RunReport
+from repro.runtime.taskmanager import TaskManager, WorkerHandle
+from repro.sim.kernel import Environment
+from repro.sim.rand import SplitMix, derive_seed
+from repro.sim.resources import Store
+from repro.storage.bags import BagCatalog
+from repro.storage.client import StorageClient
+from repro.storage.replication import ReplicaMap
+from repro.storage.workbag import WorkBags
+
+
+class SimJob:
+    def __init__(
+        self,
+        graph: AppGraph,
+        inputs: Dict[str, InputSpec],
+        cluster_spec: Optional[ClusterSpec] = None,
+        config: Optional[HurricaneConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        speed_factors: Optional[List[float]] = None,
+    ):
+        self.graph = graph
+        self.config = config or HurricaneConfig()
+        self.env = Environment()
+        self.cluster = Cluster(
+            self.env, cluster_spec or paper_cluster(), speed_factors=speed_factors
+        )
+        self.compute_nodes, self.storage_nodes = self.config.resolve_nodes(
+            len(self.cluster)
+        )
+        self.metrics = MetricsRecorder()
+        self.replica_map = ReplicaMap(self.storage_nodes, self.config.replication)
+        self.catalog = BagCatalog(self.storage_nodes, self.config.chunk_size)
+        self.workbags = WorkBags(
+            self.env, self.cluster, self.storage_nodes, self.replica_map
+        )
+        self.clients: Dict[int, StorageClient] = {
+            node: StorageClient(
+                self.env,
+                self.cluster,
+                self.catalog,
+                node,
+                batch_factor=self.config.batch_factor,
+                spread=self.config.spread_data,
+                replica_map=self.replica_map,
+                granularity=self.config.granularity,
+            )
+            for node in self.compute_nodes
+        }
+        self.clone_inbox = Store(self.env, name="clone-requests")
+        self.exec: Optional[ExecutionGraph] = None
+        self.running_workers: Dict[str, WorkerHandle] = {}
+        self.task_managers: Dict[int, TaskManager] = {}
+        self.monitors: Dict[int, OverloadMonitor] = {}
+        self.crashed_compute: Dict[int, float] = {}
+        #: Append-only record of every compute crash; restarts do not erase
+        #: it, so the master always recovers the work lost to a crash even
+        #: if the node came back before detection.
+        self.compute_crash_log: List[tuple] = []
+        self._reserved: Dict[int, int] = {node: 0 for node in self.compute_nodes}
+        self.clones_granted = 0
+        self.clones_rejected = 0
+        self.completion = self.env.event()
+        self.master: Optional[Master] = None
+        self._fault_plan = fault_plan or FaultPlan()
+        self._materialize_inputs(inputs)
+
+    # -- setup -------------------------------------------------------------
+
+    def _materialize_inputs(self, inputs: Dict[str, InputSpec]) -> None:
+        for bag_spec in self.graph.bags.values():
+            self.catalog.ensure(bag_spec.bag_id)
+        for bag_id in self.graph.source_bags():
+            if bag_id not in inputs:
+                raise SchedulingError(f"no InputSpec for source bag {bag_id!r}")
+        for bag_id, spec in inputs.items():
+            bag = self.catalog.get(bag_id)
+            if spec.placement == "spread":
+                nodes = self.storage_nodes
+                share, leftover = divmod(spec.total_bytes, len(nodes))
+                for position, node in enumerate(nodes):
+                    bag.write(node, share + (1 if position < leftover else 0))
+            else:
+                bag.write(int(spec.placement), spec.total_bytes)
+            bag.seal()
+
+    # -- runtime registry (used by TMs, monitors, and the master) -----------
+
+    def register_worker(self, handle: WorkerHandle) -> None:
+        self.running_workers[handle.node.node_id] = handle
+
+    def unregister_worker(self, handle: WorkerHandle) -> None:
+        current = self.running_workers.get(handle.node.node_id)
+        if current is handle:
+            del self.running_workers[handle.node.node_id]
+
+    def alive_compute_nodes(self) -> List[int]:
+        return [n for n in self.compute_nodes if n not in self.crashed_compute]
+
+    def reserve_slot(self, node: int) -> None:
+        self._reserved[node] += 1
+
+    def release_reservation(self, node: int) -> None:
+        if self._reserved[node] > 0:
+            self._reserved[node] -= 1
+
+    def pick_idle_node(
+        self, exclude: Optional[int] = None, task_id: Optional[str] = None
+    ) -> Optional[int]:
+        """The alive compute node with the most free, unreserved slots.
+
+        Nodes already running a worker of ``task_id``'s family are skipped —
+        a clone on the same machine adds no parallelism.
+        """
+        family_nodes = set()
+        if task_id is not None:
+            family_nodes = {
+                handle.compute_node
+                for handle in self.running_workers.values()
+                if handle.task_id == task_id
+            }
+        best = None
+        best_free = 0
+        for node in self.alive_compute_nodes():
+            if node == exclude or node in family_nodes:
+                continue
+            tm = self.task_managers[node]
+            free = tm.free_slots - self._reserved[node]
+            if free > best_free:
+                best = node
+                best_free = free
+        return best
+
+    def heaviest_running_task(self, node: int) -> Optional[str]:
+        """The task on ``node`` with the most unread stream input."""
+        best_task = None
+        best_remaining = 0
+        for handle in self.running_workers.values():
+            if handle.compute_node != node or handle.node.kind == NodeKind.MERGE:
+                continue
+            remaining = self.catalog.get(handle.node.stream_input).remaining_total()
+            if remaining > best_remaining:
+                best_task = handle.task_id
+                best_remaining = remaining
+        return best_task
+
+    def submit_clone_request(self, request: CloneRequest) -> None:
+        self.clone_inbox.put(request)
+
+    def finish_job(self) -> None:
+        if not self.completion.triggered:
+            self.completion.succeed(self.env.now)
+
+    # -- fault plan ----------------------------------------------------------
+
+    def _schedule_faults(self) -> None:
+        for crash in self._fault_plan.compute_crashes:
+            self.env.process(self._compute_crash_proc(crash))
+        for crash in self._fault_plan.master_crashes:
+            self.env.process(self._master_crash_proc(crash))
+        for crash in self._fault_plan.storage_crashes:
+            self.env.process(self._storage_crash_proc(crash))
+
+    def _compute_crash_proc(self, crash):
+        yield self.env.timeout(crash.at)
+        self.metrics.event(self.env.now, "compute_crash", node=crash.node)
+        self.crashed_compute[crash.node] = self.env.now
+        self.compute_crash_log.append((crash.node, self.env.now))
+        monitor = self.monitors.get(crash.node)
+        if monitor is not None:
+            monitor.stopped = True
+        self.task_managers[crash.node].kill()
+        if crash.restart_after is not None:
+            yield self.env.timeout(crash.restart_after)
+            self.metrics.event(self.env.now, "compute_restart", node=crash.node)
+            self.crashed_compute.pop(crash.node, None)
+            self.task_managers[crash.node].restart()
+            self._start_monitor(crash.node)
+
+    def _master_crash_proc(self, crash):
+        yield self.env.timeout(crash.at)
+        if self.master is None or not self.master.process.is_alive:
+            return  # job already finished (or never started)
+        self.metrics.event(self.env.now, "master_crash")
+        self.master.process.interrupt("master crash")
+        self.master = Master(self, recovering=True)
+
+    def _storage_crash_proc(self, crash):
+        yield self.env.timeout(crash.at)
+        self.metrics.event(self.env.now, "storage_crash", node=crash.node)
+        self.cluster.machine(crash.node).crash()
+        if crash.restart_after is not None:
+            yield self.env.timeout(crash.restart_after)
+            self.cluster.machine(crash.node).restart()
+            self.metrics.event(self.env.now, "storage_restart", node=crash.node)
+
+    # -- dynamic node membership (Section 3.4) -------------------------------
+
+    def add_compute_node(self, node: int) -> None:
+        """Start the framework + a task manager on a provisioned machine."""
+        if node in self.task_managers and self.task_managers[node].alive:
+            return
+        if node not in self.compute_nodes:
+            self.compute_nodes.append(node)
+            self._reserved.setdefault(node, 0)
+        if node not in self.clients:
+            self.clients[node] = StorageClient(
+                self.env,
+                self.cluster,
+                self.catalog,
+                node,
+                batch_factor=self.config.batch_factor,
+                spread=self.config.spread_data,
+                replica_map=self.replica_map,
+                granularity=self.config.granularity,
+            )
+        self.crashed_compute.pop(node, None)
+        if node in self.task_managers:
+            self.task_managers[node].restart()
+        else:
+            self.task_managers[node] = TaskManager(self, node)
+        if self.config.cloning_enabled:
+            self._start_monitor(node)
+        self.metrics.event(self.env.now, "compute_added", node=node)
+
+    def retire_compute_node(self, node: int) -> None:
+        """Stop a compute node gracefully: no new tasks, workers finish."""
+        tm = self.task_managers.get(node)
+        if tm is None or not tm.alive:
+            return
+        tm.alive = False  # the polling loop exits; running workers continue
+        monitor = self.monitors.get(node)
+        if monitor is not None:
+            monitor.stopped = True
+        if node in self.compute_nodes:
+            self.compute_nodes.remove(node)
+        self.metrics.event(self.env.now, "compute_retired", node=node)
+
+    def add_storage_node(self, node: int) -> None:
+        """Start a Hurricane server on a provisioned machine; compute nodes
+        learn about it and start placing chunks there."""
+        self.catalog.add_storage_node(node)
+        self.replica_map.add_node(node)
+        if node not in self.storage_nodes:
+            self.storage_nodes.append(node)
+        self.metrics.event(self.env.now, "storage_added", node=node)
+
+    def drain_storage_node(self, node: int) -> None:
+        """Decommission a storage node: no new inserts; it can be removed
+        once :meth:`storage_node_empty` reports its shards drained."""
+        self.catalog.drain_storage_node(node)
+        self.metrics.event(self.env.now, "storage_draining", node=node)
+
+    def storage_node_empty(self, node: int) -> bool:
+        return self.catalog.storage_node_empty(node)
+
+    def _gc_pause_proc(self, node: int):
+        """Desynchronized stop-the-world pauses at one storage node.
+
+        Models the GC behaviour of JVM-based storage servers: each pause
+        injects a pause's worth of array capacity as competing disk work,
+        so cluster-wide I/O throughput dips whenever any node pauses —
+        the effect the paper blames for its largest-input overheads.
+        """
+        config = self.config
+        machine = self.cluster.machine(node)
+        rng = SplitMix(derive_seed("gc", node))
+        # Desynchronize: each node starts at a random phase of the cycle.
+        yield self.env.timeout(rng.random() * config.gc_interval)
+        while True:
+            jitter = 0.5 + rng.random()  # 0.5x..1.5x the nominal interval
+            yield self.env.timeout(config.gc_interval * jitter)
+            if not machine.alive:
+                continue
+            stall = config.gc_pause_seconds * machine.spec.disk_bandwidth
+            yield machine.disk.transfer(stall)
+
+    def _start_monitor(self, node: int) -> None:
+        monitor = OverloadMonitor(
+            self,
+            node,
+            monitor_interval=self.config.monitor_interval,
+            clone_interval=self.config.clone_interval,
+            cpu_threshold=self.config.overload_cpu,
+            nic_threshold=self.config.overload_nic,
+        )
+        self.monitors[node] = monitor
+        self.env.process(monitor.run())
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, timeout: Optional[float] = None) -> RunReport:
+        """Execute the job; returns the report or raises JobTimeout."""
+
+        def startup():
+            yield self.env.timeout(self.config.startup_delay)
+            for node in self.compute_nodes:
+                self.task_managers[node] = TaskManager(self, node)
+                if self.config.cloning_enabled:
+                    self._start_monitor(node)
+            self.master = Master(self)
+
+        if self.config.gc_pause_seconds > 0:
+            for node in self.storage_nodes:
+                self.env.process(self._gc_pause_proc(node))
+
+        self.env.process(startup())
+        self._schedule_faults()
+        if timeout is not None:
+            def watchdog():
+                yield self.env.timeout(timeout)
+                if not self.completion.triggered:
+                    self.completion.fail(JobTimeout(self.graph.name, timeout))
+            self.env.process(watchdog())
+        finished_at = self.env.run(until=self.completion)
+        return self._build_report(finished_at)
+
+    def _build_report(self, finished_at: float) -> RunReport:
+        clone_counts = {
+            task_id: 1 + len(family.clones)
+            for task_id, family in self.exec.families.items()
+        }
+        return RunReport(
+            app=self.graph.name,
+            runtime=finished_at,
+            phases=self.metrics.phase_spans(),
+            clone_counts=clone_counts,
+            clones_granted=self.clones_granted,
+            clones_rejected=self.clones_rejected,
+            bytes_read=sum(c.bytes_read for c in self.clients.values()),
+            bytes_written=sum(c.bytes_written for c in self.clients.values()),
+            timeline=self.metrics.throughput_series(),
+            events=list(self.metrics.events),
+        )
+
+
+def run_app(
+    app: Application,
+    inputs: Dict[str, InputSpec],
+    machines: int = 32,
+    config: Optional[HurricaneConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    timeout: Optional[float] = None,
+) -> RunReport:
+    """Convenience wrapper: run ``app`` on a paper-spec cluster."""
+    job = SimJob(
+        app.graph,
+        inputs,
+        cluster_spec=paper_cluster(machines),
+        config=config,
+        fault_plan=fault_plan,
+    )
+    return job.run(timeout=timeout)

@@ -1,0 +1,299 @@
+"""The application master (Sections 3.1, 3.2, 4.2, 4.4).
+
+The master drives the computation: it seeds the ready work bag with the
+initially runnable tasks, tails the done log to advance the execution
+graph, seals output bags as task families finish, grants or rejects clone
+requests via the :class:`~repro.runtime.cloning.CloningPolicy`, and handles
+compute-node failures by resetting the affected task families (kill clones,
+discard outputs, rewind inputs, reschedule).
+
+The master itself is stateless-by-design: everything it knows is
+reconstructible from the three work bags, so a master crash is handled by
+starting a fresh master that replays the done log and scans the
+ready/running bags (:meth:`Master._recover`) — compute and storage nodes
+keep working throughout, exactly as in Figure 11.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.model.execution_graph import (
+    ExecutionGraph,
+    ExecutionNode,
+    NodeKind,
+    NodeState,
+)
+from repro.runtime.cloning import CloneRequest, CloningPolicy, DrainStats
+from repro.runtime.taskmanager import ResetEntry, TaskMsg
+from repro.sim.kernel import Interrupt
+
+
+class Master:
+    def __init__(self, runtime, recovering: bool = False):
+        self.runtime = runtime
+        self.recovering = recovering
+        self._drain: Dict[str, DrainStats] = {}
+        self._handled_crashes: Set[int] = set()
+        self.policy = CloningPolicy(
+            runtime.catalog,
+            disk_bandwidth=runtime.cluster.spec.machine.disk_bandwidth,
+            heuristic_enabled=runtime.config.heuristic_enabled,
+            paper_estimator=runtime.config.paper_estimator,
+        )
+        self.process = runtime.env.process(self._run())
+
+    # -- main loop ---------------------------------------------------------
+
+    def _run(self):
+        runtime = self.runtime
+        env = runtime.env
+        offset = 0
+        try:
+            if self.recovering:
+                yield env.timeout(runtime.config.master_recovery_delay)
+                yield from self._recover()
+                runtime.metrics.event(env.now, "master_recovered")
+            else:
+                runtime.exec = ExecutionGraph(runtime.graph)
+                for node in runtime.exec.initially_ready():
+                    yield from self._enqueue(node)
+            while not runtime.exec.all_done():
+                yield env.timeout(runtime.config.master_poll)
+                entries, offset = yield from runtime.workbags.done.read_from(offset)
+                for entry in entries:
+                    yield from self._on_done(entry)
+                self._update_drain_stats()
+                for request in runtime.clone_inbox.drain():
+                    yield from self._handle_clone_request(request)
+                yield from self._check_crashes()
+            runtime.finish_job()
+        except Interrupt:
+            return  # crashed; a recovery master will be spawned by the fault plan
+
+    # -- progress ----------------------------------------------------------------
+
+    def _enqueue(self, node: ExecutionNode, target: Optional[int] = None):
+        runtime = self.runtime
+        clone_index = 0
+        if node.kind == NodeKind.CLONE:
+            clone_index = int(node.node_id.rsplit("clone", 1)[1])
+        msg = TaskMsg(
+            node_id=node.node_id,
+            task_id=node.task_id,
+            kind=node.kind.value,
+            clone_index=clone_index,
+            target_node=target,
+        )
+        yield from runtime.workbags.ready.insert(msg)
+
+    def _on_done(self, entry):
+        runtime = self.runtime
+        if isinstance(entry, ResetEntry):
+            return  # tombstones matter only during replay
+        if entry.node_id not in runtime.exec.nodes:
+            return  # completion of a node discarded by a family reset
+        node = runtime.exec.nodes[entry.node_id]
+        if node.state == NodeState.DONE:
+            return
+        newly_ready = runtime.exec.node_done(entry.node_id)
+        yield from runtime.workbags.running.discard(
+            lambda r: r.node_id == entry.node_id
+        )
+        family = runtime.exec.families[entry.task_id]
+        if family.finished:
+            for bag_id in family.original.spec.outputs:
+                # Multi-producer bags seal only once every producer finished.
+                if bag_id in runtime.catalog and runtime.exec.bag_complete(bag_id):
+                    runtime.catalog.get(bag_id).seal()
+            self._drain.pop(entry.task_id, None)
+        for ready_node in newly_ready:
+            yield from self._enqueue(ready_node)
+
+    def _update_drain_stats(self) -> None:
+        runtime = self.runtime
+        now = runtime.env.now
+        for handle in runtime.running_workers.values():
+            if handle.node.kind == NodeKind.MERGE:
+                continue
+            task_id = handle.task_id
+            bag = runtime.catalog.get(handle.node.stream_input)
+            remaining = bag.remaining_total()
+            stats = self._drain.get(task_id)
+            if stats is None:
+                self._drain[task_id] = DrainStats(now, remaining)
+            else:
+                stats.update(now, remaining)
+
+    # -- cloning ---------------------------------------------------------------------
+
+    def _handle_clone_request(self, request: CloneRequest):
+        runtime = self.runtime
+        if not runtime.config.cloning_enabled:
+            return
+        exec_graph = runtime.exec
+        if request.task_id not in exec_graph.families:
+            return
+        family = exec_graph.families[request.task_id]
+        if family.finished or family.workers_done():
+            return
+        if not any(
+            w.state in (NodeState.READY, NodeState.RUNNING) for w in family.workers
+        ):
+            return
+        k = exec_graph.clone_count(request.task_id)
+        if k >= len(runtime.alive_compute_nodes()):
+            return  # already running everywhere (Section 3.2)
+        target = runtime.pick_idle_node(
+            exclude=request.from_node, task_id=request.task_id
+        )
+        if target is None:
+            return
+        spec = family.original.spec
+        bag = runtime.catalog.get(spec.stream_input)
+        sample_nodes = runtime.catalog.storage_nodes[: min(3, len(runtime.catalog.storage_nodes))]
+        remaining = bag.sample_remaining(sample_nodes)
+        stats = self._drain.get(request.task_id)
+        rate = stats.rate if stats else 0.0
+        if not self.policy.should_clone(spec, k, remaining, rate):
+            runtime.clones_rejected += 1
+            runtime.metrics.event(
+                runtime.env.now, "clone_rejected", task=request.task_id, k=k
+            )
+            return
+        clone = exec_graph.add_clone(request.task_id)
+        self._ensure_partial_bags(request.task_id)
+        runtime.reserve_slot(target)
+        runtime.clones_granted += 1
+        runtime.metrics.event(
+            runtime.env.now,
+            "clone_granted",
+            task=request.task_id,
+            clone=clone.node_id,
+            target=target,
+        )
+        yield from self._enqueue(clone, target=target)
+
+    def _ensure_partial_bags(self, task_id: str) -> None:
+        """Create catalog bags for the family's partial outputs and merge."""
+        runtime = self.runtime
+        family = runtime.exec.families[task_id]
+        if family.merge is None:
+            return
+        for bag_id in family.merge.merge_inputs:
+            if bag_id not in runtime.catalog:
+                runtime.catalog.create(bag_id)
+
+    # -- failure handling ------------------------------------------------------------
+
+    def _check_crashes(self):
+        runtime = self.runtime
+        now = runtime.env.now
+        for node, crashed_at in list(runtime.compute_crash_log):
+            if (node, crashed_at) in self._handled_crashes:
+                continue
+            if now - crashed_at < runtime.config.crash_detect_timeout:
+                continue
+            self._handled_crashes.add((node, crashed_at))
+            yield from self._recover_from_compute_crash(node, crashed_at)
+
+    def _recover_from_compute_crash(self, dead_node: int, crashed_at: float):
+        """Restart every task family that had a worker on the dead node.
+
+        Only running-bag entries started *before* the crash are affected;
+        work scheduled onto the node after a restart is healthy.
+        """
+        runtime = self.runtime
+        entries = yield from runtime.workbags.running.scan(
+            lambda r: r.compute_node == dead_node and r.started_at <= crashed_at
+        )
+        affected = {entry.task_id for entry in entries}
+        for task_id in affected:
+            family = runtime.exec.families.get(task_id)
+            if family is None or family.finished:
+                continue
+            runtime.metrics.event(runtime.env.now, "family_restarted", task=task_id)
+            # 1. Terminate all running clones of the task, cluster-wide.
+            for handle in list(runtime.running_workers.values()):
+                if handle.task_id == task_id and handle.process.is_alive:
+                    handle.process.interrupt("family reset")
+            # 2. Drop every work-bag trace of the family.
+            yield from runtime.workbags.running.remove_if(
+                lambda r: r.task_id == task_id
+            )
+            yield from runtime.workbags.ready.remove_if(
+                lambda m: m.task_id == task_id
+            )
+            # 3. Discard output data and partial bags; rewind the input.
+            spec = family.original.spec
+            for bag_id in spec.outputs:
+                if bag_id in runtime.catalog:
+                    runtime.catalog.get(bag_id).discard()
+            if family.merge is not None:
+                for bag_id in family.merge.merge_inputs:
+                    runtime.catalog.garbage_collect(bag_id)
+            runtime.catalog.get(spec.stream_input).rewind()
+            # 4. Reset the execution graph, tombstone the done log so a
+            #    future master replay discards the family's stale entries,
+            #    and reschedule the original task.
+            runtime.exec.reset_family(task_id)
+            yield from runtime.workbags.done.append(ResetEntry(task_id))
+            yield from self._enqueue(runtime.exec.families[task_id].original)
+
+    # -- master recovery ------------------------------------------------------------------
+
+    def _recover(self):
+        """Rebuild the execution graph from work-bag state (Section 4.4).
+
+        ResetEntry tombstones mark discarded work: for each family only the
+        done-log entries *after its last reset* are valid. Valid clone
+        references (plus the live references in the ready/running bags,
+        which resets always purge) are restored in index order — with gaps,
+        since indexes that disappeared belonged to discarded clones — and
+        then the valid completions are replayed in log order.
+        """
+        runtime = self.runtime
+        exec_graph = ExecutionGraph(runtime.graph)
+        runtime.exec = exec_graph
+        ready_msgs = yield from runtime.workbags.ready.scan(lambda _m: True)
+        running = yield from runtime.workbags.running.scan(lambda _r: True)
+        done_entries, _off = yield from runtime.workbags.done.read_from(0)
+
+        last_reset: Dict[str, int] = {}
+        for position, entry in enumerate(done_entries):
+            if isinstance(entry, ResetEntry):
+                last_reset[entry.task_id] = position
+        valid = [
+            entry
+            for position, entry in enumerate(done_entries)
+            if not isinstance(entry, ResetEntry)
+            and position > last_reset.get(entry.task_id, -1)
+        ]
+        clone_indexes: Dict[str, Set[int]] = {}
+        for item in [*valid, *ready_msgs, *running]:
+            if item.kind == "clone":
+                clone_indexes.setdefault(item.task_id, set()).add(item.clone_index)
+        exec_graph.initially_ready()  # marks source-fed originals READY
+        for task_id, indexes in clone_indexes.items():
+            for index in sorted(indexes):
+                exec_graph.restore_clone(task_id, index)
+            self._ensure_partial_bags(task_id)
+        for entry in valid:
+            node = exec_graph.nodes.get(entry.node_id)
+            if node is not None and node.state != NodeState.DONE:
+                exec_graph.node_done(entry.node_id)
+        for task_id, family in exec_graph.families.items():
+            if family.finished:
+                for bag_id in family.original.spec.outputs:
+                    if bag_id in runtime.catalog and exec_graph.bag_complete(bag_id):
+                        runtime.catalog.get(bag_id).seal()
+        # Anything the bags already know about is dispatched; re-enqueue the
+        # rest of the READY nodes (lost in-flight inserts of the dead master).
+        dispatched = {m.node_id for m in ready_msgs}
+        dispatched.update(r.node_id for r in running)
+        running_ids = {r.node_id for r in running}
+        for node in exec_graph.nodes.values():
+            if node.node_id in running_ids and node.state == NodeState.READY:
+                node.state = NodeState.RUNNING
+            elif node.state == NodeState.READY and node.node_id not in dispatched:
+                yield from self._enqueue(node)

@@ -1,0 +1,97 @@
+"""Run metrics: throughput timeline, phase breakdown, clone accounting.
+
+The recorder is shared by every worker in a job; :class:`RunReport` is what
+experiment harnesses consume to regenerate the paper's tables and figures
+(runtime ladders, normalized slowdowns, Figure 9/11 timelines).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.units import MB
+
+
+class MetricsRecorder:
+    """Collects processed-byte counts and notable events during a run."""
+
+    def __init__(self, bin_seconds: float = 1.0):
+        self.bin_seconds = bin_seconds
+        self._bins: Dict[int, float] = defaultdict(float)
+        self.events: List[Tuple[float, str, dict]] = []
+        self._phase_spans: Dict[str, List[float]] = {}
+
+    def processed(self, t: float, nbytes: float) -> None:
+        """A worker finished computing on ``nbytes`` of input at time ``t``."""
+        self._bins[int(t / self.bin_seconds)] += nbytes
+
+    def event(self, t: float, kind: str, **info) -> None:
+        self.events.append((t, kind, info))
+
+    def phase_activity(self, phase: Optional[str], start: float, end: float) -> None:
+        """Record that a worker of ``phase`` ran over [start, end]."""
+        if phase is None:
+            return
+        span = self._phase_spans.setdefault(phase, [start, end])
+        span[0] = min(span[0], start)
+        span[1] = max(span[1], end)
+
+    def throughput_series(self) -> List[Tuple[float, float]]:
+        """(time, MB/s) samples at the recorder's bin width (Figure 9/11)."""
+        if not self._bins:
+            return []
+        last = max(self._bins)
+        return [
+            (
+                (b + 1) * self.bin_seconds,
+                self._bins.get(b, 0.0) / self.bin_seconds / MB,
+            )
+            for b in range(last + 1)
+        ]
+
+    def events_of(self, kind: str) -> List[Tuple[float, dict]]:
+        return [(t, info) for t, k, info in self.events if k == kind]
+
+    def phase_spans(self) -> Dict[str, Tuple[float, float]]:
+        return {name: (s[0], s[1]) for name, s in self._phase_spans.items()}
+
+
+@dataclass
+class RunReport:
+    """Everything an experiment needs from one simulated job."""
+
+    app: str
+    runtime: float
+    #: phase label -> (start, end) wall-clock span
+    phases: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    #: task id -> number of workers that processed it (1 = never cloned)
+    clone_counts: Dict[str, int] = field(default_factory=dict)
+    clones_granted: int = 0
+    clones_rejected: int = 0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    timeline: List[Tuple[float, float]] = field(default_factory=list)
+    events: List[Tuple[float, str, dict]] = field(default_factory=list)
+
+    def phase_runtime(self, phase: str) -> float:
+        start, end = self.phases[phase]
+        return end - start
+
+    def total_clones(self) -> int:
+        return sum(count - 1 for count in self.clone_counts.values())
+
+    def max_clones(self) -> int:
+        return max(self.clone_counts.values(), default=1)
+
+    def summary(self) -> str:
+        lines = [f"{self.app}: {self.runtime:.1f}s"]
+        for phase in sorted(self.phases):
+            start, end = self.phases[phase]
+            lines.append(f"  {phase}: {end - start:.1f}s [{start:.1f}..{end:.1f}]")
+        lines.append(
+            f"  clones: granted={self.clones_granted} "
+            f"rejected={self.clones_rejected} max_per_task={self.max_clones()}"
+        )
+        return "\n".join(lines)

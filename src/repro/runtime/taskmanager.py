@@ -1,0 +1,265 @@
+"""Task managers and workers (Sections 3.1 and 4.1).
+
+A :class:`TaskManager` runs on every compute node, polls the ready work bag
+whenever it has free worker slots, and launches :func:`worker processes
+<TaskManager._worker_proc>`. A worker:
+
+1. pays the task-start overhead and loads side-input state in full,
+2. drains the stream input bag through a batch-sampled
+   :class:`~repro.storage.client.BagReader`, processing chunks on up to
+   ``worker_threads`` CPU threads,
+3. writes output — continuously for concat tasks, once at completion for
+   aggregation (merge-declaring) tasks, into whatever output bags the
+   execution node points at *when the output is emitted* (which is how a
+   mid-flight clone redirects the original's output to a partial bag),
+4. appends its completion record to the done log.
+
+Merge workers instead read every partial-output bag in full, burn the
+configured merge CPU, and write the reconciled output bag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.model.execution_graph import ExecutionNode, NodeKind, NodeState
+from repro.sim.kernel import Interrupt
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class TaskMsg:
+    """A task descriptor as stored in the ready work bag."""
+
+    node_id: str
+    task_id: str
+    kind: str
+    clone_index: int = 0
+    #: Clones are targeted at the idle node the master picked; None = anyone.
+    target_node: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RunningEntry:
+    node_id: str
+    task_id: str
+    kind: str
+    clone_index: int
+    compute_node: int
+    #: Insertion time: crash recovery only considers entries that were
+    #: already running when the node died, not work started after a restart.
+    started_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class DoneEntry:
+    node_id: str
+    task_id: str
+    kind: str
+    clone_index: int
+
+
+@dataclass(frozen=True)
+class ResetEntry:
+    """Done-log tombstone: ``task_id``'s family was reset after a failure.
+
+    Master replay processes the done log sequentially; entries for the
+    family that precede the tombstone describe discarded work and must not
+    resurrect it.
+    """
+
+    task_id: str
+    kind: str = "reset"
+
+
+class WorkerHandle:
+    """Runtime registry record for one executing worker."""
+
+    def __init__(self, node: ExecutionNode, compute_node: int, process):
+        self.node = node
+        self.compute_node = compute_node
+        self.process = process
+        self.reader = None  # set once the stream reader exists
+
+    @property
+    def task_id(self) -> str:
+        return self.node.task_id
+
+
+class TaskManager:
+    """Per-node executor: polls the ready bag and runs workers."""
+
+    def __init__(self, runtime, node: int):
+        self.runtime = runtime
+        self.node = node
+        self.alive = True
+        self.free_slots = runtime.config.worker_slots
+        self._local_handles: List[WorkerHandle] = []
+        self.process = runtime.env.process(self._run())
+
+    # -- scheduling loop ---------------------------------------------------
+
+    def _acceptable(self, msg: TaskMsg) -> bool:
+        return msg.target_node is None or msg.target_node == self.node
+
+    def _run(self):
+        env = self.runtime.env
+        poll = self.runtime.config.scheduler_poll
+        try:
+            while self.alive:
+                yield env.timeout(poll)
+                while self.alive and self.free_slots > 0:
+                    msg = yield from self.runtime.workbags.ready.try_remove(
+                        self._acceptable
+                    )
+                    if msg is None:
+                        break
+                    self._start_worker(msg)
+        except Interrupt:
+            return
+
+    def _start_worker(self, msg: TaskMsg) -> None:
+        runtime = self.runtime
+        node = runtime.exec.nodes.get(msg.node_id)
+        if node is None or node.state != NodeState.READY:
+            return  # stale message (family was reset or already dispatched)
+        node.state = NodeState.RUNNING
+        self.free_slots -= 1
+        if msg.target_node is not None:
+            runtime.release_reservation(self.node)
+        handle = WorkerHandle(node, self.node, None)
+        handle.process = runtime.env.process(self._worker_proc(msg, handle))
+        self._local_handles.append(handle)
+        runtime.register_worker(handle)
+
+    # -- worker body ------------------------------------------------------------
+
+    def _worker_proc(self, msg: TaskMsg, handle: WorkerHandle):
+        runtime = self.runtime
+        env = runtime.env
+        node = handle.node
+        client = runtime.clients[self.node]
+        machine = runtime.cluster.machine(self.node)
+        started = env.now
+        try:
+            yield from runtime.workbags.running.insert(
+                RunningEntry(
+                    msg.node_id,
+                    msg.task_id,
+                    msg.kind,
+                    msg.clone_index,
+                    self.node,
+                    started_at=env.now,
+                )
+            )
+            yield env.timeout(runtime.config.task_start_overhead)
+            if node.kind == NodeKind.MERGE:
+                yield from self._run_merge(node, client, machine)
+            else:
+                yield from self._run_stream(node, client, machine, handle)
+            runtime.metrics.phase_activity(node.spec.phase, started, env.now)
+            yield from runtime.workbags.done.append(
+                DoneEntry(msg.node_id, msg.task_id, msg.kind, msg.clone_index)
+            )
+        except Interrupt:
+            if handle.reader is not None:
+                handle.reader.stop()
+            return
+        finally:
+            self.free_slots += 1
+            if handle in self._local_handles:
+                self._local_handles.remove(handle)
+            runtime.unregister_worker(handle)
+
+    def _run_merge(self, node: ExecutionNode, client, machine):
+        """Reconcile the family's partial outputs into the real output bag."""
+        runtime = self.runtime
+        env = runtime.env
+        cost = node.spec.cost
+        total = 0
+        biggest = 0
+        for bag_id in node.merge_inputs:
+            nbytes = yield from client.read_full(bag_id)
+            total += nbytes
+            biggest = max(biggest, nbytes)
+        core_seconds = cost.merge_cpu_seconds_per_mb * total / MB
+        if core_seconds > 0:
+            # One CPU flow per partial being folded in, capped at one core each.
+            share = core_seconds / max(1, len(node.merge_inputs))
+            yield env.all_of(
+                [machine.compute(share) for _ in node.merge_inputs]
+            )
+        runtime.metrics.processed(env.now, total)
+        writer = client.writer(node.outputs[0])
+        writer.add(cost.merge_output_ratio * biggest)
+        yield from writer.close()
+
+    def _run_stream(self, node: ExecutionNode, client, machine, handle: WorkerHandle):
+        runtime = self.runtime
+        env = runtime.env
+        cost = node.spec.cost
+        spec = node.spec
+        for side in node.side_inputs:
+            yield from client.read_full(side)
+        threads = runtime.config.worker_threads or machine.spec.cores
+        if cost.startup_cpu_seconds > 0:
+            # Task-startup work (e.g. sorting a join build side) runs on all
+            # worker threads, each capped at one core by the CPU model.
+            share = cost.startup_cpu_seconds / threads
+            yield env.all_of([machine.compute(share) for _ in range(threads)])
+        reader = client.reader(node.stream_input)
+        handle.reader = reader
+        streamed = [0.0]
+        writers: Dict[str, object] = {}
+        weights = cost.weights_for(spec.outputs if spec.needs_merge else node.outputs)
+
+        def writer_for(bag_id: str):
+            if bag_id not in writers:
+                writers[bag_id] = client.writer(bag_id)
+            return writers[bag_id]
+
+        def thread_loop():
+            while True:
+                nbytes = yield from reader.next_chunk()
+                if nbytes is None:
+                    return
+                core_seconds = cost.cpu_seconds_per_mb * nbytes / MB
+                if core_seconds > 0:
+                    yield machine.compute(core_seconds)
+                streamed[0] += nbytes
+                runtime.metrics.processed(env.now, nbytes)
+                if not spec.needs_merge:
+                    for bag_id, weight in weights.items():
+                        out = nbytes * cost.output_ratio * weight
+                        if out > 0:
+                            writer_for(bag_id).add(out)
+
+        yield env.all_of([env.process(thread_loop()) for _ in range(threads)])
+        if spec.needs_merge:
+            # Aggregation output is emitted at completion; resolve the output
+            # bag *now* so a mid-run clone's partial-bag redirect is honored.
+            out_bytes = cost.fixed_output_bytes + cost.output_ratio * streamed[0]
+            emit_weights = cost.weights_for(node.outputs)
+            for bag_id, weight in emit_weights.items():
+                if out_bytes * weight > 0:
+                    writer_for(bag_id).add(out_bytes * weight)
+        for writer in writers.values():
+            yield from writer.close()
+
+    # -- failure handling -----------------------------------------------------------
+
+    def kill(self) -> None:
+        """Crash this task manager and every worker it is running."""
+        self.alive = False
+        for handle in list(self._local_handles):
+            if handle.process.is_alive:
+                handle.process.interrupt("compute-node crash")
+        self._local_handles.clear()
+        if self.process.is_alive:
+            self.process.interrupt("compute-node crash")
+
+    def restart(self) -> None:
+        self.alive = True
+        self.free_slots = self.runtime.config.worker_slots
+        self.process = self.runtime.env.process(self._run())

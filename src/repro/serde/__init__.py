@@ -1,0 +1,50 @@
+"""Typed serialization of records into fixed-size chunks.
+
+Hurricane workers serialize application records into chunks before inserting
+them into bags, and deserialize after removing them (Section 2.2). Two
+invariants from the paper are enforced here:
+
+* **records never cross chunk boundaries** — every chunk is independently
+  decodable, which is what lets any clone process any chunk in isolation;
+* **typed iterators compose** — primitive codecs (ints, floats, strings,
+  bytes) combine into tuples and lists to represent nested record types.
+"""
+
+from repro.serde.chunks import (
+    ChunkBuilder,
+    chunk_records,
+    iter_chunk,
+    iter_chunks,
+)
+from repro.serde.codecs import (
+    BoolCodec,
+    BytesCodec,
+    Codec,
+    Float64Codec,
+    Int64Codec,
+    ListCodec,
+    TupleCodec,
+    UInt64Codec,
+    Utf8Codec,
+    codec_for,
+)
+from repro.serde.varint import decode_uvarint, encode_uvarint
+
+__all__ = [
+    "BoolCodec",
+    "BytesCodec",
+    "ChunkBuilder",
+    "Codec",
+    "Float64Codec",
+    "Int64Codec",
+    "ListCodec",
+    "TupleCodec",
+    "UInt64Codec",
+    "Utf8Codec",
+    "chunk_records",
+    "codec_for",
+    "decode_uvarint",
+    "encode_uvarint",
+    "iter_chunk",
+    "iter_chunks",
+]

@@ -1,0 +1,100 @@
+"""Packing records into fixed-size chunks.
+
+A chunk is the indivisible unit of data in a bag (Section 2.2). The wire
+format is ``uvarint(record_count)`` followed by the concatenated encoded
+records. A :class:`ChunkBuilder` flushes a chunk as soon as adding the next
+record would exceed the size limit, guaranteeing that no record spans two
+chunks; a record that alone exceeds the limit raises
+:class:`~repro.errors.ChunkOverflowError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional
+
+from repro.errors import ChunkOverflowError, SerdeError
+from repro.serde.codecs import Codec
+from repro.serde.varint import decode_uvarint, encode_uvarint
+from repro.units import DEFAULT_CHUNK_SIZE
+
+#: Bytes reserved for the record-count header when sizing chunks.
+_HEADER_RESERVE = 10
+
+
+class ChunkBuilder:
+    """Accumulates encoded records and emits chunk payloads of bounded size."""
+
+    def __init__(self, codec: Codec, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        if chunk_size <= _HEADER_RESERVE:
+            raise ValueError(f"chunk_size too small: {chunk_size}")
+        self.codec = codec
+        self.chunk_size = chunk_size
+        self._parts: List[bytes] = []
+        self._size = 0
+        self._count = 0
+
+    @property
+    def pending_records(self) -> int:
+        return self._count
+
+    def add(self, record: Any) -> Optional[bytes]:
+        """Add a record; returns a completed chunk if this record filled one."""
+        encoded = self.codec.encode(record)
+        if len(encoded) > self.chunk_size - _HEADER_RESERVE:
+            raise ChunkOverflowError(
+                f"record of {len(encoded)} bytes exceeds chunk size "
+                f"{self.chunk_size} (records may not span chunks)"
+            )
+        completed = None
+        if self._size + len(encoded) > self.chunk_size - _HEADER_RESERVE:
+            completed = self._flush()
+        self._parts.append(encoded)
+        self._size += len(encoded)
+        self._count += 1
+        return completed
+
+    def _flush(self) -> bytes:
+        chunk = encode_uvarint(self._count) + b"".join(self._parts)
+        self._parts = []
+        self._size = 0
+        self._count = 0
+        return chunk
+
+    def flush(self) -> Optional[bytes]:
+        """Emit the final partial chunk, or None if nothing is pending."""
+        if self._count == 0:
+            return None
+        return self._flush()
+
+
+def chunk_records(
+    records: Iterable[Any], codec: Codec, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[bytes]:
+    """Serialize ``records`` into a stream of chunk payloads."""
+    builder = ChunkBuilder(codec, chunk_size)
+    for record in records:
+        chunk = builder.add(record)
+        if chunk is not None:
+            yield chunk
+    tail = builder.flush()
+    if tail is not None:
+        yield tail
+
+
+def iter_chunk(chunk: bytes, codec: Codec) -> Iterator[Any]:
+    """Decode all records from one chunk payload."""
+    view = memoryview(chunk)
+    count, offset = decode_uvarint(view, 0)
+    for _ in range(count):
+        record, offset = codec.decode(view, offset)
+        yield record
+    if offset != len(view):
+        raise SerdeError(
+            f"chunk has {len(view) - offset} trailing bytes after {count} records"
+        )
+
+
+def iter_chunks(chunks: Iterable[bytes], codec: Codec) -> Iterator[Any]:
+    """Decode records from a stream of chunk payloads."""
+    for chunk in chunks:
+        yield from iter_chunk(chunk, codec)

@@ -1,0 +1,196 @@
+"""Composable typed codecs ("typed iterators" in the paper's terms).
+
+A :class:`Codec` turns one record into bytes and back. Primitive codecs
+cover the formats the paper lists (integers, floats, strings) and
+:class:`TupleCodec` / :class:`ListCodec` compose them into nested records.
+``codec_for`` builds a codec from a compact spec, e.g.::
+
+    codec_for("u64")
+    codec_for(("tuple", "str", "f64"))
+    codec_for(("list", ("tuple", "u64", "u64")))
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Sequence, Tuple, Union
+
+from repro.errors import SerdeError
+from repro.serde.varint import (
+    decode_uvarint,
+    encode_uvarint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class Codec:
+    """Encode/decode one record. Subclasses implement both directions."""
+
+    #: Spec name used by :func:`codec_for`; subclasses override.
+    name = "abstract"
+
+    def encode(self, value: Any) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, buf, offset: int) -> Tuple[Any, int]:
+        """Decode a record from ``buf`` at ``offset`` -> (value, new_offset)."""
+        raise NotImplementedError
+
+
+class UInt64Codec(Codec):
+    name = "u64"
+
+    def encode(self, value: Any) -> bytes:
+        return encode_uvarint(int(value))
+
+    def decode(self, buf, offset: int) -> Tuple[int, int]:
+        return decode_uvarint(buf, offset)
+
+
+class Int64Codec(Codec):
+    name = "i64"
+
+    def encode(self, value: Any) -> bytes:
+        return encode_uvarint(zigzag_encode(int(value)))
+
+    def decode(self, buf, offset: int) -> Tuple[int, int]:
+        raw, offset = decode_uvarint(buf, offset)
+        return zigzag_decode(raw), offset
+
+
+class Float64Codec(Codec):
+    name = "f64"
+    _packer = struct.Struct("<d")
+
+    def encode(self, value: Any) -> bytes:
+        return self._packer.pack(value)
+
+    def decode(self, buf, offset: int) -> Tuple[float, int]:
+        try:
+            (value,) = self._packer.unpack_from(buf, offset)
+        except struct.error as exc:
+            raise SerdeError(f"truncated f64 at offset {offset}") from exc
+        return value, offset + 8
+
+
+class BoolCodec(Codec):
+    name = "bool"
+
+    def encode(self, value: Any) -> bytes:
+        return b"\x01" if value else b"\x00"
+
+    def decode(self, buf, offset: int) -> Tuple[bool, int]:
+        try:
+            return buf[offset] != 0, offset + 1
+        except IndexError:
+            raise SerdeError(f"truncated bool at offset {offset}") from None
+
+
+class BytesCodec(Codec):
+    name = "bytes"
+
+    def encode(self, value: Any) -> bytes:
+        value = bytes(value)
+        return encode_uvarint(len(value)) + value
+
+    def decode(self, buf, offset: int) -> Tuple[bytes, int]:
+        length, offset = decode_uvarint(buf, offset)
+        end = offset + length
+        if end > len(buf):
+            raise SerdeError(f"truncated bytes record at offset {offset}")
+        return bytes(buf[offset:end]), end
+
+
+class Utf8Codec(Codec):
+    name = "str"
+    _bytes = BytesCodec()
+
+    def encode(self, value: Any) -> bytes:
+        return self._bytes.encode(str(value).encode("utf-8"))
+
+    def decode(self, buf, offset: int) -> Tuple[str, int]:
+        raw, offset = self._bytes.decode(buf, offset)
+        return raw.decode("utf-8"), offset
+
+
+class TupleCodec(Codec):
+    """A fixed-arity heterogeneous tuple of sub-codecs (nested tuples allowed)."""
+
+    name = "tuple"
+
+    def __init__(self, *fields: Codec):
+        if not fields:
+            raise SerdeError("TupleCodec needs at least one field")
+        self.fields = fields
+
+    def encode(self, value: Any) -> bytes:
+        if len(value) != len(self.fields):
+            raise SerdeError(
+                f"tuple arity mismatch: got {len(value)}, codec has {len(self.fields)}"
+            )
+        return b"".join(f.encode(v) for f, v in zip(self.fields, value))
+
+    def decode(self, buf, offset: int) -> Tuple[tuple, int]:
+        out = []
+        for field in self.fields:
+            value, offset = field.decode(buf, offset)
+            out.append(value)
+        return tuple(out), offset
+
+
+class ListCodec(Codec):
+    """A variable-length homogeneous list of one sub-codec."""
+
+    name = "list"
+
+    def __init__(self, element: Codec):
+        self.element = element
+
+    def encode(self, value: Any) -> bytes:
+        items = list(value)
+        parts = [encode_uvarint(len(items))]
+        parts.extend(self.element.encode(item) for item in items)
+        return b"".join(parts)
+
+    def decode(self, buf, offset: int) -> Tuple[list, int]:
+        count, offset = decode_uvarint(buf, offset)
+        out = []
+        for _ in range(count):
+            value, offset = self.element.decode(buf, offset)
+            out.append(value)
+        return out, offset
+
+
+_PRIMITIVES = {
+    codec.name: codec
+    for codec in (
+        UInt64Codec(),
+        Int64Codec(),
+        Float64Codec(),
+        BoolCodec(),
+        BytesCodec(),
+        Utf8Codec(),
+    )
+}
+
+Spec = Union[str, Sequence]
+
+
+def codec_for(spec: Spec) -> Codec:
+    """Build a codec from a compact spec (see module docstring)."""
+    if isinstance(spec, Codec):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _PRIMITIVES[spec]
+        except KeyError:
+            raise SerdeError(f"unknown codec name {spec!r}") from None
+    head, *rest = spec
+    if head == "tuple":
+        return TupleCodec(*(codec_for(s) for s in rest))
+    if head == "list":
+        if len(rest) != 1:
+            raise SerdeError("list spec takes exactly one element spec")
+        return ListCodec(codec_for(rest[0]))
+    raise SerdeError(f"unknown composite codec {head!r}")

@@ -1,0 +1,40 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free simulation core in the style of SimPy: an
+:class:`~repro.sim.kernel.Environment` owns a virtual clock and an event
+heap; *processes* are Python generators that ``yield`` events (timeouts,
+resource requests, bandwidth transfers) and are resumed when those events
+fire. On top of the kernel, :mod:`repro.sim.resources` provides the three
+resource models the cluster simulation needs:
+
+* :class:`~repro.sim.resources.Resource` — counted tokens (worker slots),
+* :class:`~repro.sim.resources.Store` — producer/consumer queues (RPC inboxes),
+* :class:`~repro.sim.resources.BandwidthServer` — processor-sharing capacity
+  (disks, NICs, CPUs) where concurrent flows split the rate fairly.
+"""
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.sim.resources import BandwidthServer, Resource, Store
+from repro.sim.rand import SplitMix
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BandwidthServer",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SplitMix",
+    "Store",
+    "Timeout",
+]

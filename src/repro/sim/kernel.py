@@ -1,0 +1,347 @@
+"""Event loop, events, and generator-based processes.
+
+The kernel is deliberately small: events carry callbacks, the environment
+pops them off a heap in (time, priority, sequence) order, and a
+:class:`Process` adapts a generator so that each ``yield``-ed event resumes
+the generator with the event's value (or throws the event's exception).
+Processes can be interrupted — the fault-injection harness uses this to
+crash simulated compute nodes and application masters mid-flight.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+#: Priority for events scheduled by ``Event.succeed``; interrupts use URGENT
+#: so that a crash beats any same-timestamp wakeup.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence with callbacks, a value, and an ok/failed flag."""
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired callbacks yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        A waiting process will have the exception thrown into it. If nothing
+        ever waits on a failed event the environment re-raises it at the end
+        of the step, so failures never pass silently.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel will not re-raise it."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule_at(self, env.now + delay, NORMAL)
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class _InterruptEvent(Event):
+    """Internal event used to deliver an interrupt to a process."""
+
+    def __init__(self, process: "Process", cause: Any):
+        super().__init__(process.env)
+        self.process = process
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.callbacks = [process._resume]
+        process.env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """Wraps a generator; the process event fires when the generator returns.
+
+    The generator yields :class:`Event` instances. When a yielded event
+    succeeds, the generator is resumed with the event's value; when it fails,
+    the exception is thrown into the generator (which may catch it).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        super().__init__(env)
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks = [self._resume]
+        self._target = init
+        env._schedule(init, NORMAL)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already terminated")
+        _InterruptEvent(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        # Stale wakeup: the process was interrupted while waiting on `event`
+        # and has since moved on (or died). Ignore, but treat an unhandled
+        # failure as handled because the interrupt superseded it.
+        if event is not self._target and not isinstance(event, _InterruptEvent):
+            if not event._ok:
+                event._defused = True
+            return
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        self.env._active = self
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._target = None
+            self.env._active = None
+            self.succeed(stop.value, priority=URGENT)
+            return
+        except BaseException as exc:
+            self._target = None
+            self.env._active = None
+            self.fail(exc, priority=URGENT)
+            return
+        self.env._active = None
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded {next_event!r}, which is not an Event"
+            )
+        self._target = next_event
+        if next_event.callbacks is None:
+            # Already processed: resume immediately via a proxy event.
+            proxy = Event(self.env)
+            proxy._ok = next_event._ok
+            proxy._value = next_event._value
+            if not next_event._ok:
+                next_event._defused = True
+            proxy.callbacks = [self._resume]
+            self._target = proxy
+            self.env._schedule(proxy, NORMAL)
+        else:
+            next_event.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._done = 0
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired; value is the list of values."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._done == len(self._events):
+            self.succeed([ev._value for ev in self._events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first constituent event fires; value is (event, value)."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed((event, event._value))
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: List = []
+        self._seq = count()
+        self._active: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int = NORMAL) -> None:
+        self._schedule_at(event, self._now, priority)
+
+    def _schedule_at(self, event: Event, when: float, priority: int) -> None:
+        heapq.heappush(self._heap, (when, priority, next(self._seq), event))
+
+    # -- factories --------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now - 1e-12:
+            raise SimulationError(
+                f"time went backwards: {when} < {self._now}"
+            )
+        self._now = max(self._now, when)
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[object] = None) -> Any:
+        """Run until ``until`` (an Event or a time), or until the heap drains.
+
+        Returns the value of the ``until`` event if one was given.
+        """
+        stop_at: Optional[float] = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(f"until={stop_at} is in the past (now={self._now})")
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                break
+            if stop_at is not None and self._heap[0][0] > stop_at:
+                self._now = stop_at
+                return None
+            self.step()
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "simulation ran out of events before the awaited event fired"
+                )
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if stop_at is not None:
+            self._now = stop_at
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf when the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")

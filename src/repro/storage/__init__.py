@@ -1,0 +1,37 @@
+"""Hurricane's decentralized storage service (Sections 3.3 and 4.3).
+
+Data bags hold fixed-size chunks spread uniformly pseudorandomly across all
+storage nodes; workers insert and remove chunks independently with **batch
+sampling** (at most ``b`` outstanding requests per compute node), which
+keeps every storage node busy (Eq. 1) and doubles as flow control. Work
+bags reuse the same machinery for task descriptors, giving the decentralized
+scheduler of Section 4.1 (ready/running/done bags).
+
+Two implementations share the bag semantics:
+
+* the **simulated** bags in :mod:`repro.storage.bags` /
+  :mod:`repro.storage.client` account bytes and drive disk/NIC resources of
+  the simulated cluster;
+* the **real** bags in :mod:`repro.storage.local` hold actual chunk payloads
+  with thread-safe exactly-once removal for the local engine.
+"""
+
+from repro.storage.bags import BagCatalog, SimBag
+from repro.storage.client import StorageClient
+from repro.storage.filebag import FileBag, FileBagStore
+from repro.storage.local import LocalBag, LocalBagStore
+from repro.storage.replication import ReplicaMap
+from repro.storage.workbag import WorkBag, WorkBags
+
+__all__ = [
+    "BagCatalog",
+    "FileBag",
+    "FileBagStore",
+    "LocalBag",
+    "LocalBagStore",
+    "ReplicaMap",
+    "SimBag",
+    "StorageClient",
+    "WorkBag",
+    "WorkBags",
+]

@@ -1,0 +1,176 @@
+"""Simulated data bags: byte-accounted shards across storage nodes.
+
+A bag's contents live in one shard per storage node. Shards model the
+paper's implementation — an append-only file with an atomic read pointer
+(Section 4.3) — as two counters: ``bytes_written`` and ``bytes_read``.
+``take`` advances the pointer and is the exactly-once removal; ``rewind``
+resets pointers for failure recovery or whole-bag re-reads; ``discard``
+drops contents when restarting a producer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import BagError, BagSealedError
+
+
+class _Shard:
+    __slots__ = ("bytes_written", "bytes_read")
+
+    def __init__(self):
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.bytes_written - self.bytes_read
+
+
+class SimBag:
+    """One bag spread over the storage nodes listed in ``node_indices``."""
+
+    def __init__(self, bag_id: str, node_indices: Iterable[int], chunk_size: int):
+        self.bag_id = bag_id
+        self.chunk_size = chunk_size
+        self.shards: Dict[int, _Shard] = {n: _Shard() for n in node_indices}
+        if not self.shards:
+            raise BagError(f"bag {bag_id!r} needs at least one storage node")
+        self.sealed = False
+
+    # -- write side -----------------------------------------------------------
+
+    def write(self, node: int, nbytes: int) -> None:
+        if self.sealed:
+            raise BagSealedError(f"insert into sealed bag {self.bag_id!r}")
+        if nbytes < 0:
+            raise BagError(f"negative write of {nbytes} bytes")
+        self.shards[node].bytes_written += nbytes
+
+    def seal(self) -> None:
+        """Producers are finished; removals can now observe a final 'empty'."""
+        self.sealed = True
+
+    # -- read side --------------------------------------------------------------
+
+    def take(self, node: int, max_bytes: int) -> int:
+        """Destructively remove up to ``max_bytes`` from ``node``'s shard.
+
+        Returns the number of bytes handed out (0 = shard exhausted). The
+        read pointer only moves forward, which is what guarantees each chunk
+        is returned exactly once even with many concurrent clones.
+        """
+        shard = self.shards[node]
+        grabbed = min(max_bytes, shard.remaining)
+        shard.bytes_read += grabbed
+        return grabbed
+
+    def peek(self, node: int) -> int:
+        return self.shards[node].remaining
+
+    def remaining_total(self) -> int:
+        return sum(s.remaining for s in self.shards.values())
+
+    def written_total(self) -> int:
+        return sum(s.bytes_written for s in self.shards.values())
+
+    def shard_bytes(self, node: int) -> int:
+        return self.shards[node].bytes_written
+
+    def sample_remaining(self, nodes: Iterable[int]) -> float:
+        """Estimate total remaining bytes by extrapolating from a node sample.
+
+        This is the master's cheap progress probe for the cloning heuristic
+        (Section 4.2: "T is estimated by sampling the input bag on a few
+        storage nodes").
+        """
+        nodes = list(nodes)
+        if not nodes:
+            raise BagError("sample_remaining needs at least one node")
+        sampled = sum(self.shards[n].remaining for n in nodes)
+        return sampled * len(self.shards) / len(nodes)
+
+    def add_node(self, node: int) -> None:
+        """Give the bag an (empty) shard on a newly added storage node."""
+        if node not in self.shards:
+            self.shards[node] = _Shard()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def rewind(self) -> None:
+        """Reset read pointers so the full contents can be read again."""
+        for shard in self.shards.values():
+            shard.bytes_read = 0
+
+    def discard(self) -> None:
+        """Drop all contents (restarting the producing task family)."""
+        for shard in self.shards.values():
+            shard.bytes_written = 0
+            shard.bytes_read = 0
+        self.sealed = False
+
+
+class BagCatalog:
+    """All bags of a job plus the storage-node roster."""
+
+    def __init__(self, storage_nodes: List[int], chunk_size: int):
+        if not storage_nodes:
+            raise BagError("a job needs at least one storage node")
+        self.storage_nodes = list(storage_nodes)
+        self.chunk_size = chunk_size
+        self._bags: Dict[str, SimBag] = {}
+        #: Nodes being decommissioned: they accept no inserts but keep
+        #: serving removes until their shards empty (Section 3.4).
+        self.draining: set = set()
+
+    def create(self, bag_id: str, chunk_size: Optional[int] = None) -> SimBag:
+        if bag_id in self._bags:
+            raise BagError(f"bag {bag_id!r} already exists")
+        bag = SimBag(bag_id, self.storage_nodes, chunk_size or self.chunk_size)
+        self._bags[bag_id] = bag
+        return bag
+
+    def get(self, bag_id: str) -> SimBag:
+        try:
+            return self._bags[bag_id]
+        except KeyError:
+            raise BagError(f"unknown bag {bag_id!r}") from None
+
+    def ensure(self, bag_id: str) -> SimBag:
+        return self._bags.get(bag_id) or self.create(bag_id)
+
+    def __contains__(self, bag_id: str) -> bool:
+        return bag_id in self._bags
+
+    def garbage_collect(self, bag_id: str) -> None:
+        """Drop a bag whose consumers are all finished."""
+        self._bags.pop(bag_id, None)
+
+    # -- dynamic membership (Section 3.4) ------------------------------------
+
+    def writable_nodes(self) -> List[int]:
+        return [n for n in self.storage_nodes if n not in self.draining]
+
+    def add_storage_node(self, node: int) -> None:
+        """Bring a new storage node into the roster; every bag gets an
+        empty shard there and new inserts start landing on it."""
+        if node in self.storage_nodes:
+            self.draining.discard(node)
+            return
+        self.storage_nodes.append(node)
+        for bag in self._bags.values():
+            bag.add_node(node)
+
+    def drain_storage_node(self, node: int) -> None:
+        """Stop placing new chunks on ``node``; reads continue until empty."""
+        if node not in self.storage_nodes:
+            raise BagError(f"unknown storage node {node}")
+        self.draining.add(node)
+
+    def storage_node_empty(self, node: int) -> bool:
+        """Whether every bag's shard on ``node`` has been fully consumed."""
+        return all(
+            bag.shards[node].remaining == 0
+            for bag in self._bags.values()
+            if node in bag.shards
+        )

@@ -1,0 +1,53 @@
+"""Primary-backup replication for storage nodes (Section 4.4).
+
+An application tolerates ``n`` storage-node failures with ``n + 1``-way
+replication. Replicas of (the shard homed at) node ``i`` live on the next
+``r - 1`` nodes in ring order. Shard *state* (read pointers) is logical and
+replicated implicitly; what replication changes physically is (a) inserts
+write ``r`` copies and (b) reads are served by the first live replica.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.errors import ReplicationError
+
+
+class ReplicaMap:
+    def __init__(self, node_indices: List[int], replication: int = 1):
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        if replication > len(node_indices):
+            raise ValueError(
+                f"replication {replication} exceeds node count {len(node_indices)}"
+            )
+        self.nodes = list(node_indices)
+        self.replication = replication
+        self._ring_pos = {node: i for i, node in enumerate(self.nodes)}
+
+    def add_node(self, node: int) -> None:
+        """Append a new storage node to the replica ring (Section 3.4).
+
+        Existing shard->replica assignments are unchanged except that the
+        previous last node's backup chain now includes the newcomer.
+        """
+        if node in self._ring_pos:
+            return
+        self._ring_pos[node] = len(self.nodes)
+        self.nodes.append(node)
+
+    def replicas(self, home: int) -> List[int]:
+        """All nodes holding a copy of the shard homed at ``home``."""
+        pos = self._ring_pos[home]
+        m = len(self.nodes)
+        return [self.nodes[(pos + j) % m] for j in range(self.replication)]
+
+    def serving_replica(self, home: int, is_alive: Callable[[int], bool]) -> int:
+        """The node that serves reads for ``home``'s shard right now."""
+        for node in self.replicas(home):
+            if is_alive(node):
+                return node
+        raise ReplicationError(
+            f"all {self.replication} replicas of shard {home} are dead"
+        )

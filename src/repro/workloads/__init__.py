@@ -1,0 +1,43 @@
+"""Synthetic workload generators used by the paper's evaluation.
+
+* :mod:`repro.workloads.zipf` — the skewed region distribution behind
+  ClickLog: 64 regions weighted by a Zipf law with parameter ``s``; the
+  largest/smallest imbalance is ``64**s``, which reproduces the paper's
+  reported ladder 1x / 2.3x / 8x / 28x / 64x for s = 0 / .2 / .5 / .8 / 1.
+* :mod:`repro.workloads.clicklog_data` — real click-log records (IPv4
+  addresses) whose hash-based geolocation follows the region weights.
+* :mod:`repro.workloads.relations` — join relations with Zipf key skew in
+  the smaller relation (Table 3).
+* :mod:`repro.workloads.rmat` — an R-MAT power-law graph generator
+  (Table 4) plus partition-weight profiles for the simulator.
+"""
+
+from repro.workloads.clicklog_data import (
+    REGION_COUNT,
+    generate_clicklog,
+    geolocate,
+    region_name,
+    region_of_ip,
+)
+from repro.workloads.relations import generate_relation
+from repro.workloads.rmat import RmatSpec, generate_rmat_edges, rmat_partition_profile
+from repro.workloads.zipf import (
+    imbalance,
+    largest_share,
+    zipf_weights,
+)
+
+__all__ = [
+    "REGION_COUNT",
+    "RmatSpec",
+    "generate_clicklog",
+    "generate_relation",
+    "generate_rmat_edges",
+    "geolocate",
+    "imbalance",
+    "largest_share",
+    "region_name",
+    "region_of_ip",
+    "rmat_partition_profile",
+    "zipf_weights",
+]

@@ -1,0 +1,94 @@
+"""Click-log records for the ClickLog application (Section 2.1).
+
+Each record is an IPv4 address (a click on an advertisement). Geolocation
+is simulated exactly as in the paper ("we simulate the geolocation function
+to avoid external API calls"): the top 6 bits of the address select one of
+64 regions, so region membership is a pure function of the IP and the
+generator can impose any Zipf skew by picking regions before low bits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.sim.rand import rng_from
+from repro.workloads.zipf import zipf_weights
+
+#: The evaluation's region count (imbalance ladder 64**s, see zipf.py).
+REGION_COUNT = 64
+
+_REGION_BITS = 6
+_LOW_BITS = 32 - _REGION_BITS
+
+_NAMED = [
+    "usa", "china", "india", "brazil", "uk", "germany", "france", "japan",
+    "russia", "mexico", "canada", "italy", "spain", "korea", "australia",
+    "netherlands",
+]
+
+
+def region_name(index: int) -> str:
+    """Human-readable region label for an index in [0, 64)."""
+    if not 0 <= index < REGION_COUNT:
+        raise ValueError(f"region index {index} out of range")
+    if index < len(_NAMED):
+        return _NAMED[index]
+    return f"region{index:02d}"
+
+
+def region_of_ip(ip: int) -> int:
+    """The region index encoded in an IPv4 address (top 6 bits)."""
+    return (ip >> _LOW_BITS) & (REGION_COUNT - 1)
+
+
+def geolocate(ip: int) -> str:
+    """The simulated geolocation function used by ClickLog tasks."""
+    return region_name(region_of_ip(ip))
+
+
+def generate_clicklog(
+    n_records: int,
+    skew: float,
+    seed: int = 0,
+    unique_per_region: Optional[int] = None,
+) -> Iterator[int]:
+    """Yield ``n_records`` IPv4 addresses with Zipf(``skew``) region weights.
+
+    ``unique_per_region`` caps the distinct IPs within a region (default:
+    1024), so the distinct-count output is interesting: many clicks repeat
+    addresses, which is what ClickLog's bitset de-duplicates.
+    """
+    if n_records < 0:
+        raise ValueError(f"negative record count {n_records}")
+    weights = zipf_weights(REGION_COUNT, skew)
+    unique = unique_per_region or 1024
+    rng = rng_from("clicklog", seed, skew)
+    cumulative: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc)
+    for _ in range(n_records):
+        r = rng.random()
+        region = _bisect(cumulative, r)
+        low = rng.randrange(unique)
+        yield (region << _LOW_BITS) | low
+
+
+def _bisect(cumulative: List[float], value: float) -> int:
+    lo, hi = 0, len(cumulative) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cumulative[mid] < value:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def exact_distinct_counts(records) -> dict:
+    """Reference answer for ClickLog: region name -> distinct IP count."""
+    seen: dict = {}
+    for ip in records:
+        seen.setdefault(geolocate(ip), set()).add(ip)
+    return {region: len(ips) for region, ips in seen.items()}

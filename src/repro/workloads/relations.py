@@ -1,0 +1,72 @@
+"""Relations for the HashJoin workload (Table 3).
+
+The paper joins a small relation against a large one on an equality
+attribute, with Zipf skew injected into the **smaller** relation so some
+keys have a much larger hit rate. ``generate_relation`` yields
+``(key, payload)`` tuples; keys are drawn from ``key_space`` either
+uniformly or Zipf-weighted by key rank.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.sim.rand import rng_from
+
+
+def generate_relation(
+    n_records: int,
+    key_space: int,
+    skew: float = 0.0,
+    seed: int = 0,
+    payload_bytes: int = 8,
+) -> Iterator[Tuple[int, bytes]]:
+    """Yield ``(key, payload)`` records.
+
+    ``skew = 0`` draws keys uniformly from [0, key_space); ``skew > 0``
+    draws them Zipf(s)-weighted by rank, so low-numbered keys are hot.
+    Uses inverse-CDF sampling over a harmonic approximation to stay O(1)
+    per record even for large key spaces.
+    """
+    if n_records < 0:
+        raise ValueError(f"negative record count {n_records}")
+    if key_space < 1:
+        raise ValueError(f"key_space must be >= 1, got {key_space}")
+    rng = rng_from("relation", seed, n_records, key_space, skew)
+    for _ in range(n_records):
+        if skew <= 0:
+            key = rng.randrange(key_space)
+        else:
+            key = _zipf_key(rng.random(), key_space, skew)
+        yield key, bytes(rng.getrandbits(8) for _ in range(payload_bytes))
+
+
+def _zipf_key(u: float, n: int, s: float) -> int:
+    """Inverse-CDF for a Zipf(s) rank on [1, n], via the continuous
+    approximation of the harmonic partial sums (exact in the n -> inf
+    limit; adequate for workload generation)."""
+    if abs(s - 1.0) < 1e-9:
+        # H(x) ~ ln(x): invert u * ln(n) = ln(x)
+        import math
+
+        return min(n - 1, int(math.exp(u * math.log(n))) - 1)
+    # H_s(x) ~ (x^(1-s) - 1) / (1 - s)
+    power = 1.0 - s
+    x = (u * (n ** power - 1.0) + 1.0) ** (1.0 / power)
+    return min(n - 1, max(0, int(x) - 1))
+
+
+def join_reference(left, right) -> list:
+    """Reference nested-hash join for correctness tests.
+
+    Returns sorted ``(key, left_payload, right_payload)`` triples.
+    """
+    by_key: dict = {}
+    for key, payload in left:
+        by_key.setdefault(key, []).append(payload)
+    out = []
+    for key, payload in right:
+        for lp in by_key.get(key, ()):
+            out.append((key, lp, payload))
+    out.sort()
+    return out

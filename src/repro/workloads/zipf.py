@@ -1,0 +1,85 @@
+"""Zipf-distributed partition weights (Section 5.1).
+
+The paper introduces skew with a Zipf parameter ``0 <= s <= 1`` and reports
+largest/smallest partition imbalances of 1x, 2.3x, 8x, 28x and 64x for
+s = 0, 0.2, 0.5, 0.8 and 1. With ``n`` rank-weighted partitions the
+imbalance is exactly ``n**s``, and the reported ladder is ``64**s`` — so
+the evaluation used 64 partitions (regions), which is what we default to.
+
+With s = 1 and 64 regions the largest region holds ``1/H_64 = 21.1%`` of
+the input; the paper quotes 19.6% (a slightly different normalization),
+which shifts its Amdahl bound from 4.5x to ~4.4x — immaterial for the
+shape of every figure (documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def zipf_weights(n: int, s: float) -> List[float]:
+    """Normalized weights ``i^-s / H_n(s)`` for ranks i = 1..n.
+
+    >>> weights = zipf_weights(64, 0.0)
+    >>> abs(weights[0] - 1 / 64) < 1e-12
+    True
+    """
+    if n < 1:
+        raise ValueError(f"need at least one partition, got {n}")
+    if s < 0:
+        raise ValueError(f"zipf parameter must be >= 0, got {s}")
+    raw = [float(i) ** -s for i in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def range_partition_weights(n_keys: int, partitions: int, s: float) -> List[float]:
+    """Zipf key mass aggregated over ``partitions`` contiguous key ranges.
+
+    This is the partitioning a join sees: keys are range-partitioned ("the
+    key range divided into equal parts") while frequencies are Zipf by key
+    rank, so the first range absorbs the head of the distribution. Uses the
+    continuous approximation of the generalized harmonic numbers — exact
+    enough for workload modeling at any ``n_keys``.
+
+    >>> weights = range_partition_weights(1 << 20, 32, 0.0)
+    >>> abs(weights[0] - 1 / 32) < 1e-9
+    True
+    """
+    import math
+
+    if partitions < 1 or n_keys < partitions:
+        raise ValueError(f"need n_keys >= partitions >= 1, got {n_keys}/{partitions}")
+    if s < 0:
+        raise ValueError(f"zipf parameter must be >= 0, got {s}")
+
+    def harmonic(x: float) -> float:
+        if x <= 0:
+            return 0.0
+        if abs(s - 1.0) < 1e-9:
+            return math.log(x) + 0.5772156649015329
+        return (x ** (1.0 - s) - 1.0) / (1.0 - s) + 1.0
+
+    total = harmonic(n_keys)
+    bounds = [n_keys * p / partitions for p in range(partitions + 1)]
+    weights = [
+        (harmonic(bounds[p + 1]) - harmonic(bounds[p])) / total
+        for p in range(partitions)
+    ]
+    norm = sum(weights)
+    return [w / norm for w in weights]
+
+
+def imbalance(weights: List[float]) -> float:
+    """Largest/smallest partition ratio (the paper's skew measure)."""
+    if not weights:
+        raise ValueError("no weights")
+    smallest = min(weights)
+    if smallest <= 0:
+        raise ValueError("weights must be positive")
+    return max(weights) / smallest
+
+
+def largest_share(weights: List[float]) -> float:
+    """Fraction of the input in the largest partition."""
+    return max(weights)

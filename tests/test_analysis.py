@@ -1,0 +1,79 @@
+"""Tests for the analytic modules (Amdahl, Eq. 1, timelines)."""
+
+import pytest
+
+from repro.analysis import (
+    amdahl_best_slowdown,
+    amdahl_speedup,
+    expected_utilization,
+    plateau_throughput,
+    ramp_up_time,
+    simulate_utilization,
+    time_to_drop,
+)
+from repro.analysis.timeline import mean_between
+
+
+class TestAmdahl:
+    def test_paper_headline_numbers(self):
+        """Section 5.1: p = 19.6% on 32 machines -> 4.5x speedup, 7.1x slowdown."""
+        assert amdahl_speedup(0.196, 32) == pytest.approx(4.52, abs=0.01)
+        assert amdahl_best_slowdown(0.196, 32) == pytest.approx(7.08, abs=0.01)
+
+    def test_no_serial_fraction_is_linear(self):
+        assert amdahl_speedup(0.0, 32) == pytest.approx(32.0)
+        assert amdahl_best_slowdown(0.0, 32) == pytest.approx(1.0)
+
+    def test_fully_serial(self):
+        assert amdahl_speedup(1.0, 32) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 32)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0)
+
+
+class TestEq1:
+    def test_paper_utilization_ladder(self):
+        """Section 3.3: b=1 -> >=63%, b=2 -> 86%, b=3 -> 95%, b=10 -> >99%."""
+        m = 1000
+        assert expected_utilization(1, m) == pytest.approx(0.63, abs=0.01)
+        assert expected_utilization(2, m) == pytest.approx(0.86, abs=0.01)
+        assert expected_utilization(3, m) == pytest.approx(0.95, abs=0.01)
+        assert expected_utilization(10, m) > 0.99
+
+    def test_holds_for_thousands_of_nodes(self):
+        assert expected_utilization(10, 5000) > 0.99
+
+    def test_monte_carlo_agrees_with_analytic(self):
+        for b in (1, 2, 3):
+            analytic = expected_utilization(b, 64)
+            simulated = simulate_utilization(b, 64, rounds=400)
+            assert simulated == pytest.approx(analytic, abs=0.02)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_utilization(0, 10)
+        with pytest.raises(ValueError):
+            expected_utilization(1, 0)
+
+
+class TestTimeline:
+    SERIES = [(float(t), v) for t, v in enumerate([0, 2, 5, 9, 10, 10, 9, 3, 10, 1])]
+
+    def test_plateau(self):
+        assert plateau_throughput(self.SERIES) == 10
+
+    def test_ramp_up(self):
+        assert ramp_up_time(self.SERIES, fraction=0.8) == 3.0
+
+    def test_time_to_drop_finds_dip(self):
+        assert time_to_drop(self.SERIES, after=4.0, fraction=0.5) == 7.0
+
+    def test_mean_between(self):
+        assert mean_between(self.SERIES, 3.0, 5.0) == pytest.approx(29 / 3)
+
+    def test_empty_series(self):
+        assert plateau_throughput([]) == 0.0
+        assert ramp_up_time([]) is None

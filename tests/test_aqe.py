@@ -1,0 +1,108 @@
+"""Unit tests for the Spark-AQE-style adaptive baseline."""
+
+import pytest
+
+from repro.baselines.aqe import AQEConfig, AQEEngine, SplittableTask
+from repro.baselines.engine import Stage, StageTask
+from repro.cluster.spec import paper_cluster
+from repro.units import GB, MB
+
+
+def _stage(tasks):
+    return Stage("join", "reduce", tuple(tasks))
+
+
+def _uniform(n=8, size=64 * MB):
+    return [
+        SplittableTask(i, size, cpu_seconds=1.0, replicated_bytes=size / 2)
+        for i in range(n)
+    ]
+
+
+class TestAdaptation:
+    def test_uniform_stage_untouched(self):
+        engine = AQEEngine(paper_cluster(4))
+        adapted = engine._adapt(_stage(_uniform()))
+        assert len(adapted.tasks) == 8
+        assert engine.splits == 0
+
+    def test_probe_side_split(self):
+        tasks = _uniform()
+        tasks.append(
+            SplittableTask(
+                99,
+                2 * GB,
+                cpu_seconds=60.0,
+                replicated_bytes=32 * MB,  # small build side
+                replicated_cpu_seconds=1.0,
+            )
+        )
+        engine = AQEEngine(paper_cluster(4))
+        adapted = engine._adapt(_stage(tasks))
+        assert engine.splits > 0
+        assert len(adapted.tasks) > 9
+        # Work is conserved: total cpu unchanged.
+        assert sum(t.cpu_seconds for t in adapted.tasks) == pytest.approx(68.0)
+
+    def test_build_side_split_replicates_probe(self):
+        tasks = _uniform()
+        tasks.append(
+            SplittableTask(
+                99,
+                2 * GB + 64 * MB,
+                cpu_seconds=60.0,
+                replicated_bytes=2 * GB,  # the build side is the skewed one
+                replicated_cpu_seconds=50.0,
+            )
+        )
+        engine = AQEEngine(paper_cluster(4))
+        adapted = engine._adapt(_stage(tasks))
+        subtasks = [t for t in adapted.tasks if t.index >= 100_000]
+        assert len(subtasks) >= 2
+        # Every sub-task re-reads the full probe side (64 MB) plus its slice.
+        for task in subtasks:
+            assert task.input_bytes >= 64 * MB
+
+    def test_non_splittable_tasks_never_split(self):
+        tasks = [StageTask(i, 64 * MB, cpu_seconds=1.0) for i in range(8)]
+        tasks.append(StageTask(99, 4 * GB, cpu_seconds=60.0))
+        engine = AQEEngine(paper_cluster(4))
+        adapted = engine._adapt(_stage(tasks))
+        assert len(adapted.tasks) == 9
+        assert engine.splits == 0
+
+    def test_map_stages_untouched(self):
+        stage = Stage("map", "map", tuple(_uniform()))
+        engine = AQEEngine(paper_cluster(4))
+        assert engine._adapt(stage) is stage
+
+
+class TestEndToEnd:
+    def test_aqe_beats_plain_on_splittable_straggler(self):
+        tasks = _uniform(n=15, size=32 * MB)
+        tasks.append(
+            SplittableTask(
+                99,
+                1 * GB + 32 * MB,
+                cpu_seconds=120.0,
+                replicated_bytes=1 * GB,
+                replicated_cpu_seconds=100.0,
+                spillable=True,
+            )
+        )
+        from repro.baselines.engine import BaselineEngine, SPARK_PROFILE
+
+        plain = BaselineEngine(SPARK_PROFILE, paper_cluster(8)).run(
+            "j", [_stage(tasks)], timeout=3600
+        )
+        aqe = AQEEngine(paper_cluster(8)).run("j", [_stage(tasks)], timeout=3600)
+        assert aqe.runtime < 0.5 * plain.runtime
+
+    def test_threshold_config(self):
+        tasks = _uniform()
+        tasks.append(
+            SplittableTask(99, 512 * MB, cpu_seconds=8.0, replicated_bytes=32 * MB)
+        )
+        lax = AQEEngine(paper_cluster(4), config=AQEConfig(skew_factor=1000.0))
+        lax._adapt(_stage(tasks))
+        assert lax.splits == 0

@@ -1,0 +1,137 @@
+"""Tests for the static-partitioning baseline engines."""
+
+import pytest
+
+from repro.baselines import (
+    BaselineEngine,
+    EngineProfile,
+    GRAPHX_PROFILE,
+    HADOOP_PROFILE,
+    SPARK_PROFILE,
+    Stage,
+    StageTask,
+    clicklog_baseline,
+    hashjoin_baseline,
+    pagerank_baseline,
+)
+from repro.cluster.spec import paper_cluster
+from repro.units import GB, MB
+from repro.workloads.rmat import RmatSpec
+
+
+def _run(profile, stages, machines=8, timeout=3600):
+    engine = BaselineEngine(profile, paper_cluster(machines))
+    return engine.run("job", stages, timeout=timeout)
+
+
+class TestEngine:
+    def test_simple_map_stage(self):
+        stage = Stage(
+            "map",
+            "map",
+            tuple(StageTask(i, 64 * MB, cpu_seconds=0.5) for i in range(16)),
+        )
+        report = _run(SPARK_PROFILE, [stage])
+        assert report.completed
+        assert report.runtime > SPARK_PROFILE.job_startup
+        assert "map" in report.stage_times
+
+    def test_stage_barrier_waits_for_straggler(self):
+        quick = [StageTask(i, 1 * MB, cpu_seconds=0.1) for i in range(15)]
+        straggler = [StageTask(15, 1 * MB, cpu_seconds=30.0)]
+        stage = Stage("sk", "map", tuple(quick + straggler))
+        report = _run(SPARK_PROFILE, [stage])
+        assert report.stage_times["sk"] >= 30.0
+
+    def test_oom_crashes_job(self):
+        stage = Stage(
+            "reduce",
+            "reduce",
+            (StageTask(0, 32 * GB, cpu_seconds=1.0),),  # 32GB * 2.5 > 16GB cap
+        )
+        report = _run(SPARK_PROFILE, [stage])
+        assert report.crashed is not None
+        assert "reduce[0]" in report.crashed
+
+    def test_hadoop_spills_instead_of_crashing(self):
+        stage = Stage(
+            "reduce",
+            "reduce",
+            (StageTask(0, 4 * GB, cpu_seconds=1.0),),
+        )
+        report = _run(HADOOP_PROFILE, [stage])
+        assert report.completed
+        assert report.spilled_bytes > 0
+
+    def test_timeout_reported(self):
+        stage = Stage(
+            "slow", "map", (StageTask(0, 1 * MB, cpu_seconds=10_000.0),)
+        )
+        report = _run(SPARK_PROFILE, [stage], timeout=60.0)
+        assert report.timed_out and not report.completed
+        assert report.runtime == 60.0
+
+    def test_explicit_working_set_overrides_expansion(self):
+        stage = Stage(
+            "r",
+            "reduce",
+            (StageTask(0, 1 * MB, cpu_seconds=0.1, working_set_bytes=20 * GB),),
+        )
+        report = _run(SPARK_PROFILE, [stage])
+        assert report.crashed is not None
+
+    def test_invalid_stage_kind(self):
+        with pytest.raises(ValueError):
+            Stage("x", "mystery", ())
+
+
+class TestProfiles:
+    def test_hadoop_startup_dominates_small_jobs(self):
+        stages = clicklog_baseline(320 * MB, skew=0.0)
+        spark = _run(SPARK_PROFILE, stages, machines=32)
+        hadoop = _run(HADOOP_PROFILE, stages, machines=32)
+        assert hadoop.runtime > 3 * spark.runtime  # Table 2's 37.1 vs 8.2
+
+    def test_spark_oom_at_32gb_high_skew(self):
+        """The paper's headline Spark failure (Figure 12b)."""
+        report = _run(SPARK_PROFILE, clicklog_baseline(32 * GB, 1.0), machines=32)
+        assert report.crashed is not None
+
+    def test_spark_survives_mild_skew(self):
+        report = _run(SPARK_PROFILE, clicklog_baseline(32 * GB, 0.5), machines=32)
+        assert report.completed
+
+    def test_skew_slows_hadoop(self):
+        uniform = _run(HADOOP_PROFILE, clicklog_baseline(32 * GB, 0.0), machines=32)
+        skewed = _run(HADOOP_PROFILE, clicklog_baseline(32 * GB, 1.0), machines=32)
+        assert skewed.runtime > 2 * uniform.runtime
+        assert skewed.spilled_bytes > 0
+
+
+class TestJobBuilders:
+    def test_clicklog_reduce_partition_sizes_follow_zipf(self):
+        stages = clicklog_baseline(32 * GB, skew=1.0)
+        reduce_stage = stages[-1]
+        sizes = [t.input_bytes for t in reduce_stage.tasks]
+        assert max(sizes) / min(sizes) == pytest.approx(64.0, rel=0.01)
+
+    def test_hashjoin_hot_partition(self):
+        stages = hashjoin_baseline(int(3.2 * GB), 32 * GB, skew=1.0, partitions=32)
+        join = stages[-1]
+        hot, cold = join.tasks[0], join.tasks[-1]
+        assert hot.working_set_bytes > cold.working_set_bytes
+        assert hot.cpu_seconds > cold.cpu_seconds
+
+    def test_pagerank_stage_pairs(self):
+        stages = pagerank_baseline(RmatSpec(scale=16), iterations=3, partitions=16)
+        assert len(stages) == 6
+        assert stages[0].kind == "map" and stages[1].kind == "reduce"
+
+    def test_graphx_spills_on_hub_partition_at_scale(self):
+        report = _run(
+            GRAPHX_PROFILE,
+            pagerank_baseline(RmatSpec(scale=27), iterations=1, partitions=64),
+            machines=32,
+            timeout=12 * 3600,
+        )
+        assert report.spilled_bytes > 0

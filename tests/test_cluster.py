@@ -1,0 +1,121 @@
+"""Tests for the cluster hardware model."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, MachineSpec, paper_cluster
+from repro.sim import Environment
+from repro.units import GB, MB
+
+
+def test_paper_cluster_matches_testbed():
+    spec = paper_cluster()
+    assert spec.machines == 32
+    assert spec.machine.cores == 16
+    assert spec.machine.memory_bytes == 128 * GB
+    assert spec.machine.disk_bandwidth == 330 * MB
+    assert spec.machine.nic_bandwidth == 5 * GB
+
+
+def test_cluster_scaling():
+    assert paper_cluster(8).machines == 8
+    assert paper_cluster().scaled(4).machines == 4
+
+
+def test_invalid_specs_rejected():
+    with pytest.raises(ValueError):
+        MachineSpec(cores=0)
+    with pytest.raises(ValueError):
+        MachineSpec(disk_bandwidth=-1)
+    with pytest.raises(ValueError):
+        ClusterSpec(machines=0)
+
+
+def test_disk_serves_at_rated_bandwidth():
+    env = Environment()
+    cluster = Cluster(env, paper_cluster(1))
+    machine = cluster.machine(0)
+
+    def io(env):
+        yield machine.disk_io(330 * MB)
+
+    env.run(until=env.process(io(env)))
+    assert env.now == pytest.approx(1.0)
+
+
+def test_cpu_thread_capped_at_one_core():
+    env = Environment()
+    cluster = Cluster(env, paper_cluster(1))
+    machine = cluster.machine(0)
+
+    def compute(env):
+        yield machine.compute(4.0)  # 4 core-seconds on one thread
+
+    env.run(until=env.process(compute(env)))
+    assert env.now == pytest.approx(4.0)
+
+
+def test_sixteen_threads_use_sixteen_cores():
+    env = Environment()
+    cluster = Cluster(env, paper_cluster(1))
+    machine = cluster.machine(0)
+
+    def compute(env):
+        yield env.all_of([machine.compute(1.0) for _ in range(16)])
+
+    env.run(until=env.process(compute(env)))
+    assert env.now == pytest.approx(1.0)
+
+
+def test_network_transfer_bounded_by_nic():
+    env = Environment()
+    cluster = Cluster(env, paper_cluster(2))
+
+    def copy(env):
+        yield from cluster.network.transfer(
+            cluster.machine(0), cluster.machine(1), 5 * GB
+        )
+
+    env.run(until=env.process(copy(env)))
+    # 5 GB over a 5 GB/s NIC plus half an RTT.
+    assert env.now == pytest.approx(1.0, abs=0.01)
+
+
+def test_local_transfer_skips_nic():
+    env = Environment()
+    cluster = Cluster(env, paper_cluster(1))
+    machine = cluster.machine(0)
+
+    def copy(env):
+        yield from cluster.network.transfer(machine, machine, 50 * GB)
+
+    env.run(until=env.process(copy(env)))
+    assert env.now < 0.01  # only latency
+    assert cluster.network.bytes_moved == 0
+
+
+def test_machine_skew_via_speed_factor():
+    env = Environment()
+    cluster = Cluster(env, paper_cluster(2), speed_factors=[1.0, 0.5])
+    slow = cluster.machine(1)
+
+    def compute(env):
+        yield slow.compute(1.0)
+
+    env.run(until=env.process(compute(env)))
+    assert env.now == pytest.approx(2.0)
+
+
+def test_crash_and_restart():
+    env = Environment()
+    cluster = Cluster(env, paper_cluster(3))
+    cluster.machine(1).crash()
+    assert [m.index for m in cluster.alive_machines()] == [0, 2]
+    assert cluster.aggregate_disk_bandwidth() == pytest.approx(2 * 330 * MB)
+    cluster.machine(1).restart()
+    assert len(cluster.alive_machines()) == 3
+
+
+def test_speed_factor_count_mismatch():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Cluster(env, paper_cluster(2), speed_factors=[1.0])

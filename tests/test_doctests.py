@@ -1,0 +1,30 @@
+"""Run the doctests embedded in API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.amdahl
+import repro.analysis.utilization
+import repro.analysis.render
+import repro.serde.varint
+import repro.units
+import repro.workloads.zipf
+
+MODULES = [
+    repro.analysis.amdahl,
+    repro.analysis.utilization,
+    repro.analysis.render,
+    repro.serde.varint,
+    repro.units,
+    repro.workloads.zipf,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, tested = doctest.testmod(module, verbose=False).failed, doctest.testmod(
+        module, verbose=False
+    ).attempted
+    assert failures == 0
+    assert tested > 0, f"{module.__name__} should carry doctest examples"

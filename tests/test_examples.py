@@ -1,0 +1,48 @@
+"""Smoke-run the example scripts (the repository's user-facing surface).
+
+Each example is executed as a subprocess exactly as a user would run it;
+examples carry their own internal assertions (clone-invariance, reference
+answers), so a zero exit status is a meaningful check. The two heaviest
+ones are marked slow.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, timeout: float = 300.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "cloned result == un-cloned result: True" in out
+
+
+def test_trending_sketches():
+    out = _run("trending_sketches.py")
+    assert "reconciled correctly" in out
+
+
+@pytest.mark.slow
+def test_clicklog_skew():
+    out = _run("clicklog_skew.py", timeout=420.0)
+    assert "cloning ON" in out and "cloning OFF" in out
+
+
+@pytest.mark.slow
+def test_fault_tolerance_example():
+    out = _run("fault_tolerance.py", timeout=420.0)
+    assert "job completed despite 2 node crashes" in out

@@ -1,0 +1,66 @@
+"""Smoke tests over the experiment harnesses (scaled-down shapes).
+
+These assert the *qualitative* paper claims each harness exists to check;
+the benchmark suite runs the same harnesses at larger scale.
+"""
+
+import pytest
+
+from repro.experiments.common import auto_granularity, format_rows, full_scale
+from repro.experiments.eq1 import run_eq1
+from repro.experiments.fig7_fig8 import run_fig7_fig8
+from repro.experiments.storage_scaling import run_storage_scaling
+from repro.experiments.table2 import run_table2
+from repro.units import GB, MB, TB
+
+
+def test_auto_granularity():
+    assert auto_granularity(1 * GB) == 1
+    assert auto_granularity(int(3.2 * TB)) > 30
+
+
+def test_full_scale_flag(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    assert not full_scale(None)
+    assert full_scale(True)
+    monkeypatch.setenv("REPRO_FULL", "1")
+    assert full_scale(None)
+    assert not full_scale(False)
+
+
+def test_format_rows():
+    table = format_rows([{"a": 1, "b": 2.5}, {"a": 10, "b": None}])
+    assert "a" in table and "2.50" in table and "-" in table
+
+
+def test_eq1_ladder():
+    rows = run_eq1(batch_factors=(1, 10), node_counts=(32,))
+    by_b = {row["b"]: row for row in rows}
+    assert by_b[1]["analytic"] == pytest.approx(0.63, abs=0.02)
+    assert by_b[10]["analytic"] > 0.99
+    for row in rows:
+        assert row["monte_carlo"] == pytest.approx(row["analytic"], abs=0.03)
+
+
+def test_storage_scaling_is_near_linear():
+    rows = run_storage_scaling(full=False, machine_counts=(1, 4, 8))
+    assert rows[0]["read_gbps"] == pytest.approx(0.32, abs=0.1)
+    assert rows[-1]["read_speedup"] > 6.0  # ~8x for 8x machines
+
+
+@pytest.mark.slow
+def test_table2_ordering():
+    """Hurricane < Spark < Hadoop on uniform inputs."""
+    rows = run_table2(full=False, machines=32)
+    small = {r["system"]: r["measured_s"] for r in rows if r["input"] == "320.0MB"}
+    assert small["hurricane"] < small["spark"] < small["hadoop"]
+
+
+@pytest.mark.slow
+def test_fig7_fig8_ablation_shape():
+    """Spreading and cloning both help; the full system is best."""
+    rows = run_fig7_fig8(full=False, skews=(1.0,), input_bytes=16 * GB)
+    p2 = {row["config"]: row["phase2_s"] for row in rows}
+    assert p2["c=on,spread"] < p2["c=off,local"]
+    p1 = {row["config"]: row["phase1_s"] for row in rows}
+    assert p1["c=on,spread"] < p1["c=off,local"]

@@ -1,0 +1,193 @@
+"""Tests for the beyond-the-core extensions: GC pauses, machine skew,
+and dynamic node membership (Section 3.4)."""
+
+import pytest
+
+from repro.cluster.spec import paper_cluster
+from repro.model import Application, TaskCost
+from repro.runtime import HurricaneConfig, InputSpec
+from repro.runtime.job import SimJob
+from repro.storage.bags import BagCatalog
+from repro.storage.replication import ReplicaMap
+from repro.units import GB, MB
+
+
+def _app():
+    app = Application("ext")
+    src = app.bag("src")
+    out = app.bag("out")
+    app.task(
+        "map",
+        [src],
+        [out],
+        phase="map",
+        cost=TaskCost(cpu_seconds_per_mb=0.04, output_ratio=1.0),
+    )
+    return app
+
+
+def _job(input_gb=2, machines=4, fault_plan=None, speed_factors=None, **cfg):
+    app = _app()
+    return SimJob(
+        app.graph,
+        {"src": InputSpec(input_gb * GB)},
+        cluster_spec=paper_cluster(machines),
+        config=HurricaneConfig(**cfg),
+        fault_plan=fault_plan,
+        speed_factors=speed_factors,
+    )
+
+
+class TestGcPauses:
+    def test_gc_pauses_slow_the_job(self):
+        clean = _job(input_gb=8).run(timeout=3600)
+        noisy = _job(
+            input_gb=8, gc_pause_seconds=1.5, gc_interval=5.0
+        ).run(timeout=3600)
+        assert noisy.runtime > clean.runtime * 1.02
+        assert noisy.runtime < clean.runtime * 3
+
+    def test_gc_disabled_by_default(self):
+        assert HurricaneConfig().gc_pause_seconds == 0.0
+
+
+class TestMachineSkew:
+    def test_slow_machines_slow_uncloned_runs_more(self):
+        """Cloning mitigates machine skew (a straggler machine)."""
+        factors = [1.0, 1.0, 1.0, 0.25]
+        slow_nc = _job(
+            input_gb=6, speed_factors=factors, cloning_enabled=False
+        ).run(timeout=3600)
+        slow_cloned = _job(
+            input_gb=6, speed_factors=factors, cloning_enabled=True
+        ).run(timeout=3600)
+        # With cloning, idle fast machines absorb the slow machine's share.
+        assert slow_cloned.runtime <= slow_nc.runtime * 1.05
+
+
+class TestReplicaRing:
+    def test_add_node(self):
+        rmap = ReplicaMap([0, 1], replication=2)
+        rmap.add_node(2)
+        assert rmap.replicas(1) == [1, 2]
+        rmap.add_node(2)  # idempotent
+        assert rmap.nodes == [0, 1, 2]
+
+
+class TestStorageMembership:
+    def test_added_node_gets_shards_everywhere(self):
+        catalog = BagCatalog([0, 1], 4 * MB)
+        bag = catalog.create("b")
+        catalog.add_storage_node(2)
+        assert 2 in bag.shards
+        assert 2 in catalog.storage_nodes
+        late = catalog.create("late")
+        assert 2 in late.shards
+
+    def test_drain_excludes_from_writable(self):
+        catalog = BagCatalog([0, 1, 2], 4 * MB)
+        catalog.drain_storage_node(1)
+        assert catalog.writable_nodes() == [0, 2]
+        catalog.add_storage_node(1)  # re-adding cancels the drain
+        assert 1 in catalog.writable_nodes()
+
+    def test_storage_node_empty(self):
+        catalog = BagCatalog([0, 1], 4 * MB)
+        bag = catalog.create("b")
+        bag.write(1, 100)
+        assert catalog.storage_node_empty(0)
+        assert not catalog.storage_node_empty(1)
+        bag.take(1, 100)
+        assert catalog.storage_node_empty(1)
+
+
+class TestDynamicNodesInJob:
+    def test_add_compute_node_mid_run(self):
+        """A machine provisioned but outside the initial roster joins
+        mid-job and the job still completes (and can only get faster)."""
+        app = _app()
+        base_cfg = HurricaneConfig(compute_nodes=[0, 1], storage_nodes=[0, 1, 2, 3])
+        small = SimJob(
+            app.graph,
+            {"src": InputSpec(4 * GB)},
+            cluster_spec=paper_cluster(4),
+            config=base_cfg,
+        )
+        baseline = small.run(timeout=3600)
+
+        app = _app()
+        job = SimJob(
+            app.graph,
+            {"src": InputSpec(4 * GB)},
+            cluster_spec=paper_cluster(4),
+            config=base_cfg,
+        )
+
+        def joiner():
+            yield job.env.timeout(6.0)
+            job.add_compute_node(2)
+            job.add_compute_node(3)
+
+        job.env.process(joiner())
+        report = job.run(timeout=3600)
+        assert report.runtime <= baseline.runtime * 1.05
+        assert any(k == "compute_added" for _t, k, _i in report.events)
+
+    def test_retire_compute_node_graceful(self):
+        app = _app()
+        job = SimJob(
+            app.graph,
+            {"src": InputSpec(4 * GB)},
+            cluster_spec=paper_cluster(4),
+            config=HurricaneConfig(),
+        )
+
+        def retirer():
+            yield job.env.timeout(6.0)
+            job.retire_compute_node(3)
+
+        job.env.process(retirer())
+        report = job.run(timeout=3600)
+        assert job.exec.all_done()
+        assert 3 not in job.compute_nodes
+        assert any(k == "compute_retired" for _t, k, _i in report.events)
+
+    def test_add_storage_node_mid_run_receives_chunks(self):
+        app = _app()
+        job = SimJob(
+            app.graph,
+            {"src": InputSpec(4 * GB)},
+            cluster_spec=paper_cluster(4),
+            config=HurricaneConfig(storage_nodes=[0, 1, 2]),
+        )
+
+        def grower():
+            yield job.env.timeout(4.0)
+            job.add_storage_node(3)
+
+        job.env.process(grower())
+        job.run(timeout=3600)
+        assert job.catalog.get("out").shard_bytes(3) > 0
+
+    def test_drain_storage_node_mid_run(self):
+        app = _app()
+        job = SimJob(
+            app.graph,
+            {"src": InputSpec(4 * GB)},
+            cluster_spec=paper_cluster(4),
+            config=HurricaneConfig(),
+        )
+
+        def drainer():
+            yield job.env.timeout(3.0)
+            job.drain_storage_node(2)
+
+        job.env.process(drainer())
+        job.run(timeout=3600)
+        out = job.catalog.get("out")
+        # Chunks written after the drain landed elsewhere; the node holds
+        # only what was inserted before the drain point.
+        assert out.shard_bytes(2) <= out.written_total() / 3
+        # Once the job's output is collected (GC'd), the node is removable.
+        job.catalog.garbage_collect("out")
+        assert job.storage_node_empty(2)

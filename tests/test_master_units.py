@@ -1,0 +1,106 @@
+"""Focused tests on master behaviours not covered by the fault scenarios."""
+
+import pytest
+
+from repro.cluster.spec import paper_cluster
+from repro.model import Application, TaskCost
+from repro.model.execution_graph import NodeState
+from repro.runtime import HurricaneConfig, InputSpec
+from repro.runtime.cloning import CloneRequest
+from repro.runtime.job import SimJob
+from repro.units import GB, MB
+
+
+def _job(machines=4, input_gb=2, **cfg):
+    app = Application("m")
+    src = app.bag("src")
+    mid = app.bag("mid")
+    out = app.bag("out")
+    app.task(
+        "map",
+        [src],
+        [mid],
+        phase="map",
+        cost=TaskCost(cpu_seconds_per_mb=0.04, output_ratio=1.0),
+    )
+    app.task(
+        "agg",
+        [mid],
+        [out],
+        merge="sum",
+        phase="agg",
+        cost=TaskCost(cpu_seconds_per_mb=0.04, output_ratio=0.0, fixed_output_bytes=MB),
+    )
+    return SimJob(
+        app.graph,
+        {"src": InputSpec(input_gb * GB)},
+        cluster_spec=paper_cluster(machines),
+        config=HurricaneConfig(**cfg),
+    )
+
+
+def test_clone_request_for_unknown_task_ignored():
+    job = _job()
+
+    def inject():
+        yield job.env.timeout(5.0)
+        job.submit_clone_request(CloneRequest("nonexistent", from_node=0, at=5.0))
+
+    job.env.process(inject())
+    report = job.run(timeout=3600)  # must not crash
+    assert job.exec.all_done()
+
+
+def test_clone_request_for_finished_task_ignored():
+    job = _job()
+    captured = {}
+
+    def inject():
+        # Wait until the map family finished, then ask to clone it.
+        while True:
+            yield job.env.timeout(1.0)
+            if job.exec is not None and job.exec.families["map"].finished:
+                break
+        before = job.clones_granted
+        job.submit_clone_request(
+            CloneRequest("map", from_node=0, at=job.env.now)
+        )
+        yield job.env.timeout(2.0)
+        captured["granted_after"] = job.clones_granted - before
+
+    job.env.process(inject())
+    job.run(timeout=3600)
+    assert captured.get("granted_after", 0) == 0
+
+
+def test_bags_sealed_in_dependency_order():
+    job = _job()
+    job.run(timeout=3600)
+    assert job.catalog.get("mid").sealed
+    assert job.catalog.get("out").sealed
+    assert job.catalog.get("mid").remaining_total() == 0
+
+
+def test_exec_graph_consistent_at_completion():
+    job = _job()
+    job.run(timeout=3600)
+    for node in job.exec.nodes.values():
+        assert node.state == NodeState.DONE
+    assert len(job.workbags.running) == 0
+    assert len(job.workbags.ready) == 0
+
+
+def test_done_log_contains_every_node():
+    job = _job()
+    job.run(timeout=3600)
+    logged = {entry.node_id for entry in job.workbags.done._log}
+    assert set(job.exec.nodes) == logged
+
+
+def test_no_idle_node_no_grant():
+    """Single-machine cluster: there is never an idle *other* node, so
+    clone requests are dropped and the run completes un-cloned."""
+    job = _job(machines=1, input_gb=1)
+    report = job.run(timeout=3600)
+    assert report.clones_granted == 0
+    assert report.clone_counts == {"map": 1, "agg": 1}

@@ -1,0 +1,56 @@
+"""Guard the paper-published numbers hard-coded in the harnesses.
+
+These constants are the ground truth every benchmark compares against; a
+typo here would silently invalidate the reproduction record.
+"""
+
+from repro.experiments.fig5 import PER_MACHINE_FULL, SKEWS
+from repro.experiments.fig10 import BATCH_FACTORS
+from repro.experiments.table1 import PAPER_ROWS as TABLE1
+from repro.experiments.table2 import PAPER_ROWS as TABLE2
+from repro.experiments.table3 import PAPER_ROWS as TABLE3
+from repro.experiments.table4 import PAPER_ROWS as TABLE4
+from repro.units import GB, MB, TB
+
+
+def test_table1_matches_paper():
+    sizes = [row[0] for row in TABLE1]
+    times = [row[1] for row in TABLE1]
+    assert sizes == [320 * MB, int(3.2 * GB), 32 * GB, 320 * GB, int(3.2 * TB)]
+    assert times == [5.7, 8.9, 22.8, 90.0, 959.0]
+
+
+def test_table2_matches_paper():
+    small = dict(TABLE2)[320 * MB]
+    large = dict(TABLE2)[32 * GB]
+    assert small == {"hurricane": 5.7, "spark": 8.2, "hadoop": 37.1}
+    assert large == {"hurricane": 22.8, "spark": 32.4, "hadoop": 50.3}
+
+
+def test_table3_matches_paper():
+    (sizes1, rows1), (sizes2, rows2) = TABLE3
+    assert sizes1 == (int(3.2 * GB), 32 * GB)
+    assert sizes2 == (32 * GB, 320 * GB)
+    assert rows1[("hurricane", 0.0)] == 56.0
+    assert rows1[("hurricane", 1.0)] == 89.0
+    assert rows1[("spark", 0.0)] == 81.0
+    assert rows1[("spark", 1.0)] == 1615.0
+    assert rows2[("spark", 1.0)] is None  # > 12h
+    assert rows2[("hurricane", 1.0)] == 1216.0
+
+
+def test_table4_matches_paper():
+    rows = dict(TABLE4)
+    assert rows[24] == {"hurricane": 38.0, "graphx": 189.0}
+    assert rows[27] == {"hurricane": 225.0, "graphx": 3007.0}
+    assert rows[30]["graphx"] is None  # > 12h
+    assert rows[30]["hurricane"] == 688.0
+
+
+def test_fig5_axes_match_paper():
+    assert SKEWS == (0.0, 0.2, 0.5, 0.8, 1.0)
+    assert PER_MACHINE_FULL == (10 * MB, 100 * MB, 1 * GB, 10 * GB, 100 * GB)
+
+
+def test_fig10_batch_factors_match_paper():
+    assert BATCH_FACTORS == (1, 2, 3, 5, 10, 16, 32)

@@ -1,0 +1,83 @@
+"""Property test: execution-graph invariants under random schedules.
+
+Whatever interleaving of cloning and completion the runtime produces, the
+graph must uphold: merges run only after every family worker finished,
+downstream tasks become ready only after their input bags complete, and
+the job reaches all_done with every node DONE.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import Application, ExecutionGraph
+from repro.model.execution_graph import NodeKind, NodeState
+
+
+def _chain_app(n_tasks=3):
+    app = Application("chain")
+    bags = [app.bag(f"b{i}") for i in range(n_tasks + 1)]
+    for i in range(n_tasks):
+        app.task(
+            f"t{i}",
+            [bags[i]],
+            [bags[i + 1]],
+            merge="sum" if i % 2 else None,
+        )
+    return app
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4), max_size=40), st.integers(0, 2**32))
+@settings(max_examples=120, deadline=None)
+def test_random_schedule_preserves_invariants(clone_choices, seed):
+    graph = ExecutionGraph(_chain_app().graph)
+    ready = list(graph.initially_ready())
+    running = []
+    choice_iter = iter(clone_choices)
+    merge_seen = set()
+    steps = 0
+    while not graph.all_done() and steps < 500:
+        steps += 1
+        # Start everything ready.
+        for node in ready:
+            node.state = NodeState.RUNNING
+            running.append(node)
+        ready = []
+        if not running:
+            break
+        # Maybe clone a running non-merge worker.
+        choice = next(choice_iter, None)
+        if choice is not None and choice > 0:
+            candidates = [
+                n
+                for n in running
+                if n.kind != NodeKind.MERGE
+                and not graph.families[n.task_id].finished
+                and graph.clone_count(n.task_id) < 4
+            ]
+            if candidates:
+                target = candidates[choice % len(candidates)]
+                clone = graph.add_clone(target.task_id)
+                clone.state = NodeState.RUNNING
+                running.append(clone)
+        # Finish one running node (rotate by the choice value).
+        index = (choice or 0) % len(running)
+        node = running.pop(index)
+        newly = graph.node_done(node.node_id)
+        for new_node in newly:
+            assert new_node.state == NodeState.READY
+            if new_node.kind == NodeKind.MERGE:
+                family = graph.families[new_node.task_id]
+                assert family.workers_done(), "merge ready before workers done"
+                merge_seen.add(new_node.task_id)
+            else:
+                spec = new_node.spec
+                assert all(graph.bag_complete(b) for b in spec.inputs)
+        ready.extend(newly)
+
+    assert graph.all_done()
+    for node in graph.nodes.values():
+        assert node.state == NodeState.DONE
+    # Every cloned merge-declaring family went through its merge node.
+    for task_id, family in graph.families.items():
+        if family.clones and family.original.spec.needs_merge:
+            assert task_id in merge_seen

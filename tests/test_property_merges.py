@@ -1,0 +1,147 @@
+"""Property-based tests: merging partials == processing the whole input.
+
+This is THE system invariant (Section 2.3): for any partitioning of the
+records across any number of clones, folding the per-clone partial outputs
+with the merge procedure must equal the un-cloned output.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.merges import (
+    Bitset,
+    CountMinSketch,
+    HyperLogLog,
+    MedianState,
+    TopK,
+    bitset_union_merge,
+    counter_merge,
+    dict_sum_merge,
+    median_merge,
+    sorted_merge,
+    topk_merge,
+)
+
+
+def _partitions(records, cut_points):
+    """Split records at the given relative cut points."""
+    if not records:
+        return [[]]
+    cuts = sorted({int(c * len(records)) for c in cut_points})
+    parts = []
+    last = 0
+    for cut in cuts:
+        parts.append(records[last:cut])
+        last = cut
+    parts.append(records[last:])
+    return parts
+
+
+partition_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0), min_size=0, max_size=5
+)
+
+
+@given(st.lists(st.integers(0, 500), max_size=200), partition_strategy)
+def test_bitset_clone_invariance(keys, cuts):
+    whole = Bitset.from_keys(keys)
+    partials = [Bitset.from_keys(part) for part in _partitions(keys, cuts)]
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged = bitset_union_merge(merged, partial)
+    assert merged == whole
+
+
+@given(st.lists(st.text(max_size=4), max_size=200), partition_strategy)
+def test_counter_clone_invariance(words, cuts):
+    whole = Counter(words)
+    partials = [Counter(part) for part in _partitions(words, cuts)]
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged = counter_merge(merged, partial)
+    assert merged == whole
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 20), st.integers(-100, 100)), max_size=150),
+    partition_strategy,
+)
+def test_dict_sum_clone_invariance(pairs, cuts):
+    def gather(part):
+        out = {}
+        for key, value in part:
+            out[key] = out.get(key, 0) + value
+        return out
+
+    whole = gather(pairs)
+    partials = [gather(part) for part in _partitions(pairs, cuts)]
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged = dict_sum_merge(merged, partial)
+    assert merged == whole
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=150), partition_strategy)
+def test_median_clone_invariance(values, cuts):
+    whole = MedianState(values)
+    partials = [MedianState(part) for part in _partitions(values, cuts)]
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged = median_merge(merged, partial)
+    assert merged.median() == whole.median()
+
+
+@given(st.lists(st.integers(-1000, 1000), max_size=150), partition_strategy)
+def test_topk_clone_invariance(values, cuts):
+    k = 5
+    whole = TopK(k, values)
+    partials = [TopK(k, part) for part in _partitions(values, cuts)]
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged = topk_merge(merged, partial)
+    assert merged.items() == whole.items()
+
+
+@given(st.lists(st.integers(), max_size=100), st.lists(st.integers(), max_size=100))
+def test_sorted_merge_is_a_merge(left, right):
+    merged = sorted_merge(sorted(left), sorted(right))
+    assert merged == sorted(left + right)
+
+
+@given(st.lists(st.integers(0, 10_000), max_size=300), partition_strategy)
+@settings(max_examples=30)
+def test_hll_clone_invariance(items, cuts):
+    whole = HyperLogLog(p=8)
+    for item in items:
+        whole.add(item)
+    partials = []
+    for part in _partitions(items, cuts):
+        sketch = HyperLogLog(p=8)
+        for item in part:
+            sketch.add(item)
+        partials.append(sketch)
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged = merged.merge(partial)
+    assert merged.cardinality() == whole.cardinality()
+
+
+@given(st.lists(st.integers(0, 100), max_size=300), partition_strategy)
+@settings(max_examples=30)
+def test_cms_clone_invariance(items, cuts):
+    whole = CountMinSketch(width=64, depth=3)
+    for item in items:
+        whole.add(item)
+    partials = []
+    for part in _partitions(items, cuts):
+        sketch = CountMinSketch(width=64, depth=3)
+        for item in part:
+            sketch.add(item)
+        partials.append(sketch)
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged = merged.merge(partial)
+    for item in set(items):
+        assert merged.estimate(item) == whole.estimate(item)

@@ -1,0 +1,113 @@
+"""Property-based tests on the simulation kernel's conservation laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import BandwidthServer, Environment, Resource
+
+flow_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5.0),  # start time
+        st.floats(min_value=0.01, max_value=100.0),  # amount
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(flow_lists, st.floats(min_value=0.5, max_value=50.0))
+@settings(max_examples=60, deadline=None)
+def test_ps_server_conserves_work(flows, rate):
+    """Every flow completes and delivered work equals the work submitted."""
+    env = Environment()
+    server = BandwidthServer(env, rate=rate)
+    finished = []
+
+    def run_flow(env, start, amount):
+        yield env.timeout(start)
+        yield server.transfer(amount)
+        finished.append(env.now)
+
+    for start, amount in flows:
+        env.process(run_flow(env, start, amount))
+    env.run()
+    assert len(finished) == len(flows)
+    total = sum(amount for _s, amount in flows)
+    assert abs(server.delivered_work() - total) < 1e-6 * max(1.0, total)
+
+
+@given(flow_lists, st.floats(min_value=0.5, max_value=50.0))
+@settings(max_examples=60, deadline=None)
+def test_ps_server_respects_capacity(flows, rate):
+    """No flow finishes faster than line rate allows, and the makespan is
+    at least total_work / rate."""
+    env = Environment()
+    server = BandwidthServer(env, rate=rate)
+    spans = []
+
+    def run_flow(env, start, amount):
+        yield env.timeout(start)
+        begin = env.now
+        yield server.transfer(amount)
+        spans.append((begin, env.now, amount))
+
+    for start, amount in flows:
+        env.process(run_flow(env, start, amount))
+    env.run()
+    for begin, end, amount in spans:
+        assert end - begin >= amount / rate - 1e-9
+    first_start = min(s for s, _a in flows)
+    total = sum(a for _s, a in flows)
+    makespan = max(end for _b, end, _a in spans) - first_start
+    assert makespan >= total / rate - 1e-6
+
+
+@given(flow_lists)
+@settings(max_examples=40, deadline=None)
+def test_capped_server_behaves_like_parallel_machines(flows):
+    """With per-flow cap 1 and huge total rate, every flow takes exactly
+    its own duration (no contention)."""
+    env = Environment()
+    server = BandwidthServer(env, rate=1000.0, per_flow_cap=1.0)
+    spans = []
+
+    def run_flow(env, start, amount):
+        yield env.timeout(start)
+        begin = env.now
+        yield server.transfer(amount)
+        spans.append((begin, env.now, amount))
+
+    for start, amount in flows:
+        env.process(run_flow(env, start, amount))
+    env.run()
+    for begin, end, amount in spans:
+        assert end - begin == pytest_approx(amount)
+
+
+def pytest_approx(value, rel=1e-9):
+    import pytest
+
+    return pytest.approx(value, rel=rel, abs=1e-9)
+
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.lists(st.floats(min_value=0.01, max_value=2.0), min_size=1, max_size=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    env = Environment()
+    resource = Resource(env, capacity)
+    peak = [0]
+
+    def user(env, hold):
+        yield resource.request()
+        peak[0] = max(peak[0], resource.in_use)
+        yield env.timeout(hold)
+        resource.release()
+
+    for hold in holds:
+        env.process(user(env, hold))
+    env.run()
+    assert peak[0] <= capacity
+    assert resource.in_use == 0

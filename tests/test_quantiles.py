@@ -1,0 +1,100 @@
+"""Tests for the quantile sketch and reservoir sample."""
+
+import statistics
+
+import pytest
+
+from repro.merges import QuantileSketch, ReservoirSample, quantile_merge
+from repro.sim.rand import rng_from
+
+
+class TestQuantileSketch:
+    def test_exact_below_k(self):
+        sketch = QuantileSketch(k=64)
+        for value in range(50):
+            sketch.add(float(value))
+        assert sketch.quantile(0.0) == 0.0
+        assert sketch.quantile(1.0) == 49.0
+        assert abs(sketch.quantile(0.5) - 24.0) <= 1.0
+
+    def test_approximate_at_scale(self):
+        sketch = QuantileSketch(k=128)
+        rng = rng_from("qtest", 1)
+        values = [rng.random() for _ in range(20_000)]
+        for value in values:
+            sketch.add(value)
+        for q in (0.1, 0.5, 0.9):
+            exact = sorted(values)[int(q * len(values))]
+            assert abs(sketch.quantile(q) - exact) < 0.05
+
+    def test_merge_preserves_accuracy(self):
+        rng = rng_from("qtest", 2)
+        values = [rng.gauss(100.0, 15.0) for _ in range(10_000)]
+        left = QuantileSketch(k=128)
+        right = QuantileSketch(k=128)
+        for i, value in enumerate(values):
+            (left if i % 2 else right).add(value)
+        merged = quantile_merge(left, right)
+        assert merged.count == len(values)
+        exact_median = statistics.median(values)
+        assert abs(merged.quantile(0.5) - exact_median) < 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch().quantile(0.5)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(k=2)
+        sketch = QuantileSketch()
+        sketch.add(1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+        with pytest.raises(ValueError):
+            QuantileSketch(k=8).merge(QuantileSketch(k=16))
+
+
+class TestReservoirSample:
+    def test_keeps_everything_below_capacity(self):
+        sample = ReservoirSample(capacity=10)
+        for item in range(5):
+            sample.add(item)
+        assert sorted(sample.items) == [0, 1, 2, 3, 4]
+
+    def test_capacity_bounded(self):
+        sample = ReservoirSample(capacity=16)
+        for item in range(1000):
+            sample.add(item)
+        assert len(sample.items) == 16
+        assert sample.count == 1000
+
+    def test_roughly_uniform(self):
+        hits = [0] * 10
+        for trial in range(300):
+            sample = ReservoirSample(capacity=10, seed=trial)
+            for item in range(100):
+                sample.add(item)
+            for item in sample.items:
+                hits[item // 10] += 1
+        # Each decade of the stream should be sampled comparably often.
+        assert max(hits) < 3 * min(hits)
+
+    def test_merge_respects_stream_sizes(self):
+        """Merging a tiny stream into a huge one keeps mostly huge-side items."""
+        big_side = 0
+        for trial in range(100):
+            big = ReservoirSample(capacity=10, seed=trial)
+            small = ReservoirSample(capacity=10, seed=1000 + trial)
+            for item in range(1000):
+                big.add(("big", item))
+            for item in range(10):
+                small.add(("small", item))
+            merged = big.merge(small)
+            assert len(merged.items) == 10
+            assert merged.count == 1010
+            big_side += sum(1 for tag, _ in merged.items if tag == "big")
+        assert big_side > 0.9 * 100 * 10 * (1000 / 1010) * 0.9
+
+    def test_merge_capacity_mismatch(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(4).merge(ReservoirSample(8))

@@ -1,0 +1,71 @@
+"""Tests for timeline rendering and row export."""
+
+import json
+
+from repro.analysis.render import sparkline, timeline_chart
+from repro.experiments.export import rows_to_csv, rows_to_json
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([(float(i), float(i)) for i in range(9)], width=9)
+        assert len(line) == 9
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_downsampling(self):
+        series = [(float(i), 1.0) for i in range(1000)]
+        assert len(sparkline(series, width=40)) == 40
+
+    def test_all_zero(self):
+        assert set(sparkline([(0.0, 0.0), (1.0, 0.0)], width=2)) == {" "}
+
+
+class TestTimelineChart:
+    SERIES = [(float(t), min(t, 10.0)) for t in range(40)]
+
+    def test_has_axis_and_bars(self):
+        chart = timeline_chart(self.SERIES, height=5, width=40)
+        lines = chart.splitlines()
+        assert any("+" in line for line in lines)
+        assert any("█" in line for line in lines)
+
+    def test_event_markers(self):
+        chart = timeline_chart(
+            self.SERIES, events=[(20.0, "crash")], height=4, width=40
+        )
+        assert "^ crash (t=20s)" in chart
+
+    def test_empty(self):
+        assert "empty" in timeline_chart([])
+
+
+class TestExport:
+    ROWS = [
+        {"system": "hurricane", "runtime_s": 22.4},
+        {"system": "spark", "runtime_s": 43.4, "outcome": "ok"},
+    ]
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        text = rows_to_csv(self.ROWS, path)
+        assert path.read_text() == text
+        lines = text.strip().splitlines()
+        assert lines[0] == "system,runtime_s,outcome"
+        assert lines[1].startswith("hurricane,22.4")
+
+    def test_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_json(self, tmp_path):
+        path = tmp_path / "rows.json"
+        text = rows_to_json(self.ROWS, path)
+        parsed = json.loads(path.read_text())
+        assert parsed == json.loads(text)
+        assert parsed[0]["system"] == "hurricane"
+
+    def test_json_handles_non_serializable(self):
+        text = rows_to_json([{"value": {1, 2}}])
+        assert json.loads(text)[0]["value"] == [1, 2]

@@ -1,0 +1,91 @@
+"""Unit tests for the metrics recorder, run report, and runtime config."""
+
+import pytest
+
+from repro.runtime.config import HurricaneConfig, InputSpec
+from repro.runtime.report import MetricsRecorder, RunReport
+from repro.units import MB
+
+
+class TestMetricsRecorder:
+    def test_throughput_binning(self):
+        recorder = MetricsRecorder(bin_seconds=1.0)
+        recorder.processed(0.2, 10 * MB)
+        recorder.processed(0.8, 10 * MB)
+        recorder.processed(1.5, 30 * MB)
+        series = recorder.throughput_series()
+        assert series[0] == (1.0, pytest.approx(20.0))
+        assert series[1] == (2.0, pytest.approx(30.0))
+
+    def test_gap_bins_are_zero(self):
+        recorder = MetricsRecorder()
+        recorder.processed(0.5, MB)
+        recorder.processed(3.5, MB)
+        series = recorder.throughput_series()
+        assert series[1][1] == 0.0 and series[2][1] == 0.0
+
+    def test_phase_spans_union(self):
+        recorder = MetricsRecorder()
+        recorder.phase_activity("map", 2.0, 5.0)
+        recorder.phase_activity("map", 1.0, 4.0)
+        recorder.phase_activity(None, 0.0, 100.0)  # ignored
+        assert recorder.phase_spans() == {"map": (1.0, 5.0)}
+
+    def test_events_filtering(self):
+        recorder = MetricsRecorder()
+        recorder.event(1.0, "clone_granted", task="t")
+        recorder.event(2.0, "clone_rejected", task="t")
+        assert recorder.events_of("clone_granted") == [(1.0, {"task": "t"})]
+
+
+class TestRunReport:
+    def _report(self):
+        return RunReport(
+            app="x",
+            runtime=30.0,
+            phases={"map": (2.0, 12.0), "agg": (12.0, 30.0)},
+            clone_counts={"map": 4, "agg.0": 1},
+            clones_granted=3,
+            clones_rejected=1,
+        )
+
+    def test_phase_runtime(self):
+        assert self._report().phase_runtime("map") == 10.0
+
+    def test_clone_totals(self):
+        report = self._report()
+        assert report.total_clones() == 3
+        assert report.max_clones() == 4
+
+    def test_summary_mentions_everything(self):
+        text = self._report().summary()
+        assert "map" in text and "granted=3" in text and "30.0s" in text
+
+
+class TestHurricaneConfig:
+    def test_defaults_match_paper(self):
+        config = HurricaneConfig()
+        assert config.chunk_size == 4 * MB  # Section 4.5
+        assert config.batch_factor == 10  # Section 3.3
+        assert config.clone_interval == 2.0  # Section 4.2
+        assert config.replication == 1  # Section 5: off unless stated
+
+    def test_with_overrides_is_functional(self):
+        base = HurricaneConfig()
+        changed = base.with_overrides(batch_factor=3)
+        assert changed.batch_factor == 3
+        assert base.batch_factor == 10
+
+    def test_resolve_nodes_defaults_to_all(self):
+        compute, storage = HurricaneConfig().resolve_nodes(4)
+        assert compute == storage == [0, 1, 2, 3]
+
+    def test_resolve_nodes_subsets(self):
+        config = HurricaneConfig(compute_nodes=[0, 1], storage_nodes=[2, 3])
+        compute, storage = config.resolve_nodes(4)
+        assert compute == [0, 1] and storage == [2, 3]
+
+    def test_input_spec_validation(self):
+        with pytest.raises(ValueError):
+            InputSpec(-1)
+        assert InputSpec(10, placement=3).placement == 3

@@ -1,0 +1,36 @@
+"""Tests for the experiment-runner CLI."""
+
+import pytest
+
+from repro.experiments.runner import _registry, main
+
+
+def test_registry_covers_every_table_and_figure():
+    names = set(_registry())
+    expected = {
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "fig5",
+        "fig6",
+        "fig7_fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "eq1",
+        "storage_scaling",
+    }
+    assert expected == names
+
+
+def test_cli_runs_an_experiment(capsys):
+    assert main(["eq1"]) == 0
+    out = capsys.readouterr().out
+    assert "eq1" in out and "analytic" in out
+
+
+def test_cli_rejects_unknown(capsys):
+    with pytest.raises(SystemExit):
+        main(["figure99"])

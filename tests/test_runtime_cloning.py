@@ -1,0 +1,122 @@
+"""Unit tests for overload detection support and the Eq. 2 heuristic."""
+
+import pytest
+
+from repro.model.graph import TaskSpec
+from repro.model.costs import TaskCost
+from repro.runtime.cloning import CloningPolicy, DrainStats
+from repro.storage.bags import BagCatalog
+from repro.units import GB, MB
+
+
+def _catalog(side_bytes=0):
+    catalog = BagCatalog([0, 1, 2, 3], 4 * MB)
+    catalog.create("stream")
+    side = catalog.create("side")
+    if side_bytes:
+        side.write(0, side_bytes)
+    return catalog
+
+
+def _policy(catalog, **kwargs):
+    return CloningPolicy(catalog, disk_bandwidth=330 * MB, **kwargs)
+
+
+def _spec(merge=None, inputs=("stream",), fixed_out=0, ratio=1.0):
+    return TaskSpec(
+        "t",
+        tuple(inputs),
+        ("out",),
+        merge=merge,
+        cost=TaskCost(output_ratio=ratio, fixed_output_bytes=fixed_out),
+    )
+
+
+class TestEq2:
+    def test_long_task_clones(self):
+        policy = _policy(_catalog())
+        # 10 GB left at 100 MB/s -> T = 102s; TIO ~ setup only.
+        assert policy.should_clone(_spec(), k=1, remaining=10 * GB, drain_rate=100 * MB)
+
+    def test_nearly_finished_task_not_cloned(self):
+        policy = _policy(_catalog())
+        assert not policy.should_clone(
+            _spec(), k=4, remaining=8 * MB, drain_rate=300 * MB
+        )
+
+    def test_equation_form(self):
+        """Clone iff T > (k + 1) * TIO, with T = remaining / rate."""
+        policy = _policy(_catalog())
+        spec = _spec(merge="sum", fixed_out=0, ratio=0.0)
+        k = 3
+        remaining = 1 * GB
+        tio = policy.estimate_tio(spec, k, remaining)
+        rate_at_boundary = remaining / ((k + 1) * tio)
+        assert policy.should_clone(spec, k, remaining, rate_at_boundary * 0.9)
+        assert not policy.should_clone(spec, k, remaining, rate_at_boundary * 1.1)
+
+    def test_merge_tasks_pay_partial_output_cost(self):
+        policy = _policy(_catalog())
+        no_merge = policy.estimate_tio(_spec(), k=1, remaining=1 * GB)
+        with_merge = policy.estimate_tio(
+            _spec(merge="sum", ratio=1.0), k=1, remaining=1 * GB
+        )
+        assert with_merge > no_merge
+
+    def test_side_state_costs_io(self):
+        catalog = _catalog(side_bytes=1 * GB)
+        policy = _policy(catalog)
+        stateless = policy.estimate_tio(_spec(), k=1, remaining=1 * GB)
+        stateful = policy.estimate_tio(
+            _spec(inputs=("stream", "side")), k=1, remaining=1 * GB
+        )
+        # Loading 1 GB of side state at 330 MB/s adds ~3.1 seconds.
+        assert stateful - stateless == pytest.approx(1 * GB / (330 * MB), rel=0.01)
+
+    def test_more_clones_raise_the_bar(self):
+        policy = _policy(_catalog())
+        spec = _spec(merge="sum", fixed_out=64 * MB, ratio=0.0)
+        rate = 500 * MB
+        remaining = 2 * GB
+        decisions = [
+            policy.should_clone(spec, k, remaining, rate) for k in (1, 4, 16)
+        ]
+        assert decisions[0] and not decisions[-1]
+
+    def test_heuristic_disabled_always_clones(self):
+        policy = _policy(_catalog(), heuristic_enabled=False)
+        assert policy.should_clone(_spec(), k=30, remaining=1, drain_rate=1e12)
+
+    def test_empty_bag_never_clones(self):
+        policy = _policy(_catalog(), heuristic_enabled=False)
+        assert not policy.should_clone(_spec(), k=1, remaining=0, drain_rate=1.0)
+
+    def test_paper_estimator_uses_remaining_share(self):
+        policy = _policy(_catalog(), paper_estimator=True)
+        spec = _spec(merge="sum", ratio=0.0, fixed_out=0)
+        tio_k1 = policy.estimate_tio(spec, 1, 1 * GB)
+        tio_k7 = policy.estimate_tio(spec, 7, 1 * GB)
+        assert tio_k1 > tio_k7  # share of remaining shrinks with k
+
+
+class TestDrainStats:
+    def test_rate_estimation(self):
+        stats = DrainStats(last_time=0.0, last_remaining=100.0)
+        stats.update(now=1.0, remaining=90.0)
+        assert stats.rate == pytest.approx(10.0)
+
+    def test_ema_smoothing(self):
+        stats = DrainStats(last_time=0.0, last_remaining=100.0)
+        stats.update(1.0, 90.0)
+        stats.update(2.0, 60.0)  # instant rate 30
+        assert 10.0 < stats.rate < 30.0
+
+    def test_rate_never_negative(self):
+        stats = DrainStats(last_time=0.0, last_remaining=50.0)
+        stats.update(1.0, 80.0)  # bag grew (more producers): clamp to 0
+        assert stats.rate == 0.0
+
+    def test_zero_dt_ignored(self):
+        stats = DrainStats(last_time=1.0, last_remaining=50.0)
+        stats.update(1.0, 10.0)
+        assert stats.rate == 0.0

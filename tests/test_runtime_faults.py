@@ -1,0 +1,157 @@
+"""Fault-tolerance tests: compute-node crashes and master crash/replay."""
+
+import pytest
+
+from repro.cluster.spec import paper_cluster
+from repro.model import Application, TaskCost
+from repro.runtime import FaultPlan, HurricaneConfig, InputSpec
+from repro.runtime.job import SimJob
+from repro.units import GB, MB
+
+
+def _app(weights=(0.55, 0.25, 0.15, 0.05)):
+    app = Application("faulty")
+    src = app.bag("src")
+    regions = [app.bag(f"region.{i}") for i in range(len(weights))]
+    outs = [app.bag(f"out.{i}") for i in range(len(weights))]
+    app.task(
+        "map",
+        [src],
+        regions,
+        phase="map",
+        cost=TaskCost(
+            cpu_seconds_per_mb=0.04,
+            output_ratio=1.0,
+            output_weights={f"region.{i}": w for i, w in enumerate(weights)},
+        ),
+    )
+    for i in range(len(weights)):
+        app.task(
+            f"agg.{i}",
+            [regions[i]],
+            [outs[i]],
+            merge="bitset_union",
+            phase="agg",
+            cost=TaskCost(
+                cpu_seconds_per_mb=0.05, output_ratio=0.0, fixed_output_bytes=2 * MB
+            ),
+        )
+    return app
+
+
+def _run(fault_plan, input_gb=4, machines=8, **config_kwargs):
+    app = _app()
+    job = SimJob(
+        app.graph,
+        {"src": InputSpec(input_gb * GB)},
+        cluster_spec=paper_cluster(machines),
+        config=HurricaneConfig(**config_kwargs),
+        fault_plan=fault_plan,
+    )
+    report = job.run(timeout=3600)
+    return job, report
+
+
+def test_clean_reference():
+    job, report = _run(FaultPlan())
+    assert report.runtime < 60
+
+
+def test_compute_crash_job_still_completes():
+    plan = FaultPlan().crash_compute(at=6.0, node=3, restart_after=4.0)
+    job, report = _run(plan)
+    assert job.exec.all_done()
+    assert any(kind == "compute_crash" for _t, kind, _i in report.events)
+    # Every output still produced despite the crash.
+    for i in range(4):
+        assert job.catalog.get(f"out.{i}").written_total() > 0
+
+
+def test_compute_crash_restarts_affected_families():
+    plan = FaultPlan().crash_compute(at=6.0, node=2, restart_after=4.0)
+    job, report = _run(plan)
+    restarts = [i for t, k, i in report.events if k == "family_restarted"]
+    assert restarts, "the master should have reset at least one family"
+    # Input of a restarted family was rewound and fully reprocessed.
+    assert job.catalog.get("src").remaining_total() == 0
+
+
+def test_compute_crash_without_restart_node_stays_dead():
+    plan = FaultPlan().crash_compute(at=6.0, node=1)
+    job, report = _run(plan)
+    assert job.exec.all_done()
+    assert 1 in job.crashed_compute
+    assert 1 not in job.alive_compute_nodes()
+
+
+def test_crash_slows_but_not_catastrophically():
+    _job, clean = _run(FaultPlan())
+    plan = FaultPlan().crash_compute(at=6.0, node=3, restart_after=4.0)
+    _job2, faulty = _run(plan)
+    assert faulty.runtime >= clean.runtime * 0.9
+    assert faulty.runtime < clean.runtime * 4
+
+
+def test_master_crash_recovers_by_replay():
+    plan = FaultPlan().crash_master(at=7.0)
+    job, report = _run(plan)
+    kinds = [k for _t, k, _i in report.events]
+    assert "master_crash" in kinds and "master_recovered" in kinds
+    assert job.exec.all_done()
+    for i in range(4):
+        assert job.catalog.get(f"out.{i}").written_total() > 0
+
+
+def test_master_crash_barely_affects_runtime():
+    _job, clean = _run(FaultPlan())
+    _job2, faulty = _run(FaultPlan().crash_master(at=7.0))
+    # Workers proceed independently; recovery is sub-second.
+    assert faulty.runtime < clean.runtime * 1.5
+
+
+def test_master_crash_during_cloned_phase():
+    """Replay must restore clone wiring (partial bags, merge nodes)."""
+    app = _app(weights=(0.85, 0.05, 0.05, 0.05))
+    plan = FaultPlan().crash_master(at=12.0)
+    job = SimJob(
+        app.graph,
+        {"src": InputSpec(8 * GB)},
+        cluster_spec=paper_cluster(8),
+        config=HurricaneConfig(),
+        fault_plan=plan,
+    )
+    report = job.run(timeout=3600)
+    assert job.exec.all_done()
+    assert report.clone_counts["agg.0"] >= 1
+    assert job.catalog.get("out.0").written_total() > 0
+
+
+def test_double_fault_sequence():
+    """The Figure 11 scenario: two node crashes, two master crashes."""
+    plan = (
+        FaultPlan()
+        .crash_compute(at=5.0, node=4, restart_after=3.0)
+        .crash_master(at=9.0)
+        .crash_compute(at=14.0, node=6, restart_after=3.0)
+        .crash_master(at=18.0)
+    )
+    job, report = _run(plan, input_gb=8)
+    assert job.exec.all_done()
+    kinds = [k for _t, k, _i in report.events]
+    assert kinds.count("compute_crash") == 2
+    assert kinds.count("master_crash") == 2
+
+
+def test_storage_crash_with_replication_survives():
+    app = _app()
+    plan = FaultPlan().crash_storage(at=6.0, node=5)
+    job = SimJob(
+        app.graph,
+        {"src": InputSpec(2 * GB)},
+        cluster_spec=paper_cluster(8),
+        config=HurricaneConfig(replication=2),
+        fault_plan=plan,
+    )
+    report = job.run(timeout=3600)
+    assert job.exec.all_done()
+    assert any(k == "storage_crash" for _t, k, _i in report.events)

@@ -1,0 +1,172 @@
+"""Integration tests for the simulated Hurricane runtime."""
+
+import pytest
+
+from repro.cluster.spec import paper_cluster
+from repro.errors import JobTimeout, SchedulingError
+from repro.model import Application, TaskCost
+from repro.runtime import HurricaneConfig, InputSpec
+from repro.runtime.job import SimJob, run_app
+from repro.units import GB, MB
+
+
+def _pipeline_app(weights=(0.55, 0.25, 0.15, 0.05)):
+    """A small ClickLog-shaped app: map -> skewed aggregations -> counts."""
+    app = Application("pipeline")
+    src = app.bag("src")
+    regions = [app.bag(f"region.{i}") for i in range(len(weights))]
+    outs = [app.bag(f"out.{i}") for i in range(len(weights))]
+    app.task(
+        "map",
+        [src],
+        regions,
+        phase="map",
+        cost=TaskCost(
+            cpu_seconds_per_mb=0.04,
+            output_ratio=1.0,
+            output_weights={f"region.{i}": w for i, w in enumerate(weights)},
+        ),
+    )
+    for i in range(len(weights)):
+        app.task(
+            f"agg.{i}",
+            [regions[i]],
+            [outs[i]],
+            merge="bitset_union",
+            phase="agg",
+            cost=TaskCost(
+                cpu_seconds_per_mb=0.05, output_ratio=0.0, fixed_output_bytes=4 * MB
+            ),
+        )
+    return app
+
+
+def test_job_completes_and_reports():
+    report = run_app(
+        _pipeline_app(), {"src": InputSpec(2 * GB)}, machines=8, timeout=3600
+    )
+    assert report.runtime > 0
+    assert set(report.phases) == {"map", "agg"}
+    assert report.phases["map"][1] <= report.phases["agg"][1]
+    assert report.bytes_read > 2 * GB  # input + intermediate reads
+    assert report.timeline  # throughput was recorded
+
+
+def test_all_input_consumed_and_outputs_produced():
+    app = _pipeline_app()
+    job = SimJob(
+        app.graph,
+        {"src": InputSpec(1 * GB)},
+        cluster_spec=paper_cluster(4),
+        config=HurricaneConfig(),
+    )
+    job.run(timeout=3600)
+    assert job.catalog.get("src").remaining_total() == 0
+    for i in range(4):
+        assert job.catalog.get(f"out.{i}").written_total() > 0
+        assert job.catalog.get(f"region.{i}").remaining_total() == 0
+
+
+def test_cloning_engages_on_skew():
+    report = run_app(
+        _pipeline_app(weights=(0.85, 0.05, 0.05, 0.05)),
+        {"src": InputSpec(6 * GB)},
+        machines=8,
+        timeout=3600,
+    )
+    assert report.clones_granted >= 1
+    assert report.clone_counts["agg.0"] >= 2  # the heavy aggregation cloned
+    grants = [info for _t, kind, info in report.events if kind == "clone_granted"]
+    assert any(g["task"] == "agg.0" for g in grants)
+
+
+def test_cloning_disabled_runs_single_workers():
+    report = run_app(
+        _pipeline_app(),
+        {"src": InputSpec(2 * GB)},
+        machines=8,
+        config=HurricaneConfig(cloning_enabled=False),
+        timeout=3600,
+    )
+    assert report.clones_granted == 0
+    assert all(count == 1 for count in report.clone_counts.values())
+
+
+def test_cloning_speeds_up_skewed_run():
+    app_inputs = {"src": InputSpec(8 * GB)}
+    slow = run_app(
+        _pipeline_app(weights=(0.85, 0.05, 0.05, 0.05)),
+        app_inputs,
+        machines=8,
+        config=HurricaneConfig(cloning_enabled=False),
+        timeout=3600,
+    )
+    fast = run_app(
+        _pipeline_app(weights=(0.85, 0.05, 0.05, 0.05)),
+        app_inputs,
+        machines=8,
+        config=HurricaneConfig(cloning_enabled=True),
+        timeout=3600,
+    )
+    assert fast.runtime < slow.runtime
+
+
+def test_merge_runs_once_per_cloned_family():
+    app = _pipeline_app(weights=(0.85, 0.05, 0.05, 0.05))
+    job = SimJob(
+        app.graph,
+        {"src": InputSpec(6 * GB)},
+        cluster_spec=paper_cluster(8),
+        config=HurricaneConfig(),
+    )
+    report = job.run(timeout=3600)
+    family = job.exec.families["agg.0"]
+    assert report.clone_counts["agg.0"] >= 2
+    assert family.merge is not None and family.finished
+    # The merged output bag holds exactly the merged bitset.
+    assert job.catalog.get("out.0").written_total() == 4 * MB
+
+
+def test_missing_input_spec_rejected():
+    app = _pipeline_app()
+    with pytest.raises(SchedulingError, match="no InputSpec"):
+        SimJob(app.graph, {}, cluster_spec=paper_cluster(2))
+
+
+def test_timeout_raises_jobtimeout():
+    app = _pipeline_app()
+    job = SimJob(
+        app.graph,
+        {"src": InputSpec(10 * GB)},
+        cluster_spec=paper_cluster(2),
+        config=HurricaneConfig(),
+    )
+    with pytest.raises(JobTimeout):
+        job.run(timeout=1.0)
+
+
+def test_local_placement_concentrates_input():
+    app = _pipeline_app()
+    job = SimJob(
+        app.graph,
+        {"src": InputSpec(1 * GB, placement=2)},
+        cluster_spec=paper_cluster(4),
+        config=HurricaneConfig(spread_data=False),
+    )
+    assert job.catalog.get("src").shard_bytes(2) == 1 * GB
+    assert job.catalog.get("src").shard_bytes(0) == 0
+    job.run(timeout=3600)
+
+
+def test_granularity_preserves_results():
+    app_inputs = {"src": InputSpec(2 * GB)}
+    fine = run_app(
+        _pipeline_app(), app_inputs, machines=4,
+        config=HurricaneConfig(granularity=1), timeout=3600,
+    )
+    coarse = run_app(
+        _pipeline_app(), app_inputs, machines=4,
+        config=HurricaneConfig(granularity=8), timeout=3600,
+    )
+    # Same workload, same rough runtime (fidelity knob, not a semantics knob).
+    assert coarse.runtime == pytest.approx(fine.runtime, rel=0.35)

@@ -1,0 +1,130 @@
+"""Tests for varints, codecs, and chunk packing."""
+
+import pytest
+
+from repro.errors import ChunkOverflowError, SerdeError
+from repro.serde import (
+    ChunkBuilder,
+    chunk_records,
+    codec_for,
+    decode_uvarint,
+    encode_uvarint,
+    iter_chunk,
+    iter_chunks,
+)
+from repro.serde.varint import zigzag_decode, zigzag_encode
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**63])
+    def test_roundtrip(self, value):
+        encoded = encode_uvarint(value)
+        decoded, offset = decode_uvarint(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SerdeError):
+            encode_uvarint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(SerdeError, match="truncated"):
+            decode_uvarint(b"\x80")
+
+    @pytest.mark.parametrize("value", [0, -1, 1, -123456, 2**40, -(2**40)])
+    def test_zigzag_roundtrip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+    def test_zigzag_small_magnitudes_stay_small(self):
+        assert zigzag_encode(-1) == 1
+        assert zigzag_encode(1) == 2
+        assert zigzag_encode(-2) == 3
+
+
+class TestCodecs:
+    @pytest.mark.parametrize(
+        "spec,values",
+        [
+            ("u64", [0, 7, 2**50]),
+            ("i64", [-5, 0, 12, -(2**40)]),
+            ("f64", [0.0, -1.5, 3.141592653589793]),
+            ("bool", [True, False]),
+            ("str", ["", "hello", "héllo wörld"]),
+            ("bytes", [b"", b"\x00\xff", b"payload"]),
+            (("tuple", "str", "u64"), [("usa", 42), ("", 0)]),
+            (("list", "u64"), [[], [1, 2, 3]]),
+            (
+                ("tuple", "str", ("list", ("tuple", "u64", "f64"))),
+                [("nested", [(1, 1.5), (2, 2.5)])],
+            ),
+        ],
+    )
+    def test_roundtrip(self, spec, values):
+        codec = codec_for(spec)
+        for value in values:
+            encoded = codec.encode(value)
+            decoded, offset = codec.decode(memoryview(encoded), 0)
+            assert decoded == value
+            assert offset == len(encoded)
+
+    def test_unknown_codec_name(self):
+        with pytest.raises(SerdeError):
+            codec_for("u128")
+
+    def test_unknown_composite(self):
+        with pytest.raises(SerdeError):
+            codec_for(("map", "u64"))
+
+    def test_tuple_arity_mismatch(self):
+        codec = codec_for(("tuple", "u64", "u64"))
+        with pytest.raises(SerdeError):
+            codec.encode((1, 2, 3))
+
+    def test_truncated_f64(self):
+        codec = codec_for("f64")
+        with pytest.raises(SerdeError):
+            codec.decode(b"\x00\x01", 0)
+
+
+class TestChunks:
+    def test_records_roundtrip_across_chunks(self):
+        codec = codec_for("u64")
+        records = list(range(1000))
+        chunks = list(chunk_records(records, codec, chunk_size=64))
+        assert len(chunks) > 1
+        assert list(iter_chunks(chunks, codec)) == records
+
+    def test_each_chunk_independently_decodable(self):
+        """The core invariant: records never span chunk boundaries."""
+        codec = codec_for(("tuple", "str", "u64"))
+        records = [(f"key-{i}", i) for i in range(500)]
+        chunks = list(chunk_records(records, codec, chunk_size=128))
+        reassembled = []
+        for chunk in chunks:
+            reassembled.extend(iter_chunk(chunk, codec))
+        assert reassembled == records
+
+    def test_chunk_size_respected(self):
+        codec = codec_for("bytes")
+        records = [bytes(20) for _ in range(100)]
+        for chunk in chunk_records(records, codec, chunk_size=100):
+            assert len(chunk) <= 100
+
+    def test_oversized_record_rejected(self):
+        codec = codec_for("bytes")
+        builder = ChunkBuilder(codec, chunk_size=64)
+        with pytest.raises(ChunkOverflowError):
+            builder.add(bytes(100))
+
+    def test_flush_empty_returns_none(self):
+        builder = ChunkBuilder(codec_for("u64"), chunk_size=64)
+        assert builder.flush() is None
+
+    def test_trailing_garbage_detected(self):
+        codec = codec_for("u64")
+        chunk = next(chunk_records([1, 2], codec, chunk_size=64))
+        with pytest.raises(SerdeError, match="trailing"):
+            list(iter_chunk(chunk + b"\x07", codec))
+
+    def test_empty_record_stream(self):
+        assert list(chunk_records([], codec_for("u64"), 64)) == []

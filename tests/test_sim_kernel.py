@@ -1,0 +1,213 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Interrupt
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield env.timeout(5.0)
+        done.append(env.now)
+        yield env.timeout(2.5)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [5.0, 7.5]
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return "result"
+
+    assert env.run(until=env.process(proc(env))) == "result"
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(env, name, delay):
+        yield env.timeout(delay)
+        order.append(name)
+
+    env.process(proc(env, "b", 2))
+    env.process(proc(env, "a", 1))
+    env.process(proc(env, "c", 3))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_value_passing():
+    env = Environment()
+    event = env.event()
+
+    def producer(env):
+        yield env.timeout(3)
+        event.succeed(42)
+
+    def consumer(env):
+        value = yield event
+        return (env.now, value)
+
+    env.process(producer(env))
+    assert env.run(until=env.process(consumer(env))) == (3.0, 42)
+
+
+def test_failed_event_raises_into_process():
+    env = Environment()
+    event = env.event()
+
+    def failer(env):
+        yield env.timeout(1)
+        event.fail(ValueError("boom"))
+
+    def catcher(env):
+        try:
+            yield event
+        except ValueError as exc:
+            return str(exc)
+
+    env.process(failer(env))
+    assert env.run(until=env.process(catcher(env))) == "boom"
+
+
+def test_unhandled_process_failure_propagates():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(bad(env))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_interrupt_waiting_process():
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+            return "slept"
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause, env.now)
+
+    proc = env.process(sleeper(env))
+
+    def killer(env):
+        yield env.timeout(4)
+        proc.interrupt("reason")
+
+    env.process(killer(env))
+    assert env.run(until=proc) == ("interrupted", "reason", 4.0)
+
+
+def test_interrupt_terminated_process_is_error():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    proc = env.process(quick(env))
+    env.run(until=proc)
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        return delay
+
+    procs = [env.process(proc(env, d)) for d in (3, 1, 2)]
+
+    def waiter(env):
+        values = yield env.all_of(procs)
+        return (env.now, values)
+
+    assert env.run(until=env.process(waiter(env))) == (3.0, [3, 1, 2])
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        return delay
+
+    procs = [env.process(proc(env, d)) for d in (3, 1, 2)]
+
+    def waiter(env):
+        _event, value = yield env.any_of(procs)
+        return (env.now, value)
+
+    assert env.run(until=env.process(waiter(env))) == (1.0, 1)
+
+
+def test_run_until_time_stops_clock():
+    env = Environment()
+    env.process(iter([]) if False else _ticker(env))
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def _ticker(env):
+    while True:
+        yield env.timeout(1)
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_run_until_past_raises():
+    env = Environment(initial_time=5)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError, match="not an Event"):
+        env.run()
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_yield_already_processed_event():
+    env = Environment()
+    event = env.event()
+    event.succeed("early")
+
+    def late(env):
+        yield env.timeout(2)
+        value = yield event
+        return value
+
+    proc = env.process(late(env))
+    assert env.run(until=proc) == "early"

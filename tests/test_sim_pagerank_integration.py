@@ -1,0 +1,44 @@
+"""Integration: simulated PageRank clones its hub partitions under load."""
+
+import pytest
+
+from repro.apps import build_pagerank_sim
+from repro.experiments.common import run_sim
+from repro.workloads.rmat import RmatSpec
+
+
+@pytest.mark.slow
+def test_pagerank_hub_partitions_attract_clones():
+    spec = RmatSpec(scale=27)
+    app, inputs = build_pagerank_sim(
+        spec, iterations=2, partitions=16, profile_samples=40_000
+    )
+    report = run_sim(app, inputs, machines=16)
+    # The hub partition (p=0) is the heaviest; its scatter or gather tasks
+    # must have been cloned in at least one iteration.
+    hub_clones = max(
+        report.clone_counts.get(f"scatter.{i}.0", 1) for i in range(2)
+    )
+    hub_gather = max(
+        report.clone_counts.get(f"gather.{i}.0", 1) for i in range(2)
+    )
+    assert max(hub_clones, hub_gather) >= 2, report.clone_counts
+    # The tail partitions stay un-cloned (no wasted parallelism).
+    cold = max(
+        report.clone_counts.get(f"scatter.{i}.15", 1) for i in range(2)
+    )
+    assert cold <= 2
+
+
+@pytest.mark.slow
+def test_pagerank_iterations_execute_in_order():
+    spec = RmatSpec(scale=24)
+    app, inputs = build_pagerank_sim(
+        spec, iterations=3, partitions=8, profile_samples=20_000
+    )
+    report = run_sim(app, inputs, machines=8)
+    spans = {name: span for name, span in report.phases.items()}
+    for i in range(2):
+        assert spans[f"iter{i}.gather"][1] <= spans[f"iter{i + 1}.gather"][1]
+        # gather of iteration i cannot finish before its scatter started
+        assert spans[f"iter{i}.scatter"][0] <= spans[f"iter{i}.gather"][1]

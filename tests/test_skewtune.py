@@ -1,0 +1,65 @@
+"""Tests for the SkewTune-like related-work baseline."""
+
+import pytest
+
+from repro.baselines.engine import Stage, StageTask
+from repro.baselines.skewtune import SkewTuneConfig, SkewTuneEngine
+from repro.cluster.spec import paper_cluster
+from repro.units import GB, MB
+
+
+def _skewed_reduce_stage(straggler_cpu=60.0, n_tasks=16):
+    tasks = [
+        StageTask(i, 64 * MB, cpu_seconds=1.0) for i in range(n_tasks - 1)
+    ]
+    tasks.append(StageTask(n_tasks - 1, 2 * GB, cpu_seconds=straggler_cpu))
+    return Stage("reduce", "reduce", tuple(tasks))
+
+
+def test_mitigation_triggers_on_straggler():
+    engine = SkewTuneEngine(paper_cluster(8))
+    report = engine.run("job", [_skewed_reduce_stage()], timeout=3600)
+    assert report.completed
+    assert engine.mitigations >= 1
+
+
+def test_mitigation_speeds_up_straggler():
+    mitigated = SkewTuneEngine(paper_cluster(8)).run(
+        "job", [_skewed_reduce_stage()], timeout=3600
+    )
+    disabled = SkewTuneEngine(
+        paper_cluster(8), config=SkewTuneConfig(mitigation_factor=1e9)
+    ).run("job", [_skewed_reduce_stage()], timeout=3600)
+    assert mitigated.runtime < disabled.runtime * 0.75
+
+
+def test_no_mitigation_when_uniform():
+    tasks = tuple(StageTask(i, 64 * MB, cpu_seconds=2.0) for i in range(16))
+    engine = SkewTuneEngine(paper_cluster(8))
+    report = engine.run("job", [Stage("reduce", "reduce", tasks)], timeout=3600)
+    assert report.completed
+    assert engine.mitigations == 0
+
+
+def test_map_stages_untouched():
+    stage = Stage(
+        "map", "map", tuple(StageTask(i, 64 * MB, cpu_seconds=1.0) for i in range(8))
+    )
+    engine = SkewTuneEngine(paper_cluster(4))
+    report = engine.run("job", [stage], timeout=3600)
+    assert report.completed and engine.mitigations == 0
+
+
+def test_mitigation_costs_data_movement():
+    """The mitigated run must still be slower than a run where the work
+    was balanced from the start (SkewTune pays scan + redistribution)."""
+    balanced = tuple(
+        StageTask(i, 128 * MB, cpu_seconds=60.0 / 16) for i in range(16)
+    )
+    ideal = SkewTuneEngine(paper_cluster(8)).run(
+        "job", [Stage("reduce", "reduce", balanced)], timeout=3600
+    )
+    mitigated = SkewTuneEngine(paper_cluster(8)).run(
+        "job", [_skewed_reduce_stage()], timeout=3600
+    )
+    assert mitigated.runtime > ideal.runtime

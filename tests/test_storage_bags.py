@@ -1,0 +1,97 @@
+"""Tests for simulated bags and the catalog."""
+
+import pytest
+
+from repro.errors import BagError, BagSealedError
+from repro.storage.bags import BagCatalog, SimBag
+from repro.units import MB
+
+
+def _bag(nodes=4):
+    return SimBag("test", range(nodes), chunk_size=4 * MB)
+
+
+class TestSimBag:
+    def test_write_and_take(self):
+        bag = _bag()
+        bag.write(0, 10 * MB)
+        assert bag.take(0, 4 * MB) == 4 * MB
+        assert bag.take(0, 4 * MB) == 4 * MB
+        assert bag.take(0, 4 * MB) == 2 * MB  # partial tail
+        assert bag.take(0, 4 * MB) == 0
+
+    def test_exactly_once_accounting(self):
+        bag = _bag()
+        bag.write(1, 100)
+        assert bag.take(1, 100) == 100
+        assert bag.take(1, 100) == 0
+        assert bag.remaining_total() == 0
+
+    def test_sealed_rejects_writes(self):
+        bag = _bag()
+        bag.seal()
+        with pytest.raises(BagSealedError):
+            bag.write(0, 1)
+
+    def test_rewind_restores_contents(self):
+        bag = _bag()
+        bag.write(0, 8 * MB)
+        bag.seal()
+        bag.take(0, 8 * MB)
+        assert bag.remaining_total() == 0
+        bag.rewind()
+        assert bag.remaining_total() == 8 * MB
+        assert bag.sealed  # rewind keeps the seal
+
+    def test_discard_reopens(self):
+        bag = _bag()
+        bag.write(0, 4 * MB)
+        bag.seal()
+        bag.discard()
+        assert bag.written_total() == 0
+        assert not bag.sealed
+        bag.write(0, 1)  # writable again
+
+    def test_sample_remaining_extrapolates(self):
+        bag = _bag(nodes=8)
+        for node in range(8):
+            bag.write(node, 10 * MB)
+        estimate = bag.sample_remaining([0, 1])
+        assert estimate == pytest.approx(80 * MB)
+
+    def test_negative_write_rejected(self):
+        with pytest.raises(BagError):
+            _bag().write(0, -1)
+
+    def test_needs_nodes(self):
+        with pytest.raises(BagError):
+            SimBag("empty", [], 4 * MB)
+
+
+class TestBagCatalog:
+    def test_create_get(self):
+        catalog = BagCatalog([0, 1], 4 * MB)
+        bag = catalog.create("a")
+        assert catalog.get("a") is bag
+        assert "a" in catalog
+
+    def test_duplicate_create_rejected(self):
+        catalog = BagCatalog([0], 4 * MB)
+        catalog.create("a")
+        with pytest.raises(BagError):
+            catalog.create("a")
+
+    def test_unknown_get_rejected(self):
+        with pytest.raises(BagError):
+            BagCatalog([0], 4 * MB).get("nope")
+
+    def test_ensure_idempotent(self):
+        catalog = BagCatalog([0], 4 * MB)
+        assert catalog.ensure("x") is catalog.ensure("x")
+
+    def test_garbage_collect(self):
+        catalog = BagCatalog([0], 4 * MB)
+        catalog.create("x")
+        catalog.garbage_collect("x")
+        assert "x" not in catalog
+        catalog.garbage_collect("x")  # idempotent

@@ -1,0 +1,180 @@
+"""Tests for batch-sampled readers and pipelined writers."""
+
+import pytest
+
+from repro.cluster import Cluster, paper_cluster
+from repro.sim import Environment
+from repro.storage.bags import BagCatalog
+from repro.storage.client import StorageClient
+from repro.storage.replication import ReplicaMap
+from repro.units import DEFAULT_CHUNK_SIZE, MB
+
+
+def _setup(machines=4, batch_factor=10, spread=True, replication=1):
+    env = Environment()
+    cluster = Cluster(env, paper_cluster(machines))
+    nodes = list(range(machines))
+    catalog = BagCatalog(nodes, DEFAULT_CHUNK_SIZE)
+    replica_map = ReplicaMap(nodes, replication)
+    clients = {
+        n: StorageClient(
+            env,
+            cluster,
+            catalog,
+            n,
+            batch_factor=batch_factor,
+            spread=spread,
+            replica_map=replica_map,
+        )
+        for n in nodes
+    }
+    return env, cluster, catalog, clients
+
+
+def _drain(env, client, bag_id, chunks_out):
+    reader = client.reader(bag_id)
+    while True:
+        nbytes = yield from reader.next_chunk()
+        if nbytes is None:
+            return
+        chunks_out.append(nbytes)
+
+
+class TestWriter:
+    def test_spread_placement_covers_all_nodes(self):
+        env, _cluster, catalog, clients = _setup()
+        bag = catalog.create("out")
+        writer = clients[0].writer("out")
+
+        def write(env):
+            writer.add(64 * MB)
+            yield from writer.close()
+
+        env.run(until=env.process(write(env)))
+        per_node = [bag.shard_bytes(n) for n in range(4)]
+        assert sum(per_node) == 64 * MB
+        assert all(b == 16 * MB for b in per_node)  # cyclic = perfectly even
+
+    def test_local_placement_stays_home(self):
+        env, _cluster, catalog, clients = _setup(spread=False)
+        bag = catalog.create("out")
+        writer = clients[2].writer("out")
+
+        def write(env):
+            writer.add(64 * MB)
+            yield from writer.close()
+
+        env.run(until=env.process(write(env)))
+        assert bag.shard_bytes(2) == 64 * MB
+        assert sum(bag.shard_bytes(n) for n in range(4)) == 64 * MB
+
+    def test_partial_tail_flushed_on_close(self):
+        env, _cluster, catalog, clients = _setup()
+        bag = catalog.create("out")
+        writer = clients[0].writer("out")
+
+        def write(env):
+            writer.add(1 * MB)  # far below one chunk
+            yield from writer.close()
+
+        env.run(until=env.process(write(env)))
+        assert bag.written_total() == 1 * MB
+
+
+class TestReader:
+    def test_reads_everything_exactly_once(self):
+        env, _cluster, catalog, clients = _setup()
+        bag = catalog.create("data")
+        for node in range(4):
+            bag.write(node, 20 * MB)
+        bag.seal()
+        chunks = []
+        env.run(until=env.process(_drain(env, clients[0], "data", chunks)))
+        assert sum(chunks) == 80 * MB
+        assert bag.remaining_total() == 0
+
+    def test_empty_sealed_bag_terminates(self):
+        env, _cluster, catalog, clients = _setup()
+        catalog.create("empty").seal()
+        chunks = []
+        env.run(until=env.process(_drain(env, clients[1], "empty", chunks)))
+        assert chunks == []
+
+    def test_concurrent_readers_split_without_overlap(self):
+        """Two clones draining one bag see disjoint chunks covering it all."""
+        env, _cluster, catalog, clients = _setup()
+        bag = catalog.create("shared")
+        for node in range(4):
+            bag.write(node, 40 * MB)
+        bag.seal()
+        chunks_a, chunks_b = [], []
+        pa = env.process(_drain(env, clients[0], "shared", chunks_a))
+        pb = env.process(_drain(env, clients[1], "shared", chunks_b))
+        env.run(until=env.all_of([pa, pb]))
+        assert sum(chunks_a) + sum(chunks_b) == 160 * MB
+        assert chunks_a and chunks_b  # both made progress
+
+    def test_flow_control_bounds_prefetch(self):
+        """A stalled consumer must not hoard the bag (clone starvation bug)."""
+        env, _cluster, catalog, clients = _setup(batch_factor=3)
+        bag = catalog.create("data")
+        for node in range(4):
+            bag.write(node, 100 * MB)
+        bag.seal()
+        reader = clients[0].reader("data")
+
+        def stalled(env):
+            # Take one chunk then sleep; fetchers must not keep grabbing.
+            yield env.timeout(0)
+            first = yield from reader.next_chunk()
+            assert first
+            yield env.timeout(5.0)
+
+        env.run(until=env.process(stalled(env)))
+        # At most b chunks in flight/buffered plus the consumed one.
+        consumed = 400 * MB - bag.remaining_total()
+        assert consumed <= 4 * DEFAULT_CHUNK_SIZE + DEFAULT_CHUNK_SIZE
+
+    def test_read_full_is_non_destructive(self):
+        env, _cluster, catalog, clients = _setup()
+        bag = catalog.create("side")
+        for node in range(4):
+            bag.write(node, 8 * MB)
+        bag.seal()
+
+        def read(env):
+            total = yield from clients[0].read_full("side")
+            return total
+
+        total = env.run(until=env.process(read(env)))
+        assert total == 32 * MB
+        assert bag.remaining_total() == 32 * MB
+
+
+class TestReplication:
+    def test_replicated_write_goes_to_backups(self):
+        env, cluster, catalog, clients = _setup(replication=2)
+        catalog.create("out")
+        writer = clients[0].writer("out")
+
+        def write(env):
+            writer.add(16 * MB)
+            yield from writer.close()
+
+        env.run(until=env.process(write(env)))
+        # 2x replication: twice the client bytes hit disks.
+        assert clients[0].bytes_written == 16 * MB
+        total_disk = sum(m.disk.delivered_work() for m in cluster.machines)
+        assert total_disk == pytest.approx(32 * MB)
+
+    def test_read_fails_over_to_backup(self):
+        env, cluster, catalog, clients = _setup(replication=2)
+        bag = catalog.create("data")
+        bag.write(1, 12 * MB)
+        bag.seal()
+        cluster.machine(1).crash()
+        chunks = []
+        env.run(until=env.process(_drain(env, clients[0], "data", chunks)))
+        assert sum(chunks) == 12 * MB
+        # The serving disk was node 2 (next on the ring), not the dead node 1.
+        assert cluster.machine(2).disk.delivered_work() == pytest.approx(12 * MB)

@@ -1,0 +1,123 @@
+"""Tests for the real thread-safe local bags."""
+
+import threading
+
+import pytest
+
+from repro.errors import BagError, BagSealedError
+from repro.storage.local import LocalBag, LocalBagStore
+
+
+class TestLocalBag:
+    def test_insert_remove_fifo(self):
+        bag = LocalBag("b")
+        bag.insert(b"one")
+        bag.insert(b"two")
+        assert bag.remove() == b"one"
+        assert bag.remove() == b"two"
+        assert bag.remove() is None
+
+    def test_sealed_rejects_insert(self):
+        bag = LocalBag("b")
+        bag.seal()
+        with pytest.raises(BagSealedError):
+            bag.insert(b"late")
+
+    def test_remove_wait_unblocks_on_seal(self):
+        bag = LocalBag("b")
+        result = []
+
+        def consumer():
+            result.append(bag.remove_wait(timeout=5))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        bag.seal()
+        thread.join(timeout=5)
+        assert result == [None]
+
+    def test_remove_wait_gets_late_insert(self):
+        bag = LocalBag("b")
+        result = []
+
+        def consumer():
+            result.append(bag.remove_wait(timeout=5))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        bag.insert(b"x")
+        thread.join(timeout=5)
+        assert result == [b"x"]
+
+    def test_concurrent_exactly_once(self):
+        """The core bag guarantee under real thread contention."""
+        bag = LocalBag("b")
+        n = 5000
+        for i in range(n):
+            bag.insert(i.to_bytes(4, "big"))
+        bag.seal()
+        taken = [[] for _ in range(8)]
+
+        def consumer(out):
+            while True:
+                chunk = bag.remove()
+                if chunk is None:
+                    return
+                out.append(chunk)
+
+        threads = [
+            threading.Thread(target=consumer, args=(taken[i],)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        all_chunks = [c for out in taken for c in out]
+        assert len(all_chunks) == n
+        assert len(set(all_chunks)) == n  # no duplicates, nothing lost
+
+    def test_rewind_redelivers(self):
+        bag = LocalBag("b")
+        bag.insert(b"a")
+        bag.seal()
+        assert bag.remove() == b"a"
+        bag.rewind()
+        assert bag.remove() == b"a"
+
+    def test_read_all_non_destructive(self):
+        bag = LocalBag("b")
+        bag.insert(b"a")
+        bag.insert(b"b")
+        assert bag.read_all() == [b"a", b"b"]
+        assert bag.remaining() == 2
+
+    def test_discard_reopens(self):
+        bag = LocalBag("b")
+        bag.insert(b"a")
+        bag.seal()
+        bag.discard()
+        assert not bag.sealed
+        assert bag.size() == 0
+        bag.insert(b"again")
+
+
+class TestLocalBagStore:
+    def test_create_and_get(self):
+        store = LocalBagStore()
+        bag = store.create("x")
+        assert store.get("x") is bag
+        assert "x" in store
+
+    def test_duplicate_rejected(self):
+        store = LocalBagStore()
+        store.create("x")
+        with pytest.raises(BagError):
+            store.create("x")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(BagError):
+            LocalBagStore().get("nope")
+
+    def test_ensure(self):
+        store = LocalBagStore()
+        assert store.ensure("y") is store.ensure("y")

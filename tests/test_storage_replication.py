@@ -1,0 +1,55 @@
+"""Tests for the primary-backup replica map."""
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.storage.replication import ReplicaMap
+
+
+def test_single_replica_is_home():
+    rmap = ReplicaMap([0, 1, 2])
+    assert rmap.replicas(1) == [1]
+
+
+def test_ring_successors():
+    rmap = ReplicaMap([0, 1, 2, 3], replication=3)
+    assert rmap.replicas(2) == [2, 3, 0]
+
+
+def test_serving_replica_prefers_primary():
+    rmap = ReplicaMap([0, 1, 2], replication=2)
+    assert rmap.serving_replica(1, lambda n: True) == 1
+
+
+def test_serving_replica_fails_over():
+    rmap = ReplicaMap([0, 1, 2], replication=2)
+    assert rmap.serving_replica(1, lambda n: n != 1) == 2
+
+
+def test_all_replicas_dead_raises():
+    rmap = ReplicaMap([0, 1, 2], replication=2)
+    with pytest.raises(ReplicationError):
+        rmap.serving_replica(0, lambda n: False)
+
+
+def test_n_plus_one_tolerates_n_failures():
+    """The paper's claim: n+1 replication survives n storage failures."""
+    nodes = list(range(8))
+    for n_failures in range(3):
+        rmap = ReplicaMap(nodes, replication=n_failures + 1)
+        dead = set(nodes[: n_failures])
+        for home in nodes:
+            serving = rmap.serving_replica(home, lambda n: n not in dead)
+            assert serving not in dead
+
+
+def test_invalid_replication():
+    with pytest.raises(ValueError):
+        ReplicaMap([0, 1], replication=0)
+    with pytest.raises(ValueError):
+        ReplicaMap([0, 1], replication=3)
+
+
+def test_non_contiguous_node_ids():
+    rmap = ReplicaMap([5, 9, 12], replication=2)
+    assert rmap.replicas(12) == [12, 5]

@@ -1,0 +1,128 @@
+"""Tests for work bags and the done log."""
+
+from repro.cluster import Cluster, paper_cluster
+from repro.sim import Environment
+from repro.storage.workbag import DoneLog, WorkBag, WorkBags
+
+
+def _setup(machines=4):
+    env = Environment()
+    cluster = Cluster(env, paper_cluster(machines))
+    bag = WorkBag(env, cluster, "ready", list(range(machines)))
+    return env, bag
+
+
+def _run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def test_insert_and_remove():
+    env, bag = _setup()
+    _run(env, bag.insert("task-1"))
+    assert len(bag) == 1
+    item = _run(env, bag.try_remove())
+    assert item == "task-1"
+    assert len(bag) == 0
+
+
+def test_remove_empty_returns_none():
+    env, bag = _setup()
+    assert _run(env, bag.try_remove()) is None
+
+
+def test_remove_with_filter():
+    env, bag = _setup()
+    for i in range(6):
+        _run(env, bag.insert({"id": i, "target": i % 2}))
+    item = _run(env, bag.try_remove(lambda it: it["target"] == 1))
+    assert item["target"] == 1
+    assert len(bag) == 5
+
+
+def test_remove_filter_no_match():
+    env, bag = _setup()
+    _run(env, bag.insert({"target": 7}))
+    assert _run(env, bag.try_remove(lambda it: it["target"] == 3)) is None
+    assert len(bag) == 1
+
+
+def test_scan_non_destructive():
+    env, bag = _setup()
+    for i in range(5):
+        _run(env, bag.insert(i))
+    matches = _run(env, bag.scan(lambda it: it >= 3))
+    assert sorted(matches) == [3, 4]
+    assert len(bag) == 5
+
+
+def test_remove_if_destructive():
+    env, bag = _setup()
+    for i in range(5):
+        _run(env, bag.insert(i))
+    removed = _run(env, bag.remove_if(lambda it: it % 2 == 0))
+    assert sorted(removed) == [0, 2, 4]
+    assert len(bag) == 2
+
+
+def test_discard_removes_one():
+    env, bag = _setup()
+    for i in range(3):
+        _run(env, bag.insert(i))
+    item = _run(env, bag.discard(lambda it: it == 1))
+    assert item == 1
+    assert len(bag) == 2
+    assert _run(env, bag.discard(lambda it: it == 99)) is None
+
+
+def test_items_spread_across_shards():
+    env, bag = _setup(machines=8)
+    for i in range(200):
+        _run(env, bag.insert(i))
+    non_empty = sum(1 for shard in bag._shards.values() if shard)
+    assert non_empty >= 6  # pseudorandom placement touches most nodes
+
+
+def test_done_log_append_and_offset_reads():
+    env = Environment()
+    cluster = Cluster(env, paper_cluster(2))
+    log = DoneLog(env, cluster)
+
+    def feed(env):
+        for i in range(5):
+            yield from log.append(f"t{i}")
+
+    env.run(until=env.process(feed(env)))
+
+    def read(env):
+        entries, offset = yield from log.read_from(0)
+        more, offset = yield from log.read_from(offset)
+        return entries, more, offset
+
+    entries, more, offset = env.run(until=env.process(read(env)))
+    assert entries == [f"t{i}" for i in range(5)]
+    assert more == [] and offset == 5
+
+
+def test_done_log_replay_from_zero():
+    """Master recovery re-reads the whole log from offset 0."""
+    env = Environment()
+    cluster = Cluster(env, paper_cluster(2))
+    log = DoneLog(env, cluster)
+
+    def scenario(env):
+        yield from log.append("a")
+        _first, offset = yield from log.read_from(0)
+        yield from log.append("b")
+        replay, _ = yield from log.read_from(0)
+        return replay
+
+    assert env.run(until=env.process(scenario(env))) == ["a", "b"]
+
+
+def test_workbags_triple():
+    env = Environment()
+    cluster = Cluster(env, paper_cluster(2))
+    bags = WorkBags(env, cluster, [0, 1])
+    assert bags.ready.name == "ready"
+    assert bags.running.name == "running"
+    assert isinstance(bags.done, DoneLog)

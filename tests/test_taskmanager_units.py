@@ -1,0 +1,132 @@
+"""Focused unit tests on task-manager/worker behaviours."""
+
+import pytest
+
+from repro.cluster.spec import paper_cluster
+from repro.model import Application, TaskCost
+from repro.runtime import HurricaneConfig, InputSpec
+from repro.runtime.job import SimJob
+from repro.runtime.taskmanager import DoneEntry, ResetEntry, RunningEntry, TaskMsg
+from repro.units import GB, MB
+
+
+def test_taskmsg_targeting():
+    msg = TaskMsg("t1.clone1", "t1", "clone", 1, target_node=5)
+    assert msg.target_node == 5
+    anyone = TaskMsg("t1", "t1", "task", 0)
+    assert anyone.target_node is None
+
+
+def test_entry_dataclasses_are_frozen():
+    entry = RunningEntry("t1", "t1", "task", 0, 3, started_at=1.5)
+    with pytest.raises(AttributeError):
+        entry.compute_node = 4
+    done = DoneEntry("t1", "t1", "task", 0)
+    assert done.kind == "task"
+    reset = ResetEntry("t1")
+    assert reset.kind == "reset"
+
+
+def _job(weights, input_gb=2, machines=4, **cfg):
+    app = Application("tm")
+    src = app.bag("src")
+    outs = [app.bag(f"out.{i}") for i in range(len(weights))]
+    app.task(
+        "map",
+        [src],
+        outs,
+        phase="map",
+        cost=TaskCost(
+            cpu_seconds_per_mb=0.02,
+            output_ratio=1.0,
+            output_weights={f"out.{i}": w for i, w in enumerate(weights)},
+        ),
+    )
+    return SimJob(
+        app.graph,
+        {"src": InputSpec(input_gb * GB)},
+        cluster_spec=paper_cluster(machines),
+        config=HurricaneConfig(**cfg),
+    )
+
+
+def test_output_weights_route_bytes():
+    job = _job([0.7, 0.2, 0.1])
+    job.run(timeout=3600)
+    sizes = [job.catalog.get(f"out.{i}").written_total() for i in range(3)]
+    total = sum(sizes)
+    assert sizes[0] / total == pytest.approx(0.7, abs=0.02)
+    assert sizes[2] / total == pytest.approx(0.1, abs=0.02)
+
+
+def test_output_conservation():
+    """output_ratio=1.0: bytes out == bytes in, across all shards."""
+    job = _job([0.5, 0.5], input_gb=1)
+    job.run(timeout=3600)
+    produced = sum(
+        job.catalog.get(f"out.{i}").written_total() for i in range(2)
+    )
+    assert produced == pytest.approx(1 * GB, rel=0.001)
+
+
+def test_worker_slots_limit_concurrency():
+    """With one slot per node and 4 nodes, at most 4 workers ever run."""
+    app = Application("slots")
+    outs = [app.bag(f"o{i}") for i in range(8)]
+    srcs = []
+    for i in range(8):
+        s = app.bag(f"s{i}")
+        srcs.append(s)
+        app.task(
+            f"t{i}",
+            [s],
+            [outs[i]],
+            phase="p",
+            cost=TaskCost(cpu_seconds_per_mb=0.05, output_ratio=0.1),
+        )
+    job = SimJob(
+        app.graph,
+        {f"s{i}": InputSpec(256 * MB) for i in range(8)},
+        cluster_spec=paper_cluster(4),
+        config=HurricaneConfig(worker_slots=1, cloning_enabled=False),
+    )
+    peak = [0]
+    original = job.register_worker
+
+    def tracking(handle):
+        original(handle)
+        peak[0] = max(peak[0], len(job.running_workers))
+
+    job.register_worker = tracking
+    job.run(timeout=3600)
+    assert peak[0] <= 4
+
+
+def test_fixed_output_emitted_even_for_empty_input():
+    app = Application("empty")
+    src = app.bag("src")
+    out = app.bag("out")
+    app.task(
+        "agg",
+        [src],
+        [out],
+        merge="sum",
+        phase="p",
+        cost=TaskCost(output_ratio=0.0, fixed_output_bytes=2 * MB),
+    )
+    job = SimJob(
+        app.graph,
+        {"src": InputSpec(0)},
+        cluster_spec=paper_cluster(2),
+        config=HurricaneConfig(),
+    )
+    job.run(timeout=3600)
+    assert job.catalog.get("out").written_total() == 2 * MB
+
+
+def test_multi_output_streaming_with_uniform_weights():
+    job = _job([1 / 3, 1 / 3, 1 / 3], input_gb=1)
+    report = job.run(timeout=3600)
+    sizes = [job.catalog.get(f"out.{i}").written_total() for i in range(3)]
+    assert max(sizes) - min(sizes) < 0.05 * sum(sizes)
+    assert report.bytes_written >= sum(sizes)

@@ -1,0 +1,63 @@
+"""Tests for units and formatting helpers."""
+
+import pytest
+
+from repro.units import (
+    DEFAULT_CHUNK_SIZE,
+    GB,
+    KB,
+    MB,
+    TB,
+    fmt_bytes,
+    fmt_seconds,
+    parse_size,
+)
+
+
+def test_unit_ladder():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+    assert TB == 1024 * GB
+    assert DEFAULT_CHUNK_SIZE == 4 * MB  # Section 4.5
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (512, "512B"),
+        (320 * MB, "320.0MB"),
+        (int(3.2 * GB), "3.2GB"),
+        (int(3.2 * TB), "3.2TB"),
+        (5 * KB, "5.0KB"),
+    ],
+)
+def test_fmt_bytes(value, expected):
+    assert fmt_bytes(value) == expected
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [(5.7, "5.7s"), (90, "90.0s"), (959, "959s"), (43200, "12.0h")],
+)
+def test_fmt_seconds(value, expected):
+    assert fmt_seconds(value) == expected
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("4MB", 4 * MB),
+        ("3.2TB", int(3.2 * TB)),
+        ("100", 100),
+        ("7b", 7),
+        (" 2gb ", 2 * GB),
+    ],
+)
+def test_parse_size(text, expected):
+    assert parse_size(text) == expected
+
+
+def test_parse_fmt_roundtrip():
+    for value in (320 * MB, 32 * GB, int(3.2 * TB)):
+        assert parse_size(fmt_bytes(value)) == value

@@ -1,0 +1,165 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    REGION_COUNT,
+    RmatSpec,
+    generate_clicklog,
+    generate_rmat_edges,
+    generate_relation,
+    geolocate,
+    imbalance,
+    largest_share,
+    region_name,
+    region_of_ip,
+    rmat_partition_profile,
+    zipf_weights,
+)
+from repro.workloads.clicklog_data import exact_distinct_counts
+from repro.workloads.relations import join_reference
+from repro.workloads.rmat import rmat_transfer_matrix
+
+
+class TestZipf:
+    def test_uniform_at_s0(self):
+        weights = zipf_weights(64, 0.0)
+        assert all(w == pytest.approx(1 / 64) for w in weights)
+
+    def test_weights_normalized(self):
+        for s in (0.2, 0.5, 0.8, 1.0):
+            assert sum(zipf_weights(64, s)) == pytest.approx(1.0)
+
+    def test_paper_imbalance_ladder(self):
+        """The reported 1x / 2.3x / 8x / 28x / 64x ladder is 64**s."""
+        expected = {0.0: 1.0, 0.2: 2.3, 0.5: 8.0, 0.8: 28.0, 1.0: 64.0}
+        for s, target in expected.items():
+            measured = imbalance(zipf_weights(64, s))
+            assert measured == pytest.approx(64 ** s, rel=1e-9)
+            assert measured == pytest.approx(target, rel=0.01)
+
+    def test_largest_share_near_paper(self):
+        # Paper quotes 19.6%; 64 rank-weighted regions give 21.1%.
+        assert largest_share(zipf_weights(64, 1.0)) == pytest.approx(0.211, abs=0.005)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(4, -1.0)
+
+
+class TestRangePartitionWeights:
+    def test_uniform_at_s0(self):
+        from repro.workloads.zipf import range_partition_weights
+
+        weights = range_partition_weights(1 << 20, 32, 0.0)
+        assert all(w == pytest.approx(1 / 32, rel=1e-6) for w in weights)
+
+    def test_head_absorbs_mass_at_s1(self):
+        from repro.workloads.zipf import range_partition_weights
+
+        weights = range_partition_weights(1 << 20, 32, 1.0)
+        # The first key range holds the head of the Zipf distribution.
+        assert weights[0] > 0.6
+        assert weights[0] > 100 * weights[-1]
+
+    def test_monotone_decreasing_and_normalized(self):
+        from repro.workloads.zipf import range_partition_weights
+
+        for s in (0.2, 0.5, 0.8, 1.0):
+            weights = range_partition_weights(1 << 16, 16, s)
+            assert sum(weights) == pytest.approx(1.0)
+            assert all(
+                weights[i] >= weights[i + 1] - 1e-12 for i in range(15)
+            )
+
+    def test_validation(self):
+        from repro.workloads.zipf import range_partition_weights
+
+        with pytest.raises(ValueError):
+            range_partition_weights(4, 8, 1.0)  # fewer keys than partitions
+        with pytest.raises(ValueError):
+            range_partition_weights(100, 4, -0.1)
+
+
+class TestClickLog:
+    def test_geolocate_is_pure_function_of_ip(self):
+        ip = (7 << 26) | 12345
+        assert region_of_ip(ip) == 7
+        assert geolocate(ip) == region_name(7)
+
+    def test_skewed_generation_follows_weights(self):
+        records = list(generate_clicklog(30_000, skew=1.0, seed=1))
+        counts = [0] * REGION_COUNT
+        for ip in records:
+            counts[region_of_ip(ip)] += 1
+        weights = zipf_weights(REGION_COUNT, 1.0)
+        assert counts[0] / len(records) == pytest.approx(weights[0], rel=0.1)
+        assert counts[0] > counts[10] > counts[63]
+
+    def test_uniform_generation(self):
+        records = list(generate_clicklog(64_000, skew=0.0, seed=2))
+        counts = [0] * REGION_COUNT
+        for ip in records:
+            counts[region_of_ip(ip)] += 1
+        assert max(counts) < 3 * min(counts)
+
+    def test_deterministic(self):
+        a = list(generate_clicklog(100, 0.5, seed=3))
+        assert a == list(generate_clicklog(100, 0.5, seed=3))
+        assert a != list(generate_clicklog(100, 0.5, seed=4))
+
+    def test_distinct_counts_bounded_by_unique(self):
+        records = list(generate_clicklog(10_000, 0.0, seed=5, unique_per_region=64))
+        for count in exact_distinct_counts(records).values():
+            assert count <= 64
+
+
+class TestRelations:
+    def test_uniform_keys_in_range(self):
+        for key, payload in generate_relation(500, key_space=100, seed=1):
+            assert 0 <= key < 100
+            assert len(payload) == 8
+
+    def test_skewed_keys_favor_low_ranks(self):
+        records = list(generate_relation(20_000, key_space=1000, skew=1.0, seed=2))
+        low = sum(1 for k, _ in records if k < 10)
+        high = sum(1 for k, _ in records if k >= 500)
+        assert low > high
+
+    def test_join_reference(self):
+        left = [(1, b"a"), (2, b"b"), (1, b"c")]
+        right = [(1, b"x"), (3, b"y")]
+        assert join_reference(left, right) == [(1, b"a", b"x"), (1, b"c", b"x")]
+
+
+class TestRmat:
+    def test_edge_count_and_range(self):
+        spec = RmatSpec(scale=6, edge_factor=4)
+        edges = list(generate_rmat_edges(spec, seed=1))
+        assert len(edges) == spec.edges == 4 * 64
+        assert all(0 <= s < 64 and 0 <= d < 64 for s, d in edges)
+
+    def test_power_law_concentration(self):
+        """Low vertex ranges must dominate (the hub-partition skew)."""
+        profile = rmat_partition_profile(RmatSpec(scale=20), partitions=32)
+        assert profile[0] == max(profile)
+        assert profile[0] > 4 / 32  # far above uniform share
+
+    def test_profile_sums_to_one(self):
+        profile = rmat_partition_profile(RmatSpec(scale=16), partitions=8)
+        assert sum(profile) == pytest.approx(1.0)
+
+    def test_transfer_matrix_rows_normalized(self):
+        matrix = rmat_transfer_matrix(RmatSpec(scale=14), partitions=4)
+        for row in matrix:
+            assert sum(row) == pytest.approx(1.0)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            RmatSpec(scale=4, a=0.5, b=0.5, c=0.5, d=0.5)
+
+    def test_deterministic(self):
+        spec = RmatSpec(scale=8)
+        assert list(generate_rmat_edges(spec, 7)) == list(generate_rmat_edges(spec, 7))
