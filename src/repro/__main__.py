@@ -1,8 +1,24 @@
-"""``python -m repro`` — the experiment runner CLI."""
+"""``python -m repro`` — experiment runner and tracing CLI.
+
+``python -m repro <experiment>`` reproduces a table or figure (see
+:mod:`repro.experiments.runner`); ``python -m repro trace <example>`` runs
+a workload with tracing enabled and writes a Chrome ``trace_event`` JSON
+(see :mod:`repro.analysis.trace_report`).
+"""
 
 import sys
 
-from repro.experiments.runner import main
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "trace":
+        from repro.analysis.trace_report import main as trace_main
+
+        return trace_main(argv[1:])
+    from repro.experiments.runner import main as runner_main
+
+    return runner_main(argv)
+
 
 if __name__ == "__main__":
     sys.exit(main())

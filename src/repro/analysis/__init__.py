@@ -8,18 +8,23 @@
   quantity used by the Eq. 1 benchmark.
 * :mod:`repro.analysis.timeline` — helpers over throughput timelines
   (ramp-up detection, plateau levels) used by the Figure 9/11 harnesses.
+* :mod:`repro.analysis.trace_report` — summaries over a traced run's event
+  buffer plus the ``python -m repro trace`` CLI.
 """
 
 from repro.analysis.amdahl import amdahl_best_slowdown, amdahl_speedup
 from repro.analysis.utilization import expected_utilization, simulate_utilization
 from repro.analysis.timeline import plateau_throughput, ramp_up_time, time_to_drop
+from repro.analysis.trace_report import format_trace_summary, summarize_trace
 
 __all__ = [
     "amdahl_best_slowdown",
     "amdahl_speedup",
     "expected_utilization",
+    "format_trace_summary",
     "plateau_throughput",
     "ramp_up_time",
     "simulate_utilization",
+    "summarize_trace",
     "time_to_drop",
 ]

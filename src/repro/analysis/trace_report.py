@@ -1,0 +1,244 @@
+"""Trace summarization and the ``python -m repro trace`` entry point.
+
+:func:`summarize_trace` folds a run's :class:`~repro.trace.Tracer` buffer
+into a compact dict — event counts, the longest task spans, every clone
+decision with its Eq. 2 inputs, mean utilization per machine — and
+:func:`format_trace_summary` renders it as text. The CLI runs one of the
+example workloads with tracing enabled, writes the Chrome ``trace_event``
+JSON (load it in ``chrome://tracing`` or https://ui.perfetto.dev), and
+prints the summary::
+
+    python -m repro trace clicklog                 # by scenario name
+    python -m repro trace examples/clicklog_skew.py --out trace.json
+    python -m repro trace hashjoin --gb 16 --machines 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.experiments.common import format_rows
+
+
+def _tracer_of(run_or_tracer):
+    """Accept a Tracer or anything carrying one on ``.trace`` (RunReport)."""
+    trace = getattr(run_or_tracer, "trace", None)
+    if trace is not None:
+        return trace
+    if hasattr(run_or_tracer, "events") and hasattr(run_or_tracer, "metrics_snapshot"):
+        return run_or_tracer
+    raise ValueError(
+        "expected a Tracer or a RunReport with tracing enabled "
+        f"(got {type(run_or_tracer).__name__})"
+    )
+
+
+def summarize_trace(run_or_tracer, top_spans: int = 10) -> dict:
+    """Fold a trace buffer into a reporting-friendly summary dict."""
+    tracer = _tracer_of(run_or_tracer)
+    events = tracer.events()
+    by_category: Dict[str, int] = defaultdict(int)
+    by_phase: Dict[str, int] = defaultdict(int)
+    spans: List[dict] = []
+    clone_decisions: List[dict] = []
+    utilization: Dict[str, Dict[str, List[float]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for event in events:
+        by_category[event.get("cat") or "default"] += 1
+        by_phase[event["ph"]] += 1
+        if event["ph"] == "X":
+            spans.append(event)
+        elif event.get("cat") == "clone":
+            clone_decisions.append(
+                {"t": event["ts"], "decision": event["name"], **event["args"]}
+            )
+        elif event["ph"] == "C" and event["name"].startswith("machine"):
+            for series, value in event["args"].items():
+                utilization[event["name"]][series].append(value)
+    spans.sort(key=lambda ev: ev.get("dur", 0.0), reverse=True)
+    mean_utilization = {
+        machine: {
+            series: sum(samples) / len(samples)
+            for series, samples in series_map.items()
+            if samples
+        }
+        for machine, series_map in sorted(utilization.items())
+    }
+    return {
+        "events": len(events),
+        "dropped": tracer.dropped,
+        "by_category": dict(sorted(by_category.items())),
+        "by_phase": dict(sorted(by_phase.items())),
+        "longest_spans": [
+            {
+                "name": ev["name"],
+                "tid": ev.get("tid", "main"),
+                "start_s": ev["ts"],
+                "dur_s": ev.get("dur", 0.0),
+                **{k: v for k, v in ev.get("args", {}).items() if k != "status"},
+            }
+            for ev in spans[:top_spans]
+        ],
+        "clone_decisions": clone_decisions,
+        "mean_utilization": mean_utilization,
+        "metrics": tracer.metrics_snapshot(),
+    }
+
+
+def format_trace_summary(summary: dict, max_decisions: int = 20) -> str:
+    """Render a :func:`summarize_trace` dict as an aligned text report."""
+    lines = [
+        f"events: {summary['events']} buffered, {summary['dropped']} dropped",
+        "by category: "
+        + ", ".join(f"{c}={n}" for c, n in summary["by_category"].items()),
+    ]
+    if summary["longest_spans"]:
+        lines += ["", "longest spans:"]
+        rows = [
+            {
+                "name": span["name"],
+                "tid": span["tid"],
+                "start_s": span["start_s"],
+                "dur_s": span["dur_s"],
+            }
+            for span in summary["longest_spans"]
+        ]
+        lines.append(format_rows(rows))
+    decisions = summary["clone_decisions"]
+    if decisions:
+        lines += ["", f"clone decisions ({len(decisions)} total):"]
+        rows = [
+            {
+                "t": d["t"],
+                "decision": d["decision"],
+                "task": d.get("task"),
+                "k": d.get("k"),
+                "T": d.get("t_finish"),
+                "T_IO": d.get("t_io"),
+                "reason": d.get("reason"),
+            }
+            for d in decisions[:max_decisions]
+        ]
+        lines.append(format_rows(rows))
+        if len(decisions) > max_decisions:
+            lines.append(f"  ... {len(decisions) - max_decisions} more")
+    if summary["mean_utilization"]:
+        lines += ["", "mean utilization (sampled):"]
+        rows = [
+            {"machine": machine, **series}
+            for machine, series in summary["mean_utilization"].items()
+        ]
+        lines.append(format_rows(rows))
+    interesting = {
+        k: v
+        for k, v in summary["metrics"].items()
+        if not k.startswith("storage.fetched_bytes.")
+        and not k.startswith("storage.flushed_bytes.")
+    }
+    if interesting:
+        lines += ["", "metrics:"]
+        for key in sorted(interesting):
+            lines.append(f"  {key}: {interesting[key]:.6g}")
+    return "\n".join(lines)
+
+
+# -- the ``python -m repro trace`` scenarios --------------------------------
+
+
+def _build_clicklog(gb: float):
+    from repro.apps.clicklog import build_clicklog_sim
+    from repro.units import GB
+
+    return build_clicklog_sim(int(gb * GB), skew=1.0)
+
+
+def _build_hashjoin(gb: float):
+    from repro.apps.hashjoin import build_hashjoin_sim
+    from repro.units import GB
+
+    return build_hashjoin_sim(int(gb * GB) // 8, int(gb * GB), skew=1.0)
+
+
+def _build_pagerank(gb: float):
+    # gb is ignored: the graph size is set by the R-MAT scale that keeps
+    # the traced run small; use the table4 harness for paper-scale inputs.
+    from repro.apps.pagerank import build_pagerank_sim
+    from repro.workloads.rmat import RmatSpec
+
+    return build_pagerank_sim(RmatSpec(scale=20), iterations=2)
+
+
+_SCENARIOS = {
+    "clicklog": _build_clicklog,
+    "hashjoin": _build_hashjoin,
+    "pagerank": _build_pagerank,
+}
+
+_EXAMPLE_ALIASES = {
+    "clicklog_skew": "clicklog",
+    "quickstart": "clicklog",
+    "fault_tolerance": "clicklog",
+    "skewed_join": "hashjoin",
+    "pagerank_graph": "pagerank",
+}
+
+
+def resolve_scenario(name: str) -> str:
+    """Map a scenario name or an ``examples/`` path to a scenario key."""
+    key = name.strip().lower()
+    if key in _SCENARIOS:
+        return key
+    stem = os.path.splitext(os.path.basename(key))[0]
+    if stem in _SCENARIOS:
+        return stem
+    if stem in _EXAMPLE_ALIASES:
+        return _EXAMPLE_ALIASES[stem]
+    raise SystemExit(
+        f"unknown trace scenario {name!r}; choose from "
+        f"{sorted(_SCENARIOS)} or an examples/ path"
+    )
+
+
+def run_traced(scenario: str, gb: float = 8.0, machines: int = 32):
+    """Run one scenario with tracing enabled; returns the RunReport."""
+    from repro.experiments.common import run_sim
+
+    app, inputs = _SCENARIOS[scenario](gb)
+    return run_sim(
+        app, inputs, machines=machines, overrides={"tracing_enabled": True}
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run an example workload with tracing enabled and export "
+        "a Chrome trace_event JSON file.",
+    )
+    parser.add_argument(
+        "example",
+        help="scenario name (clicklog, hashjoin, pagerank) or an examples/ path",
+    )
+    parser.add_argument(
+        "--out", default=None, help="trace JSON path (default trace_<name>.json)"
+    )
+    parser.add_argument("--gb", type=float, default=8.0, help="input size in GB")
+    parser.add_argument("--machines", type=int, default=32)
+    args = parser.parse_args(argv)
+    scenario = resolve_scenario(args.example)
+    report = run_traced(scenario, gb=args.gb, machines=args.machines)
+    out = args.out or f"trace_{scenario}.json"
+    report.write_trace(out)
+    print(report.summary())
+    print()
+    print(format_trace_summary(summarize_trace(report)))
+    print(f"\nwrote {out} — open in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,6 +61,23 @@ class Machine:
         """Instantaneous CPU demand relative to capacity (>1 = saturated)."""
         return self.cpu.demand()
 
+    def sample_utilization(self, tracer) -> None:
+        """Emit one utilization counter sample for this machine.
+
+        Driven periodically by the runtime's trace sampler; the series are
+        the same signals the overload monitor thresholds on, so a trace
+        shows *why* a node asked for a clone.
+        """
+        tracer.counter(
+            f"machine{self.index}",
+            tid=f"machine{self.index}",
+            cpu=self.cpu.utilization(),
+            cpu_demand=self.cpu.demand(),
+            disk=self.disk.utilization(),
+            nic_in=self.nic_in.utilization(),
+            nic_out=self.nic_out.utilization(),
+        )
+
     def nic_utilization(self) -> float:
         return max(self.nic_in.utilization(), self.nic_out.utilization())
 

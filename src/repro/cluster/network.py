@@ -43,3 +43,7 @@ class Network:
     def rpc_delay(self) -> Generator:
         """Process: one small request/response round trip."""
         yield self.env.timeout(self.rtt)
+
+    def sample_utilization(self, tracer) -> None:
+        """Emit the cumulative cross-machine byte counter (trace sampler)."""
+        tracer.counter("network", tid="network", bytes_moved=self.bytes_moved)

@@ -39,6 +39,31 @@ class CloneRequest:
     at: float
 
 
+@dataclass(frozen=True)
+class CloneDecision:
+    """One Eq. 2 evaluation with the inputs that produced the verdict."""
+
+    approve: bool
+    reason: str
+    k: int
+    remaining: float
+    drain_rate: float
+    t_finish: float
+    t_io: float
+
+    def as_args(self) -> Dict[str, object]:
+        """The decision as flat trace-event args."""
+        return {
+            "approve": self.approve,
+            "reason": self.reason,
+            "k": self.k,
+            "remaining_bytes": self.remaining,
+            "drain_rate": self.drain_rate,
+            "t_finish": self.t_finish,
+            "t_io": self.t_io,
+        }
+
+
 @dataclass
 class DrainStats:
     """Master-side drain-rate tracking for one task's stream input bag."""
@@ -102,14 +127,26 @@ class CloningPolicy:
             seconds += 2.0 * partial / self.disk_bandwidth
         return seconds
 
-    def should_clone(
+    def evaluate(
         self, spec: TaskSpec, k: int, remaining: float, drain_rate: float
-    ) -> bool:
-        """Eq. 2: clone iff T > (k + 1) * T_IO."""
+    ) -> "CloneDecision":
+        """Eq. 2 with its inputs preserved: clone iff T > (k + 1) * T_IO.
+
+        Returning the full decision record (rather than a bare bool) lets
+        the master trace *why* each request was granted or rejected.
+        """
         if remaining <= 0:
-            return False
+            return CloneDecision(
+                approve=False, reason="input drained", k=k,
+                remaining=remaining, drain_rate=drain_rate,
+                t_finish=0.0, t_io=0.0,
+            )
         if not self.heuristic_enabled:
-            return True
+            return CloneDecision(
+                approve=True, reason="heuristic disabled", k=k,
+                remaining=remaining, drain_rate=drain_rate,
+                t_finish=0.0, t_io=0.0,
+            )
         if drain_rate <= 0:
             # No rate sample yet: assume the family drains at one machine's
             # storage bandwidth (conservative — avoids cloning tiny tasks the
@@ -117,7 +154,19 @@ class CloningPolicy:
             drain_rate = self.disk_bandwidth
         t_finish = remaining / drain_rate
         t_io = self.estimate_tio(spec, k, remaining)
-        return t_finish > (k + 1) * t_io
+        approve = t_finish > (k + 1) * t_io
+        return CloneDecision(
+            approve=approve,
+            reason="T > (k+1)*T_IO" if approve else "T <= (k+1)*T_IO",
+            k=k, remaining=remaining, drain_rate=drain_rate,
+            t_finish=t_finish, t_io=t_io,
+        )
+
+    def should_clone(
+        self, spec: TaskSpec, k: int, remaining: float, drain_rate: float
+    ) -> bool:
+        """Eq. 2 as a bare verdict (see :meth:`evaluate`)."""
+        return self.evaluate(spec, k, remaining, drain_rate).approve
 
 
 class OverloadMonitor:

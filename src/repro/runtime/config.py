@@ -66,6 +66,14 @@ class HurricaneConfig:
     gc_pause_seconds: float = 0.0
     gc_interval: float = 30.0
 
+    # Observability (off by default; a disabled tracer is a shared no-op,
+    # so figure/table benchmarks are unaffected).
+    tracing_enabled: bool = False
+    #: Ring-buffer capacity in events; oldest events evict first.
+    trace_capacity: int = 262_144
+    #: Period of the CPU/disk/NIC utilization sampler when tracing is on.
+    trace_sample_interval: float = 0.5
+
     # Control plane
     scheduler_poll: float = 0.1
     master_poll: float = 0.1

@@ -28,6 +28,7 @@ from repro.storage.bags import BagCatalog
 from repro.storage.client import StorageClient
 from repro.storage.replication import ReplicaMap
 from repro.storage.workbag import WorkBags
+from repro.trace import NULL_TRACER, Tracer
 
 
 class SimJob:
@@ -43,6 +44,14 @@ class SimJob:
         self.graph = graph
         self.config = config or HurricaneConfig()
         self.env = Environment()
+        if self.config.tracing_enabled:
+            self.tracer = Tracer(
+                clock=lambda: self.env.now,
+                capacity=self.config.trace_capacity,
+            )
+            self.env.tracer = self.tracer
+        else:
+            self.tracer = NULL_TRACER
         self.cluster = Cluster(
             self.env, cluster_spec or paper_cluster(), speed_factors=speed_factors
         )
@@ -296,6 +305,21 @@ class SimJob:
             stall = config.gc_pause_seconds * machine.spec.disk_bandwidth
             yield machine.disk.transfer(stall)
 
+    def _trace_sampler_proc(self):
+        """Periodic utilization sampling while tracing is enabled.
+
+        Emits one counter sample per machine (CPU demand/utilization, disk,
+        both NIC directions) plus the network byte counter, at
+        ``trace_sample_interval``. Purely observational: it touches no
+        resource state, so enabling it does not change scheduling outcomes.
+        """
+        interval = self.config.trace_sample_interval
+        while not self.completion.triggered:
+            yield self.env.timeout(interval)
+            for machine in self.cluster.machines:
+                machine.sample_utilization(self.tracer)
+            self.cluster.network.sample_utilization(self.tracer)
+
     def _start_monitor(self, node: int) -> None:
         monitor = OverloadMonitor(
             self,
@@ -325,6 +349,8 @@ class SimJob:
             for node in self.storage_nodes:
                 self.env.process(self._gc_pause_proc(node))
 
+        if self.tracer.enabled:
+            self.env.process(self._trace_sampler_proc())
         self.env.process(startup())
         self._schedule_faults()
         if timeout is not None:
@@ -352,6 +378,10 @@ class SimJob:
             bytes_written=sum(c.bytes_written for c in self.clients.values()),
             timeline=self.metrics.throughput_series(),
             events=list(self.metrics.events),
+            trace=self.tracer if self.tracer.enabled else None,
+            trace_metrics=(
+                self.tracer.metrics_snapshot() if self.tracer.enabled else {}
+            ),
         )
 
 

@@ -147,7 +147,13 @@ class Master:
         target = runtime.pick_idle_node(
             exclude=request.from_node, task_id=request.task_id
         )
+        tracer = runtime.env.tracer
         if target is None:
+            if tracer.enabled:
+                tracer.instant(
+                    "clone_rejected", cat="clone", tid="master",
+                    task=request.task_id, reason="no idle node", k=k,
+                )
             return
         spec = family.original.spec
         bag = runtime.catalog.get(spec.stream_input)
@@ -155,11 +161,18 @@ class Master:
         remaining = bag.sample_remaining(sample_nodes)
         stats = self._drain.get(request.task_id)
         rate = stats.rate if stats else 0.0
-        if not self.policy.should_clone(spec, k, remaining, rate):
+        decision = self.policy.evaluate(spec, k, remaining, rate)
+        if not decision.approve:
             runtime.clones_rejected += 1
             runtime.metrics.event(
                 runtime.env.now, "clone_rejected", task=request.task_id, k=k
             )
+            if tracer.enabled:
+                tracer.instant(
+                    "clone_rejected", cat="clone", tid="master",
+                    task=request.task_id, **decision.as_args(),
+                )
+                tracer.inc("clone.rejected")
             return
         clone = exec_graph.add_clone(request.task_id)
         self._ensure_partial_bags(request.task_id)
@@ -172,6 +185,13 @@ class Master:
             clone=clone.node_id,
             target=target,
         )
+        if tracer.enabled:
+            tracer.instant(
+                "clone_granted", cat="clone", tid="master",
+                task=request.task_id, clone=clone.node_id, target=target,
+                **decision.as_args(),
+            )
+            tracer.inc("clone.granted")
         yield from self._enqueue(clone, target=target)
 
     def _ensure_partial_bags(self, task_id: str) -> None:

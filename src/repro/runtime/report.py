@@ -74,6 +74,21 @@ class RunReport:
     bytes_written: float = 0.0
     timeline: List[Tuple[float, float]] = field(default_factory=list)
     events: List[Tuple[float, str, dict]] = field(default_factory=list)
+    #: The run's Tracer when tracing was enabled, else None.
+    trace: Optional[object] = None
+    #: Flat metrics snapshot from the tracer ({} when tracing was off).
+    trace_metrics: Dict[str, float] = field(default_factory=dict)
+
+    def write_trace(self, path: str) -> None:
+        """Write the run's Chrome trace JSON to ``path``.
+
+        Raises if the job ran without ``tracing_enabled``.
+        """
+        if self.trace is None:
+            raise ValueError(
+                "no trace collected: run with HurricaneConfig(tracing_enabled=True)"
+            )
+        self.trace.write_chrome(path)
 
     def phase_runtime(self, phase: str) -> float:
         start, end = self.phases[phase]

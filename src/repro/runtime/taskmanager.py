@@ -142,6 +142,15 @@ class TaskManager:
         client = runtime.clients[self.node]
         machine = runtime.cluster.machine(self.node)
         started = env.now
+        tracer = env.tracer
+        span = (
+            tracer.span(
+                f"task {msg.node_id}", cat="task", tid=f"node{self.node}",
+                task=msg.task_id, kind=msg.kind, clone_index=msg.clone_index,
+            )
+            if tracer.enabled
+            else None
+        )
         try:
             yield from runtime.workbags.running.insert(
                 RunningEntry(
@@ -162,9 +171,15 @@ class TaskManager:
             yield from runtime.workbags.done.append(
                 DoneEntry(msg.node_id, msg.task_id, msg.kind, msg.clone_index)
             )
+            if span is not None:
+                span.end(status="done")
+                tracer.inc("task.completed")
         except Interrupt:
             if handle.reader is not None:
                 handle.reader.stop()
+            if span is not None:
+                span.end(status="interrupted")
+                tracer.inc("task.interrupted")
             return
         finally:
             self.free_slots += 1

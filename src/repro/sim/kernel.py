@@ -15,6 +15,7 @@ from itertools import count
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import SimulationError
+from repro.trace import NULL_TRACER
 
 #: Priority for events scheduled by ``Event.succeed``; interrupts use URGENT
 #: so that a crash beats any same-timestamp wakeup.
@@ -140,6 +141,9 @@ class Process(Event):
             raise TypeError(f"{generator!r} is not a generator")
         self._generator = generator
         self._target: Optional[Event] = None
+        self.name = getattr(generator, "__name__", "process")
+        if env.tracer.enabled:
+            env.tracer.instant("process_spawn", cat="process", proc=self.name)
         init = Event(env)
         init._ok = True
         init._value = None
@@ -155,6 +159,11 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self.triggered:
             raise SimulationError(f"{self!r} has already terminated")
+        if self.env.tracer.enabled:
+            self.env.tracer.instant(
+                "process_interrupt", cat="process", proc=self.name,
+                cause=repr(cause),
+            )
         _InterruptEvent(self, cause)
 
     def _resume(self, event: Event) -> None:
@@ -184,6 +193,11 @@ class Process(Event):
         except BaseException as exc:
             self._target = None
             self.env._active = None
+            if self.env.tracer.enabled:
+                self.env.tracer.instant(
+                    "process_fail", cat="process", proc=self.name,
+                    exception=type(exc).__name__,
+                )
             self.fail(exc, priority=URGENT)
             return
         self.env._active = None
@@ -213,6 +227,12 @@ class _Condition(Event):
         super().__init__(env)
         self._events = list(events)
         self._done = 0
+        if not self._events:
+            # An empty condition is vacuously satisfied. Without this it
+            # would deadlock: no constituent ever calls _check, so the
+            # condition never fires and its waiter sleeps forever.
+            self._trigger_empty()
+            return
         for ev in self._events:
             if ev.callbacks is None:
                 self._check(ev)
@@ -222,9 +242,15 @@ class _Condition(Event):
     def _check(self, event: Event) -> None:
         raise NotImplementedError
 
+    def _trigger_empty(self) -> None:
+        raise NotImplementedError
+
 
 class AllOf(_Condition):
     """Fires when every constituent event has fired; value is the list of values."""
+
+    def _trigger_empty(self) -> None:
+        self.succeed([])
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -242,6 +268,9 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Fires when the first constituent event fires; value is (event, value)."""
+
+    def _trigger_empty(self) -> None:
+        self.succeed((None, None))
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -263,6 +292,9 @@ class Environment:
         self._heap: List = []
         self._seq = count()
         self._active: Optional[Process] = None
+        #: Observability hook; NULL_TRACER is a shared no-op, so tracing is
+        #: off unless a runtime installs a live Tracer.
+        self.tracer = NULL_TRACER
 
     @property
     def now(self) -> float:

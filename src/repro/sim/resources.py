@@ -61,6 +61,15 @@ class Resource:
             event.succeed()
         else:
             self._waiters.append(event)
+            tracer = self.env.tracer
+            if tracer.enabled:
+                # Stamp the enqueue time so the grant can report wait time.
+                event._trace_wait_from = self.env.now
+                tracer.counter(
+                    f"resource.{self.name or 'anon'}",
+                    queued=float(len(self._waiters)),
+                    in_use=float(self._in_use),
+                )
         return event
 
     def release(self) -> None:
@@ -70,7 +79,21 @@ class Resource:
             raise SimulationError(f"release() on idle resource {self.name!r}")
         if self._waiters:
             # Token passes directly to the next waiter; in_use is unchanged.
-            self._waiters.popleft().succeed()
+            waiter = self._waiters.popleft()
+            tracer = self.env.tracer
+            if tracer.enabled:
+                waited = self.env.now - getattr(
+                    waiter, "_trace_wait_from", self.env.now
+                )
+                label = self.name or "anon"
+                tracer.inc(f"resource.{label}.wait_seconds", waited)
+                tracer.inc(f"resource.{label}.grants_after_wait")
+                tracer.counter(
+                    f"resource.{label}",
+                    queued=float(len(self._waiters)),
+                    in_use=float(self._in_use),
+                )
+            waiter.succeed()
         else:
             self._in_use -= 1
 
@@ -111,6 +134,18 @@ class Store:
         items = list(self._items)
         self._items.clear()
         return items
+
+    def cancel(self, event: Event) -> bool:
+        """Forget a waiting getter (its process died before being served).
+
+        Returns False if the getter was already served (or never queued) —
+        the caller then owns whatever value the event carries.
+        """
+        try:
+            self._getters.remove(event)
+            return True
+        except ValueError:
+            return False
 
 
 class _Flow:

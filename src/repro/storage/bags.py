@@ -37,6 +37,9 @@ class SimBag:
         if not self.shards:
             raise BagError(f"bag {bag_id!r} needs at least one storage node")
         self.sealed = False
+        #: Bumped by rewind/discard; putbacks from an older generation are
+        #: stale (the reset already restored or dropped those bytes).
+        self.generation = 0
 
     # -- write side -----------------------------------------------------------
 
@@ -64,6 +67,23 @@ class SimBag:
         grabbed = min(max_bytes, shard.remaining)
         shard.bytes_read += grabbed
         return grabbed
+
+    def putback(self, node: int, nbytes: int) -> None:
+        """Return destructively taken but unconsumed bytes to ``node``'s shard.
+
+        Used when a reader is stopped (worker killed) with chunks in flight:
+        rewinding the read pointer restores the bytes so surviving clones
+        re-fetch them — otherwise the kill silently destroys data.
+        """
+        if nbytes < 0:
+            raise BagError(f"negative putback of {nbytes} bytes")
+        shard = self.shards[node]
+        if nbytes > shard.bytes_read:
+            raise BagError(
+                f"putback of {nbytes} bytes exceeds the {shard.bytes_read} "
+                f"read from node {node} of bag {self.bag_id!r}"
+            )
+        shard.bytes_read -= nbytes
 
     def peek(self, node: int) -> int:
         return self.shards[node].remaining
@@ -99,11 +119,13 @@ class SimBag:
 
     def rewind(self) -> None:
         """Reset read pointers so the full contents can be read again."""
+        self.generation += 1
         for shard in self.shards.values():
             shard.bytes_read = 0
 
     def discard(self) -> None:
         """Drop all contents (restarting the producing task family)."""
+        self.generation += 1
         for shard in self.shards.values():
             shard.bytes_written = 0
             shard.bytes_read = 0

@@ -18,6 +18,7 @@ ablation), and exposes:
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Generator, Optional, Set
 
@@ -193,13 +194,43 @@ class BagReader:
         # Flow control: at most b chunks fetched-but-not-yet-consumed. This
         # is what keeps a slow worker from hoarding the bag while its clones
         # starve — consuming a chunk is what licenses the next fetch.
-        self._credits = Resource(self.env, client.batch_factor)
+        self._credits = Resource(
+            self.env, client.batch_factor, name=f"credits.{bag.bag_id}"
+        )
         for _ in range(self._fetchers):
             self.env.process(self._fetch_loop())
 
     def stop(self) -> None:
-        """Abandon the read (worker killed); fetchers wind down."""
+        """Abandon the read (worker killed); fetchers wind down.
+
+        Chunks that were destructively taken but never consumed — buffered
+        in the result queue, or in flight in a fetcher — are written back to
+        their shards so the bag's byte accounting survives the kill.
+        """
         self._stopped = True
+        returned = 0
+        for item in self._results.drain():
+            if item is _DONE:
+                self._results.put(_DONE)  # keep signalling for late callers
+                continue
+            node, nbytes, gen = item
+            returned += self._putback(node, nbytes, gen)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "reader_stopped", cat="storage", bag=self.bag.bag_id,
+                tid=f"node{self.client.compute_node}", putback_bytes=returned,
+            )
+            tracer.inc("storage.putback_bytes", returned)
+
+    def _putback(self, node: int, nbytes: int, gen: int) -> int:
+        """Return unconsumed bytes to their shard; stale generations are
+        dropped (a rewind/discard since the take already reset the pointer).
+        Returns the bytes actually restored."""
+        if gen != self.bag.generation:
+            return 0
+        self.bag.putback(node, nbytes)
+        return nbytes
 
     def _next_node(self) -> Optional[int]:
         nodes = self._nodes
@@ -229,9 +260,19 @@ class BagReader:
             grabbed = 0
             yield self._credits.request()
             yield client.gate.request()
+            tracer = env.tracer
+            span = (
+                tracer.span(
+                    f"fetch {self.bag.bag_id}", cat="storage",
+                    tid=f"node{client.compute_node}", node=node,
+                )
+                if tracer.enabled
+                else None
+            )
             try:
                 yield env.timeout(rtt / 2.0)  # the probe itself
                 grabbed = self.bag.take(node, client._io_unit(self.bag))
+                gen = self.bag.generation
                 if grabbed == 0:
                     if self.bag.sealed:
                         self._exhausted.add(node)
@@ -240,8 +281,17 @@ class BagReader:
                     yield from client._read_shard(node, grabbed)
             finally:
                 client.gate.release()
+            if span is not None:
+                span.end(bytes=grabbed)
+                tracer.inc(f"storage.fetched_bytes.{self.bag.bag_id}", grabbed)
             if grabbed and not self._stopped:
-                self._results.put(grabbed)  # credit released by the consumer
+                # Credit released by the consumer.
+                self._results.put((node, grabbed, gen))
+            elif grabbed:
+                # Stopped with a chunk in hand: return it to its shard
+                # instead of destroying it (the kill-during-read leak).
+                self._putback(node, grabbed, gen)
+                self._credits.release()
             else:
                 self._credits.release()
             if node not in self._exhausted:
@@ -252,12 +302,29 @@ class BagReader:
 
     def next_chunk(self) -> Generator:
         """Process: the next chunk's byte count, or None when the bag is dry."""
-        result = yield self._results.get()
+        get = self._results.get()
+        try:
+            result = yield get
+        except BaseException:
+            # Killed while blocked here. A chunk may already be bound to
+            # this dead consumer's get event (delivered in the same step the
+            # interrupt was scheduled); reclaim it so it is not destroyed.
+            if get.triggered:
+                if get.value is _DONE:
+                    self._results.put(_DONE)
+                else:
+                    node, nbytes, gen = get.value
+                    self._putback(node, nbytes, gen)
+                    self._credits.release()
+            else:
+                self._results.cancel(get)
+            raise
         if result is _DONE:
             self._results.put(_DONE)  # keep signalling for late callers
             return None
         self._credits.release()
-        return result
+        _node, nbytes, _gen = result
+        return nbytes
 
 
 class BagWriter:
@@ -305,11 +372,23 @@ class BagWriter:
         client = self.client
         node = self._next_node()
         yield client.gate.request()
+        tracer = self.env.tracer
+        span = (
+            tracer.span(
+                f"flush {self.bag.bag_id}", cat="storage",
+                tid=f"node{client.compute_node}", node=node, bytes=nbytes,
+            )
+            if tracer.enabled
+            else None
+        )
         try:
             yield self.env.timeout(client.machine.spec.network_rtt / 2.0)
             yield from client._write_shard(node, nbytes)
             self.bag.write(node, nbytes)
         finally:
+            if span is not None:
+                span.end()
+                tracer.inc(f"storage.flushed_bytes.{self.bag.bag_id}", nbytes)
             client.gate.release()
             self._inflight -= 1
             if self._inflight == 0:
@@ -317,8 +396,16 @@ class BagWriter:
                 event.succeed()
 
     def close(self) -> Generator:
-        """Process: flush the partial tail chunk and wait for all inserts."""
-        tail = int(round(self._buffered))
+        """Process: flush the partial tail chunk and wait for all inserts.
+
+        The tail is *ceiled*, not rounded: ``output_ratio`` accounting leaves
+        fractional-byte residue in the buffer (e.g. 0.4 bytes), and rounding
+        it away made repeated open/close cycles drift below the inserted
+        totals. Ceiling carries the residue as a whole byte, so written
+        totals never undercount what was inserted. The epsilon absorbs float
+        accumulation error just above an exact integer.
+        """
+        tail = math.ceil(self._buffered - 1e-6)
         self._buffered = 0.0
         if tail > 0:
             self._flush(tail)

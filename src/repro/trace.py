@@ -1,0 +1,268 @@
+"""Structured tracing and metrics for the simulator (the observability layer).
+
+A :class:`Tracer` collects three kinds of events into a bounded ring buffer:
+
+* **spans** — durations with a begin and an end (a worker running a task, a
+  chunk fetch, a writer flush), recorded as Chrome ``trace_event`` complete
+  (``"X"``) events;
+* **instants** — point occurrences (a process interrupt, a clone grant with
+  the Eq. 2 inputs that decided it);
+* **counters** — sampled time series (CPU/disk/NIC utilization, queue
+  depths), recorded as ``"C"`` events so ``chrome://tracing`` / Perfetto
+  draw them as stacked area charts.
+
+Alongside the event buffer the tracer keeps a flat *metrics* dict of
+monotonically accumulated scalars (bytes fetched, resource wait seconds,
+chunks put back on reader kill) that is cheap to snapshot into a
+:class:`~repro.runtime.report.RunReport`.
+
+Tracing is **off by default**: every :class:`~repro.sim.kernel.Environment`
+starts with :data:`NULL_TRACER`, a shared no-op whose ``enabled`` flag lets
+hot paths skip argument construction entirely. Instrumentation sites follow
+the pattern::
+
+    tracer = env.tracer
+    if tracer.enabled:
+        tracer.instant("clone_granted", cat="clone", task=task_id)
+
+so a disabled tracer costs one attribute load and one branch — Figure/Table
+benchmarks are unaffected.
+
+The module is dependency-free on purpose: every layer (kernel, resources,
+cluster, storage, runtime) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+#: Default ring-buffer capacity (events). At ~6 events per simulated chunk a
+#: Figure-9-scale run stays well inside this; older events are evicted first.
+DEFAULT_CAPACITY = 262_144
+
+
+class SpanHandle:
+    """An open span; call :meth:`end` to record it as a complete event."""
+
+    __slots__ = ("_tracer", "name", "cat", "tid", "start", "args")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, tid: str,
+                 start: float, args: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.tid = tid
+        self.start = start
+        self.args = args
+
+    def end(self, **extra: Any) -> None:
+        if extra:
+            self.args.update(extra)
+        self._tracer.complete(
+            self.name, self.cat, self.start, self._tracer.now(),
+            tid=self.tid, **self.args,
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def end(self, **_extra: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Span/instant/counter collection with bounded memory.
+
+    ``clock`` supplies timestamps (simulated seconds); wire it to
+    ``lambda: env.now``. Events beyond ``capacity`` evict the oldest —
+    :attr:`dropped` counts the evictions so truncation is never silent.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.clock = clock or (lambda: 0.0)
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self._recorded = 0
+        self.metrics: Dict[str, float] = {}
+        self._tids: Dict[str, int] = {}
+
+    # -- time ---------------------------------------------------------------
+
+    def now(self) -> float:
+        return self.clock()
+
+    # -- event recording ----------------------------------------------------
+
+    def _tid(self, label: str) -> int:
+        tid = self._tids.get(label)
+        if tid is None:
+            tid = len(self._tids)
+            self._tids[label] = tid
+        return tid
+
+    def _push(self, event: dict) -> None:
+        self._recorded += 1
+        self._events.append(event)
+
+    def instant(self, name: str, cat: str = "", tid: str = "main",
+                **args: Any) -> None:
+        """Record a point event at the current time."""
+        self._push({
+            "ph": "i", "name": name, "cat": cat, "ts": self.now(),
+            "tid": tid, "args": args,
+        })
+
+    def counter(self, name: str, tid: str = "counters", **values: float) -> None:
+        """Record one sample of a (possibly multi-series) counter."""
+        self._push({
+            "ph": "C", "name": name, "cat": "counter", "ts": self.now(),
+            "tid": tid, "args": values,
+        })
+
+    def span(self, name: str, cat: str = "", tid: str = "main",
+             **args: Any) -> SpanHandle:
+        """Open a span at the current time; ``.end()`` records it."""
+        return SpanHandle(self, name, cat, tid, self.now(), args)
+
+    def complete(self, name: str, cat: str, start: float, end: float,
+                 tid: str = "main", **args: Any) -> None:
+        """Record an already-finished span as one complete event."""
+        self._push({
+            "ph": "X", "name": name, "cat": cat, "ts": start,
+            "dur": max(0.0, end - start), "tid": tid, "args": args,
+        })
+
+    # -- metrics ------------------------------------------------------------
+
+    def inc(self, key: str, delta: float = 1.0) -> None:
+        """Accumulate ``delta`` into the flat metrics dict."""
+        self.metrics[key] = self.metrics.get(key, 0.0) + delta
+
+    def set_metric(self, key: str, value: float) -> None:
+        self.metrics[key] = float(value)
+
+    # -- introspection / export ---------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring buffer so far."""
+        return self._recorded - len(self._events)
+
+    def events(self, cat: Optional[str] = None,
+               name: Optional[str] = None) -> List[dict]:
+        """The buffered events, optionally filtered by category / name."""
+        out = []
+        for event in self._events:
+            if cat is not None and event.get("cat") != cat:
+                continue
+            if name is not None and event.get("name") != name:
+                continue
+            out.append(event)
+        return out
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Flat metrics plus recorder bookkeeping, as a plain dict."""
+        snapshot = dict(self.metrics)
+        snapshot["trace.events_recorded"] = float(self._recorded)
+        snapshot["trace.events_dropped"] = float(self.dropped)
+        return snapshot
+
+    def to_chrome(self, pid: int = 1) -> dict:
+        """The buffer as a Chrome ``trace_event`` JSON object.
+
+        Timestamps convert from simulated seconds to microseconds, the unit
+        ``chrome://tracing`` and Perfetto expect. Thread labels become
+        ``thread_name`` metadata records so lanes show ``node3`` instead of
+        a bare integer.
+        """
+        trace_events: List[dict] = []
+        for event in self._events:
+            out = {
+                "name": event["name"],
+                "cat": event.get("cat") or "default",
+                "ph": event["ph"],
+                "ts": event["ts"] * 1e6,
+                "pid": pid,
+                "tid": self._tid(event.get("tid", "main")),
+            }
+            if event["ph"] == "X":
+                out["dur"] = event["dur"] * 1e6
+            if event["ph"] == "i":
+                out["s"] = "t"  # thread-scoped instant
+            if event.get("args"):
+                out["args"] = event["args"]
+            trace_events.append(out)
+        for label, tid in self._tids.items():
+            trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": label},
+            })
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str, pid: int = 1) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(pid=pid), fh)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {len(self._events)} events"
+            f" ({self.dropped} dropped), {len(self.metrics)} metrics>"
+        )
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every recording method is a no-op.
+
+    Shared as :data:`NULL_TRACER`; hot paths additionally branch on
+    :attr:`enabled` to skip building event arguments at all.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(capacity=1)
+
+    def instant(self, name: str, cat: str = "", tid: str = "main",
+                **args: Any) -> None:
+        pass
+
+    def counter(self, name: str, tid: str = "counters", **values: float) -> None:
+        pass
+
+    def span(self, name: str, cat: str = "", tid: str = "main",
+             **args: Any) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def complete(self, name: str, cat: str, start: float, end: float,
+                 tid: str = "main", **args: Any) -> None:
+        pass
+
+    def inc(self, key: str, delta: float = 1.0) -> None:
+        pass
+
+    def set_metric(self, key: str, value: float) -> None:
+        pass
+
+
+#: The shared disabled tracer every Environment starts with.
+NULL_TRACER = NullTracer()

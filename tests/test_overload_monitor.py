@@ -1,0 +1,135 @@
+"""Tests for the per-node overload detector's onset anchoring.
+
+Section 4.2: a node must be continuously overloaded for a full clone
+interval (2s) before its *first* clone request, and requests are at least
+one clone interval apart. These tests drive the monitor with a duck-typed
+fake runtime whose load signal the test controls directly.
+"""
+
+from repro.runtime.cloning import OverloadMonitor
+from repro.sim import Environment
+
+
+class _FakeMachine:
+    def __init__(self):
+        self.demand = 0.0
+        self.nic = 0.0
+
+    def cpu_demand(self):
+        return self.demand
+
+    def nic_utilization(self):
+        return self.nic
+
+
+class _FakeCluster:
+    def __init__(self, machine):
+        self._machine = machine
+
+    def machine(self, node):
+        return self._machine
+
+
+class _FakeRuntime:
+    def __init__(self, env):
+        self.env = env
+        self.machine = _FakeMachine()
+        self.cluster = _FakeCluster(self.machine)
+        self.requests = []
+        self.task = "task-0"
+
+    def heaviest_running_task(self, node):
+        return self.task
+
+    def submit_clone_request(self, request):
+        self.requests.append(request)
+
+
+def _monitor(runtime, monitor_interval=0.1, clone_interval=2.0):
+    return OverloadMonitor(
+        runtime,
+        node=0,
+        monitor_interval=monitor_interval,
+        clone_interval=clone_interval,
+        cpu_threshold=0.9,
+        nic_threshold=0.9,
+    )
+
+
+def _run_for(env, monitor, seconds):
+    env.process(monitor.run())
+    env.run(until=env.now + seconds)
+    monitor.stopped = True
+
+
+def test_no_request_before_one_clone_interval_of_overload():
+    """Overloaded for less than clone_interval ⇒ not a single request."""
+    env = Environment()
+    runtime = _FakeRuntime(env)
+    runtime.machine.demand = 2.0  # hot from t=0
+    monitor = _monitor(runtime)
+
+    def cooler(env):
+        yield env.timeout(1.5)  # go cold before the 2s onset window elapses
+        runtime.machine.demand = 0.0
+
+    env.process(cooler(env))
+    _run_for(env, monitor, 10.0)
+    assert runtime.requests == []
+
+
+def test_request_after_sustained_overload():
+    env = Environment()
+    runtime = _FakeRuntime(env)
+    runtime.machine.demand = 2.0
+    monitor = _monitor(runtime)
+    _run_for(env, monitor, 2.5)
+    assert len(runtime.requests) == 1
+    # Onset at the first sample; the request comes one clone interval later.
+    assert runtime.requests[0].at >= 2.0
+    assert runtime.requests[0].task_id == "task-0"
+    assert runtime.requests[0].from_node == 0
+
+
+def test_hot_since_resets_when_load_drops():
+    """A cold sample restarts the onset clock — 2s must be *continuous*."""
+    env = Environment()
+    runtime = _FakeRuntime(env)
+    runtime.machine.demand = 2.0
+    monitor = _monitor(runtime)
+
+    def blip(env):
+        # Dip below threshold at t=1.5 for one sample, then hot again.
+        yield env.timeout(1.45)
+        runtime.machine.demand = 0.0
+        yield env.timeout(0.1)
+        runtime.machine.demand = 2.0
+
+    env.process(blip(env))
+    _run_for(env, monitor, 3.0)
+    # Without the reset a request would fire by t=2.0; with it, the onset
+    # restarts at ~1.6 so nothing fires before t=3.6.
+    assert runtime.requests == []
+
+
+def test_requests_spaced_by_clone_interval():
+    env = Environment()
+    runtime = _FakeRuntime(env)
+    runtime.machine.demand = 2.0
+    monitor = _monitor(runtime)
+    _run_for(env, monitor, 6.5)
+    assert len(runtime.requests) >= 2
+    gaps = [
+        b.at - a.at
+        for a, b in zip(runtime.requests, runtime.requests[1:])
+    ]
+    assert all(gap >= 2.0 for gap in gaps)
+
+
+def test_nic_overload_also_triggers():
+    env = Environment()
+    runtime = _FakeRuntime(env)
+    runtime.machine.nic = 0.95  # CPU idle, NIC saturated
+    monitor = _monitor(runtime)
+    _run_for(env, monitor, 2.5)
+    assert len(runtime.requests) == 1

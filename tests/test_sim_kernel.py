@@ -156,6 +156,46 @@ def test_any_of_fires_on_first():
     assert env.run(until=env.process(waiter(env))) == (1.0, 1)
 
 
+def test_empty_all_of_fires_immediately():
+    """Regression: AllOf([]) used to deadlock (no constituent calls _check)."""
+    env = Environment()
+
+    def waiter(env):
+        values = yield env.all_of([])
+        return (env.now, values)
+
+    assert env.run(until=env.process(waiter(env))) == (0.0, [])
+
+
+def test_empty_any_of_fires_immediately():
+    """Regression: AnyOf([]) used to deadlock the waiting process forever."""
+    env = Environment()
+
+    def waiter(env):
+        event, value = yield env.any_of([])
+        return (env.now, event, value)
+
+    assert env.run(until=env.process(waiter(env))) == (0.0, None, None)
+
+
+def test_empty_condition_does_not_stall_later_events():
+    env = Environment()
+    order = []
+
+    def empty_waiter(env):
+        yield env.all_of([])
+        order.append("empty")
+
+    def sleeper(env):
+        yield env.timeout(1)
+        order.append("slept")
+
+    env.process(empty_waiter(env))
+    env.process(sleeper(env))
+    env.run()
+    assert order == ["empty", "slept"]
+
+
 def test_run_until_time_stops_clock():
     env = Environment()
     env.process(iter([]) if False else _ticker(env))

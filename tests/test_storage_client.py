@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import Cluster, paper_cluster
-from repro.sim import Environment
+from repro.sim import Environment, Interrupt
 from repro.storage.bags import BagCatalog
 from repro.storage.client import StorageClient
 from repro.storage.replication import ReplicaMap
@@ -80,6 +80,54 @@ class TestWriter:
         env.run(until=env.process(write(env)))
         assert bag.written_total() == 1 * MB
 
+    def test_fractional_tail_not_rounded_away(self):
+        """Regression: a 0.4-byte buffered tail was silently dropped.
+
+        ``output_ratio`` accounting inserts fractional byte counts; close()
+        must carry the residue (ceil), not round it to zero, or written
+        totals drift below inserted totals over open/close cycles.
+        """
+        env, _cluster, catalog, clients = _setup()
+        bag = catalog.create("out")
+
+        def write(env):
+            writer = clients[0].writer("out")
+            writer.add(0.4)
+            yield from writer.close()
+
+        env.run(until=env.process(write(env)))
+        assert bag.written_total() >= 1  # the residue survives as a byte
+
+    def test_written_totals_cover_inserted_totals_over_cycles(self):
+        env, _cluster, catalog, clients = _setup()
+        bag = catalog.create("out")
+        inserted = 0.0
+
+        def cycle(env, nbytes):
+            writer = clients[0].writer("out")
+            writer.add(nbytes)
+            yield from writer.close()
+
+        for nbytes in (2.5 * MB, 0.7, 1 * MB + 0.25, 3.9):
+            inserted += nbytes
+            env.run(until=env.process(cycle(env, nbytes)))
+        # Ceiling per close may add < 1 byte per cycle but never loses any.
+        assert bag.written_total() >= inserted
+        assert bag.written_total() - inserted < 4  # one ceil per cycle at most
+
+    def test_exact_integer_totals_written_exactly(self):
+        env, _cluster, catalog, clients = _setup()
+        bag = catalog.create("out")
+
+        def write(env):
+            writer = clients[0].writer("out")
+            for _ in range(10):
+                writer.add(1.6 * MB)  # fractional adds, integral total
+            yield from writer.close()
+
+        env.run(until=env.process(write(env)))
+        assert bag.written_total() == 16 * MB
+
 
 class TestReader:
     def test_reads_everything_exactly_once(self):
@@ -134,6 +182,77 @@ class TestReader:
         # At most b chunks in flight/buffered plus the consumed one.
         consumed = 400 * MB - bag.remaining_total()
         assert consumed <= 4 * DEFAULT_CHUNK_SIZE + DEFAULT_CHUNK_SIZE
+
+    def test_kill_during_read_returns_chunks_to_bag(self):
+        """Regression: stopping a reader destroyed taken-but-unconsumed chunks.
+
+        A killed clone's in-flight and buffered chunks must be written back
+        to their shards so every byte is either consumed or still in the bag
+        — the remaining clones re-fetch them.
+        """
+        env, _cluster, catalog, clients = _setup()
+        bag = catalog.create("data")
+        for node in range(4):
+            bag.write(node, 40 * MB)
+        bag.seal()
+        reader = clients[0].reader("data")
+        consumed = []
+
+        def victim(env):
+            try:
+                while True:
+                    nbytes = yield from reader.next_chunk()
+                    if nbytes is None:
+                        return
+                    consumed.append(nbytes)
+            except Interrupt:
+                return
+
+        proc = env.process(victim(env))
+
+        def killer(env):
+            yield env.timeout(0.05)  # mid-read: fetchers have chunks in flight
+            proc.interrupt("compute-node crash")
+            reader.stop()
+
+        env.process(killer(env))
+        env.run()
+        assert consumed and sum(consumed) < 160 * MB  # it really was mid-read
+        # Exact byte conservation: consumed + still-in-bag == written.
+        assert sum(consumed) + bag.remaining_total() == 160 * MB
+
+    def test_killed_clone_leaves_rest_for_surviving_clone(self):
+        env, _cluster, catalog, clients = _setup()
+        bag = catalog.create("shared")
+        for node in range(4):
+            bag.write(node, 40 * MB)
+        bag.seal()
+        reader_a = clients[0].reader("shared")
+        consumed_a, chunks_b = [], []
+
+        def victim(env):
+            try:
+                while True:
+                    nbytes = yield from reader_a.next_chunk()
+                    if nbytes is None:
+                        return
+                    consumed_a.append(nbytes)
+            except Interrupt:
+                return
+
+        proc = env.process(victim(env))
+
+        def killer(env):
+            yield env.timeout(0.05)
+            proc.interrupt("killed")
+            reader_a.stop()
+            # A surviving clone drains what is left.
+            yield from _drain(env, clients[1], "shared", chunks_b)
+
+        env.process(killer(env))
+        env.run()
+        assert sum(consumed_a) + sum(chunks_b) == 160 * MB
+        assert bag.remaining_total() == 0
 
     def test_read_full_is_non_destructive(self):
         env, _cluster, catalog, clients = _setup()

@@ -1,0 +1,185 @@
+"""Tests for the structured tracing & metrics layer."""
+
+import json
+
+import pytest
+
+from repro.apps.clicklog import build_clicklog_sim
+from repro.experiments.common import run_sim
+from repro.trace import NULL_TRACER, DEFAULT_CAPACITY, NullTracer, Tracer
+from repro.units import GB
+
+
+class TestTracerUnit:
+    def test_instant_records_at_clock_time(self):
+        t = [0.0]
+        tracer = Tracer(clock=lambda: t[0])
+        t[0] = 3.5
+        tracer.instant("boom", cat="test", tid="lane", why="because")
+        (event,) = tracer.events()
+        assert event["ph"] == "i"
+        assert event["name"] == "boom"
+        assert event["ts"] == 3.5
+        assert event["tid"] == "lane"
+        assert event["args"] == {"why": "because"}
+
+    def test_span_measures_duration(self):
+        t = [1.0]
+        tracer = Tracer(clock=lambda: t[0])
+        span = tracer.span("work", cat="test", tid="w", task="t1")
+        t[0] = 4.0
+        span.end(status="done")
+        (event,) = tracer.events()
+        assert event["ph"] == "X"
+        assert event["ts"] == 1.0
+        assert event["dur"] == 3.0
+        assert event["args"] == {"task": "t1", "status": "done"}
+
+    def test_counter_records_multi_series_sample(self):
+        tracer = Tracer()
+        tracer.counter("machine0", tid="machine0", cpu=0.5, disk=0.25)
+        (event,) = tracer.events()
+        assert event["ph"] == "C"
+        assert event["args"] == {"cpu": 0.5, "disk": 0.25}
+
+    def test_ring_buffer_evicts_oldest_and_counts_drops(self):
+        tracer = Tracer(capacity=10)
+        for i in range(25):
+            tracer.instant(f"e{i}")
+        assert len(tracer) == 10
+        assert tracer.dropped == 15
+        names = [e["name"] for e in tracer.events()]
+        assert names == [f"e{i}" for i in range(15, 25)]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_events_filter_by_cat_and_name(self):
+        tracer = Tracer()
+        tracer.instant("a", cat="x")
+        tracer.instant("b", cat="y")
+        tracer.instant("a", cat="y")
+        assert len(tracer.events(cat="y")) == 2
+        assert len(tracer.events(name="a")) == 2
+        assert len(tracer.events(cat="y", name="a")) == 1
+
+    def test_metrics_accumulate(self):
+        tracer = Tracer()
+        tracer.inc("bytes", 10)
+        tracer.inc("bytes", 5)
+        tracer.inc("grants")
+        tracer.set_metric("gauge", 0.75)
+        assert tracer.metrics["bytes"] == 15
+        assert tracer.metrics["grants"] == 1.0
+        assert tracer.metrics["gauge"] == 0.75
+
+    def test_metrics_snapshot_includes_recorder_bookkeeping(self):
+        tracer = Tracer(capacity=2)
+        for _ in range(5):
+            tracer.instant("e")
+        snap = tracer.metrics_snapshot()
+        assert snap["trace.events_recorded"] == 5.0
+        assert snap["trace.events_dropped"] == 3.0
+        # A snapshot is detached from the live dict.
+        snap["new"] = 1.0
+        assert "new" not in tracer.metrics
+
+    def test_chrome_export_structure(self):
+        t = [0.5]
+        tracer = Tracer(clock=lambda: t[0])
+        tracer.instant("hit", cat="test", tid="laneA")
+        span = tracer.span("work", tid="laneB")
+        t[0] = 1.5
+        span.end()
+        tracer.counter("util", tid="laneA", cpu=1.0)
+        doc = tracer.to_chrome(pid=7)
+        events = doc["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        completes = [e for e in events if e["ph"] == "X"]
+        counters = [e for e in events if e["ph"] == "C"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert instants[0]["ts"] == pytest.approx(0.5e6)  # seconds -> us
+        assert instants[0]["s"] == "t"
+        assert completes[0]["dur"] == pytest.approx(1.0e6)
+        assert counters[0]["args"] == {"cpu": 1.0}
+        assert all(e["pid"] == 7 for e in events)
+        # Thread labels become thread_name metadata; lanes share tids.
+        names = {m["args"]["name"] for m in meta}
+        assert names == {"laneA", "laneB"}
+        lane_a = next(m["tid"] for m in meta if m["args"]["name"] == "laneA")
+        assert instants[0]["tid"] == lane_a == counters[0]["tid"]
+
+    def test_write_chrome_is_valid_json(self, tmp_path):
+        tracer = Tracer()
+        tracer.instant("x")
+        path = tmp_path / "trace.json"
+        tracer.write_chrome(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(e["name"] == "x" for e in doc["traceEvents"])
+
+
+class TestNullTracer:
+    def test_disabled_and_records_nothing(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        tracer.instant("a")
+        tracer.counter("c", v=1.0)
+        tracer.complete("x", "cat", 0.0, 1.0)
+        tracer.inc("k")
+        tracer.set_metric("g", 1.0)
+        span = tracer.span("s")
+        span.end(status="done")
+        assert len(tracer) == 0
+        assert tracer.metrics == {}
+
+    def test_null_span_is_shared(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_default_tracer_is_the_shared_null(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert Tracer.enabled is True
+        assert DEFAULT_CAPACITY >= 1
+
+
+def _small_run(**overrides):
+    app, inputs = build_clicklog_sim(int(1 * GB), skew=1.0)
+    return run_sim(app, inputs, machines=8, overrides=overrides)
+
+
+class TestTracedRun:
+    def test_traced_run_produces_spans_and_metrics(self, tmp_path):
+        report = _small_run(tracing_enabled=True)
+        assert report.trace is not None
+        tracer = report.trace
+        task_spans = tracer.events(cat="task")
+        assert task_spans, "worker tasks should record spans"
+        assert all(e["ph"] == "X" for e in task_spans)
+        assert tracer.events(cat="counter"), "sampler should emit counters"
+        assert tracer.events(name="process_spawn"), "kernel instrumentation"
+        assert report.trace_metrics.get("task.completed", 0) > 0
+        assert report.trace_metrics["trace.events_recorded"] > 0
+        out = tmp_path / "run.json"
+        report.write_trace(str(out))
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+
+    def test_untraced_run_has_no_trace(self):
+        report = _small_run()
+        assert report.trace is None
+        assert report.trace_metrics == {}
+        with pytest.raises(ValueError):
+            report.write_trace("/dev/null")
+
+    def test_tracing_does_not_perturb_results(self):
+        """The whole point of NULL_TRACER: identical sim with tracing on/off."""
+        plain = _small_run()
+        traced = _small_run(tracing_enabled=True)
+        assert traced.runtime == plain.runtime
+        assert traced.bytes_read == plain.bytes_read
+        assert traced.bytes_written == plain.bytes_written
+        assert traced.clones_granted == plain.clones_granted
+        assert traced.phases == plain.phases
