@@ -3,7 +3,9 @@
 ``python -m repro <experiment>`` reproduces a table or figure (see
 :mod:`repro.experiments.runner`); ``python -m repro trace <example>`` runs
 a workload with tracing enabled and writes a Chrome ``trace_event`` JSON
-(see :mod:`repro.analysis.trace_report`).
+(see :mod:`repro.analysis.trace_report`); ``python -m repro chaos --seed S
+--runs N`` fuzzes the runtime with seeded fault plans and checks
+cross-layer invariants (see :mod:`repro.chaos`).
 """
 
 import sys
@@ -15,6 +17,10 @@ def main(argv=None) -> int:
         from repro.analysis.trace_report import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.chaos import main as chaos_main
+
+        return chaos_main(argv[1:])
     from repro.experiments.runner import main as runner_main
 
     return runner_main(argv)

@@ -1,0 +1,490 @@
+"""Seeded fault-plan fuzzing with cross-layer invariant checks.
+
+``python -m repro chaos --seed S --runs N`` generates N randomized
+:class:`~repro.runtime.faults.FaultPlan`s from the seed — crash kind,
+victim node, crash time drawn from the scenario's expected runtime,
+optional restarts, and compound schedules such as crashing the recovery
+master while it is itself replaying — runs each against a small ClickLog /
+HashJoin / PageRank scenario, and checks the invariants the paper's
+fault-tolerance story promises (Section 4.4):
+
+* the job completes despite the plan;
+* sink-bag output matches the fault-free baseline (byte-for-byte for the
+  fixed-size aggregation sinks; concat sinks tolerate the per-writer
+  partial-tail rounding documented in ``BagWriter.close``);
+* no chunk is lost or double-counted: every shard's read pointer stays
+  within ``[0, bytes_written]`` and every stream input is fully drained;
+* no execution node completes twice after its family's last reset
+  tombstone in the done log;
+* leftover ready/running work-bag entries are stale (their nodes are done
+  or were discarded by a reset), never live work the job forgot;
+* the same seed produces an identical run, byte for byte (every faulted
+  run is executed twice and its report digest compared).
+
+Failures print the offending plan, which — being derived only from the
+seed — reproduces the run exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.spec import paper_cluster
+from repro.errors import ReproError
+from repro.model.execution_graph import NodeState
+from repro.runtime.config import HurricaneConfig, InputSpec
+from repro.runtime.faults import FaultPlan
+from repro.runtime.job import SimJob
+from repro.runtime.report import RunReport
+from repro.runtime.taskmanager import ResetEntry
+from repro.sim.rand import rng_from
+from repro.units import GB, MB
+
+#: Chaos always runs with backups so single storage-node crashes are
+#: survivable; plans never take down more nodes than replication covers.
+CHAOS_REPLICATION = 2
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One small application the fuzzer throws fault plans at."""
+
+    name: str
+    build: Callable[[], tuple]  # -> (Application, {bag_id: InputSpec})
+    machines: int = 6
+    #: Max absolute byte drift per sink bag vs the fault-free baseline.
+    #: 0 for fixed-size aggregation sinks; concat sinks allow the
+    #: per-writer partial-tail ceil (BagWriter.close) to differ when
+    #: cloning decisions differ under faults.
+    output_tolerance: int = 0
+
+
+def _build_clicklog():
+    from repro.apps.clicklog import build_clicklog_sim
+
+    return build_clicklog_sim(6 * GB, skew=1.0, partitions=8)
+
+
+def _build_hashjoin():
+    from repro.apps.hashjoin import build_hashjoin_sim
+
+    return build_hashjoin_sim(256 * MB, 4 * GB, skew=1.0, partitions=4)
+
+
+def _build_pagerank():
+    from repro.apps.pagerank import build_pagerank_sim
+    from repro.workloads.rmat import RmatSpec
+
+    return build_pagerank_sim(
+        RmatSpec(scale=22), iterations=3, partitions=4, profile_samples=20_000
+    )
+
+
+def scenarios() -> List[ChaosScenario]:
+    return [
+        ChaosScenario("clicklog", _build_clicklog),
+        ChaosScenario("hashjoin", _build_hashjoin, output_tolerance=4096),
+        ChaosScenario("pagerank", _build_pagerank),
+    ]
+
+
+def chaos_config() -> HurricaneConfig:
+    return HurricaneConfig(replication=CHAOS_REPLICATION, tracing_enabled=True)
+
+
+# ---------------------------------------------------------------------------
+# plan generation
+
+
+def generate_plan(
+    rng,
+    baseline_runtime: float,
+    config: HurricaneConfig,
+    compute_nodes: List[int],
+    storage_nodes: List[int],
+) -> FaultPlan:
+    """Draw a survivable fault plan from ``rng``.
+
+    Survivable means the plan never exceeds what the architecture claims to
+    tolerate: at most ``CHAOS_REPLICATION - 1`` storage nodes down (here: one
+    storage crash per plan), at least two compute nodes never permanently
+    crashed, and at most two master crashes. Within those bounds anything
+    goes — including a second master crash timed to land while the recovery
+    master is replaying the done log.
+    """
+    plan = FaultPlan()
+    t_lo = config.startup_delay + 1.0
+    t_hi = max(t_lo + 1.0, 0.85 * baseline_runtime)
+
+    def crash_time() -> float:
+        return round(rng.uniform(t_lo, t_hi), 3)
+
+    permanent_budget = len(compute_nodes) - 2
+    permanent_deaths = 0
+    compute_pool = list(compute_nodes)
+    master_crashes = 0
+    storage_crashed = False
+    for _ in range(rng.randint(1, 3)):
+        kind = rng.choices(
+            ["compute", "master", "storage"], weights=[5, 3, 2]
+        )[0]
+        if kind == "compute" and compute_pool:
+            node = compute_pool.pop(rng.randrange(len(compute_pool)))
+            restart = None
+            if permanent_deaths >= permanent_budget or rng.random() < 0.6:
+                restart = round(rng.uniform(1.0, 8.0), 3)
+            else:
+                permanent_deaths += 1
+            plan.crash_compute(at=crash_time(), node=node, restart_after=restart)
+        elif kind == "master" and master_crashes < 2:
+            at = crash_time()
+            plan.crash_master(at=at)
+            master_crashes += 1
+            if master_crashes < 2 and rng.random() < 0.35:
+                # Compound schedule: kill the recovery master while it is
+                # itself waiting out master_recovery_delay / replaying.
+                delta = config.master_restart_delay + rng.uniform(
+                    0.0, config.master_recovery_delay
+                )
+                plan.crash_master(at=round(at + delta, 3))
+                master_crashes += 1
+        elif kind == "storage" and not storage_crashed:
+            node = rng.choice(storage_nodes)
+            restart = (
+                round(rng.uniform(2.0, 10.0), 3) if rng.random() < 0.5 else None
+            )
+            plan.crash_storage(at=crash_time(), node=node, restart_after=restart)
+            storage_crashed = True
+    return plan
+
+
+def describe_plan(plan: FaultPlan) -> str:
+    parts = []
+    for c in plan.compute_crashes:
+        restart = f",r={c.restart_after}s" if c.restart_after is not None else ""
+        parts.append(f"compute(n{c.node}@{c.at}s{restart})")
+    for c in plan.master_crashes:
+        parts.append(f"master(@{c.at}s)")
+    for c in plan.storage_crashes:
+        restart = f",r={c.restart_after}s" if c.restart_after is not None else ""
+        parts.append(f"storage(n{c.node}@{c.at}s{restart})")
+    return "+".join(parts) if parts else "none"
+
+
+# ---------------------------------------------------------------------------
+# invariants
+
+
+@dataclass
+class RunOutcome:
+    """Everything the invariant checks and the digest need from one run."""
+
+    scenario: str
+    plan: FaultPlan
+    job: Optional[SimJob] = None
+    report: Optional[RunReport] = None
+    error: Optional[BaseException] = None
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.violations
+
+
+def sink_fingerprint(job: SimJob) -> Dict[str, int]:
+    return {
+        bag_id: int(job.catalog.get(bag_id).written_total())
+        for bag_id in job.graph.sink_bags()
+    }
+
+
+def check_invariants(
+    outcome: RunOutcome, baseline_sinks: Dict[str, int], tolerance: int
+) -> List[str]:
+    """All cross-layer invariant checks against one completed run."""
+    job = outcome.job
+    violations: List[str] = []
+
+    # 1. Completion: the job finished and every execution node is DONE.
+    if not job.exec.all_done():
+        violations.append("job reported completion but exec graph is not all-done")
+    for node in job.exec.nodes.values():
+        if node.state != NodeState.DONE:
+            violations.append(
+                f"node {node.node_id} ended in state {node.state.value}"
+            )
+
+    # 2. Output: sink bags match the fault-free baseline.
+    sinks = sink_fingerprint(job)
+    for bag_id, expected in baseline_sinks.items():
+        got = sinks.get(bag_id, 0)
+        if abs(got - expected) > tolerance:
+            violations.append(
+                f"sink {bag_id}: {got} bytes vs baseline {expected} "
+                f"(tolerance {tolerance})"
+            )
+
+    # 3. Conservation: no shard read more than was written, none negative.
+    for bag in job.catalog.bags():
+        for node, shard in bag.shards.items():
+            if shard.bytes_written < 0 or shard.bytes_read < 0:
+                violations.append(
+                    f"bag {bag.bag_id} shard {node}: negative byte counter "
+                    f"(written={shard.bytes_written}, read={shard.bytes_read})"
+                )
+            if shard.bytes_read > shard.bytes_written:
+                violations.append(
+                    f"bag {bag.bag_id} shard {node}: read {shard.bytes_read} "
+                    f"of {shard.bytes_written} written (double-consumed)"
+                )
+
+    # 4. Drain: every task family fully consumed its stream input.
+    for task_id, family in job.exec.families.items():
+        bag_id = family.original.spec.stream_input
+        if bag_id not in job.catalog:
+            continue
+        remaining = job.catalog.get(bag_id).remaining_total()
+        if remaining != 0:
+            violations.append(
+                f"stream input {bag_id} of {task_id}: {remaining} bytes "
+                "never consumed (lost work)"
+            )
+
+    # 5. Done log: after a family's last reset tombstone, no execution node
+    #    completes twice (exactly-once completion per node).
+    entries = job.workbags.done.entries()
+    last_reset: Dict[str, int] = {}
+    for position, entry in enumerate(entries):
+        if isinstance(entry, ResetEntry):
+            last_reset[entry.task_id] = position
+    seen: Dict[str, int] = {}
+    for position, entry in enumerate(entries):
+        if isinstance(entry, ResetEntry):
+            continue
+        if position <= last_reset.get(entry.task_id, -1):
+            continue  # pre-reset entry: discarded work, duplicates allowed
+        if entry.node_id in seen:
+            violations.append(
+                f"node {entry.node_id} completed twice after its last reset "
+                f"tombstone (log positions {seen[entry.node_id]} and {position})"
+            )
+        else:
+            seen[entry.node_id] = position
+
+    # 6. Work bags: leftovers must be stale — a live READY/RUNNING message
+    #    at completion is work the job forgot about.
+    for msg in job.workbags.ready.items():
+        node = job.exec.nodes.get(msg.node_id)
+        if node is not None and node.state != NodeState.DONE:
+            violations.append(
+                f"ready bag holds live message for {msg.node_id} "
+                f"({node.state.value}) at completion"
+            )
+    for entry in job.workbags.running.items():
+        node = job.exec.nodes.get(entry.node_id)
+        if node is not None and node.state != NodeState.DONE:
+            violations.append(
+                f"running bag holds live entry for {entry.node_id} "
+                f"({node.state.value}) at completion"
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# execution + determinism digest
+
+
+def run_digest(job: SimJob, report: RunReport) -> str:
+    """A stable digest of everything observable about one run.
+
+    Two executions of the same scenario + plan must produce the same digest
+    — this is the "same seed, identical RunReport" invariant. Covers the
+    report (runtime, events, trace metrics), the done log, and the sink
+    fingerprint.
+    """
+    h = hashlib.sha256()
+    h.update(repr(report.runtime).encode())
+    h.update(repr(sorted(sink_fingerprint(job).items())).encode())
+    for entry in job.workbags.done.entries():
+        h.update(repr(entry).encode())
+    for t, kind, info in report.events:
+        h.update(repr((t, kind, sorted(info.items()))).encode())
+    h.update(repr(sorted(report.trace_metrics.items())).encode())
+    h.update(repr(sorted(report.clone_counts.items())).encode())
+    return h.hexdigest()
+
+
+def execute(
+    scenario: ChaosScenario,
+    plan: FaultPlan,
+    timeout: Optional[float] = None,
+    max_steps: Optional[int] = None,
+) -> Tuple[SimJob, RunReport]:
+    app, inputs = scenario.build()
+    job = SimJob(
+        app.graph,
+        inputs,
+        cluster_spec=paper_cluster(scenario.machines),
+        config=chaos_config(),
+        fault_plan=plan,
+    )
+    report = job.run(timeout=timeout, max_steps=max_steps)
+    return job, report
+
+
+@dataclass
+class Baseline:
+    runtime: float
+    steps: int
+    sinks: Dict[str, int]
+
+    @property
+    def timeout(self) -> float:
+        # Sim-time hang guard: generous, the step budget is the hard stop.
+        return self.runtime * 10.0 + 120.0
+
+    @property
+    def max_steps(self) -> int:
+        # Deterministic livelock watchdog (see Environment.run).
+        return self.steps * 30 + 200_000
+
+
+def measure_baseline(scenario: ChaosScenario) -> Baseline:
+    job, report = execute(scenario, FaultPlan())
+    return Baseline(
+        runtime=report.runtime,
+        steps=job.env.step_count,
+        sinks=sink_fingerprint(job),
+    )
+
+
+def _metric_summary(report: RunReport) -> str:
+    metrics = report.trace_metrics
+    putback = metrics.get("storage.putback_bytes", 0.0)
+    return (
+        f"tasks={int(metrics.get('task.completed', 0))}"
+        f" interrupted={int(metrics.get('task.interrupted', 0))}"
+        f" clones={int(metrics.get('clone.granted', 0))}"
+        f" putback={putback / MB:.1f}MB"
+    )
+
+
+def fuzz_one(
+    scenario: ChaosScenario,
+    baseline: Baseline,
+    seed: int,
+    index: int,
+    verify_determinism: bool = True,
+) -> Tuple[RunOutcome, str]:
+    """Run one seeded fault plan; returns the outcome and a summary line."""
+    rng = rng_from("chaos", seed, scenario.name, index)
+    config = chaos_config()
+    compute, storage = config.resolve_nodes(scenario.machines)
+    plan = generate_plan(rng, baseline.runtime, config, compute, storage)
+    outcome = RunOutcome(scenario=scenario.name, plan=plan)
+    try:
+        outcome.job, outcome.report = execute(
+            scenario, plan, timeout=baseline.timeout, max_steps=baseline.max_steps
+        )
+    except ReproError as exc:
+        outcome.error = exc
+        line = (
+            f"{scenario.name} run {index}: plan={describe_plan(plan)} "
+            f"FAILED ({type(exc).__name__}: {exc})"
+        )
+        return outcome, line
+    outcome.violations = check_invariants(
+        outcome, baseline.sinks, scenario.output_tolerance
+    )
+    digest = run_digest(outcome.job, outcome.report)
+    if verify_determinism:
+        replay_job, replay_report = execute(
+            scenario, plan, timeout=baseline.timeout, max_steps=baseline.max_steps
+        )
+        replay = run_digest(replay_job, replay_report)
+        if replay != digest:
+            outcome.violations.append(
+                f"non-deterministic: digests {digest[:12]} != {replay[:12]} "
+                "for the identical plan"
+            )
+    status = "ok" if outcome.ok else f"VIOLATED({len(outcome.violations)})"
+    line = (
+        f"{scenario.name} run {index}: plan={describe_plan(plan)} "
+        f"runtime={outcome.report.runtime:.1f}s {_metric_summary(outcome.report)} "
+        f"digest={digest[:12]} {status}"
+    )
+    return outcome, line
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Seeded fault-plan fuzzing with invariant checks.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="fuzzing seed")
+    parser.add_argument(
+        "--runs", type=int, default=25, help="number of fault plans to run"
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=[s.name for s in scenarios()],
+        default=None,
+        help="restrict to one scenario (default: round-robin over all)",
+    )
+    parser.add_argument(
+        "--skip-determinism",
+        action="store_true",
+        help="do not re-execute each plan to verify digest stability",
+    )
+    args = parser.parse_args(argv)
+
+    pool = scenarios()
+    if args.scenario is not None:
+        pool = [s for s in pool if s.name == args.scenario]
+    baselines: Dict[str, Baseline] = {}
+    failures = 0
+    for index in range(args.runs):
+        scenario = pool[index % len(pool)]
+        if scenario.name not in baselines:
+            baselines[scenario.name] = measure_baseline(scenario)
+            base = baselines[scenario.name]
+            print(
+                f"{scenario.name} baseline: runtime={base.runtime:.1f}s "
+                f"steps={base.steps} sinks={sum(base.sinks.values())}B"
+            )
+        outcome, line = fuzz_one(
+            scenario,
+            baselines[scenario.name],
+            args.seed,
+            index,
+            verify_determinism=not args.skip_determinism,
+        )
+        print(f"[{index + 1:3d}/{args.runs}] {line}")
+        if not outcome.ok:
+            failures += 1
+            for violation in outcome.violations:
+                print(f"    invariant: {violation}")
+            if outcome.error is None and outcome.violations:
+                print(f"    reproduce: --seed {args.seed} --scenario "
+                      f"{scenario.name} (run index {index})")
+    verdict = "passed" if failures == 0 else f"{failures} FAILED"
+    print(f"chaos: {args.runs - failures}/{args.runs} runs {verdict} "
+          f"(seed={args.seed})")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

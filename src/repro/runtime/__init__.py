@@ -12,7 +12,7 @@ and ``run()`` returns a :class:`~repro.runtime.report.RunReport` with the
 runtime, per-phase breakdown, clone counts, and a throughput timeline.
 """
 
-from repro.runtime.config import HurricaneConfig, InputSpec
+from repro.runtime.config import HurricaneConfig, InputSpec, StorageConfig
 from repro.runtime.faults import FaultPlan
 from repro.runtime.job import SimJob, run_app
 from repro.runtime.report import MetricsRecorder, RunReport
@@ -24,5 +24,6 @@ __all__ = [
     "MetricsRecorder",
     "RunReport",
     "SimJob",
+    "StorageConfig",
     "run_app",
 ]

@@ -11,7 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Union
 
+from repro.storage.policy import StorageConfig
 from repro.units import DEFAULT_CHUNK_SIZE
+
+__all__ = ["HurricaneConfig", "InputSpec", "StorageConfig"]
 
 
 @dataclass(frozen=True)
@@ -38,6 +41,8 @@ class HurricaneConfig:
     batch_factor: int = 10
     replication: int = 1
     spread_data: bool = True
+    #: Retry/timeout/backoff policy for storage RPCs (Section 4.4).
+    storage: StorageConfig = StorageConfig()
     #: Chunks moved per storage request. Semantically a super-chunk; raise it
     #: for very large simulated inputs to bound the event count (fidelity
     #: knob, documented in DESIGN.md).
@@ -80,6 +85,11 @@ class HurricaneConfig:
     startup_delay: float = 2.0  # framework/job startup before first task
     task_start_overhead: float = 0.15  # worker launch cost per task
     crash_detect_timeout: float = 3.0
+    #: Time between a master crash and the recovery master being spawned
+    #: (external watchdog detection + process start). Mirrors
+    #: ``crash_detect_timeout``; spawning at the crash instant would
+    #: understate the Figure 11 master-recovery penalty.
+    master_restart_delay: float = 2.0
     master_recovery_delay: float = 0.8
 
     # Topology: default = every machine is both compute and storage node.

@@ -62,7 +62,11 @@ class SimJob:
         self.replica_map = ReplicaMap(self.storage_nodes, self.config.replication)
         self.catalog = BagCatalog(self.storage_nodes, self.config.chunk_size)
         self.workbags = WorkBags(
-            self.env, self.cluster, self.storage_nodes, self.replica_map
+            self.env,
+            self.cluster,
+            self.storage_nodes,
+            self.replica_map,
+            retry=self.config.storage,
         )
         self.clients: Dict[int, StorageClient] = {
             node: StorageClient(
@@ -74,6 +78,7 @@ class SimJob:
                 spread=self.config.spread_data,
                 replica_map=self.replica_map,
                 granularity=self.config.granularity,
+                retry=self.config.storage,
             )
             for node in self.compute_nodes
         }
@@ -210,9 +215,17 @@ class SimJob:
     def _master_crash_proc(self, crash):
         yield self.env.timeout(crash.at)
         if self.master is None or not self.master.process.is_alive:
-            return  # job already finished (or never started)
+            return  # job already finished (or never started, or mid-restart)
         self.metrics.event(self.env.now, "master_crash")
         self.master.process.interrupt("master crash")
+        self.master = None
+        # The recovery master is not instantaneous: an external watchdog must
+        # notice the crash and start a fresh process. Spawning at the crash
+        # instant would understate the Figure 11 master-recovery penalty.
+        yield self.env.timeout(self.config.master_restart_delay)
+        if self.completion.triggered:
+            return
+        self.metrics.event(self.env.now, "master_restart")
         self.master = Master(self, recovering=True)
 
     def _storage_crash_proc(self, crash):
@@ -243,6 +256,7 @@ class SimJob:
                 spread=self.config.spread_data,
                 replica_map=self.replica_map,
                 granularity=self.config.granularity,
+                retry=self.config.storage,
             )
         self.crashed_compute.pop(node, None)
         if node in self.task_managers:
@@ -334,8 +348,15 @@ class SimJob:
 
     # -- execution -------------------------------------------------------------
 
-    def run(self, timeout: Optional[float] = None) -> RunReport:
-        """Execute the job; returns the report or raises JobTimeout."""
+    def run(
+        self, timeout: Optional[float] = None, max_steps: Optional[int] = None
+    ) -> RunReport:
+        """Execute the job; returns the report or raises JobTimeout.
+
+        ``max_steps`` bounds the number of kernel events processed — a
+        *deterministic* watchdog against livelock (the chaos harness uses it
+        so a buggy schedule fails reproducibly instead of spinning).
+        """
 
         def startup():
             yield self.env.timeout(self.config.startup_delay)
@@ -359,7 +380,7 @@ class SimJob:
                 if not self.completion.triggered:
                     self.completion.fail(JobTimeout(self.graph.name, timeout))
             self.env.process(watchdog())
-        finished_at = self.env.run(until=self.completion)
+        finished_at = self.env.run(until=self.completion, max_steps=max_steps)
         return self._build_report(finished_at)
 
     def _build_report(self, finished_at: float) -> RunReport:

@@ -216,6 +216,40 @@ class Master:
                 continue
             self._handled_crashes.add((node, crashed_at))
             yield from self._recover_from_compute_crash(node, crashed_at)
+            yield from self._reclaim_stranded_clones(node)
+
+    def _reclaim_stranded_clones(self, dead_node: int):
+        """Re-home targeted clone messages whose target died unclaimed.
+
+        A clone message is targeted at the idle node the master picked; if
+        that node crashes in the window between the enqueue and the claim,
+        no other task manager will ever accept the message and the clone
+        node sits in READY forever — its family can never finish, so the
+        job hangs. Pull such messages back and re-enqueue them at a live
+        node (untargeted if no idle node is available).
+        """
+        runtime = self.runtime
+        if dead_node in runtime.alive_compute_nodes():
+            return  # restarted before detection; it will claim its messages
+        stale = yield from runtime.workbags.ready.remove_if(
+            lambda m: m.target_node == dead_node
+        )
+        for msg in stale:
+            runtime.release_reservation(dead_node)
+            node = runtime.exec.nodes.get(msg.node_id)
+            if node is None or node.state != NodeState.READY:
+                continue  # discarded by a family reset in the meantime
+            target = runtime.pick_idle_node(task_id=msg.task_id)
+            if target is not None:
+                runtime.reserve_slot(target)
+            runtime.metrics.event(
+                runtime.env.now,
+                "clone_retargeted",
+                node_id=msg.node_id,
+                dead=dead_node,
+                target=target,
+            )
+            yield from self._enqueue(node, target=target)
 
     def _recover_from_compute_crash(self, dead_node: int, crashed_at: float):
         """Restart every task family that had a worker on the dead node.

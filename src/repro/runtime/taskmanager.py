@@ -277,4 +277,9 @@ class TaskManager:
     def restart(self) -> None:
         self.alive = True
         self.free_slots = self.runtime.config.worker_slots
+        if self.process.is_alive:
+            # Double restart (overlapping crash/restart schedules): the
+            # polling loop is already running; spawning a second one would
+            # leave a zombie scheduler that survives the next kill().
+            return
         self.process = self.runtime.env.process(self._run())

@@ -292,6 +292,9 @@ class Environment:
         self._heap: List = []
         self._seq = count()
         self._active: Optional[Process] = None
+        #: Total events processed over the environment's lifetime. Used to
+        #: calibrate deterministic step budgets (see :meth:`run`).
+        self.step_count = 0
         #: Observability hook; NULL_TRACER is a shared no-op, so tracing is
         #: off unless a runtime installs a live Tracer.
         self.tracer = NULL_TRACER
@@ -335,6 +338,7 @@ class Environment:
                 f"time went backwards: {when} < {self._now}"
             )
         self._now = max(self._now, when)
+        self.step_count += 1
         callbacks, event.callbacks = event.callbacks, None
         if callbacks:
             for callback in callbacks:
@@ -342,10 +346,16 @@ class Environment:
         if not event._ok and not event._defused:
             raise event._value
 
-    def run(self, until: Optional[object] = None) -> Any:
+    def run(
+        self, until: Optional[object] = None, max_steps: Optional[int] = None
+    ) -> Any:
         """Run until ``until`` (an Event or a time), or until the heap drains.
 
         Returns the value of the ``until`` event if one was given.
+        ``max_steps`` bounds how many further events this call may process;
+        exceeding it raises :class:`SimulationError`. Unlike a wall-clock
+        watchdog it is deterministic, so fuzzing harnesses can use it to
+        turn a livelocked schedule into a reproducible failure.
         """
         stop_at: Optional[float] = None
         stop_event: Optional[Event] = None
@@ -355,12 +365,21 @@ class Environment:
             stop_at = float(until)
             if stop_at < self._now:
                 raise ValueError(f"until={stop_at} is in the past (now={self._now})")
+        budget_limit: Optional[int] = None
+        if max_steps is not None:
+            if max_steps < 0:
+                raise ValueError(f"negative max_steps: {max_steps}")
+            budget_limit = self.step_count + max_steps
         while self._heap:
             if stop_event is not None and stop_event.processed:
                 break
             if stop_at is not None and self._heap[0][0] > stop_at:
                 self._now = stop_at
                 return None
+            if budget_limit is not None and self.step_count >= budget_limit:
+                raise SimulationError(
+                    f"step budget of {max_steps} events exhausted at t={self._now}"
+                )
             self.step()
         if stop_event is not None:
             if not stop_event.triggered:

@@ -18,6 +18,7 @@ Two implementations share the bag semantics:
 
 from repro.storage.bags import BagCatalog, SimBag
 from repro.storage.client import StorageClient
+from repro.storage.policy import StorageConfig
 from repro.storage.filebag import FileBag, FileBagStore
 from repro.storage.local import LocalBag, LocalBagStore
 from repro.storage.replication import ReplicaMap
@@ -32,6 +33,7 @@ __all__ = [
     "ReplicaMap",
     "SimBag",
     "StorageClient",
+    "StorageConfig",
     "WorkBag",
     "WorkBags",
 ]

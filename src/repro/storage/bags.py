@@ -161,6 +161,10 @@ class BagCatalog:
     def ensure(self, bag_id: str) -> SimBag:
         return self._bags.get(bag_id) or self.create(bag_id)
 
+    def bags(self) -> List[SimBag]:
+        """Snapshot of every live bag (offline; for invariant checks)."""
+        return list(self._bags.values())
+
     def __contains__(self, bag_id: str) -> bool:
         return bag_id in self._bags
 

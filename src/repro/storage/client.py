@@ -23,11 +23,12 @@ from collections import deque
 from typing import Generator, Optional, Set
 
 from repro.cluster.cluster import Cluster
-from repro.errors import BagError, StorageNodeDown
+from repro.errors import BagError, ReplicationError, StorageNodeDown
 from repro.sim.kernel import Environment
 from repro.sim.rand import SplitMix, cyclic_permutations, derive_seed
 from repro.sim.resources import Resource, Store
 from repro.storage.bags import BagCatalog, SimBag
+from repro.storage.policy import StorageConfig
 from repro.storage.replication import ReplicaMap
 
 
@@ -42,6 +43,7 @@ class StorageClient:
         spread: bool = True,
         replica_map: Optional[ReplicaMap] = None,
         granularity: int = 1,
+        retry: Optional[StorageConfig] = None,
     ):
         if batch_factor < 1:
             raise ValueError(f"batch_factor must be >= 1, got {batch_factor}")
@@ -55,6 +57,7 @@ class StorageClient:
         self.spread = spread
         self.granularity = granularity
         self.replica_map = replica_map or ReplicaMap(catalog.storage_nodes)
+        self.retry = retry or StorageConfig()
         #: Flow control: at most b outstanding storage requests per node.
         self.gate = Resource(env, batch_factor, name=f"gate{compute_node}")
         self.bytes_read = 0
@@ -72,6 +75,25 @@ class StorageClient:
     def _io_unit(self, bag: SimBag) -> int:
         return bag.chunk_size * self.granularity
 
+    def _serving_replica_rpc(self, home: int) -> Generator:
+        """Process: resolve the live serving replica for ``home``'s shard.
+
+        When every replica is down the lookup does not fail immediately:
+        the client backs off and retries per the storage retry policy, so a
+        node that restarts within the policy window is transparent to the
+        caller. Raises :class:`ReplicationError` once the policy is
+        exhausted.
+        """
+        backoffs = self.retry.backoffs()
+        while True:
+            try:
+                return self.replica_map.serving_replica(home, self._alive)
+            except ReplicationError:
+                delay = next(backoffs, None)
+                if delay is None:
+                    raise
+            yield self.env.timeout(delay)
+
     def _read_shard(self, home: int, nbytes: int) -> Generator:
         """Disk read at a live replica + transfer to this compute node.
 
@@ -80,7 +102,7 @@ class StorageClient:
         (the failover path of Section 4.4).
         """
         while True:
-            serving = self.replica_map.serving_replica(home, self._alive)
+            serving = yield from self._serving_replica_rpc(home)
             source = self.cluster.machine(serving)
             try:
                 yield self.env.timeout(source.spec.disk_latency)
@@ -96,19 +118,26 @@ class StorageClient:
 
         Succeeds as long as at least one replica accepted the write; a
         replica crashing mid-write is tolerated (the paper re-replicates
-        such shards offline).
+        such shards offline). Finding *no* live replica — or losing every
+        live replica mid-write — backs off and retries per the storage
+        retry policy before raising.
         """
-        pending = []
-        for replica in self.replica_map.replicas(home):
-            if not self._alive(replica):
-                continue  # dead backup: skipped
-            pending.append(self.env.process(self._write_one(replica, nbytes)))
-        if not pending:
-            raise BagError(f"no live replica to write shard {home}")
-        results = yield self.env.all_of(pending)
-        if not any(results):
-            raise BagError(f"every replica of shard {home} died mid-write")
-        self.bytes_written += nbytes
+        backoffs = self.retry.backoffs()
+        while True:
+            pending = []
+            for replica in self.replica_map.replicas(home):
+                if not self._alive(replica):
+                    continue  # dead backup: skipped
+                pending.append(self.env.process(self._write_one(replica, nbytes)))
+            if pending:
+                results = yield self.env.all_of(pending)
+                if any(results):
+                    self.bytes_written += nbytes
+                    return
+            delay = next(backoffs, None)
+            if delay is None:
+                raise BagError(f"no live replica to write shard {home}")
+            yield self.env.timeout(delay)
 
     def _write_one(self, replica: int, nbytes: int) -> Generator:
         target = self.cluster.machine(replica)

@@ -1,0 +1,54 @@
+"""Retry/timeout/backoff policy for storage RPCs (Section 4.4).
+
+A storage request that finds no live serving replica does not fail (or
+hang) immediately: the client backs off and retries, so a crashed node
+that restarts within the policy's window is transparent to callers. The
+attempt budget is exhausted when either ``rpc_retries`` retries have been
+made or the cumulative backoff would exceed ``rpc_timeout`` — whichever
+comes first — after which the original error propagates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    #: Retries after the first failed attempt (0 = fail fast).
+    rpc_retries: int = 20
+    #: Initial wait before the first retry, in simulated seconds.
+    retry_backoff: float = 0.25
+    #: Multiplier applied to the backoff after every retry (1.0 = constant).
+    backoff_multiplier: float = 1.5
+    #: Cap on the total time spent backing off before giving up.
+    rpc_timeout: float = 30.0
+
+    def __post_init__(self):
+        if self.rpc_retries < 0:
+            raise ValueError(f"negative rpc_retries {self.rpc_retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(f"negative retry_backoff {self.retry_backoff}")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1.0, got {self.backoff_multiplier}"
+            )
+        if self.rpc_timeout < 0:
+            raise ValueError(f"negative rpc_timeout {self.rpc_timeout}")
+
+    def backoffs(self) -> Iterator[float]:
+        """Yield successive backoff delays until the policy is exhausted.
+
+        The caller waits each yielded delay and retries; when the generator
+        is exhausted the caller gives up and lets the original error
+        propagate.
+        """
+        delay = self.retry_backoff
+        waited = 0.0
+        for _ in range(self.rpc_retries):
+            if waited + delay > self.rpc_timeout:
+                return
+            yield delay
+            waited += delay
+            delay *= self.backoff_multiplier

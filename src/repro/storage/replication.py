@@ -9,7 +9,7 @@ write ``r`` copies and (b) reads are served by the first live replica.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, Dict, List
 
 from repro.errors import ReplicationError
 
@@ -25,23 +25,42 @@ class ReplicaMap:
         self.nodes = list(node_indices)
         self.replication = replication
         self._ring_pos = {node: i for i, node in enumerate(self.nodes)}
+        #: Replica sets frozen at ring-growth time. Without pinning, adding
+        #: a node silently *changes* the wrap-around assignments: a shard
+        #: homed near the ring tail would swap a backup that already holds
+        #: its copies for the newcomer, which holds nothing.
+        self._pinned: Dict[int, List[int]] = {}
 
     def add_node(self, node: int) -> None:
         """Append a new storage node to the replica ring (Section 3.4).
 
-        Existing shard->replica assignments are unchanged except that the
-        previous last node's backup chain now includes the newcomer.
+        Existing shard->replica assignments are pinned as-is: data was
+        written to the replica sets in force before the ring grew, so the
+        map must keep pointing reads at those copies. Only shards homed on
+        nodes added from now on wrap onto the newcomer.
         """
         if node in self._ring_pos:
             return
+        for home in self.nodes:
+            self._pinned.setdefault(home, self._ring_replicas(home))
         self._ring_pos[node] = len(self.nodes)
         self.nodes.append(node)
 
-    def replicas(self, home: int) -> List[int]:
-        """All nodes holding a copy of the shard homed at ``home``."""
+    def _ring_replicas(self, home: int) -> List[int]:
         pos = self._ring_pos[home]
         m = len(self.nodes)
         return [self.nodes[(pos + j) % m] for j in range(self.replication)]
+
+    def replicas(self, home: int) -> List[int]:
+        """All nodes holding a copy of the shard homed at ``home``."""
+        pinned = self._pinned.get(home)
+        if pinned is not None:
+            return list(pinned)
+        return self._ring_replicas(home)
+
+    def has_live_replica(self, home: int, is_alive: Callable[[int], bool]) -> bool:
+        """Whether any replica of ``home``'s shard can serve right now."""
+        return any(is_alive(node) for node in self.replicas(home))
 
     def serving_replica(self, home: int, is_alive: Callable[[int], bool]) -> int:
         """The node that serves reads for ``home``'s shard right now."""

@@ -1,0 +1,145 @@
+"""Tests for the chaos fuzzing harness (repro.chaos)."""
+
+import pytest
+
+from repro.chaos import (
+    CHAOS_REPLICATION,
+    RunOutcome,
+    chaos_config,
+    check_invariants,
+    execute,
+    fuzz_one,
+    generate_plan,
+    main,
+    measure_baseline,
+    run_digest,
+    scenarios,
+    sink_fingerprint,
+)
+from repro.runtime.faults import FaultPlan
+from repro.sim.rand import rng_from
+
+
+def _pagerank():
+    """The cheapest built-in scenario (fastest wall-clock)."""
+    return next(s for s in scenarios() if s.name == "pagerank")
+
+
+@pytest.fixture(scope="module")
+def pagerank_baseline():
+    return measure_baseline(_pagerank())
+
+
+# -- plan generation --------------------------------------------------------
+
+
+def test_generate_plan_deterministic():
+    config = chaos_config()
+    plans = [
+        generate_plan(
+            rng_from("chaos", 7, "x", 3), 20.0, config,
+            list(range(6)), list(range(6)),
+        )
+        for _ in range(2)
+    ]
+    assert plans[0] == plans[1]
+    assert not plans[0].empty()
+
+
+def test_generate_plan_stays_survivable():
+    """Plans never exceed what the architecture claims to tolerate."""
+    config = chaos_config()
+    compute = list(range(6))
+    storage = list(range(6))
+    for index in range(60):
+        plan = generate_plan(
+            rng_from("bounds", index), 20.0, config, compute, storage
+        )
+        permanent = [c for c in plan.compute_crashes if c.restart_after is None]
+        assert len(permanent) <= len(compute) - 2
+        victims = [c.node for c in plan.compute_crashes]
+        assert len(victims) == len(set(victims)), "compute victims are distinct"
+        assert len(plan.storage_crashes) <= CHAOS_REPLICATION - 1
+        assert len(plan.master_crashes) <= 2
+        for crash in (
+            plan.compute_crashes + plan.master_crashes + plan.storage_crashes
+        ):
+            assert crash.at >= config.startup_delay + 1.0
+
+
+# -- invariant checks -------------------------------------------------------
+
+
+def _clean_outcome():
+    scenario = _pagerank()
+    plan = FaultPlan()
+    job, report = execute(scenario, plan)
+    return RunOutcome(scenario=scenario.name, plan=plan, job=job, report=report)
+
+
+def test_clean_run_passes_all_invariants():
+    outcome = _clean_outcome()
+    baseline = sink_fingerprint(outcome.job)
+    assert check_invariants(outcome, baseline, tolerance=0) == []
+
+
+def test_checker_flags_duplicate_completion():
+    outcome = _clean_outcome()
+    baseline = sink_fingerprint(outcome.job)
+    log = outcome.job.workbags.done._log
+    log.append(log[-1])  # a node completing twice, no reset in between
+    violations = check_invariants(outcome, baseline, tolerance=0)
+    assert any("completed twice" in v for v in violations)
+
+
+def test_checker_flags_overconsumed_shard():
+    outcome = _clean_outcome()
+    baseline = sink_fingerprint(outcome.job)
+    bag = outcome.job.catalog.bags()[0]
+    shard = next(iter(bag.shards.values()))
+    shard.bytes_read = shard.bytes_written + 1
+    violations = check_invariants(outcome, baseline, tolerance=0)
+    assert any("double-consumed" in v for v in violations)
+
+
+def test_checker_flags_output_divergence():
+    outcome = _clean_outcome()
+    baseline = sink_fingerprint(outcome.job)
+    sink = outcome.job.graph.sink_bags()[0]
+    baseline[sink] += 10
+    violations = check_invariants(outcome, baseline, tolerance=0)
+    assert any(sink in v for v in violations)
+    assert check_invariants(outcome, baseline, tolerance=10) == []
+
+
+# -- end-to-end fuzzing -----------------------------------------------------
+
+
+def test_fuzzed_run_passes_and_is_deterministic(pagerank_baseline):
+    outcome, line = fuzz_one(
+        _pagerank(), pagerank_baseline, seed=0, index=5, verify_determinism=True
+    )
+    assert outcome.ok, outcome.violations or outcome.error
+    assert not outcome.plan.empty()
+    assert "ok" in line
+
+
+def test_run_digest_is_stable(pagerank_baseline):
+    scenario = _pagerank()
+    rng = rng_from("chaos", 1, scenario.name, 0)
+    config = chaos_config()
+    compute, storage = config.resolve_nodes(scenario.machines)
+    plan = generate_plan(rng, pagerank_baseline.runtime, config, compute, storage)
+    digests = {run_digest(*execute(scenario, plan)) for _ in range(2)}
+    assert len(digests) == 1
+
+
+def test_cli_smoke(capsys):
+    rc = main(
+        ["--seed", "3", "--runs", "1", "--scenario", "pagerank",
+         "--skip-determinism"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "1/1 runs passed" in out
+    assert "plan=" in out

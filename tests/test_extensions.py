@@ -69,7 +69,11 @@ class TestReplicaRing:
     def test_add_node(self):
         rmap = ReplicaMap([0, 1], replication=2)
         rmap.add_node(2)
-        assert rmap.replicas(1) == [1, 2]
+        # Existing assignments are pinned at add time: node 1's backup stays
+        # node 0 (where its replicated data already lives), not the new,
+        # empty node 2 that now follows it on the ring.
+        assert rmap.replicas(1) == [1, 0]
+        assert rmap.replicas(2) == [2, 0]
         rmap.add_node(2)  # idempotent
         assert rmap.nodes == [0, 1, 2]
 

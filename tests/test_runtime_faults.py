@@ -155,3 +155,93 @@ def test_storage_crash_with_replication_survives():
     report = job.run(timeout=3600)
     assert job.exec.all_done()
     assert any(k == "storage_crash" for _t, k, _i in report.events)
+
+
+def test_master_replay_with_interleaved_reset_tombstones():
+    """Recovery replay of a done log holding completions both before and
+    after a family's reset tombstone (crash during the agg phase)."""
+    from repro.runtime.taskmanager import ResetEntry
+
+    plan = (
+        FaultPlan()
+        .crash_compute(at=11.9, node=3, restart_after=2.0)
+        .crash_master(at=16.9)
+    )
+    job, report = _run(plan, input_gb=6)
+    assert job.exec.all_done()
+    entries = job.workbags.done.entries()
+    resets = [i for i, e in enumerate(entries) if isinstance(e, ResetEntry)]
+    assert resets, "the compute crash should have tombstoned a family"
+    last = resets[-1]
+    # The tombstone is interleaved: completions exist on both sides of it.
+    assert 0 < last < len(entries) - 1
+    assert any(k == "master_recovered" for _t, k, _i in report.events)
+    # The tombstoned family completed again after its reset, exactly once
+    # per execution node.
+    tombstoned = entries[last].task_id
+    after = [
+        e
+        for e in entries[last + 1 :]
+        if not isinstance(e, ResetEntry) and e.task_id == tombstoned
+    ]
+    assert after, "the reset family must re-complete after the tombstone"
+    node_ids = [e.node_id for e in after]
+    assert len(node_ids) == len(set(node_ids))
+
+
+def test_master_crash_while_recovery_master_is_recovering():
+    """A second master crash landing inside the first recovery master's
+    recovery window: the half-recovered master dies, and the next one
+    must still replay to a consistent graph."""
+    config = HurricaneConfig()
+    # First crash at 10.0 -> restart at 10.0 + master_restart_delay; the
+    # second crash lands inside that master's master_recovery_delay window,
+    # before it emits master_recovered.
+    second = 10.0 + config.master_restart_delay + config.master_recovery_delay / 2
+    plan = FaultPlan().crash_master(at=10.0).crash_master(at=second)
+    job, report = _run(plan, input_gb=6)
+    assert job.exec.all_done()
+    kinds = [k for _t, k, _i in report.events]
+    assert kinds.count("master_crash") == 2
+    assert kinds.count("master_restart") == 2
+    # The first recovery master was killed mid-recovery: only the second
+    # one finishes its replay.
+    assert kinds.count("master_recovered") == 1
+    for i in range(4):
+        assert job.catalog.get(f"out.{i}").written_total() > 0
+
+
+def test_storage_crash_mid_job_ready_bag_still_claimable():
+    """Regression: work-bag access must route through the replica map.
+
+    A storage node dies while the job runs; task messages inserted into the
+    ready bag afterward can land on the dead node's shard (its backup holds
+    the copy) and must remain claimable — before the fix the bag consulted
+    nobody's liveness, and with the fix an unreplicated dead shard would be
+    skipped entirely.
+    """
+    from repro.runtime.taskmanager import DoneEntry
+
+    app = _app()
+    # Crash during the map phase, before any agg task has been enqueued.
+    plan = FaultPlan().crash_storage(at=4.0, node=2)
+    job = SimJob(
+        app.graph,
+        {"src": InputSpec(4 * GB)},
+        cluster_spec=paper_cluster(8),
+        config=HurricaneConfig(replication=2),
+        fault_plan=plan,
+    )
+    report = job.run(timeout=3600)
+    assert job.exec.all_done()
+    crash_t = next(t for t, k, _i in report.events if k == "storage_crash")
+    assert crash_t < report.phases["agg"][0], "crash must precede agg enqueue"
+    # Every agg family was dispatched via the ready bag after the crash and
+    # completed despite the dead shard home.
+    agg_done = {
+        e.task_id
+        for e in job.workbags.done.entries()
+        if isinstance(e, DoneEntry) and e.task_id.startswith("agg.")
+    }
+    assert agg_done == {f"agg.{i}" for i in range(4)}
+    assert len(job.workbags.ready) == 0

@@ -53,3 +53,35 @@ def test_invalid_replication():
 def test_non_contiguous_node_ids():
     rmap = ReplicaMap([5, 9, 12], replication=2)
     assert rmap.replicas(12) == [12, 5]
+
+
+def test_add_node_pins_existing_assignments():
+    """Ring growth must not silently swap a wrap-around backup that already
+    holds a shard's copies for the empty newcomer."""
+    rmap = ReplicaMap([0, 1, 2], replication=2)
+    before = {home: rmap.replicas(home) for home in [0, 1, 2]}
+    rmap.add_node(3)
+    for home in [0, 1, 2]:
+        assert rmap.replicas(home) == before[home]
+    # The tail shard keeps its old wrap-around backup in particular.
+    assert rmap.replicas(2) == [2, 0]
+    # Only the newcomer's own shard uses the grown ring.
+    assert rmap.replicas(3) == [3, 0]
+
+
+def test_add_node_repeated_growth_with_replication():
+    rmap = ReplicaMap([0, 1], replication=2)
+    rmap.add_node(2)
+    rmap.add_node(3)
+    assert rmap.replicas(0) == [0, 1]
+    assert rmap.replicas(1) == [1, 0]
+    assert rmap.replicas(2) == [2, 0]  # pinned when node 3 arrived
+    assert rmap.replicas(3) == [3, 0]
+    # Failover still consults the pinned set.
+    assert rmap.serving_replica(1, lambda n: n != 1) == 0
+
+
+def test_has_live_replica():
+    rmap = ReplicaMap([0, 1, 2], replication=2)
+    assert rmap.has_live_replica(1, lambda n: n == 2)
+    assert not rmap.has_live_replica(0, lambda n: n == 2)

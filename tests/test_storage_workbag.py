@@ -1,7 +1,12 @@
 """Tests for work bags and the done log."""
 
+import pytest
+
 from repro.cluster import Cluster, paper_cluster
+from repro.errors import ReplicationError
 from repro.sim import Environment
+from repro.storage.policy import StorageConfig
+from repro.storage.replication import ReplicaMap
 from repro.storage.workbag import DoneLog, WorkBag, WorkBags
 
 
@@ -10,6 +15,16 @@ def _setup(machines=4):
     cluster = Cluster(env, paper_cluster(machines))
     bag = WorkBag(env, cluster, "ready", list(range(machines)))
     return env, bag
+
+
+def _setup_replicated(machines=4, replication=2, retry=None):
+    env = Environment()
+    cluster = Cluster(env, paper_cluster(machines))
+    rmap = ReplicaMap(list(range(machines)), replication)
+    bag = WorkBag(
+        env, cluster, "ready", list(range(machines)), rmap, retry=retry
+    )
+    return env, cluster, bag
 
 
 def _run(env, gen):
@@ -80,6 +95,66 @@ def test_items_spread_across_shards():
         _run(env, bag.insert(i))
     non_empty = sum(1 for shard in bag._shards.values() if shard)
     assert non_empty >= 6  # pseudorandom placement touches most nodes
+
+
+def test_crashed_shard_served_by_backup_replica():
+    """Items homed on a dead node stay claimable when replication > 1."""
+    env, cluster, bag = _setup_replicated()
+    for i in range(20):
+        _run(env, bag.insert(i))
+    cluster.machine(2).crash()
+    got = [_run(env, bag.try_remove()) for _ in range(20)]
+    assert sorted(got) == list(range(20))
+
+
+def test_unreplicated_dead_shard_is_skipped_not_fatal():
+    """Without a backup, a dead shard's items are invisible (stranded), and
+    probes/scans skip it instead of querying a dead node."""
+    env, cluster, bag = _setup_replicated(replication=1)
+    for i in range(40):
+        _run(env, bag.insert(i))
+    stranded = list(bag._shards[1])
+    assert stranded, "placement should have used every shard"
+    cluster.machine(1).crash()
+    visible = _run(env, bag.scan(lambda _i: True))
+    assert sorted(visible + stranded) == list(range(40))
+    for item in visible:
+        assert _run(env, bag.try_remove(lambda it, i=item: it == i)) == item
+    # The stranded items become claimable again once the node restarts.
+    cluster.machine(1).restart()
+    assert sorted(_run(env, bag.scan(lambda _i: True))) == sorted(stranded)
+
+
+def test_insert_avoids_unreachable_shards():
+    env, cluster, bag = _setup_replicated(replication=1)
+    cluster.machine(3).crash()
+    for i in range(30):
+        _run(env, bag.insert(i))
+    assert bag._shards[3] == []
+
+
+def test_insert_backs_off_until_replica_restarts():
+    env, cluster, bag = _setup_replicated(machines=2, replication=1)
+    for machine in cluster.machines:
+        machine.crash()
+
+    def restart_later():
+        yield env.timeout(5.0)
+        cluster.machine(0).restart()
+
+    env.process(restart_later())
+    _run(env, bag.insert("late"))
+    assert len(bag) == 1
+    assert env.now >= 5.0
+
+
+def test_insert_raises_when_every_replica_stays_dead():
+    retry = StorageConfig(rpc_retries=3, rpc_timeout=2.0)
+    env, cluster, bag = _setup_replicated(machines=2, replication=1, retry=retry)
+    for machine in cluster.machines:
+        machine.crash()
+    with pytest.raises(ReplicationError):
+        _run(env, bag.insert("doomed"))
 
 
 def test_done_log_append_and_offset_reads():
