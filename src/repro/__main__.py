@@ -1,26 +1,69 @@
-"""``python -m repro`` — experiment runner and tracing CLI.
+"""``python -m repro`` — experiments, tracing, chaos, and benchmarks.
 
-``python -m repro <experiment>`` reproduces a table or figure (see
-:mod:`repro.experiments.runner`); ``python -m repro trace <example>`` runs
-a workload with tracing enabled and writes a Chrome ``trace_event`` JSON
-(see :mod:`repro.analysis.trace_report`); ``python -m repro chaos --seed S
---runs N`` fuzzes the runtime with seeded fault plans and checks
-cross-layer invariants (see :mod:`repro.chaos`).
+Subcommands:
+
+- ``python -m repro <experiment> [--full]`` reproduces a table or figure
+  (see :mod:`repro.experiments.runner`; ``all`` runs everything).
+- ``python -m repro trace <example>`` runs a workload with tracing on and
+  writes a Chrome ``trace_event`` JSON.
+- ``python -m repro chaos --seed S --runs N`` fuzzes the runtime with
+  seeded fault plans and checks cross-layer invariants.
+- ``python -m repro bench [--quick]`` benchmarks the local and dist
+  engines and writes ``BENCH_dist.json``.
 """
 
+import difflib
 import sys
+
+_USAGE = """\
+usage: python -m repro <command> [options]
+
+commands:
+  <experiment> [--full]   reproduce one table/figure ({experiments}, or 'all')
+  trace <example>         run a workload with tracing, write trace_event JSON
+  chaos [--seed S]        seeded fault-injection fuzzing of the runtime
+  bench [--quick]         benchmark local vs dist engines -> BENCH_dist.json
+
+run 'python -m repro <command> --help' for command options.
+"""
+
+
+def _experiment_names():
+    from repro.experiments.runner import _registry
+
+    return sorted(_registry())
+
+
+def _usage() -> str:
+    return _USAGE.format(experiments=", ".join(_experiment_names()))
 
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    if argv and argv[0] == "trace":
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        print(_usage())
+        return 0
+    command = argv[0]
+    if command == "trace":
         from repro.analysis.trace_report import main as trace_main
 
         return trace_main(argv[1:])
-    if argv and argv[0] == "chaos":
+    if command == "chaos":
         from repro.chaos import main as chaos_main
 
         return chaos_main(argv[1:])
+    if command == "bench":
+        from repro.bench import main as bench_main
+
+        return bench_main(argv[1:])
+    experiments = _experiment_names()
+    if command.startswith("-") or command not in experiments + ["all"]:
+        known = experiments + ["all", "trace", "chaos", "bench"]
+        close = difflib.get_close_matches(command, known, n=3)
+        hint = f" (did you mean: {', '.join(close)}?)" if close else ""
+        print(f"error: unknown command {command!r}{hint}\n", file=sys.stderr)
+        print(_usage(), file=sys.stderr)
+        return 2
     from repro.experiments.runner import main as runner_main
 
     return runner_main(argv)

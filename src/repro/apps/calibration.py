@@ -58,6 +58,67 @@ JOIN_EMIT_CPU_PER_MB = 0.008
 #: (each match carries both payloads, so output exceeds probe input).
 JOIN_BASE_OUTPUT_RATIO = 2.0
 
+# -- Calibration workload (the bench harness's CPU-bound app) ---------------------
+
+#: Default per-record mixing rounds; scaled down by ``repro bench --quick``.
+CALIBRATION_ROUNDS = 2000
+
+_MASK64 = (1 << 64) - 1
+
+
+def calibration_mix(seed: int, rounds: int) -> int:
+    """Iterated 64-bit LCG+xorshift mix: pure-Python, GIL-held CPU burn.
+
+    This is the benchmark's unit of work. It deliberately never releases
+    the GIL (no big hashlib buffers, no numpy), so the thread-pool engine
+    is pinned to one core while the process engine scales — exactly the
+    contrast ``python -m repro bench`` measures.
+    """
+    value = seed & _MASK64
+    for _ in range(rounds):
+        value = (value * 6364136223846793005 + 1442695040888963407) & _MASK64
+        value ^= value >> 29
+    return value
+
+
+def _make_burn(rounds: int):
+    def burn(ctx):
+        acc = 0
+        for seed in ctx.records():
+            acc = (acc + calibration_mix(seed, rounds)) & _MASK64
+        return acc
+
+    return burn
+
+
+def build_calibration_local(rounds: int = CALIBRATION_ROUNDS):
+    """A CPU-bound aggregation app for the real engines.
+
+    One task streams u64 seeds, burns ``rounds`` of mixing per record, and
+    sums the mixed values; the merge is addition, so the checksum is
+    identical for every worker count, engine, and cloning schedule.
+    """
+    from repro.model.application import Application
+
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    app = Application("calibration-local")
+    src = app.bag("seeds", codec="u64")
+    out = app.bag("checksum")
+    app.task("burn", [src], [out], fn=_make_burn(rounds), merge="sum", phase="burn")
+    return app
+
+
+def calibration_seeds(n_records: int, seed: int = 1) -> list:
+    """Deterministic seed records for the calibration workload."""
+    value = (seed * 0x9E3779B97F4A7C15) & _MASK64 or 1
+    seeds = []
+    for _ in range(n_records):
+        value = (value * 6364136223846793005 + 1442695040888963407) & _MASK64
+        seeds.append(value)
+    return seeds
+
+
 # -- PageRank (Table 4) -----------------------------------------------------------
 
 #: Bytes per edge in the on-disk edge lists (two packed 32/34-bit ids).

@@ -1,0 +1,265 @@
+"""``python -m repro bench`` — engine benchmark writing ``BENCH_dist.json``.
+
+Runs the clicklog, hashjoin, and calibration workloads on the thread-pool
+engine (:class:`~repro.local.LocalRuntime`) and on the multiprocess engine
+(:class:`~repro.dist.DistRuntime`) at each requested worker count, then
+writes one JSON report with, per run: wall time, input-record throughput,
+speedup over the local baseline, clone counts, worker deaths, and (dist
+only) chunk-service latency percentiles — the observable side of Eq. 1's
+batch-sampling term.
+
+Every dist run's sink output is checked against the local baseline before
+its numbers are reported, so a "fast" engine that drops or duplicates
+chunks fails loudly instead of winning the benchmark.
+
+The local engine is the honest baseline for speedup: its workers are
+threads, so CPU-bound workloads (calibration is built to be one, see
+:func:`repro.apps.calibration.calibration_mix`) are pinned to a single
+core by the GIL no matter the thread count. The report records the host's
+``cpu_count`` so a 1-core container's flat speedup curve is legible as a
+hardware limit rather than an engine defect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.apps.calibration import (
+    CALIBRATION_ROUNDS,
+    build_calibration_local,
+    calibration_seeds,
+)
+from repro.apps.clicklog import build_clicklog_local
+from repro.apps.hashjoin import build_hashjoin_local
+from repro.local import LocalRuntime
+from repro.workloads.clicklog_data import generate_clicklog, region_name
+from repro.workloads.relations import generate_relation
+
+#: Worker counts benchmarked when ``--workers`` is not given.
+DEFAULT_WORKERS = (1, 2, 4)
+
+#: Per-run wall-clock ceiling; generous because CI containers are slow.
+RUN_TIMEOUT = 300.0
+
+
+class _Workload:
+    """One benchmarkable app: a fresh graph per run plus a parity probe."""
+
+    def __init__(
+        self,
+        name: str,
+        build: Callable[[], Any],
+        inputs: Dict[str, list],
+        snapshot: Callable[[Any], Any],
+    ):
+        self.name = name
+        self.build = build
+        self.inputs = inputs
+        self.snapshot = snapshot
+        self.input_records = sum(len(records) for records in inputs.values())
+
+
+def _clicklog_workload(n_records: int, region_count: int) -> _Workload:
+    names = [region_name(i) for i in range(region_count)]
+    records = [
+        ip for ip in generate_clicklog(n_records, skew=0.8, seed=11)
+        if (ip >> 26) < region_count
+    ]
+
+    def snapshot(result):
+        return {name: result.value(f"count.{name}") for name in names}
+
+    return _Workload(
+        "clicklog",
+        lambda: build_clicklog_local(regions=names),
+        {"clicklog": records},
+        snapshot,
+    )
+
+
+def _hashjoin_workload(build_rows: int, probe_rows: int, partitions: int) -> _Workload:
+    left = list(generate_relation(build_rows, key_space=1 << 16, skew=0.9, seed=1))
+    right = list(generate_relation(probe_rows, key_space=1 << 16, skew=0.0, seed=2))
+
+    def snapshot(result):
+        # Join output order is interleaving-dependent; sort for parity.
+        return sorted(
+            row for p in range(partitions) for row in result.records(f"join.{p}")
+        )
+
+    return _Workload(
+        "hashjoin",
+        lambda: build_hashjoin_local(partitions=partitions),
+        {"relation.r": left, "relation.s": right},
+        snapshot,
+    )
+
+
+def _calibration_workload(n_seeds: int, rounds: int) -> _Workload:
+    return _Workload(
+        "calibration",
+        lambda: build_calibration_local(rounds=rounds),
+        {"seeds": calibration_seeds(n_seeds)},
+        lambda result: result.value("checksum"),
+    )
+
+
+def _run_local(workload: _Workload) -> Dict[str, Any]:
+    runtime = LocalRuntime(workload.build(), workers=4)
+    started = time.perf_counter()
+    result = runtime.run(dict(workload.inputs), timeout=RUN_TIMEOUT)
+    seconds = time.perf_counter() - started
+    return {
+        "engine": "local",
+        "workers": 4,
+        "seconds": round(seconds, 4),
+        "throughput_records_per_s": _throughput(workload, seconds),
+        "total_clones": result.total_clones(),
+        "clone_counts": dict(result.clone_counts),
+        "snapshot": workload.snapshot(result),
+    }
+
+
+def _run_dist(workload: _Workload, workers: int, baseline: Dict[str, Any]):
+    from repro.dist import DistRuntime
+
+    runtime = DistRuntime(workload.build(), workers=workers)
+    started = time.perf_counter()
+    result = runtime.run(dict(workload.inputs), timeout=RUN_TIMEOUT)
+    seconds = time.perf_counter() - started
+    matches = workload.snapshot(result) == baseline["snapshot"]
+    return {
+        "engine": "dist",
+        "workers": workers,
+        "seconds": round(seconds, 4),
+        "throughput_records_per_s": _throughput(workload, seconds),
+        "speedup_vs_local": round(baseline["seconds"] / seconds, 3) if seconds else None,
+        "matches_local": matches,
+        "total_clones": result.total_clones(),
+        "clone_counts": dict(result.clone_counts),
+        "worker_deaths": result.worker_deaths,
+        "chunks_processed": result.chunks_processed,
+        "chunk_latency_ms": result.chunk_latency_percentiles(),
+    }
+
+
+def _throughput(workload: _Workload, seconds: float) -> Optional[float]:
+    if seconds <= 0 or workload.input_records == 0:
+        return None
+    return round(workload.input_records / seconds, 1)
+
+
+def _build_workloads(args) -> List[_Workload]:
+    if args.quick:
+        sizes = {
+            "clicklog": (args.records or 2_000, 2),
+            "hashjoin": (80, args.rows or 400, 2),
+            "calibration": (60, args.rounds or 200),
+        }
+    else:
+        sizes = {
+            "clicklog": (args.records or 20_000, 4),
+            "hashjoin": (300, args.rows or 2_500, 4),
+            "calibration": (2_000, args.rounds or CALIBRATION_ROUNDS),
+        }
+    builders = {
+        "clicklog": lambda: _clicklog_workload(*sizes["clicklog"]),
+        "hashjoin": lambda: _hashjoin_workload(*sizes["hashjoin"]),
+        "calibration": lambda: _calibration_workload(*sizes["calibration"]),
+    }
+    unknown = [w for w in args.workloads if w not in builders]
+    if unknown:
+        raise SystemExit(f"unknown workload(s): {', '.join(unknown)}")
+    return [builders[name]() for name in args.workloads]
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro bench", description="Benchmark the local and dist engines."
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny sizes (CI smoke configuration)"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_dist.json", help="report path (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--workers",
+        default=",".join(str(w) for w in DEFAULT_WORKERS),
+        help="comma-separated dist worker counts (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workloads",
+        default="clicklog,hashjoin,calibration",
+        help="comma-separated workload subset (default: %(default)s)",
+    )
+    parser.add_argument("--records", type=int, help="clicklog input records")
+    parser.add_argument("--rows", type=int, help="hashjoin probe-side rows")
+    parser.add_argument("--rounds", type=int, help="calibration mixing rounds")
+    args = parser.parse_args(argv)
+    args.workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    try:
+        args.worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+    except ValueError:
+        parser.error(f"--workers must be comma-separated integers, got {args.workers!r}")
+    if not args.worker_counts or any(w < 1 for w in args.worker_counts):
+        parser.error(f"--workers needs positive integers, got {args.workers!r}")
+    return args
+
+
+def run_bench(argv=None) -> Dict[str, Any]:
+    """Run the benchmark matrix and return the report dict."""
+    args = _parse_args(argv)
+    report: Dict[str, Any] = {
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {
+            "quick": args.quick,
+            "workers": args.worker_counts,
+            "workloads": args.workloads,
+        },
+        "workloads": {},
+    }
+    for workload in _build_workloads(args):
+        print(f"[bench] {workload.name}: local baseline ...", flush=True)
+        baseline = _run_local(workload)
+        runs = [dict(baseline)]
+        runs[0].pop("snapshot")
+        for workers in args.worker_counts:
+            print(f"[bench] {workload.name}: dist x{workers} ...", flush=True)
+            runs.append(_run_dist(workload, workers, baseline))
+        parity_ok = all(r.get("matches_local", True) for r in runs)
+        speedups = [
+            r["speedup_vs_local"] for r in runs if r.get("speedup_vs_local") is not None
+        ]
+        report["workloads"][workload.name] = {
+            "input_records": workload.input_records,
+            "parity_ok": parity_ok,
+            "best_dist_speedup": max(speedups) if speedups else None,
+            "runs": runs,
+        }
+    report["parity_ok"] = all(
+        entry["parity_ok"] for entry in report["workloads"].values()
+    )
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"[bench] wrote {args.output} (parity_ok={report['parity_ok']})")
+    return report
+
+
+def main(argv=None) -> int:
+    report = run_bench(argv)
+    return 0 if report["parity_ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,218 @@
+"""Client side of the storage protocol: bag proxies and batch sampling.
+
+:class:`RemoteBagStore` mimics the
+:class:`~repro.storage.local.LocalBagStore` surface over one storage
+connection, so the engine-agnostic helpers in :mod:`repro.engine.common`
+(and the shared :class:`~repro.local.context.TaskContext`) work unchanged
+in worker and master processes.
+
+:class:`BatchChunkFetcher` is the paper's batch-sampling access path
+(Section 4.2, Eq. 1): instead of one round trip per chunk, a prefetch
+thread on its own connection requests up to ``b`` chunks per RPC and
+keeps a buffer of ``b`` chunks ahead of the consuming task — while the
+task burns CPU on buffered chunks, the next batch is already in flight,
+hiding the chunk-service latency that Eq. 1 charges per request.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, List, Optional, Tuple
+
+import repro.errors as errors_mod
+from repro.dist.protocol import DIST_STORAGE_POLICY, StorageAddress, connect_with_retry
+from repro.errors import StorageNodeDown
+from repro.storage.policy import StorageConfig
+
+#: Sentinel queued by the fetcher when the bag is drained and sealed.
+_EOF = object()
+
+#: Poll interval while a streamed bag is empty but not yet sealed (only
+#: possible for bags filled concurrently; scheduled tasks stream sealed
+#: bags, so this path is a safety net, not a hot loop).
+_UNSEALED_POLL_SECONDS = 0.005
+
+
+class RemoteBag:
+    """Proxy for one bag hosted by the storage server."""
+
+    def __init__(self, store: "RemoteBagStore", bag_id: str):
+        self.bag_id = bag_id
+        self._store = store
+
+    def insert(self, chunk: Any) -> None:
+        self._store.call("insert", self.bag_id, chunk)
+
+    def remove(self) -> Optional[Any]:
+        chunk, _sealed = self._store.call("remove", self.bag_id)
+        return chunk
+
+    def remove_batch(self, count: int) -> Tuple[List[Any], bool]:
+        return self._store.call("remove_batch", self.bag_id, count)
+
+    def read_all(self) -> List[Any]:
+        return self._store.call("read_all", self.bag_id)
+
+    def seal(self) -> None:
+        self._store.call("seal", self.bag_id)
+
+    def remaining(self) -> int:
+        return self._store.call("remaining", self.bag_id)
+
+    def rewind(self) -> None:
+        self._store.call("rewind", self.bag_id)
+
+    def discard(self) -> None:
+        self._store.call("discard", self.bag_id)
+
+    def size(self) -> int:
+        return self._store.call("size", self.bag_id)
+
+
+class RemoteBagStore:
+    """A LocalBagStore-compatible facade over one storage connection.
+
+    Thread-safe: a lock serializes the send/recv pair. Connection
+    establishment retries per the storage policy; a failure *mid-call*
+    raises :class:`~repro.errors.StorageNodeDown` instead of retrying,
+    because mutating ops (insert, remove_batch) are not idempotent.
+    """
+
+    def __init__(
+        self,
+        address: StorageAddress,
+        authkey: bytes,
+        client_id: str,
+        policy: StorageConfig = DIST_STORAGE_POLICY,
+    ):
+        self.address = address
+        self.authkey = authkey
+        self.client_id = client_id
+        self.policy = policy
+        self._conn = None
+        self._lock = threading.Lock()
+
+    def _ensure_conn(self):
+        if self._conn is None:
+            self._conn = connect_with_retry(self.address, self.authkey, self.policy)
+            self._conn.send(("hello", self.client_id))
+            status, payload = self._conn.recv()
+            if status != "ok":
+                raise StorageNodeDown(f"storage handshake failed: {payload}")
+        return self._conn
+
+    def call(self, op: str, *args: Any) -> Any:
+        with self._lock:
+            conn = self._ensure_conn()
+            try:
+                conn.send((op,) + args)
+                status, payload = conn.recv()
+            except (EOFError, OSError) as exc:
+                self._conn = None
+                raise StorageNodeDown(
+                    f"storage server unreachable during {op!r}: {exc}"
+                ) from exc
+            if status == "err":
+                exc_name, message = payload
+                exc_type = getattr(errors_mod, exc_name, None)
+                if exc_type is None or not isinstance(exc_type, type):
+                    exc_type = errors_mod.ReproError
+                raise exc_type(message)
+            return payload
+
+    # -- LocalBagStore surface ------------------------------------------------
+
+    def ensure(self, bag_id: str) -> RemoteBag:
+        return RemoteBag(self, bag_id)
+
+    def get(self, bag_id: str) -> RemoteBag:
+        # Server-side ops auto-ensure; get/ensure are aliases here.
+        return RemoteBag(self, bag_id)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except OSError:
+                    pass
+                self._conn = None
+
+
+class BatchChunkFetcher:
+    """Prefetching chunk client for one stream-input bag.
+
+    A daemon thread on a dedicated connection issues ``remove_batch``
+    RPCs of ``batch`` chunks and feeds a bounded queue; :meth:`get`
+    returns the next chunk or ``None`` at end-of-bag. Per-RPC latency
+    samples (seconds) accumulate in :attr:`latencies` for the benchmark's
+    chunk-service percentiles.
+    """
+
+    def __init__(
+        self,
+        address: StorageAddress,
+        authkey: bytes,
+        client_id: str,
+        bag_id: str,
+        batch: int,
+        policy: StorageConfig = DIST_STORAGE_POLICY,
+    ):
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        self.bag_id = bag_id
+        self.batch = batch
+        self.latencies: List[float] = []
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=batch)
+        self._stop = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._store = RemoteBagStore(address, authkey, client_id, policy)
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name=f"fetch-{bag_id}"
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        bag = self._store.get(self.bag_id)
+        try:
+            while not self._stop.is_set():
+                started = time.perf_counter()
+                chunks, sealed = bag.remove_batch(self.batch)
+                self.latencies.append(time.perf_counter() - started)
+                if not chunks:
+                    if sealed:
+                        self._put(_EOF)
+                        return
+                    time.sleep(_UNSEALED_POLL_SECONDS)
+                    continue
+                for chunk in chunks:
+                    self._put(chunk)
+        except BaseException as exc:
+            self._error = exc
+            self._put(_EOF)
+        finally:
+            self._store.close()
+
+    def _put(self, item: Any) -> None:
+        # Bounded put that gives up when the consumer stopped listening.
+        while not self._stop.is_set():
+            try:
+                self._queue.put(item, timeout=0.1)
+                return
+            except queue.Full:
+                continue
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Next chunk, or ``None`` once the bag is drained and sealed."""
+        item = self._queue.get(timeout=timeout)
+        if item is _EOF:
+            if self._error is not None:
+                raise self._error
+            return None
+        return item
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)

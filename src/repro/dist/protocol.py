@@ -1,0 +1,98 @@
+"""Wire protocol shared by the dist master, workers, and storage server.
+
+Two channels exist:
+
+* **command channel** (master <-> worker, a duplex ``multiprocessing``
+  pipe): the master sends ``{"type": "run" | "cancel" | "shutdown"}``
+  dicts; workers answer with ``hello`` / ``progress`` / ``done`` /
+  ``aborted`` / ``failed`` dicts. Messages are whole pickled objects, so
+  framing is atomic.
+* **storage channel** (any process -> storage server, a Unix-domain
+  socket): requests are ``(op, *args)`` tuples, responses are
+  ``("ok", payload)`` or ``("err", (exc_type_name, message))``. A
+  Unix socket (not localhost TCP) because ``multiprocessing`` sends
+  large messages as separate header/body writes, which interacts with
+  Nagle + delayed-ACK on TCP to add ~40ms per chunk RPC.
+
+Connections are established with :func:`connect_with_retry`, which reuses
+the :class:`~repro.storage.policy.StorageConfig` retry/timeout/backoff
+schedule (Section 4.4) against *real* clock time — a worker that starts
+before the server listens, or that reconnects after a restart, backs off
+instead of failing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import Client, Connection
+from typing import Optional, Tuple, Union
+
+from repro.storage.policy import StorageConfig
+from repro.units import KB
+
+#: A Unix-socket path (preferred) or a ``(host, port)`` TCP endpoint.
+StorageAddress = Union[str, Tuple[str, int]]
+
+#: Real-time flavor of the Section 4.4 policy: sub-second backoffs, a few
+#: seconds of total patience — tuned for same-host RPCs, not simulation.
+DIST_STORAGE_POLICY = StorageConfig(
+    rpc_retries=12,
+    retry_backoff=0.05,
+    backoff_multiplier=1.6,
+    rpc_timeout=8.0,
+)
+
+
+@dataclass(frozen=True)
+class NodeDescriptor:
+    """Everything a worker needs to execute one schedulable node.
+
+    Workers hold a forked copy of the static :class:`AppGraph` (task specs
+    and code), but clone/merge nodes are created by the master at run time
+    — so the dynamic wiring (stream input, per-member partial output bags,
+    merge inputs) travels in the descriptor.
+    """
+
+    node_id: str
+    task_id: str
+    kind: str  # "task" | "clone" | "merge"
+    stream_input: str
+    side_inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    merge_inputs: Tuple[str, ...] = ()
+    #: Index of this worker within the task family (0 = original); names
+    #: the partial-output bag an aggregation member writes.
+    member: int = 0
+    #: Fault injection: the worker hard-exits (``os._exit``) after fetching
+    #: this many stream chunks. Used by tests and the chaos-style smoke.
+    kill_after_chunks: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DistSettings:
+    """Knobs forked into every worker process."""
+
+    chunk_size: int = 64 * KB
+    records_per_chunk: int = 256
+    #: ``b`` of Eq. 1: chunk requests kept outstanding by the batch-sampling
+    #: client (one in-flight batch of ``b`` while up to ``b`` are buffered).
+    batch_requests: int = 4
+    policy: StorageConfig = field(default_factory=lambda: DIST_STORAGE_POLICY)
+
+
+def connect_with_retry(
+    address: StorageAddress,
+    authkey: bytes,
+    policy: StorageConfig = DIST_STORAGE_POLICY,
+) -> Connection:
+    """Open a storage connection, backing off per ``policy`` on refusal."""
+    backoffs = policy.backoffs()
+    while True:
+        try:
+            return Client(address, authkey=authkey)
+        except (ConnectionRefusedError, ConnectionResetError, OSError):
+            delay = next(backoffs, None)
+            if delay is None:
+                raise
+            time.sleep(delay)

@@ -1,0 +1,689 @@
+"""The dist master: process topology, scheduling, cloning, and recovery.
+
+``DistRuntime.run`` forks a storage-server process, fills the source bags
+through it, forks N worker processes (each holding a copy-on-write
+snapshot of the application graph), then drives the shared
+:class:`~repro.model.execution_graph.ExecutionGraph` from a single event
+loop fed by per-worker reader threads:
+
+* READY nodes are assigned to idle workers as
+  :class:`~repro.dist.protocol.NodeDescriptor` messages;
+* ``progress`` messages give mid-task visibility — they trigger the
+  forced-clone schedule and, together with server-side ``remaining``
+  queries, the work-conserving clone heuristic (an idle worker clones the
+  running task with the most input left, exactly like ``repro.local``);
+* a worker's pipe EOF means the process died: the master joins the
+  corpse, **fences** its storage connections (all its in-flight writes
+  are applied before recovery proceeds), cancels surviving family
+  members, resets the family (discard outputs + partial bags, rewind the
+  stream input), forks a replacement worker, and reruns — Section 4.4's
+  compute-failure story on real processes.
+
+Aggregation partials travel through server-side per-member partial bags;
+the merge node is assigned to a worker like any other node. A family that
+finishes with no clones never grows a merge node — the master itself
+promotes the lone partial into the real output bag, mirroring
+``LocalRuntime._complete``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.dist.client import RemoteBagStore
+from repro.dist.protocol import (
+    DIST_STORAGE_POLICY,
+    DistSettings,
+    NodeDescriptor,
+    StorageAddress,
+)
+from repro.dist.server import storage_server_main
+from repro.dist.worker import worker_main
+from repro.engine.common import bag_records, emit_value, fill_bag
+from repro.errors import RemoteTaskError, ReproError, SchedulingError
+from repro.model.application import Application
+from repro.model.execution_graph import (
+    ExecutionGraph,
+    ExecutionNode,
+    NodeKind,
+    NodeState,
+    partial_bag_id,
+)
+from repro.model.graph import AppGraph
+from repro.storage.policy import StorageConfig
+from repro.trace import NULL_TRACER
+from repro.units import KB
+
+
+class _Worker:
+    """Master-side bookkeeping for one worker process."""
+
+    def __init__(self, wid: int, proc, conn, reader: threading.Thread):
+        self.wid = wid
+        self.proc = proc
+        self.conn = conn
+        self.reader = reader
+        self.alive = True
+
+
+class DistResult:
+    """Decoded bag snapshots plus execution statistics of a dist run."""
+
+    def __init__(
+        self,
+        runtime: "DistRuntime",
+        snapshots: Dict[str, List[Any]],
+        storage_stats: Dict[str, int],
+    ):
+        self.clone_counts: Dict[str, int] = {
+            task_id: 1 + len(family.clones)
+            for task_id, family in runtime.exec.families.items()
+        }
+        self.records_processed = runtime.records_processed
+        self.chunks_processed = runtime.chunks_processed
+        self.worker_deaths = runtime.worker_deaths
+        self.family_resets = runtime.family_resets
+        self.chunk_rpc_seconds: List[float] = list(runtime.chunk_rpc_seconds)
+        self.storage_stats = storage_stats
+        self.trace_metrics = dict(runtime.tracer.metrics)
+        self._snapshots = snapshots
+
+    def records(self, bag_id: str) -> List[Any]:
+        try:
+            return self._snapshots[bag_id]
+        except KeyError:
+            raise ReproError(
+                f"bag {bag_id!r} was not snapshotted; pass snapshot_bags='all' "
+                "(or include it explicitly) to DistRuntime"
+            ) from None
+
+    def value(self, bag_id: str) -> Any:
+        records = self.records(bag_id)
+        if len(records) != 1:
+            raise ReproError(
+                f"bag {bag_id!r} holds {len(records)} records, expected 1"
+            )
+        return records[0]
+
+    def total_clones(self) -> int:
+        return sum(count - 1 for count in self.clone_counts.values())
+
+    def chunk_latency_percentiles(self) -> Dict[str, float]:
+        """Chunk-service RPC latency percentiles in milliseconds."""
+        samples = sorted(self.chunk_rpc_seconds)
+        if not samples:
+            return {"count": 0}
+        def pct(p: float) -> float:
+            index = min(len(samples) - 1, int(p * len(samples)))
+            return samples[index] * 1e3
+        return {
+            "count": len(samples),
+            "p50_ms": pct(0.50),
+            "p90_ms": pct(0.90),
+            "p99_ms": pct(0.99),
+            "max_ms": samples[-1] * 1e3,
+        }
+
+
+class DistRuntime:
+    """Multiprocess engine: master + N workers + a storage server."""
+
+    def __init__(
+        self,
+        app: Application,
+        workers: int = 4,
+        cloning: bool = True,
+        chunk_size: int = 64 * KB,
+        records_per_chunk: int = 256,
+        clone_min_chunks: int = 2,
+        max_clones_per_task: Optional[int] = None,
+        batch_requests: int = 4,
+        storage_policy: StorageConfig = DIST_STORAGE_POLICY,
+        forced_clones: Optional[Dict[str, int]] = None,
+        kill_task: Optional[str] = None,
+        kill_after_chunks: int = 1,
+        max_worker_restarts: Optional[int] = None,
+        snapshot_bags: Any = "sinks",
+        tracer=None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.graph: AppGraph = app.graph if isinstance(app, Application) else app
+        self.workers = workers
+        self.cloning = cloning
+        self.settings = DistSettings(
+            chunk_size=chunk_size,
+            records_per_chunk=records_per_chunk,
+            batch_requests=batch_requests,
+            policy=storage_policy,
+        )
+        self.clone_min_chunks = clone_min_chunks
+        self.max_clones_per_task = max_clones_per_task or workers
+        self.forced_clones = dict(forced_clones or {})
+        self.kill_task = kill_task
+        self.kill_after_chunks = kill_after_chunks
+        self.max_worker_restarts = (
+            max_worker_restarts if max_worker_restarts is not None else 2 * workers
+        )
+        self.snapshot_bags = snapshot_bags
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.exec = ExecutionGraph(self.graph)
+        self.records_processed = 0
+        self.chunks_processed = 0
+        self.worker_deaths = 0
+        self.family_resets = 0
+        self.chunk_rpc_seconds: List[float] = []
+        # -- run-scoped state --
+        self._ctx = multiprocessing.get_context("fork")
+        self._events: "queue.Queue[Tuple]" = queue.Queue()
+        self._workers: Dict[int, _Worker] = {}
+        self._wid_counter = itertools.count()
+        self._idle: List[int] = []
+        self._ready: List[ExecutionNode] = []
+        self._assigned: Dict[int, ExecutionNode] = {}
+        self._node_worker: Dict[str, int] = {}
+        self._node_member: Dict[str, int] = {}
+        self._forced_pending: Set[str] = set(self.forced_clones)
+        self._kill_injected = False
+        self._recovery_tasks: Set[str] = set()
+        self._recovery_pending: Set[str] = set()
+        self._server_proc = None
+        self._store: Optional[RemoteBagStore] = None
+        self._authkey = os.urandom(16)
+        self._teardown = False
+
+    # -- process management ---------------------------------------------------
+
+    def _start_server(self) -> StorageAddress:
+        ready_parent, ready_child = self._ctx.Pipe(duplex=False)
+        self._server_proc = self._ctx.Process(
+            target=storage_server_main,
+            args=(ready_child, self._authkey),
+            name="dist-storage",
+            daemon=True,
+        )
+        self._server_proc.start()
+        ready_child.close()
+        if not ready_parent.poll(15.0):
+            raise SchedulingError("storage server did not start within 15s")
+        address = ready_parent.recv()
+        ready_parent.close()
+        return address
+
+    def _spawn_worker(self, address) -> _Worker:
+        wid = next(self._wid_counter)
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        # Close inherited copies of every *other* worker's pipe ends in the
+        # child, so one worker holding a sibling's fd can't mask its EOF.
+        close_conns = [w.conn for w in self._workers.values()]
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(
+                wid,
+                child_conn,
+                address,
+                self._authkey,
+                self.graph,
+                self.settings,
+                close_conns,
+            ),
+            name=f"dist-worker-{wid}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        reader = threading.Thread(
+            target=self._reader_loop, args=(wid, parent_conn), daemon=True,
+            name=f"dist-reader-{wid}",
+        )
+        worker = _Worker(wid, proc, parent_conn, reader)
+        self._workers[wid] = worker
+        reader.start()
+        return worker
+
+    def _reader_loop(self, wid: int, conn) -> None:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                self._events.put(("dead", wid))
+                return
+            self._events.put(("msg", wid, msg))
+
+    # -- run -------------------------------------------------------------------
+
+    def run(self, inputs: Dict[str, Iterable[Any]], timeout: float = 120.0) -> DistResult:
+        """Execute the application over ``inputs`` (source bag -> records)."""
+        unknown = set(inputs) - set(self.graph.source_bags())
+        if unknown:
+            raise SchedulingError(f"inputs given for non-source bags: {unknown}")
+        deadline = time.monotonic() + timeout
+        address = self._start_server()
+        try:
+            self._store = RemoteBagStore(
+                address, self._authkey, "master", self.settings.policy
+            )
+            for bag_id in self.graph.source_bags():
+                fill_bag(
+                    self._store,
+                    self.graph,
+                    bag_id,
+                    inputs.get(bag_id, ()),
+                    chunk_size=self.settings.chunk_size,
+                    records_per_chunk=self.settings.records_per_chunk,
+                )
+            # Workers fork *before* any reader thread exists.
+            procs = []
+            for _ in range(self.workers):
+                wid = next(self._wid_counter)
+                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+                procs.append((wid, parent_conn, child_conn))
+            for wid, parent_conn, child_conn in procs:
+                # A child must not inherit open copies of any sibling pipe
+                # end, or a sibling's death would never read as EOF.
+                close_conns = [
+                    conn
+                    for other_wid, pc, cc in procs
+                    if other_wid != wid
+                    for conn in (pc, cc)
+                ]
+                proc = self._ctx.Process(
+                    target=worker_main,
+                    args=(
+                        wid,
+                        child_conn,
+                        address,
+                        self._authkey,
+                        self.graph,
+                        self.settings,
+                        close_conns,
+                    ),
+                    name=f"dist-worker-{wid}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                worker = _Worker(wid, proc, parent_conn, None)
+                self._workers[wid] = worker
+            for worker in list(self._workers.values()):
+                reader = threading.Thread(
+                    target=self._reader_loop,
+                    args=(worker.wid, worker.conn),
+                    daemon=True,
+                    name=f"dist-reader-{worker.wid}",
+                )
+                worker.reader = reader
+                reader.start()
+            self._ready.extend(self.exec.initially_ready())
+            self._event_loop(deadline, address)
+            snapshots = self._snapshot()
+            stats = self._store.call("stats")
+            return DistResult(self, snapshots, stats)
+        finally:
+            self._shutdown()
+
+    # -- event loop ------------------------------------------------------------
+
+    def _event_loop(self, deadline: float, address) -> None:
+        while not self.exec.all_done():
+            self._assign_ready(address)
+            if self.cloning and self._idle and not self._pending_ready():
+                self._maybe_clone()
+                self._assign_ready(address)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise SchedulingError("distributed run exceeded its timeout")
+            try:
+                event = self._events.get(timeout=min(remaining, 0.5))
+            except queue.Empty:
+                continue
+            if event[0] == "dead":
+                self._on_worker_dead(event[1], address)
+            else:
+                self._on_message(event[1], event[2], address)
+
+    def _pending_ready(self) -> bool:
+        return any(
+            node.node_id in self.exec.nodes and node.state == NodeState.READY
+            for node in self._ready
+        )
+
+    def _assign_ready(self, address) -> None:
+        while self._idle and self._ready:
+            node = self._ready.pop(0)
+            # Skip nodes discarded by a family reset, or already taken.
+            if (
+                node.node_id not in self.exec.nodes
+                or node.state != NodeState.READY
+            ):
+                continue
+            wid = self._idle.pop(0)
+            self._dispatch(wid, node)
+
+    def _dispatch(self, wid: int, node: ExecutionNode) -> None:
+        worker = self._workers[wid]
+        desc = self._descriptor(node)
+        node.state = NodeState.RUNNING
+        self._assigned[wid] = node
+        self._node_worker[node.node_id] = wid
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "dist_assign", cat="dist", node=node.node_id, worker=wid
+            )
+        worker.conn.send({"type": "run", "desc": desc})
+
+    def _descriptor(self, node: ExecutionNode) -> NodeDescriptor:
+        kill_after = None
+        if (
+            not self._kill_injected
+            and self.kill_task is not None
+            and node.task_id == self.kill_task
+            and node.kind != NodeKind.MERGE
+        ):
+            self._kill_injected = True
+            kill_after = self.kill_after_chunks
+        return NodeDescriptor(
+            node_id=node.node_id,
+            task_id=node.task_id,
+            kind=node.kind.value,
+            stream_input=node.stream_input,
+            side_inputs=tuple(node.side_inputs),
+            outputs=tuple(node.outputs),
+            merge_inputs=tuple(node.merge_inputs),
+            member=self._node_member.get(node.node_id, 0),
+            kill_after_chunks=kill_after,
+        )
+
+    # -- messages ---------------------------------------------------------------
+
+    def _on_message(self, wid: int, msg: dict, address) -> None:
+        mtype = msg.get("type")
+        if mtype == "hello":
+            self._idle.append(wid)
+        elif mtype == "progress":
+            self._on_progress(wid, msg)
+        elif mtype == "done":
+            self._on_done(wid, msg)
+        elif mtype == "aborted":
+            self._on_aborted(wid, msg)
+        elif mtype == "failed":
+            raise RemoteTaskError(
+                msg.get("node_id", "?"), msg.get("error", "unknown error"),
+                msg.get("traceback", ""),
+            )
+
+    def _on_progress(self, wid: int, msg: dict) -> None:
+        node = self._assigned.get(wid)
+        if node is None:
+            return
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "dist_progress", chunks=float(msg.get("chunks", 0))
+            )
+        task_id = node.task_id
+        if (
+            node.kind == NodeKind.TASK
+            and task_id in self._forced_pending
+            and task_id not in self._recovery_tasks
+        ):
+            # The original is demonstrably mid-task (it just reported
+            # progress): grant the forced clones now.
+            # Forced schedules are explicit test/benchmark instructions and
+            # bypass the max-clones heuristic cap.
+            self._forced_pending.discard(task_id)
+            for _ in range(self.forced_clones[task_id]):
+                self._grant_clone(task_id)
+
+    def _grant_clone(self, task_id: str) -> None:
+        family = self.exec.families[task_id]
+        clone = self.exec.add_clone(task_id)
+        self._node_member[clone.node_id] = family.clone_counter
+        if family.merge is not None:
+            self._node_member.setdefault(family.original.node_id, 0)
+        self._ready.append(clone)
+        if self.tracer.enabled:
+            self.tracer.instant("clone_granted", cat="dist", task=task_id)
+        self.tracer.inc("dist.clones")
+
+    def _maybe_clone(self) -> None:
+        """Idle workers clone the running task with the most input left."""
+        running = [
+            (task_id, family)
+            for task_id, family in self.exec.families.items()
+            if not family.finished
+            and task_id not in self._recovery_tasks
+            and any(w.state == NodeState.RUNNING for w in family.workers)
+            and self.exec.clone_count(task_id) < self.max_clones_per_task
+        ]
+        if not running:
+            return
+        remaining = self._store.call(
+            "remaining_many",
+            [family.original.stream_input for _, family in running],
+        )
+        best, best_remaining = None, self.clone_min_chunks - 1
+        for task_id, family in running:
+            left = remaining.get(family.original.stream_input, 0)
+            if left > best_remaining:
+                best, best_remaining = task_id, left
+        if best is not None:
+            self._grant_clone(best)
+
+    def _on_done(self, wid: int, msg: dict) -> None:
+        node = self._assigned.pop(wid, None)
+        self._idle.append(wid)
+        if node is None:
+            return
+        self._node_worker.pop(node.node_id, None)
+        self.records_processed += msg.get("records", 0)
+        self.chunks_processed += msg.get("chunks", 0)
+        self.chunk_rpc_seconds.extend(msg.get("latencies", ()))
+        if node.node_id in self._recovery_pending:
+            # Completed before the cancel landed; the family is being reset,
+            # so ignore the completion itself.
+            self._recovery_pending.discard(node.node_id)
+            self._finish_recovery_if_ready()
+            return
+        if node.node_id not in self.exec.nodes:
+            return  # discarded by a reset that already happened
+        family = self.exec.families[node.task_id]
+        if (
+            node.kind != NodeKind.MERGE
+            and node.spec.needs_merge
+            and family.merge is None
+        ):
+            # Lone-member aggregation: promote the single partial into the
+            # real output bag (mirrors LocalRuntime._complete).
+            values = [
+                record
+                for chunk in self._store.get(
+                    partial_bag_id(node.task_id, 0)
+                ).read_all()
+                for record in chunk
+            ]
+            if len(values) != 1:
+                raise SchedulingError(
+                    f"expected one partial for un-cloned {node.task_id!r}, "
+                    f"found {len(values)}"
+                )
+            emit_value(
+                self._store,
+                self.graph,
+                node.spec.outputs[0],
+                values[0],
+                chunk_size=self.settings.chunk_size,
+            )
+        newly_ready = self.exec.node_done(node.node_id)
+        if family.finished:
+            for bag_id in family.original.spec.outputs:
+                if self.exec.bag_complete(bag_id):
+                    self._store.get(bag_id).seal()
+        for ready in newly_ready:
+            if ready.kind == NodeKind.MERGE:
+                self._node_member.setdefault(ready.node_id, 0)
+            self._ready.append(ready)
+
+    def _on_aborted(self, wid: int, msg: dict) -> None:
+        node = self._assigned.pop(wid, None)
+        self._idle.append(wid)
+        if node is not None:
+            self._node_worker.pop(node.node_id, None)
+        self._recovery_pending.discard(msg.get("node_id"))
+        self._finish_recovery_if_ready()
+
+    # -- failure recovery --------------------------------------------------------
+
+    def _on_worker_dead(self, wid: int, address) -> None:
+        worker = self._workers.pop(wid, None)
+        if worker is None or self._teardown:
+            return
+        worker.alive = False
+        worker.proc.join(timeout=5.0)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if wid in self._idle:
+            self._idle.remove(wid)
+        self.worker_deaths += 1
+        self.tracer.inc("dist.worker_deaths")
+        if self.tracer.enabled:
+            self.tracer.instant("worker_dead", cat="dist", worker=wid)
+        node = self._assigned.pop(wid, None)
+        if self.worker_deaths > self.max_worker_restarts:
+            raise SchedulingError(
+                f"{self.worker_deaths} worker deaths exceed the restart budget"
+            )
+        # All of the corpse's in-flight storage writes are applied before
+        # recovery mutates any bag.
+        self._store.call("fence", f"worker-{wid}", 10.0)
+        self._spawn_worker(address)
+        if node is None:
+            return
+        self._node_worker.pop(node.node_id, None)
+        affected = self._cascade(node.task_id)
+        self._recovery_tasks |= affected
+        for task_id in affected:
+            family = self.exec.families[task_id]
+            members = list(family.workers)
+            if family.merge is not None:
+                members.append(family.merge)
+            for member in members:
+                owner = self._node_worker.get(member.node_id)
+                if owner is None or owner == wid:
+                    continue
+                try:
+                    self._workers[owner].conn.send(
+                        {"type": "cancel", "node_id": member.node_id}
+                    )
+                    self._recovery_pending.add(member.node_id)
+                except (KeyError, OSError, BrokenPipeError):
+                    pass  # that worker is dying too; its EOF will arrive
+        self._finish_recovery_if_ready()
+
+    def _cascade(self, task_id: str) -> Set[str]:
+        """Families that must reset together with ``task_id``.
+
+        A streaming family writes shared output bags; discarding one
+        discards every producer's chunks, so unfinished producers sharing
+        an output bag join the reset. A *finished* co-producer cannot be
+        replayed safely — that configuration is rejected.
+        """
+        affected = {task_id}
+        frontier = [task_id]
+        while frontier:
+            current = frontier.pop()
+            family = self.exec.families[current]
+            for bag_id in family.original.spec.outputs:
+                for producer in self.graph.producers_of(bag_id):
+                    other = producer.task_id
+                    if other in affected:
+                        continue
+                    other_family = self.exec.families[other]
+                    if other_family.finished:
+                        raise SchedulingError(
+                            f"cannot recover task {task_id!r}: finished task "
+                            f"{other!r} shares output bag {bag_id!r}"
+                        )
+                    started = any(
+                        w.state in (NodeState.RUNNING, NodeState.DONE)
+                        for w in other_family.workers
+                    )
+                    if started:
+                        affected.add(other)
+                        frontier.append(other)
+        return affected
+
+    def _finish_recovery_if_ready(self) -> None:
+        if not self._recovery_tasks or self._recovery_pending:
+            return
+        tasks, self._recovery_tasks = self._recovery_tasks, set()
+        for task_id in sorted(tasks):
+            family = self.exec.families[task_id]
+            bags = set()
+            members = list(family.workers)
+            for member in members:
+                bags.update(member.outputs)
+            if family.merge is not None:
+                # A merge that died after emitting but before reporting may
+                # have written the real output bag already.
+                bags.update(family.merge.outputs)
+            for index in range(family.clone_counter + 1):
+                bags.add(partial_bag_id(task_id, index))
+            self.exec.reset_family(task_id)
+            for bag_id in bags:
+                self._store.get(bag_id).discard()
+            self._store.get(family.original.spec.stream_input).rewind()
+            self._ready.append(family.original)
+            self.family_resets += 1
+            self.tracer.inc("dist.family_resets")
+            if self.tracer.enabled:
+                self.tracer.instant("family_reset", cat="dist", task=task_id)
+
+    # -- results & teardown -------------------------------------------------------
+
+    def _snapshot(self) -> Dict[str, List[Any]]:
+        if self.snapshot_bags == "all":
+            bag_ids = list(self.graph.bags)
+        elif self.snapshot_bags == "sinks":
+            bag_ids = self.graph.sink_bags()
+        else:
+            bag_ids = list(self.snapshot_bags)
+        return {
+            bag_id: bag_records(self._store, self.graph, bag_id)
+            for bag_id in bag_ids
+        }
+
+    def _shutdown(self) -> None:
+        self._teardown = True
+        for worker in self._workers.values():
+            try:
+                worker.conn.send({"type": "shutdown"})
+            except (OSError, BrokenPipeError):
+                pass
+        for worker in self._workers.values():
+            worker.proc.join(timeout=3.0)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=2.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        if self._store is not None:
+            try:
+                self._store.call("shutdown")
+            except ReproError:
+                pass
+            self._store.close()
+        if self._server_proc is not None:
+            self._server_proc.join(timeout=3.0)
+            if self._server_proc.is_alive():
+                self._server_proc.terminate()
+                self._server_proc.join(timeout=2.0)

@@ -1,0 +1,183 @@
+"""The storage-server process: data bags behind a socket RPC loop.
+
+One process owns every bag of a run (a :class:`LocalBagStore`), and every
+bag mutation happens under that store's locks — which is what makes chunk
+removal **exactly-once across processes**: two clones racing ``remove``
+on the same bag are serialized server-side, so each chunk is handed to
+exactly one of them. Workers, the master, and prefetch threads each open
+their own connection; the server runs one dispatcher thread per
+connection.
+
+Connections introduce themselves with ``("hello", client_id)``. The
+master uses the registry for the **fence** operation: after a worker
+process dies, ``("fence", client_id)`` blocks until every connection that
+worker had registered is fully drained and closed — i.e. until all of the
+dead worker's in-flight inserts have been applied — so the recovery
+discard/rewind cannot race with a late write from the corpse.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from multiprocessing.connection import Connection, Listener
+from typing import Any, Dict, Set, Tuple
+
+from repro.storage.local import LocalBagStore
+
+
+class _ServerState:
+    def __init__(self):
+        self.store = LocalBagStore()
+        self.stats: Dict[str, int] = {}
+        self.stats_lock = threading.Lock()
+        self.stop = threading.Event()
+        self.registry_lock = threading.Lock()
+        self.registry_cond = threading.Condition(self.registry_lock)
+        #: client_id -> live connection object ids.
+        self.clients: Dict[str, Set[int]] = {}
+
+    def bump(self, op: str, n: int = 1) -> None:
+        with self.stats_lock:
+            self.stats[op] = self.stats.get(op, 0) + n
+
+
+def _dispatch(state: _ServerState, conn_id: int, req: Tuple[Any, ...]) -> Any:
+    op = req[0]
+    store = state.store
+    state.bump(op)
+    if op == "hello":
+        client_id = req[1]
+        with state.registry_cond:
+            state.clients.setdefault(client_id, set()).add(conn_id)
+        return client_id
+    if op == "insert":
+        store.ensure(req[1]).insert(req[2])
+        return None
+    if op == "remove":
+        bag = store.ensure(req[1])
+        return (bag.remove(), bag.sealed)
+    if op == "remove_batch":
+        bag = store.ensure(req[1])
+        chunks = []
+        for _ in range(req[2]):
+            chunk = bag.remove()
+            if chunk is None:
+                break
+            chunks.append(chunk)
+        state.bump("chunks_removed", len(chunks))
+        return (chunks, bag.sealed)
+    if op == "read_all":
+        return store.ensure(req[1]).read_all()
+    if op == "seal":
+        store.ensure(req[1]).seal()
+        return None
+    if op == "remaining":
+        return store.ensure(req[1]).remaining()
+    if op == "remaining_many":
+        return {bag_id: store.ensure(bag_id).remaining() for bag_id in req[1]}
+    if op == "rewind":
+        store.ensure(req[1]).rewind()
+        return None
+    if op == "discard":
+        store.ensure(req[1]).discard()
+        return None
+    if op == "size":
+        return store.ensure(req[1]).size()
+    if op == "stats":
+        with state.stats_lock:
+            return dict(state.stats)
+    if op == "fence":
+        client_id, timeout = req[1], req[2]
+        deadline = threading.TIMEOUT_MAX if timeout is None else timeout
+        with state.registry_cond:
+            state.registry_cond.wait_for(
+                lambda: not state.clients.get(client_id), timeout=deadline
+            )
+            return len(state.clients.get(client_id, ()))
+    raise ValueError(f"unknown storage op {op!r}")
+
+
+def _serve_connection(state: _ServerState, conn: Connection, listener) -> None:
+    conn_id = id(conn)
+    try:
+        while True:
+            try:
+                req = conn.recv()
+            except (EOFError, OSError):
+                return
+            if req[0] == "shutdown":
+                conn.send(("ok", None))
+                state.stop.set()
+                # Closing the listener does NOT wake a thread blocked in
+                # accept(2); poke it with a throwaway connection so the
+                # accept loop re-checks the stop flag immediately.
+                _poke(listener.address)
+                listener.close()
+                return
+            try:
+                payload = _dispatch(state, conn_id, req)
+            except Exception as exc:  # report, keep serving this client
+                try:
+                    conn.send(("err", (type(exc).__name__, str(exc))))
+                except (OSError, BrokenPipeError):
+                    return
+                continue
+            try:
+                conn.send(("ok", payload))
+            except (OSError, BrokenPipeError):
+                return
+    finally:
+        with state.registry_cond:
+            for conns in state.clients.values():
+                conns.discard(conn_id)
+            state.registry_cond.notify_all()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _poke(address) -> None:
+    """Connect-and-close against our own listener to unblock accept()."""
+    try:
+        if isinstance(address, str):
+            sock = socket.socket(socket.AF_UNIX)
+        else:
+            sock = socket.socket(socket.AF_INET)
+        try:
+            sock.settimeout(1.0)
+            sock.connect(address)
+        finally:
+            sock.close()
+    except OSError:
+        pass
+
+
+def storage_server_main(ready_conn: Connection, authkey: bytes) -> None:
+    """Process entry point: listen, report the bound address, serve.
+
+    The listener is a Unix-domain socket (auto-generated temp path):
+    same-host only by construction, and immune to the Nagle/delayed-ACK
+    stall that adds ~40ms to every >16KB chunk reply over localhost TCP.
+    """
+    state = _ServerState()
+    listener = Listener(family="AF_UNIX", authkey=authkey)
+    ready_conn.send(listener.address)
+    ready_conn.close()
+    while not state.stop.is_set():
+        try:
+            conn = listener.accept()
+        except Exception:
+            # Listener closed by the shutdown path, or a failed handshake;
+            # re-check the stop flag and keep accepting otherwise.
+            if state.stop.is_set():
+                break
+            continue
+        thread = threading.Thread(
+            target=_serve_connection,
+            args=(state, conn, listener),
+            daemon=True,
+            name="storage-conn",
+        )
+        thread.start()

@@ -1,0 +1,239 @@
+"""The worker process: clone-anywhere task execution over remote bags.
+
+A worker is a loop over master commands. For a TASK/CLONE node it runs
+the task function against a :class:`DistTaskContext` — the shared
+:class:`~repro.local.context.TaskContext` with the stream input swapped
+for the batch-sampling :class:`~repro.dist.client.BatchChunkFetcher` —
+then writes its partial (aggregations) into the family's per-member
+partial bag on the storage server. For a MERGE node it reads every
+member's partial bag in member order, folds with the merge procedure, and
+emits the reconciled value into the real output bag — the same
+reconciliation :mod:`repro.local` performs in-memory.
+
+Late binding is literal here: a clone started mid-task simply opens the
+same input bag and starts removing chunks; the storage server's
+exactly-once removal partitions the remaining work between the clone and
+the original without any coordination.
+
+Cancellation piggybacks on the command pipe: between chunks the context
+polls for a ``cancel`` message (sent when another family member's worker
+died and the master is resetting the family) and unwinds with
+``_Cancelled``, acknowledged as ``aborted``.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Any, List, Optional
+
+from repro.dist.client import BatchChunkFetcher, RemoteBagStore
+from repro.dist.protocol import DistSettings, NodeDescriptor
+from repro.engine.common import emit_value, fold_partials, resolve_merge
+from repro.errors import SchedulingError
+from repro.local.context import TaskContext
+from repro.model.execution_graph import partial_bag_id
+from repro.model.graph import AppGraph
+
+
+class _Cancelled(BaseException):
+    """Raised inside a task to unwind it after a master cancel message.
+
+    BaseException so ordinary ``except Exception`` blocks in user task
+    functions cannot swallow the cancellation.
+    """
+
+
+class _NodeShim:
+    """Duck-typed stand-in for ExecutionNode built from a NodeDescriptor."""
+
+    def __init__(self, desc: NodeDescriptor, spec):
+        self.node_id = desc.node_id
+        self.spec = spec
+        self.stream_input = desc.stream_input
+        self.side_inputs = desc.side_inputs
+        self.outputs = desc.outputs
+
+    @property
+    def task_id(self) -> str:
+        return self.spec.task_id
+
+
+class _WorkerRuntime:
+    """The runtime surface TaskContext expects (graph, store, chunking)."""
+
+    def __init__(self, graph: AppGraph, store: RemoteBagStore, settings: DistSettings):
+        self.graph = graph
+        self.store = store
+        self.chunk_size = settings.chunk_size
+        self.records_per_chunk = settings.records_per_chunk
+
+
+class DistTaskContext(TaskContext):
+    """TaskContext whose stream input is served by the batch fetcher."""
+
+    def __init__(self, runtime, node, fetcher, cmd_conn, desc: NodeDescriptor):
+        super().__init__(runtime, node)
+        self._fetcher = fetcher
+        self._cmd_conn = cmd_conn
+        self._desc = desc
+        self._progress_every = max(1, fetcher.batch)
+
+    def _poll_cancel(self) -> None:
+        while self._cmd_conn.poll(0):
+            msg = self._cmd_conn.recv()
+            if msg.get("type") == "cancel" and msg.get("node_id") == self._desc.node_id:
+                raise _Cancelled(self._desc.node_id)
+            # Anything else addressed to a busy worker is stale; drop it.
+
+    def records(self):
+        kill_after = self._desc.kill_after_chunks
+        while True:
+            chunk = self._fetcher.get()
+            if chunk is None:
+                return
+            self._poll_cancel()
+            self.chunks_in += 1
+            if self.chunks_in == 1 or self.chunks_in % self._progress_every == 0:
+                self._cmd_conn.send(
+                    {
+                        "type": "progress",
+                        "node_id": self._desc.node_id,
+                        "chunks": self.chunks_in,
+                        "records": self.records_in,
+                    }
+                )
+            for record in self._decode(self._node.stream_input, chunk):
+                self.records_in += 1
+                yield record
+            if kill_after is not None and self.chunks_in >= kill_after:
+                # Fault injection: die exactly like a SIGKILLed process —
+                # no flushes, no goodbyes; the master sees EOF.
+                os._exit(17)
+
+
+def _run_task(
+    runtime: _WorkerRuntime,
+    desc: NodeDescriptor,
+    cmd_conn,
+    settings: DistSettings,
+    wid: str,
+) -> dict:
+    spec = runtime.graph.tasks[desc.task_id]
+    if spec.fn is None:
+        raise SchedulingError(
+            f"task {desc.task_id!r} has no fn; distributed execution needs one"
+        )
+    node = _NodeShim(desc, spec)
+    fetcher = BatchChunkFetcher(
+        runtime.store.address,
+        runtime.store.authkey,
+        wid,
+        desc.stream_input,
+        settings.batch_requests,
+        settings.policy,
+    )
+    ctx = DistTaskContext(runtime, node, fetcher, cmd_conn, desc)
+    try:
+        result = spec.fn(ctx)
+        ctx.flush()
+    finally:
+        fetcher.stop()
+    if spec.needs_merge:
+        if result is None:
+            raise SchedulingError(
+                f"aggregation task {desc.task_id!r} returned None; tasks "
+                "with a merge must return their partial output"
+            )
+        runtime.store.get(partial_bag_id(desc.task_id, desc.member)).insert([result])
+    elif result is not None:
+        raise SchedulingError(
+            f"task {desc.task_id!r} returned a value but declares no merge"
+        )
+    return {
+        "records": ctx.records_in,
+        "chunks": ctx.chunks_in,
+        "latencies": fetcher.latencies[:512],
+    }
+
+
+def _run_merge(runtime: _WorkerRuntime, desc: NodeDescriptor) -> dict:
+    spec = runtime.graph.tasks[desc.task_id]
+    partials: List[Any] = []
+    for bag_id in desc.merge_inputs:
+        values = [
+            record
+            for chunk in runtime.store.get(bag_id).read_all()
+            for record in chunk
+        ]
+        if len(values) != 1:
+            raise SchedulingError(
+                f"partial bag {bag_id!r} holds {len(values)} values, expected 1"
+            )
+        partials.append(values[0])
+    merged = fold_partials(resolve_merge(spec), desc.task_id, partials)
+    emit_value(
+        runtime.store,
+        runtime.graph,
+        desc.outputs[0],
+        merged,
+        chunk_size=runtime.chunk_size,
+    )
+    return {"records": 0, "chunks": 0, "latencies": []}
+
+
+def worker_main(
+    wid: int,
+    cmd_conn,
+    address,
+    authkey: bytes,
+    graph: AppGraph,
+    settings: DistSettings,
+    close_conns=(),
+) -> None:
+    """Process entry point for one worker (forked; graph comes for free)."""
+    for other in close_conns:
+        # Inherited copies of other workers' pipe ends: close them so a
+        # sibling's death is visible to the master as EOF.
+        try:
+            other.close()
+        except OSError:
+            pass
+    client_id = f"worker-{wid}"
+    store = RemoteBagStore(address, authkey, client_id, settings.policy)
+    runtime = _WorkerRuntime(graph, store, settings)
+    cmd_conn.send({"type": "hello", "wid": wid, "pid": os.getpid()})
+    try:
+        while True:
+            try:
+                msg = cmd_conn.recv()
+            except (EOFError, OSError):
+                return  # master went away
+            mtype = msg.get("type")
+            if mtype == "shutdown":
+                return
+            if mtype == "cancel":
+                continue  # stale: the node already finished here
+            if mtype != "run":
+                continue
+            desc: NodeDescriptor = msg["desc"]
+            try:
+                if desc.kind == "merge":
+                    stats = _run_merge(runtime, desc)
+                else:
+                    stats = _run_task(runtime, desc, cmd_conn, settings, client_id)
+            except _Cancelled:
+                cmd_conn.send({"type": "aborted", "node_id": desc.node_id})
+            except BaseException as exc:
+                cmd_conn.send(
+                    {
+                        "type": "failed",
+                        "node_id": desc.node_id,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(),
+                    }
+                )
+            else:
+                cmd_conn.send({"type": "done", "node_id": desc.node_id, **stats})
+    finally:
+        store.close()

@@ -1,0 +1,28 @@
+"""Shared machinery for the real execution engines.
+
+:mod:`repro.local` (thread pool, one process) and :mod:`repro.dist`
+(master + worker + storage-server processes) execute the same
+:class:`~repro.model.execution_graph.ExecutionGraph` over the same bag
+contract; the helpers in :mod:`repro.engine.common` are the pieces both
+need verbatim — input materialization, merge resolution, partial folding,
+value emission, and record decoding — so the two engines cannot drift
+apart semantically.
+"""
+
+from repro.engine.common import (
+    bag_records,
+    decode_bag_chunks,
+    emit_value,
+    fill_bag,
+    fold_partials,
+    resolve_merge,
+)
+
+__all__ = [
+    "bag_records",
+    "decode_bag_chunks",
+    "emit_value",
+    "fill_bag",
+    "fold_partials",
+    "resolve_merge",
+]

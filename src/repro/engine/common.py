@@ -1,0 +1,97 @@
+"""Engine-agnostic execution helpers shared by ``repro.local`` and ``repro.dist``.
+
+Every function takes the bag *store* as a duck-typed argument: a
+:class:`~repro.storage.local.LocalBagStore` in the local engine, a
+``RemoteBagStore`` proxy in the distributed one. The store only needs
+``ensure``/``get`` returning bags with ``insert``/``seal``/``read_all``.
+
+Bags come in two representations, decided by the bag's ``codec_spec``:
+
+* **typed bags** hold serialized chunk payloads (``bytes``) built with
+  :mod:`repro.serde.chunks`;
+* **object bags** (``codec_spec is None``) hold chunks that are plain
+  Python lists of records — the escape hatch for values with no codec
+  (counters, bitsets, merged aggregates).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List
+
+from repro.errors import SchedulingError
+from repro.merges.registry import get_merge
+from repro.model.graph import TaskSpec
+from repro.serde.chunks import chunk_records, iter_chunks
+from repro.serde.codecs import codec_for
+
+
+def fill_bag(
+    store,
+    graph,
+    bag_id: str,
+    records: Iterable[Any],
+    *,
+    chunk_size: int,
+    records_per_chunk: int,
+) -> None:
+    """Materialize ``records`` into ``bag_id`` as chunks, then seal it."""
+    bag = store.ensure(bag_id)
+    spec = graph.bags[bag_id].codec_spec
+    if spec is None:
+        batch: List[Any] = []
+        for record in records:
+            batch.append(record)
+            if len(batch) >= records_per_chunk:
+                bag.insert(batch)
+                batch = []
+        if batch:
+            bag.insert(batch)
+    else:
+        for chunk in chunk_records(records, codec_for(spec), chunk_size):
+            bag.insert(chunk)
+    bag.seal()
+
+
+def resolve_merge(spec: TaskSpec) -> Callable:
+    """The merge procedure of an aggregation task (name or callable)."""
+    merge = spec.merge
+    if callable(merge):
+        return merge
+    return get_merge(merge)
+
+
+def fold_partials(merge: Callable, task_id: str, partials: List[Any]) -> Any:
+    """Left-fold the family's partial outputs with the merge procedure."""
+    if not partials:
+        raise SchedulingError(f"merge of {task_id!r} found no partials")
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged = merge(merged, partial)
+    return merged
+
+
+def emit_value(store, graph, bag_id: str, value: Any, *, chunk_size: int) -> None:
+    """Insert a single record (a merged aggregate) into ``bag_id``."""
+    spec = graph.bags[bag_id].codec_spec
+    bag = store.get(bag_id)
+    if spec is None:
+        bag.insert([value])
+    else:
+        for chunk in chunk_records([value], codec_for(spec), chunk_size):
+            bag.insert(chunk)
+
+
+def decode_bag_chunks(graph, bag_id: str, chunks: Iterable[Any]) -> List[Any]:
+    """Decode a bag's chunk sequence back into its records."""
+    spec = graph.bags[bag_id].codec_spec
+    if spec is None:
+        out: List[Any] = []
+        for chunk in chunks:
+            out.extend(chunk)
+        return out
+    return list(iter_chunks(chunks, codec_for(spec)))
+
+
+def bag_records(store, graph, bag_id: str) -> List[Any]:
+    """Non-destructive decoded read of a whole bag."""
+    return decode_bag_chunks(graph, bag_id, store.get(bag_id).read_all())

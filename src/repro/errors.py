@@ -78,6 +78,21 @@ class JobCrashed(ReproError):
         self.reason = reason
 
 
+class RemoteTaskError(ReproError):
+    """A task function raised in a distributed worker process.
+
+    Carries the worker-side exception rendered as text (type, message, and
+    traceback) because arbitrary exception objects do not round-trip
+    reliably across process boundaries.
+    """
+
+    def __init__(self, node_id: str, error: str, remote_traceback: str = ""):
+        super().__init__(f"node {node_id!r} failed in worker: {error}")
+        self.node_id = node_id
+        self.error = error
+        self.remote_traceback = remote_traceback
+
+
 class ReplicationError(ReproError):
     """Not enough live replicas to serve a bag after storage failures."""
 

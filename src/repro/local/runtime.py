@@ -18,11 +18,17 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
+from repro.engine.common import (
+    bag_records,
+    emit_value,
+    fill_bag,
+    fold_partials,
+    resolve_merge,
+)
 from repro.errors import ReproError, SchedulingError
 from repro.local.context import TaskContext
-from repro.merges.registry import get_merge
 from repro.model.application import Application
 from repro.model.execution_graph import (
     ExecutionGraph,
@@ -31,8 +37,6 @@ from repro.model.execution_graph import (
     NodeState,
 )
 from repro.model.graph import AppGraph
-from repro.serde.chunks import chunk_records, iter_chunks
-from repro.serde.codecs import codec_for
 from repro.storage.local import LocalBagStore
 from repro.units import KB
 
@@ -51,16 +55,7 @@ class LocalResult:
 
     def records(self, bag_id: str) -> List[Any]:
         """All records of a bag, decoded (non-destructive)."""
-        graph = self._runtime.graph
-        bag = self._runtime.store.get(bag_id)
-        spec = graph.bags[bag_id].codec_spec
-        chunks = bag.read_all()
-        if spec is None:
-            out: List[Any] = []
-            for chunk in chunks:
-                out.extend(chunk)
-            return out
-        return list(iter_chunks(chunks, codec_for(spec)))
+        return bag_records(self._runtime.store, self._runtime.graph, bag_id)
 
     def value(self, bag_id: str) -> Any:
         """The single record of a one-record output bag."""
@@ -86,6 +81,7 @@ class LocalRuntime:
         clone_min_chunks: int = 2,
         max_clones_per_task: Optional[int] = None,
         store=None,
+        forced_clones: Optional[Dict[str, int]] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -100,6 +96,11 @@ class LocalRuntime:
         #: :class:`repro.storage.filebag.FileBagStore` for disk-backed bags
         #: (the paper's actual representation, Section 4.3).
         self.store = store if store is not None else LocalBagStore()
+        #: Deterministic cloning schedule for tests/benchmarks: task id ->
+        #: number of clones created the moment the original starts running,
+        #: regardless of the remaining-input heuristic.
+        self.forced_clones = dict(forced_clones or {})
+        self._forced_pending = set(self.forced_clones)
         self.exec = ExecutionGraph(self.graph)
         self.records_processed = 0
         self.chunks_processed = 0
@@ -113,29 +114,14 @@ class LocalRuntime:
     # -- input materialization ------------------------------------------------
 
     def _fill_bag(self, bag_id: str, records: Iterable[Any]) -> None:
-        bag = self.store.ensure(bag_id)
-        spec = self.graph.bags[bag_id].codec_spec
-        if spec is None:
-            batch: List[Any] = []
-            for record in records:
-                batch.append(record)
-                if len(batch) >= self.records_per_chunk:
-                    bag.insert(batch)
-                    batch = []
-            if batch:
-                bag.insert(batch)
-        else:
-            for chunk in chunk_records(records, codec_for(spec), self.chunk_size):
-                bag.insert(chunk)
-        bag.seal()
-
-    # -- merge resolution ----------------------------------------------------------
-
-    def _merge_fn(self, node: ExecutionNode) -> Callable:
-        merge = node.spec.merge
-        if callable(merge):
-            return merge
-        return get_merge(merge)
+        fill_bag(
+            self.store,
+            self.graph,
+            bag_id,
+            records,
+            chunk_size=self.chunk_size,
+            records_per_chunk=self.records_per_chunk,
+        )
 
     # -- scheduling ---------------------------------------------------------------------
 
@@ -185,6 +171,13 @@ class LocalRuntime:
                     continue  # family was reset or node already taken
                 node.state = NodeState.RUNNING
                 self._active += 1
+                if (
+                    node.kind == NodeKind.TASK
+                    and node.task_id in self._forced_pending
+                ):
+                    self._forced_pending.discard(node.task_id)
+                    for _ in range(self.forced_clones[node.task_id]):
+                        self._ready.put(self.exec.add_clone(node.task_id))
             try:
                 self._execute(node)
             except BaseException as exc:  # surface task errors to run()
@@ -260,24 +253,14 @@ class LocalRuntime:
             )
 
     def _execute_merge(self, node: ExecutionNode) -> None:
-        merge = self._merge_fn(node)
+        merge = resolve_merge(node.spec)
         with self._lock:
             partials = self._partials.pop(node.task_id, [])
-        if not partials:
-            raise SchedulingError(f"merge of {node.task_id!r} found no partials")
-        merged = partials[0]
-        for partial in partials[1:]:
-            merged = merge(merged, partial)
+        merged = fold_partials(merge, node.task_id, partials)
         self._emit_value(node.outputs[0], merged)
 
     def _emit_value(self, bag_id: str, value: Any) -> None:
-        spec = self.graph.bags[bag_id].codec_spec
-        bag = self.store.get(bag_id)
-        if spec is None:
-            bag.insert([value])
-        else:
-            for chunk in chunk_records([value], codec_for(spec), self.chunk_size):
-                bag.insert(chunk)
+        emit_value(self.store, self.graph, bag_id, value, chunk_size=self.chunk_size)
 
     def _complete(self, node: ExecutionNode) -> None:
         with self._lock:

@@ -1,0 +1,89 @@
+"""The bench harness: report shape, parity gating, CLI knobs."""
+
+import json
+
+import pytest
+
+from repro.bench import main as bench_main
+from repro.bench import run_bench
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    output = tmp_path_factory.mktemp("bench") / "BENCH_dist.json"
+    report = run_bench(
+        [
+            "--quick",
+            "--workers",
+            "1,2",
+            "--workloads",
+            "calibration",
+            "--rounds",
+            "20",
+            "--output",
+            str(output),
+        ]
+    )
+    return report, output
+
+
+class TestBenchReport:
+    def test_writes_valid_json(self, quick_report):
+        report, output = quick_report
+        assert json.loads(output.read_text()) == report
+
+    def test_host_and_config_recorded(self, quick_report):
+        report, _ = quick_report
+        assert report["host"]["cpu_count"] >= 1
+        assert report["config"]["workers"] == [1, 2]
+        assert report["config"]["quick"] is True
+
+    def test_parity_checked_per_dist_run(self, quick_report):
+        report, _ = quick_report
+        entry = report["workloads"]["calibration"]
+        assert report["parity_ok"] is True
+        assert entry["parity_ok"] is True
+        dist_runs = [r for r in entry["runs"] if r["engine"] == "dist"]
+        assert [r["workers"] for r in dist_runs] == [1, 2]
+        for run in dist_runs:
+            assert run["matches_local"] is True
+            assert run["speedup_vs_local"] is not None
+            assert run["chunk_latency_ms"]["count"] > 0
+
+    def test_local_baseline_first(self, quick_report):
+        report, _ = quick_report
+        runs = report["workloads"]["calibration"]["runs"]
+        assert runs[0]["engine"] == "local"
+        assert "snapshot" not in runs[0]
+
+
+class TestBenchCli:
+    def test_main_exit_code(self, tmp_path):
+        output = tmp_path / "out.json"
+        code = bench_main(
+            [
+                "--quick",
+                "--workers",
+                "1",
+                "--workloads",
+                "calibration",
+                "--rounds",
+                "10",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+
+    def test_unknown_workload_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_bench(
+                ["--workloads", "nosuch", "--output", str(tmp_path / "x.json")]
+            )
+
+    def test_bad_workers_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_bench(
+                ["--workers", "two", "--output", str(tmp_path / "x.json")]
+            )

@@ -1,0 +1,41 @@
+"""``python -m repro`` dispatch: help, unknown subcommands, suggestions."""
+
+from repro.__main__ import main
+
+
+class TestHelp:
+    def test_no_args_prints_usage(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "usage: python -m repro" in out
+        assert "bench" in out and "chaos" in out and "trace" in out
+
+    def test_help_flag(self, capsys):
+        assert main(["--help"]) == 0
+        assert "usage: python -m repro" in capsys.readouterr().out
+
+    def test_usage_lists_experiments(self, capsys):
+        main(["--help"])
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig9" in out
+
+
+class TestUnknownCommand:
+    def test_typo_exits_2_with_suggestion(self, capsys):
+        assert main(["tarce"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown command 'tarce'" in err
+        assert "trace" in err
+
+    def test_experiment_typo_suggests(self, capsys):
+        assert main(["tabel1"]) == 2
+        err = capsys.readouterr().err
+        assert "table1" in err
+
+    def test_gibberish_exits_2(self, capsys):
+        assert main(["zzzzqqq"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_stray_flag_exits_2(self, capsys):
+        assert main(["--bogus"]) == 2
+        assert "unknown command" in capsys.readouterr().err

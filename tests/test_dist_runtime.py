@@ -1,0 +1,205 @@
+"""The dist engine against the local engine: parity, cloning, recovery.
+
+Every parity test compares dist sink contents to a single-threaded,
+cloning-free LocalRuntime baseline — decoded records, sorted where output
+order is interleaving-dependent (multi-record streaming sinks), direct
+equality for merged single values.
+"""
+
+import pytest
+
+from repro.apps import build_clicklog_local, build_hashjoin_local
+from repro.apps.calibration import build_calibration_local, calibration_seeds
+from repro.dist import DistRuntime
+from repro.errors import RemoteTaskError
+from repro.local import LocalRuntime
+from repro.model.application import Application
+from repro.workloads.clicklog_data import generate_clicklog
+from repro.workloads.relations import generate_relation
+
+REGIONS = ["usa", "china"]
+
+
+def clicklog_records(n=6_000):
+    # Top 6 bits of the ip select the region; keep only the two regions
+    # the restricted graph declares.
+    return [
+        ip for ip in generate_clicklog(n, skew=0.8, seed=11)
+        if (ip >> 26) < len(REGIONS)
+    ]
+
+
+def clicklog_baseline(records):
+    result = LocalRuntime(
+        build_clicklog_local(regions=REGIONS), workers=1, cloning=False
+    ).run({"clicklog": records}, timeout=120)
+    return {name: result.value(f"count.{name}") for name in REGIONS}
+
+
+def clicklog_counts(result):
+    return {name: result.value(f"count.{name}") for name in REGIONS}
+
+
+def hashjoin_inputs(build_rows=120, probe_rows=900):
+    return {
+        "relation.r": list(
+            generate_relation(build_rows, key_space=1 << 12, skew=0.9, seed=1)
+        ),
+        "relation.s": list(
+            generate_relation(probe_rows, key_space=1 << 12, skew=0.0, seed=2)
+        ),
+    }
+
+
+def hashjoin_rows(result, partitions=2):
+    return sorted(
+        row for p in range(partitions) for row in result.records(f"join.{p}")
+    )
+
+
+class TestDistParity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_clicklog_matches_local(self, workers):
+        records = clicklog_records()
+        expected = clicklog_baseline(records)
+        result = DistRuntime(
+            build_clicklog_local(regions=REGIONS),
+            workers=workers,
+            chunk_size=2048,
+        ).run({"clicklog": records}, timeout=120)
+        assert clicklog_counts(result) == expected
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_hashjoin_matches_local(self, workers):
+        inputs = hashjoin_inputs()
+        expected = hashjoin_rows(
+            LocalRuntime(
+                build_hashjoin_local(partitions=2), workers=1, cloning=False
+            ).run(dict(inputs), timeout=120)
+        )
+        result = DistRuntime(
+            build_hashjoin_local(partitions=2),
+            workers=workers,
+            records_per_chunk=64,
+        ).run(dict(inputs), timeout=120)
+        assert hashjoin_rows(result) == expected
+        assert expected  # the workload actually joined something
+
+    def test_empty_input_aggregation(self):
+        result = DistRuntime(build_calibration_local(rounds=5), workers=2).run(
+            {"seeds": []}, timeout=60
+        )
+        assert result.value("checksum") == 0
+
+    def test_calibration_matches_local(self):
+        seeds = calibration_seeds(120)
+        expected = (
+            LocalRuntime(build_calibration_local(rounds=20), workers=1)
+            .run({"seeds": seeds}, timeout=60)
+            .value("checksum")
+        )
+        result = DistRuntime(
+            build_calibration_local(rounds=20), workers=2, records_per_chunk=16
+        ).run({"seeds": seeds}, timeout=60)
+        assert result.value("checksum") == expected
+
+
+class TestDistCloning:
+    def test_forced_mid_task_clone_keeps_parity(self):
+        records = clicklog_records()
+        expected = clicklog_baseline(records)
+        runtime = DistRuntime(
+            build_clicklog_local(regions=REGIONS),
+            workers=2,
+            chunk_size=1024,
+            forced_clones={"phase2.usa": 2},
+        )
+        result = runtime.run({"clicklog": records}, timeout=120)
+        assert result.clone_counts["phase2.usa"] == 3
+        assert clicklog_counts(result) == expected
+
+    def test_clone_counts_exposed(self):
+        records = clicklog_records()
+        result = DistRuntime(
+            build_clicklog_local(regions=REGIONS),
+            workers=4,
+            chunk_size=1024,
+            clone_min_chunks=1,
+        ).run({"clicklog": records}, timeout=120)
+        assert set(result.clone_counts) >= {"phase1", "phase2.usa", "phase3.usa"}
+        assert result.total_clones() >= 0
+
+
+class TestDistRecovery:
+    def test_killed_aggregation_worker_recovers(self):
+        records = clicklog_records()
+        expected = clicklog_baseline(records)
+        runtime = DistRuntime(
+            build_clicklog_local(regions=REGIONS),
+            workers=2,
+            chunk_size=1024,
+            kill_task="phase2.usa",
+            kill_after_chunks=1,
+        )
+        result = runtime.run({"clicklog": records}, timeout=120)
+        assert result.worker_deaths == 1
+        assert result.family_resets == 1
+        assert clicklog_counts(result) == expected
+
+    def test_killed_streaming_worker_recovers(self):
+        inputs = hashjoin_inputs()
+        expected = hashjoin_rows(
+            LocalRuntime(
+                build_hashjoin_local(partitions=2), workers=1, cloning=False
+            ).run(dict(inputs), timeout=120)
+        )
+        runtime = DistRuntime(
+            build_hashjoin_local(partitions=2),
+            workers=2,
+            records_per_chunk=64,
+            kill_task="partition.s",
+            kill_after_chunks=1,
+        )
+        result = runtime.run(dict(inputs), timeout=120)
+        assert result.worker_deaths == 1
+        assert result.family_resets == 1
+        assert hashjoin_rows(result) == expected
+
+    def test_task_error_propagates(self):
+        app = Application("boom")
+        app.bag("in", codec="u64")
+        app.bag("out", codec="u64")
+
+        def explode(ctx):
+            for _ in ctx.records():
+                raise ValueError("task exploded")
+
+        app.task("t", ["in"], ["out"], fn=explode)
+        with pytest.raises(RemoteTaskError, match="task exploded"):
+            DistRuntime(app, workers=1).run({"in": [1, 2, 3]}, timeout=60)
+
+
+class TestDistBatchSampling:
+    def test_remove_batch_is_the_chunk_path(self):
+        records = clicklog_records()
+        result = DistRuntime(
+            build_clicklog_local(regions=REGIONS),
+            workers=2,
+            chunk_size=1024,
+            batch_requests=4,
+        ).run({"clicklog": records}, timeout=120)
+        assert result.storage_stats.get("remove_batch", 0) > 0
+        assert result.storage_stats.get("chunks_removed", 0) > 0
+        percentiles = result.chunk_latency_percentiles()
+        assert percentiles["count"] > 0
+        assert percentiles["p50_ms"] <= percentiles["max_ms"]
+
+    def test_chunks_processed_counted(self):
+        seeds = calibration_seeds(200)
+        # "seeds" is a typed (u64) bag, so chunk_size — not records_per_chunk
+        # — controls chunking; 128 bytes holds only a handful of seeds.
+        result = DistRuntime(
+            build_calibration_local(rounds=5), workers=1, chunk_size=128
+        ).run({"seeds": seeds}, timeout=60)
+        assert result.chunks_processed > 5
+        assert result.records_processed == 200

@@ -31,6 +31,11 @@ def test_quickstart():
     assert "cloned result == un-cloned result: True" in out
 
 
+def test_dist_quickstart():
+    out = _run("dist_quickstart.py")
+    assert "dist result matches local: OK" in out
+
+
 def test_trending_sketches():
     out = _run("trending_sketches.py")
     assert "reconciled correctly" in out
