@@ -2,10 +2,11 @@
 
 The word-count from ``examples/quickstart.py`` runs unchanged on
 ``DistRuntime``: a master process schedules the tasks onto forked worker
-processes, the bags live in a storage-server process (exactly-once chunk
-removal across processes), and the ``counter`` merge reconciles the
-``count`` family's partials exactly as the local engine does — so the
-result must match ``LocalRuntime``'s, which this script asserts.
+processes, the bags are spread across two storage-shard processes
+(exactly-once chunk removal across processes, bag-homed routing), and
+the ``counter`` merge reconciles the ``count`` family's partials exactly
+as the local engine does — so the result must match ``LocalRuntime``'s,
+which this script asserts.
 
 Run:  python examples/dist_quickstart.py
 """
@@ -50,7 +51,7 @@ def main() -> None:
     local = LocalRuntime(build_app(), workers=1, cloning=False).run(
         {"lines": LINES}, timeout=60
     )
-    dist = DistRuntime(build_app(), workers=4, records_per_chunk=16).run(
+    dist = DistRuntime(build_app(), workers=4, shards=2, records_per_chunk=16).run(
         {"lines": LINES}, timeout=60
     )
     local_counts = local.value("counts")
@@ -61,6 +62,7 @@ def main() -> None:
     print(
         f"clones: {dist.total_clones()}  "
         f"chunks: {dist.chunks_processed}  "
+        f"shards: {dist.shards}  "
         f"worker deaths: {dist.worker_deaths}"
     )
     print("dist result matches local: OK")

@@ -2,11 +2,13 @@
 
 Runs the clicklog, hashjoin, and calibration workloads on the thread-pool
 engine (:class:`~repro.local.LocalRuntime`) and on the multiprocess engine
-(:class:`~repro.dist.DistRuntime`) at each requested worker count, then
-writes one JSON report with, per run: wall time, input-record throughput,
-speedup over the local baseline, clone counts, worker deaths, and (dist
-only) chunk-service latency percentiles — the observable side of Eq. 1's
-batch-sampling term.
+(:class:`~repro.dist.DistRuntime`) at each requested worker count and
+storage shard count (``--shards``), then writes one JSON report with, per
+run: wall time, input-record throughput, speedup over the local baseline,
+clone counts, worker deaths, and (dist only) chunk-service latency
+percentiles, pooled and per shard — the observable side of Eq. 1's
+batch-sampling term, where ``--shards`` is the ``m`` servers a task's
+``b`` outstanding batch requests spread across.
 
 Every dist run's sink output is checked against the local baseline before
 its numbers are reported, so a "fast" engine that drops or duplicates
@@ -126,10 +128,10 @@ def _run_local(workload: _Workload) -> Dict[str, Any]:
     }
 
 
-def _run_dist(workload: _Workload, workers: int, baseline: Dict[str, Any]):
+def _run_dist(workload: _Workload, workers: int, shards: int, baseline: Dict[str, Any]):
     from repro.dist import DistRuntime
 
-    runtime = DistRuntime(workload.build(), workers=workers)
+    runtime = DistRuntime(workload.build(), workers=workers, shards=shards)
     started = time.perf_counter()
     result = runtime.run(dict(workload.inputs), timeout=RUN_TIMEOUT)
     seconds = time.perf_counter() - started
@@ -137,6 +139,7 @@ def _run_dist(workload: _Workload, workers: int, baseline: Dict[str, Any]):
     return {
         "engine": "dist",
         "workers": workers,
+        "shards": shards,
         "seconds": round(seconds, 4),
         "throughput_records_per_s": _throughput(workload, seconds),
         "speedup_vs_local": round(baseline["seconds"] / seconds, 3) if seconds else None,
@@ -144,8 +147,17 @@ def _run_dist(workload: _Workload, workers: int, baseline: Dict[str, Any]):
         "total_clones": result.total_clones(),
         "clone_counts": dict(result.clone_counts),
         "worker_deaths": result.worker_deaths,
+        "shard_deaths": result.shard_deaths,
         "chunks_processed": result.chunks_processed,
         "chunk_latency_ms": result.chunk_latency_percentiles(),
+        # JSON objects key on strings; shard indices survive round-trips
+        # as "0", "1", ... in shard order.
+        "per_shard_latency_ms": {
+            str(shard): summary
+            for shard, summary in sorted(
+                result.per_shard_latency_percentiles().items()
+            )
+        },
     }
 
 
@@ -195,6 +207,12 @@ def _parse_args(argv):
         help="comma-separated dist worker counts (default: %(default)s)",
     )
     parser.add_argument(
+        "--shards",
+        default="1",
+        help="comma-separated storage shard counts per dist run "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
         "--workloads",
         default="clicklog,hashjoin,calibration",
         help="comma-separated workload subset (default: %(default)s)",
@@ -210,6 +228,12 @@ def _parse_args(argv):
         parser.error(f"--workers must be comma-separated integers, got {args.workers!r}")
     if not args.worker_counts or any(w < 1 for w in args.worker_counts):
         parser.error(f"--workers needs positive integers, got {args.workers!r}")
+    try:
+        args.shard_counts = [int(s) for s in args.shards.split(",") if s.strip()]
+    except ValueError:
+        parser.error(f"--shards must be comma-separated integers, got {args.shards!r}")
+    if not args.shard_counts or any(s < 1 for s in args.shard_counts):
+        parser.error(f"--shards needs positive integers, got {args.shards!r}")
     return args
 
 
@@ -225,6 +249,7 @@ def run_bench(argv=None) -> Dict[str, Any]:
         "config": {
             "quick": args.quick,
             "workers": args.worker_counts,
+            "shards": args.shard_counts,
             "workloads": args.workloads,
         },
         "workloads": {},
@@ -234,9 +259,14 @@ def run_bench(argv=None) -> Dict[str, Any]:
         baseline = _run_local(workload)
         runs = [dict(baseline)]
         runs[0].pop("snapshot")
-        for workers in args.worker_counts:
-            print(f"[bench] {workload.name}: dist x{workers} ...", flush=True)
-            runs.append(_run_dist(workload, workers, baseline))
+        for shards in args.shard_counts:
+            for workers in args.worker_counts:
+                print(
+                    f"[bench] {workload.name}: dist x{workers} "
+                    f"({shards} shard{'s' if shards != 1 else ''}) ...",
+                    flush=True,
+                )
+                runs.append(_run_dist(workload, workers, shards, baseline))
         parity_ok = all(r.get("matches_local", True) for r in runs)
         speedups = [
             r["speedup_vs_local"] for r in runs if r.get("speedup_vs_local") is not None

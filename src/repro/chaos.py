@@ -23,6 +23,14 @@ fault-tolerance story promises (Section 4.4):
 
 Failures print the offending plan, which — being derived only from the
 seed — reproduces the run exactly.
+
+``--dist`` switches the fuzzer from the simulator to the **real**
+multiprocess engine: each seeded run draws a (shards, workers) topology
+plus a fault cocktail — a storage-shard kill (``os._exit`` on the N-th
+``remove_batch``, aimed at a shard that demonstrably serves stream
+traffic) and optionally a worker kill — and demands sink parity against
+a fault-free LocalRuntime baseline. No determinism digest there: OS
+process scheduling is not seeded, only the *outcome* is checked.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.spec import paper_cluster
 from repro.errors import ReproError
@@ -424,6 +432,177 @@ def fuzz_one(
 
 
 # ---------------------------------------------------------------------------
+# dist-engine chaos (real processes, real kills)
+
+
+@dataclass(frozen=True)
+class DistChaosScenario:
+    """One small workload the dist fuzzer runs with injected kills."""
+
+    name: str
+    #: -> (Application, {source bag: records}, DistRuntime kwargs)
+    build: Callable[[], Tuple[Any, Dict[str, list], Dict[str, Any]]]
+
+
+def _dist_clicklog():
+    from repro.apps import build_clicklog_local
+    from repro.workloads.clicklog_data import generate_clicklog
+
+    regions = ["usa", "china"]
+    records = [
+        ip
+        for ip in generate_clicklog(2_500, skew=0.8, seed=13)
+        if (ip >> 26) < len(regions)
+    ]
+    return (
+        build_clicklog_local(regions=regions),
+        {"clicklog": records},
+        {"chunk_size": 2048},
+    )
+
+
+def _dist_hashjoin():
+    from repro.apps import build_hashjoin_local
+    from repro.workloads.relations import generate_relation
+
+    inputs = {
+        "relation.r": list(
+            generate_relation(100, key_space=1 << 12, skew=0.9, seed=3)
+        ),
+        "relation.s": list(
+            generate_relation(700, key_space=1 << 12, skew=0.0, seed=4)
+        ),
+    }
+    return build_hashjoin_local(partitions=2), inputs, {"records_per_chunk": 64}
+
+
+def dist_scenarios() -> List[DistChaosScenario]:
+    return [
+        DistChaosScenario("clicklog", _dist_clicklog),
+        DistChaosScenario("hashjoin", _dist_hashjoin),
+    ]
+
+
+def _dist_sink_fingerprint(graph, records_of) -> Dict[str, List[str]]:
+    # Sorted reprs: sink record order is interleaving-dependent for
+    # streamed (concat) sinks, and repr makes mixed record types sortable.
+    return {
+        bag_id: sorted(repr(record) for record in records_of(bag_id))
+        for bag_id in graph.sink_bags()
+    }
+
+
+def dist_baseline(scenario: DistChaosScenario) -> Dict[str, List[str]]:
+    from repro.local import LocalRuntime
+
+    app, inputs, _ = scenario.build()
+    result = LocalRuntime(app, workers=1, cloning=False).run(
+        dict(inputs), timeout=120
+    )
+    return _dist_sink_fingerprint(app.graph, result.records)
+
+
+def fuzz_one_dist(
+    scenario: DistChaosScenario,
+    baseline_sinks: Dict[str, List[str]],
+    seed: int,
+    index: int,
+) -> Tuple[bool, str]:
+    """One seeded dist run with injected kills; (ok, summary line)."""
+    from repro.dist import DistRuntime
+    from repro.dist.sharding import ShardRouter
+
+    rng = rng_from("chaos-dist", seed, scenario.name, index)
+    app, inputs, kwargs = scenario.build()
+    shards = rng.randint(2, 3)
+    workers = rng.randint(2, 3)
+    # Aim at a shard that homes a stream-input bag: remove_batch traffic
+    # is guaranteed there, so the injected kill actually fires mid-run.
+    router = ShardRouter(shards)
+    stream_homes = sorted(
+        {router.home(spec.stream_input) for spec in app.graph.tasks.values()}
+    )
+    kill_shard = rng.choice(stream_homes)
+    kill_ops = rng.randint(1, 4)
+    kill_task = None
+    if rng.random() < 0.35:
+        kill_task = rng.choice(sorted(app.graph.tasks))
+    plan_desc = (
+        f"shards={shards} workers={workers} "
+        f"kill_shard={kill_shard}@{kill_ops}ops"
+        + (f" kill_task={kill_task}" if kill_task else "")
+    )
+    runtime = DistRuntime(
+        app,
+        workers=workers,
+        shards=shards,
+        kill_shard=kill_shard,
+        kill_shard_after_ops=kill_ops,
+        kill_task=kill_task,
+        kill_after_chunks=rng.randint(1, 3),
+        **kwargs,
+    )
+    try:
+        result = runtime.run(dict(inputs), timeout=180.0)
+    except ReproError as exc:
+        return False, (
+            f"{scenario.name} dist run {index}: {plan_desc} "
+            f"FAILED ({type(exc).__name__}: {exc})"
+        )
+    sinks = _dist_sink_fingerprint(app.graph, result.records)
+    diverged = sorted(
+        bag_id
+        for bag_id, expected in baseline_sinks.items()
+        if sinks.get(bag_id) != expected
+    )
+    status = "ok" if not diverged else f"DIVERGED({','.join(diverged)})"
+    line = (
+        f"{scenario.name} dist run {index}: {plan_desc} "
+        f"shard_deaths={result.shard_deaths} "
+        f"worker_deaths={result.worker_deaths} "
+        f"resets={result.family_resets} {status}"
+    )
+    return not diverged, line
+
+
+def _main_dist(args) -> int:
+    pool = dist_scenarios()
+    if args.scenario is not None:
+        pool = [s for s in pool if s.name == args.scenario]
+    if not pool:
+        print(f"chaos --dist: no dist scenario named {args.scenario!r}")
+        return 2
+    baselines: Dict[str, Dict[str, List[str]]] = {}
+    failures = 0
+    for index in range(args.runs):
+        scenario = pool[index % len(pool)]
+        if scenario.name not in baselines:
+            baselines[scenario.name] = dist_baseline(scenario)
+            sinks = baselines[scenario.name]
+            print(
+                f"{scenario.name} baseline: "
+                f"{sum(len(v) for v in sinks.values())} sink records "
+                f"in {len(sinks)} bags"
+            )
+        ok, line = fuzz_one_dist(
+            scenario, baselines[scenario.name], args.seed, index
+        )
+        print(f"[{index + 1:3d}/{args.runs}] {line}")
+        if not ok:
+            failures += 1
+            print(
+                f"    reproduce: --dist --seed {args.seed} --scenario "
+                f"{scenario.name} (run index {index})"
+            )
+    verdict = "passed" if failures == 0 else f"{failures} FAILED"
+    print(
+        f"chaos --dist: {args.runs - failures}/{args.runs} runs {verdict} "
+        f"(seed={args.seed})"
+    )
+    return 0 if failures == 0 else 1
+
+
+# ---------------------------------------------------------------------------
 # CLI
 
 
@@ -447,7 +626,16 @@ def main(argv=None) -> int:
         action="store_true",
         help="do not re-execute each plan to verify digest stability",
     )
+    parser.add_argument(
+        "--dist",
+        action="store_true",
+        help="fuzz the real multiprocess engine with shard/worker kills "
+        "instead of the simulator",
+    )
     args = parser.parse_args(argv)
+
+    if args.dist:
+        return _main_dist(args)
 
     pool = scenarios()
     if args.scenario is not None:

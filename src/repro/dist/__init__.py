@@ -3,24 +3,28 @@
 Three kinds of real OS processes cooperate over ``multiprocessing``
 connections (Section 3's scheduling/data-plane split made concrete):
 
-* a **storage server** process hosting every data bag and enforcing
-  exactly-once chunk removal server-side (:mod:`repro.dist.server`);
+* ``m`` **storage shard** processes, each hosting the data bags a shared
+  :class:`~repro.dist.sharding.ShardRouter` homes at its index and
+  enforcing exactly-once chunk removal server-side
+  (:mod:`repro.dist.server`, :mod:`repro.dist.sharding`);
 * N **worker** processes running task functions against a batch-sampling
-  chunk client that keeps ``b`` requests outstanding — Eq. 1 made real
-  (:mod:`repro.dist.worker`, :mod:`repro.dist.client`);
+  chunk client that keeps ``b`` requests outstanding per streamed bag,
+  spread across the shards its bags land on — Eq. 1's ``b`` *and* ``m``
+  made real (:mod:`repro.dist.worker`, :mod:`repro.dist.client`);
 * the **master** (the calling process) driving the shared
   :class:`~repro.model.execution_graph.ExecutionGraph`: it assigns nodes,
   monitors per-task progress, issues mid-task clone messages to idle
   workers, reconciles clone partials through merge nodes, and recovers
-  from killed workers by resetting the affected task family
-  (:mod:`repro.dist.runtime`).
+  from killed workers — and killed *storage shards* — by resetting the
+  affected task families (:mod:`repro.dist.runtime`).
 
 Because workers are processes, CPU-bound task functions scale across
 cores — the thread-pool :class:`~repro.local.LocalRuntime` is capped at
 one core by the GIL. Results are the same, byte for byte, on every
-worker count; ``python -m repro bench`` measures the difference.
+worker and shard count; ``python -m repro bench`` measures the difference.
 """
 
 from repro.dist.runtime import DistResult, DistRuntime
+from repro.dist.sharding import ShardRouter
 
-__all__ = ["DistResult", "DistRuntime"]
+__all__ = ["DistResult", "DistRuntime", "ShardRouter"]

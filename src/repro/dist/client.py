@@ -2,16 +2,21 @@
 
 :class:`RemoteBagStore` mimics the
 :class:`~repro.storage.local.LocalBagStore` surface over one storage
-connection, so the engine-agnostic helpers in :mod:`repro.engine.common`
-(and the shared :class:`~repro.local.context.TaskContext`) work unchanged
-in worker and master processes.
+connection; :class:`ShardedBagStore` composes ``m`` of them behind a
+:class:`~repro.dist.sharding.ShardRouter`, so the engine-agnostic helpers
+in :mod:`repro.engine.common` (and the shared
+:class:`~repro.local.context.TaskContext`) work unchanged in worker and
+master processes whether the storage tier is one process or ``m``.
 
 :class:`BatchChunkFetcher` is the paper's batch-sampling access path
 (Section 4.2, Eq. 1): instead of one round trip per chunk, a prefetch
 thread on its own connection requests up to ``b`` chunks per RPC and
 keeps a buffer of ``b`` chunks ahead of the consuming task — while the
 task burns CPU on buffered chunks, the next batch is already in flight,
-hiding the chunk-service latency that Eq. 1 charges per request.
+hiding the chunk-service latency that Eq. 1 charges per request. With
+``m`` shards, each fetcher connects to the shard homing its bag, so a
+worker running a task plus prefetch keeps its outstanding ``remove_batch``
+RPCs spread over the shards its bags land on — Eq. 1's ``m`` made real.
 """
 
 from __future__ import annotations
@@ -19,10 +24,11 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import repro.errors as errors_mod
 from repro.dist.protocol import DIST_STORAGE_POLICY, StorageAddress, connect_with_retry
+from repro.dist.sharding import ShardRouter
 from repro.errors import StorageNodeDown
 from repro.storage.policy import StorageConfig
 
@@ -36,7 +42,7 @@ _UNSEALED_POLL_SECONDS = 0.005
 
 
 class RemoteBag:
-    """Proxy for one bag hosted by the storage server."""
+    """Proxy for one bag hosted by the storage shard that homes it."""
 
     def __init__(self, store: "RemoteBagStore", bag_id: str):
         self.bag_id = bag_id
@@ -72,12 +78,14 @@ class RemoteBag:
 
 
 class RemoteBagStore:
-    """A LocalBagStore-compatible facade over one storage connection.
+    """A LocalBagStore-compatible facade over one shard connection.
 
     Thread-safe: a lock serializes the send/recv pair. Connection
     establishment retries per the storage policy; a failure *mid-call*
     raises :class:`~repro.errors.StorageNodeDown` instead of retrying,
-    because mutating ops (insert, remove_batch) are not idempotent.
+    because mutating ops (insert, remove_batch) are not idempotent. The
+    broken socket is closed and dropped, so the *next* call reconnects
+    (with retry/backoff) — which is how clients ride out a shard respawn.
     """
 
     def __init__(
@@ -96,12 +104,35 @@ class RemoteBagStore:
 
     def _ensure_conn(self):
         if self._conn is None:
-            self._conn = connect_with_retry(self.address, self.authkey, self.policy)
-            self._conn.send(("hello", self.client_id))
-            status, payload = self._conn.recv()
+            try:
+                conn = connect_with_retry(self.address, self.authkey, self.policy)
+                conn.send(("hello", self.client_id))
+                status, payload = conn.recv()
+            except (EOFError, OSError) as exc:
+                # A shard dying mid-handshake surfaces as EOFError (not an
+                # OSError) from the auth exchange; normalize so callers see
+                # the one storage-failure type they know how to recover.
+                self._drop_conn_locked()
+                raise StorageNodeDown(
+                    f"storage shard unreachable during handshake "
+                    f"(address {self.address!r}): {exc}"
+                ) from exc
             if status != "ok":
+                conn.close()
                 raise StorageNodeDown(f"storage handshake failed: {payload}")
+            self._conn = conn
         return self._conn
+
+    def _drop_conn_locked(self) -> None:
+        # Close before dropping: leaving the broken socket open would leak
+        # one fd per failure, and a long run with shard respawns makes
+        # failures routine rather than fatal.
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
 
     def call(self, op: str, *args: Any) -> Any:
         with self._lock:
@@ -110,9 +141,10 @@ class RemoteBagStore:
                 conn.send((op,) + args)
                 status, payload = conn.recv()
             except (EOFError, OSError) as exc:
-                self._conn = None
+                self._drop_conn_locked()
                 raise StorageNodeDown(
-                    f"storage server unreachable during {op!r}: {exc}"
+                    f"storage shard unreachable during {op!r} "
+                    f"(address {self.address!r}): {exc}"
                 ) from exc
             if status == "err":
                 exc_name, message = payload
@@ -121,6 +153,11 @@ class RemoteBagStore:
                     exc_type = errors_mod.ReproError
                 raise exc_type(message)
             return payload
+
+    def invalidate(self) -> None:
+        """Drop the cached connection (the shard behind it was replaced)."""
+        with self._lock:
+            self._drop_conn_locked()
 
     # -- LocalBagStore surface ------------------------------------------------
 
@@ -133,22 +170,115 @@ class RemoteBagStore:
 
     def close(self) -> None:
         with self._lock:
-            if self._conn is not None:
-                try:
-                    self._conn.close()
-                except OSError:
-                    pass
-                self._conn = None
+            self._drop_conn_locked()
+
+
+class ShardedBagStore:
+    """LocalBagStore-compatible facade over ``m`` storage shards.
+
+    Holds one lazily-connected :class:`RemoteBagStore` per shard and
+    routes every bag operation through a :class:`ShardRouter`, so callers
+    (the engine-agnostic helpers, ``TaskContext``, the master) never see
+    the sharding. Fan-out operations — ``stats``, ``fence``, ``shutdown``,
+    ``remaining_many`` — address all shards explicitly.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[StorageAddress],
+        authkey: bytes,
+        client_id: str,
+        policy: StorageConfig = DIST_STORAGE_POLICY,
+        router: Optional[ShardRouter] = None,
+    ):
+        if not addresses:
+            raise ValueError("ShardedBagStore needs at least one shard address")
+        self.addresses = list(addresses)
+        self.router = router if router is not None else ShardRouter(len(addresses))
+        if self.router.shards != len(self.addresses):
+            raise ValueError(
+                f"router covers {self.router.shards} shards but "
+                f"{len(self.addresses)} addresses were given"
+            )
+        self.client_id = client_id
+        self.stores = [
+            RemoteBagStore(address, authkey, client_id, policy)
+            for address in self.addresses
+        ]
+
+    @property
+    def shards(self) -> int:
+        return len(self.stores)
+
+    def shard_of(self, bag_id: str) -> int:
+        return self.router.home(bag_id)
+
+    def address_of(self, bag_id: str) -> StorageAddress:
+        return self.addresses[self.shard_of(bag_id)]
+
+    def store_for(self, bag_id: str) -> RemoteBagStore:
+        return self.stores[self.shard_of(bag_id)]
+
+    # -- LocalBagStore surface ------------------------------------------------
+
+    def ensure(self, bag_id: str) -> RemoteBag:
+        return self.store_for(bag_id).ensure(bag_id)
+
+    def get(self, bag_id: str) -> RemoteBag:
+        return self.store_for(bag_id).get(bag_id)
+
+    # -- fan-out operations -----------------------------------------------------
+
+    def remaining_many(self, bag_ids: Iterable[str]) -> Dict[str, int]:
+        """Remaining-chunk counts for ``bag_ids``, one RPC per shard hit."""
+        merged: Dict[str, int] = {}
+        for shard, group in sorted(self.router.partition(bag_ids).items()):
+            merged.update(self.stores[shard].call("remaining_many", group))
+        return merged
+
+    def stats(self) -> List[Dict[str, int]]:
+        """Per-shard op-counter snapshots, indexed by shard."""
+        return [store.call("stats") for store in self.stores]
+
+    def fence(self, client_id: str, timeout: Optional[float]) -> int:
+        """Fence ``client_id`` on **every** shard; returns leftover conns.
+
+        A dead worker may have had connections open to any subset of the
+        shards (store proxy plus one fetcher per streamed bag), so the
+        single-server fence generalizes to all-shards: recovery may only
+        proceed once no shard still holds an undrained connection of the
+        corpse.
+        """
+        leftover = 0
+        for store in self.stores:
+            leftover += store.call("fence", client_id, timeout)
+        return leftover
+
+    def shutdown(self) -> None:
+        for store in self.stores:
+            try:
+                store.call("shutdown")
+            except (errors_mod.ReproError, StorageNodeDown):
+                pass  # already dead; the master reaps the process anyway
+
+    def invalidate(self, shard: int) -> None:
+        """Drop the cached connection to ``shard`` (it was respawned)."""
+        self.stores[shard].invalidate()
+
+    def close(self) -> None:
+        for store in self.stores:
+            store.close()
 
 
 class BatchChunkFetcher:
     """Prefetching chunk client for one stream-input bag.
 
-    A daemon thread on a dedicated connection issues ``remove_batch``
-    RPCs of ``batch`` chunks and feeds a bounded queue; :meth:`get`
-    returns the next chunk or ``None`` at end-of-bag. Per-RPC latency
-    samples (seconds) accumulate in :attr:`latencies` for the benchmark's
-    chunk-service percentiles.
+    A daemon thread on a dedicated connection — to the shard homing the
+    bag — issues ``remove_batch`` RPCs of ``batch`` chunks and feeds a
+    bounded queue; :meth:`get` returns the next chunk or ``None`` at
+    end-of-bag. Per-RPC latency samples (seconds) accumulate in
+    :attr:`latencies`, tagged with :attr:`shard` for the benchmark's
+    per-shard chunk-service percentiles.
     """
 
     def __init__(
@@ -159,11 +289,13 @@ class BatchChunkFetcher:
         bag_id: str,
         batch: int,
         policy: StorageConfig = DIST_STORAGE_POLICY,
+        shard: int = 0,
     ):
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
         self.bag_id = bag_id
         self.batch = batch
+        self.shard = shard
         self.latencies: List[float] = []
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=batch)
         self._stop = threading.Event()
@@ -173,6 +305,30 @@ class BatchChunkFetcher:
             target=self._run, daemon=True, name=f"fetch-{bag_id}"
         )
         self._thread.start()
+
+    @classmethod
+    def for_bag(
+        cls,
+        store: ShardedBagStore,
+        bag_id: str,
+        batch: int,
+        policy: StorageConfig = DIST_STORAGE_POLICY,
+    ) -> "BatchChunkFetcher":
+        """Fetcher wired to the shard that homes ``bag_id``.
+
+        The pre-sharding code connected every fetcher to *the* server
+        address; this constructor is the routed replacement — connecting a
+        fetcher to any other shard would stream an eternally-empty bag.
+        """
+        return cls(
+            store.address_of(bag_id),
+            store.stores[0].authkey,
+            store.client_id,
+            bag_id,
+            batch,
+            policy,
+            shard=store.shard_of(bag_id),
+        )
 
     def _run(self) -> None:
         bag = self._store.get(self.bag_id)

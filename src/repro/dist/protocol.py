@@ -7,12 +7,18 @@ Two channels exist:
   dicts; workers answer with ``hello`` / ``progress`` / ``done`` /
   ``aborted`` / ``failed`` dicts. Messages are whole pickled objects, so
   framing is atomic.
-* **storage channel** (any process -> storage server, a Unix-domain
-  socket): requests are ``(op, *args)`` tuples, responses are
-  ``("ok", payload)`` or ``("err", (exc_type_name, message))``. A
+* **storage channel** (any process -> a storage shard, a Unix-domain
+  socket; with ``m`` shards there are ``m`` such sockets on stable
+  master-chosen paths): requests are ``(op, *args)`` tuples, responses
+  are ``("ok", payload)`` or ``("err", (exc_type_name, message))``. A
   Unix socket (not localhost TCP) because ``multiprocessing`` sends
   large messages as separate header/body writes, which interacts with
   Nagle + delayed-ACK on TCP to add ~40ms per chunk RPC.
+
+The command channel additionally carries ``{"type": "rebind", "shard":
+i}`` master->worker messages after a shard respawn, telling workers to
+drop their cached connection to shard ``i`` so the next RPC reconnects
+to the replacement process on the same socket path.
 
 Connections are established with :func:`connect_with_retry`, which reuses
 the :class:`~repro.storage.policy.StorageConfig` retry/timeout/backoff
@@ -91,7 +97,11 @@ def connect_with_retry(
     while True:
         try:
             return Client(address, authkey=authkey)
-        except (ConnectionRefusedError, ConnectionResetError, OSError):
+        except (EOFError, OSError):
+            # EOFError: the server died mid-auth-handshake (it is raised by
+            # the challenge exchange, and is *not* an OSError). Retryable
+            # exactly like a refused connection — the replacement process
+            # binds the same socket path.
             delay = next(backoffs, None)
             if delay is None:
                 raise

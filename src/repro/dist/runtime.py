@@ -1,10 +1,12 @@
 """The dist master: process topology, scheduling, cloning, and recovery.
 
-``DistRuntime.run`` forks a storage-server process, fills the source bags
-through it, forks N worker processes (each holding a copy-on-write
-snapshot of the application graph), then drives the shared
-:class:`~repro.model.execution_graph.ExecutionGraph` from a single event
-loop fed by per-worker reader threads:
+``DistRuntime.run`` forks ``m`` storage-shard processes (each a
+:mod:`repro.dist.server` instance listening on a stable per-shard socket
+path), fills the source bags through a shard-routing
+:class:`~repro.dist.client.ShardedBagStore`, forks N worker processes
+(each holding a copy-on-write snapshot of the application graph), then
+drives the shared :class:`~repro.model.execution_graph.ExecutionGraph`
+from a single event loop fed by per-worker reader threads:
 
 * READY nodes are assigned to idle workers as
   :class:`~repro.dist.protocol.NodeDescriptor` messages;
@@ -13,17 +15,25 @@ loop fed by per-worker reader threads:
   queries, the work-conserving clone heuristic (an idle worker clones the
   running task with the most input left, exactly like ``repro.local``);
 * a worker's pipe EOF means the process died: the master joins the
-  corpse, **fences** its storage connections (all its in-flight writes
-  are applied before recovery proceeds), cancels surviving family
-  members, resets the family (discard outputs + partial bags, rewind the
-  stream input), forks a replacement worker, and reruns — Section 4.4's
-  compute-failure story on real processes.
+  corpse, **fences** its storage connections on every shard (all its
+  in-flight writes are applied before recovery proceeds), cancels
+  surviving family members, resets the family (discard outputs + partial
+  bags, rewind the stream input), forks a replacement worker, and reruns
+  — Section 4.4's compute-failure story on real processes;
+* a **shard process** dying extends that story to storage failure: a
+  monitor thread turns the exit into a ``shard_dead`` event, the master
+  respawns the shard on the same socket path, broadcasts ``rebind`` so
+  live workers drop stale connections, then computes the *loss closure*
+  — every bag homed on the dead shard is gone, so every started family
+  that produced or consumed one of them resets (finished families
+  included, since their outputs may need re-producing), and lost source
+  bags are refilled from the master's kept copy of the inputs.
 
-Aggregation partials travel through server-side per-member partial bags;
-the merge node is assigned to a worker like any other node. A family that
-finishes with no clones never grows a merge node — the master itself
-promotes the lone partial into the real output bag, mirroring
-``LocalRuntime._complete``.
+Aggregation partials travel through per-member partial bags on whichever
+shard homes them; the merge node is assigned to a worker like any other
+node. A family that finishes with no clones never grows a merge node —
+the master itself promotes the lone partial into the real output bag,
+mirroring ``LocalRuntime._complete``.
 """
 
 from __future__ import annotations
@@ -32,11 +42,14 @@ import itertools
 import multiprocessing
 import os
 import queue
+import shutil
+import tempfile
 import threading
 import time
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.dist.client import RemoteBagStore
+from repro.dist.client import ShardedBagStore
 from repro.dist.protocol import (
     DIST_STORAGE_POLICY,
     DistSettings,
@@ -44,9 +57,10 @@ from repro.dist.protocol import (
     StorageAddress,
 )
 from repro.dist.server import storage_server_main
+from repro.dist.sharding import ShardRouter
 from repro.dist.worker import worker_main
-from repro.engine.common import bag_records, emit_value, fill_bag
-from repro.errors import RemoteTaskError, ReproError, SchedulingError
+from repro.engine.common import bag_records, emit_value, fill_bag, refill_bag
+from repro.errors import RemoteTaskError, ReproError, SchedulingError, StorageNodeDown
 from repro.model.application import Application
 from repro.model.execution_graph import (
     ExecutionGraph,
@@ -56,7 +70,7 @@ from repro.model.execution_graph import (
     partial_bag_id,
 )
 from repro.model.graph import AppGraph
-from repro.storage.policy import StorageConfig
+from repro.storage.policy import StorageConfig, call_with_retry
 from repro.trace import NULL_TRACER
 from repro.units import KB
 
@@ -72,6 +86,25 @@ class _Worker:
         self.alive = True
 
 
+def _latency_percentiles(samples_s: List[float]) -> Dict[str, float]:
+    """Percentile summary (milliseconds) of latency samples in seconds."""
+    samples = sorted(samples_s)
+    if not samples:
+        return {"count": 0}
+
+    def pct(p: float) -> float:
+        index = min(len(samples) - 1, int(p * len(samples)))
+        return samples[index] * 1e3
+
+    return {
+        "count": len(samples),
+        "p50_ms": pct(0.50),
+        "p90_ms": pct(0.90),
+        "p99_ms": pct(0.99),
+        "max_ms": samples[-1] * 1e3,
+    }
+
+
 class DistResult:
     """Decoded bag snapshots plus execution statistics of a dist run."""
 
@@ -79,7 +112,7 @@ class DistResult:
         self,
         runtime: "DistRuntime",
         snapshots: Dict[str, List[Any]],
-        storage_stats: Dict[str, int],
+        shard_stats: List[Dict[str, int]],
     ):
         self.clone_counts: Dict[str, int] = {
             task_id: 1 + len(family.clones)
@@ -89,8 +122,24 @@ class DistResult:
         self.chunks_processed = runtime.chunks_processed
         self.worker_deaths = runtime.worker_deaths
         self.family_resets = runtime.family_resets
+        self.shards = runtime.shards
+        self.shard_deaths = runtime.shard_deaths
+        self.storage_resets = runtime.storage_resets
         self.chunk_rpc_seconds: List[float] = list(runtime.chunk_rpc_seconds)
-        self.storage_stats = storage_stats
+        self.chunk_rpc_seconds_by_shard: Dict[int, List[float]] = {
+            shard: list(samples)
+            for shard, samples in runtime.chunk_rpc_seconds_by_shard.items()
+        }
+        #: Raw per-shard op counters (each dict carries its ``shard`` index).
+        self.shard_stats: List[Dict[str, int]] = [dict(s) for s in shard_stats]
+        #: Op counters summed across shards — the pre-sharding surface.
+        aggregate: Dict[str, int] = {}
+        for stats in shard_stats:
+            for op, count in stats.items():
+                if op == "shard":
+                    continue  # identity tag, not a counter
+                aggregate[op] = aggregate.get(op, 0) + count
+        self.storage_stats = aggregate
         self.trace_metrics = dict(runtime.tracer.metrics)
         self._snapshots = snapshots
 
@@ -115,29 +164,25 @@ class DistResult:
         return sum(count - 1 for count in self.clone_counts.values())
 
     def chunk_latency_percentiles(self) -> Dict[str, float]:
-        """Chunk-service RPC latency percentiles in milliseconds."""
-        samples = sorted(self.chunk_rpc_seconds)
-        if not samples:
-            return {"count": 0}
-        def pct(p: float) -> float:
-            index = min(len(samples) - 1, int(p * len(samples)))
-            return samples[index] * 1e3
+        """Chunk-service RPC latency percentiles (ms), all shards pooled."""
+        return _latency_percentiles(self.chunk_rpc_seconds)
+
+    def per_shard_latency_percentiles(self) -> Dict[int, Dict[str, float]]:
+        """Chunk-service RPC latency percentiles (ms) per storage shard."""
         return {
-            "count": len(samples),
-            "p50_ms": pct(0.50),
-            "p90_ms": pct(0.90),
-            "p99_ms": pct(0.99),
-            "max_ms": samples[-1] * 1e3,
+            shard: _latency_percentiles(samples)
+            for shard, samples in sorted(self.chunk_rpc_seconds_by_shard.items())
         }
 
 
 class DistRuntime:
-    """Multiprocess engine: master + N workers + a storage server."""
+    """Multiprocess engine: master + N workers + ``m`` storage shards."""
 
     def __init__(
         self,
         app: Application,
         workers: int = 4,
+        shards: int = 1,
         cloning: bool = True,
         chunk_size: int = 64 * KB,
         records_per_chunk: int = 256,
@@ -148,14 +193,26 @@ class DistRuntime:
         forced_clones: Optional[Dict[str, int]] = None,
         kill_task: Optional[str] = None,
         kill_after_chunks: int = 1,
+        kill_shard: Optional[int] = None,
+        kill_shard_after_ops: int = 4,
         max_worker_restarts: Optional[int] = None,
+        max_shard_restarts: Optional[int] = None,
+        max_storage_resets: Optional[int] = None,
         snapshot_bags: Any = "sinks",
         tracer=None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if kill_shard is not None and not 0 <= kill_shard < shards:
+            raise ValueError(
+                f"kill_shard {kill_shard} out of range for {shards} shards"
+            )
         self.graph: AppGraph = app.graph if isinstance(app, Application) else app
         self.workers = workers
+        self.shards = shards
+        self.router = ShardRouter(shards)
         self.cloning = cloning
         self.settings = DistSettings(
             chunk_size=chunk_size,
@@ -168,8 +225,19 @@ class DistRuntime:
         self.forced_clones = dict(forced_clones or {})
         self.kill_task = kill_task
         self.kill_after_chunks = kill_after_chunks
+        self.kill_shard = kill_shard
+        self.kill_shard_after_ops = kill_shard_after_ops
         self.max_worker_restarts = (
             max_worker_restarts if max_worker_restarts is not None else 2 * workers
+        )
+        self.max_shard_restarts = (
+            max_shard_restarts if max_shard_restarts is not None else 2 * shards
+        )
+        # Storage blips (a task racing a shard respawn on a stale
+        # connection) reset one family each; the budget keeps a persistent
+        # storage fault from retrying forever.
+        self.max_storage_resets = (
+            max_storage_resets if max_storage_resets is not None else 4 + 2 * workers
         )
         self.snapshot_bags = snapshot_bags
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -178,7 +246,10 @@ class DistRuntime:
         self.chunks_processed = 0
         self.worker_deaths = 0
         self.family_resets = 0
+        self.shard_deaths = 0
+        self.storage_resets = 0
         self.chunk_rpc_seconds: List[float] = []
+        self.chunk_rpc_seconds_by_shard: Dict[int, List[float]] = {}
         # -- run-scoped state --
         self._ctx = multiprocessing.get_context("fork")
         self._events: "queue.Queue[Tuple]" = queue.Queue()
@@ -191,32 +262,68 @@ class DistRuntime:
         self._node_member: Dict[str, int] = {}
         self._forced_pending: Set[str] = set(self.forced_clones)
         self._kill_injected = False
+        self._shard_kill_spent = False
         self._recovery_tasks: Set[str] = set()
         self._recovery_pending: Set[str] = set()
-        self._server_proc = None
-        self._store: Optional[RemoteBagStore] = None
+        self._recovery_refill: Set[str] = set()
+        self._in_recovery = False
+        self._inputs: Dict[str, List[Any]] = {}
+        self._socket_dir: Optional[str] = None
+        self._shard_paths: List[str] = []
+        self._shard_procs: List[Any] = []
+        self._shard_addresses: List[StorageAddress] = []
+        self._store: Optional[ShardedBagStore] = None
         self._authkey = os.urandom(16)
         self._teardown = False
 
     # -- process management ---------------------------------------------------
 
-    def _start_server(self) -> StorageAddress:
+    def _spawn_shard(self, index: int) -> StorageAddress:
+        """Start (or restart) shard ``index`` on its stable socket path."""
+        kill_after = None
+        if self.kill_shard == index and not self._shard_kill_spent:
+            # Fault injection arms the *first* incarnation only; the
+            # respawned replacement must live, or recovery would livelock.
+            self._shard_kill_spent = True
+            kill_after = self.kill_shard_after_ops
         ready_parent, ready_child = self._ctx.Pipe(duplex=False)
-        self._server_proc = self._ctx.Process(
+        proc = self._ctx.Process(
             target=storage_server_main,
-            args=(ready_child, self._authkey),
-            name="dist-storage",
+            args=(
+                ready_child,
+                self._authkey,
+                index,
+                self._shard_paths[index],
+                kill_after,
+            ),
+            name=f"dist-shard-{index}",
             daemon=True,
         )
-        self._server_proc.start()
+        proc.start()
         ready_child.close()
         if not ready_parent.poll(15.0):
-            raise SchedulingError("storage server did not start within 15s")
+            raise SchedulingError(f"storage shard {index} did not start within 15s")
         address = ready_parent.recv()
         ready_parent.close()
+        self._shard_procs[index] = proc
+        self._shard_addresses[index] = address
+        monitor = threading.Thread(
+            target=self._shard_monitor,
+            args=(index, proc),
+            daemon=True,
+            name=f"dist-shardmon-{index}",
+        )
+        monitor.start()
         return address
 
-    def _spawn_worker(self, address) -> _Worker:
+    def _shard_monitor(self, index: int, proc) -> None:
+        proc.join()
+        # Stale events (for an already-replaced process) are filtered by
+        # identity in _on_shard_dead; post-shutdown events fall off the
+        # queue unread.
+        self._events.put(("shard_dead", index, proc))
+
+    def _spawn_worker(self) -> _Worker:
         wid = next(self._wid_counter)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         # Close inherited copies of every *other* worker's pipe ends in the
@@ -227,7 +334,7 @@ class DistRuntime:
             args=(
                 wid,
                 child_conn,
-                address,
+                list(self._shard_addresses),
                 self._authkey,
                 self.graph,
                 self.settings,
@@ -264,17 +371,35 @@ class DistRuntime:
         if unknown:
             raise SchedulingError(f"inputs given for non-source bags: {unknown}")
         deadline = time.monotonic() + timeout
-        address = self._start_server()
+        # Materialized and kept: losing the shard that homes a source bag
+        # means replaying the original input from here.
+        self._inputs = {
+            bag_id: list(inputs.get(bag_id, ()))
+            for bag_id in self.graph.source_bags()
+        }
+        self._socket_dir = tempfile.mkdtemp(prefix="repro-dist-")
+        self._shard_paths = [
+            os.path.join(self._socket_dir, f"shard-{index}.sock")
+            for index in range(self.shards)
+        ]
+        self._shard_procs = [None] * self.shards
+        self._shard_addresses = [None] * self.shards
         try:
-            self._store = RemoteBagStore(
-                address, self._authkey, "master", self.settings.policy
+            for index in range(self.shards):
+                self._spawn_shard(index)
+            self._store = ShardedBagStore(
+                self._shard_addresses,
+                self._authkey,
+                "master",
+                self.settings.policy,
+                router=self.router,
             )
             for bag_id in self.graph.source_bags():
                 fill_bag(
                     self._store,
                     self.graph,
                     bag_id,
-                    inputs.get(bag_id, ()),
+                    self._inputs[bag_id],
                     chunk_size=self.settings.chunk_size,
                     records_per_chunk=self.settings.records_per_chunk,
                 )
@@ -298,7 +423,7 @@ class DistRuntime:
                     args=(
                         wid,
                         child_conn,
-                        address,
+                        list(self._shard_addresses),
                         self._authkey,
                         self.graph,
                         self.settings,
@@ -321,21 +446,26 @@ class DistRuntime:
                 worker.reader = reader
                 reader.start()
             self._ready.extend(self.exec.initially_ready())
-            self._event_loop(deadline, address)
+            self._event_loop(deadline)
             snapshots = self._snapshot()
-            stats = self._store.call("stats")
-            return DistResult(self, snapshots, stats)
+            shard_stats = self._store.stats()
+            return DistResult(self, snapshots, shard_stats)
         finally:
             self._shutdown()
 
     # -- event loop ------------------------------------------------------------
 
-    def _event_loop(self, deadline: float, address) -> None:
+    def _event_loop(self, deadline: float) -> None:
         while not self.exec.all_done():
-            self._assign_ready(address)
-            if self.cloning and self._idle and not self._pending_ready():
-                self._maybe_clone()
-                self._assign_ready(address)
+            try:
+                self._assign_ready()
+                if self.cloning and self._idle and not self._pending_ready():
+                    self._maybe_clone()
+                    self._assign_ready()
+            except StorageNodeDown:
+                if not self._absorb_storage_down():
+                    raise
+                continue
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise SchedulingError("distributed run exceeded its timeout")
@@ -343,10 +473,18 @@ class DistRuntime:
                 event = self._events.get(timeout=min(remaining, 0.5))
             except queue.Empty:
                 continue
-            if event[0] == "dead":
-                self._on_worker_dead(event[1], address)
-            else:
-                self._on_message(event[1], event[2], address)
+            try:
+                if event[0] == "dead":
+                    self._on_worker_dead(event[1])
+                elif event[0] == "shard_dead":
+                    self._on_shard_dead(event[1], event[2])
+                else:
+                    self._on_message(event[1], event[2])
+            except StorageNodeDown:
+                # The op that failed is abandoned; if a shard really died,
+                # the loss closure re-produces whatever that op was doing.
+                if not self._absorb_storage_down():
+                    raise
 
     def _pending_ready(self) -> bool:
         return any(
@@ -354,13 +492,18 @@ class DistRuntime:
             for node in self._ready
         )
 
-    def _assign_ready(self, address) -> None:
+    def _assign_ready(self) -> None:
         while self._idle and self._ready:
             node = self._ready.pop(0)
             # Skip nodes discarded by a family reset, or already taken.
+            # A node whose family is mid-recovery is still in the graph
+            # (the reset applies only once every cancel is acknowledged)
+            # but must not start: it would be discarded unfenced — a
+            # zombie racing the family's replay for the same chunks.
             if (
                 node.node_id not in self.exec.nodes
                 or node.state != NodeState.READY
+                or node.task_id in self._recovery_tasks
             ):
                 continue
             wid = self._idle.pop(0)
@@ -402,7 +545,7 @@ class DistRuntime:
 
     # -- messages ---------------------------------------------------------------
 
-    def _on_message(self, wid: int, msg: dict, address) -> None:
+    def _on_message(self, wid: int, msg: dict) -> None:
         mtype = msg.get("type")
         if mtype == "hello":
             self._idle.append(wid)
@@ -413,10 +556,19 @@ class DistRuntime:
         elif mtype == "aborted":
             self._on_aborted(wid, msg)
         elif mtype == "failed":
-            raise RemoteTaskError(
-                msg.get("node_id", "?"), msg.get("error", "unknown error"),
-                msg.get("traceback", ""),
-            )
+            node_id = msg.get("node_id")
+            error = str(msg.get("error", ""))
+            if node_id in self._recovery_pending:
+                # The cancel raced the failure (e.g. a cancelled merge read
+                # an already-discarded partial bag); same cleanup.
+                self._on_aborted(wid, msg)
+            elif error.startswith("StorageNodeDown"):
+                self._on_storage_failed(wid, msg)
+            else:
+                raise RemoteTaskError(
+                    node_id or "?", msg.get("error", "unknown error"),
+                    msg.get("traceback", ""),
+                )
 
     def _on_progress(self, wid: int, msg: dict) -> None:
         node = self._assigned.get(wid)
@@ -463,9 +615,8 @@ class DistRuntime:
         ]
         if not running:
             return
-        remaining = self._store.call(
-            "remaining_many",
-            [family.original.stream_input for _, family in running],
+        remaining = self._store.remaining_many(
+            [family.original.stream_input for _, family in running]
         )
         best, best_remaining = None, self.clone_min_chunks - 1
         for task_id, family in running:
@@ -483,7 +634,11 @@ class DistRuntime:
         self._node_worker.pop(node.node_id, None)
         self.records_processed += msg.get("records", 0)
         self.chunks_processed += msg.get("chunks", 0)
-        self.chunk_rpc_seconds.extend(msg.get("latencies", ()))
+        latencies = msg.get("latencies", ())
+        if latencies:
+            self.chunk_rpc_seconds.extend(latencies)
+            shard = msg.get("latency_shard", 0)
+            self.chunk_rpc_seconds_by_shard.setdefault(shard, []).extend(latencies)
         if node.node_id in self._recovery_pending:
             # Completed before the cancel landed; the family is being reset,
             # so ignore the completion itself.
@@ -499,7 +654,9 @@ class DistRuntime:
             and family.merge is None
         ):
             # Lone-member aggregation: promote the single partial into the
-            # real output bag (mirrors LocalRuntime._complete).
+            # real output bag (mirrors LocalRuntime._complete). Unretried
+            # on purpose: if the partial's shard died, the loss closure is
+            # about to reset this family and re-produce everything.
             values = [
                 record
                 for chunk in self._store.get(
@@ -520,14 +677,30 @@ class DistRuntime:
                 chunk_size=self.settings.chunk_size,
             )
         newly_ready = self.exec.node_done(node.node_id)
-        if family.finished:
-            for bag_id in family.original.spec.outputs:
-                if self.exec.bag_complete(bag_id):
-                    self._store.get(bag_id).seal()
         for ready in newly_ready:
             if ready.kind == NodeKind.MERGE:
                 self._node_member.setdefault(ready.node_id, 0)
             self._ready.append(ready)
+        if family.finished:
+            for bag_id in family.original.spec.outputs:
+                self._seal_if_complete(bag_id)
+
+    def _seal_if_complete(self, bag_id: str) -> None:
+        """Seal ``bag_id``, tolerating a concurrent shard death.
+
+        The completeness re-check runs on every retry attempt: if a shard
+        death reset this bag's producers while we were retrying, sealing
+        the now-empty replacement bag would make the re-run's inserts
+        explode, so the seal is simply skipped — the family seals it again
+        when it re-finishes.
+        """
+
+        def attempt() -> None:
+            if not self.exec.bag_complete(bag_id):
+                return
+            self._store.get(bag_id).seal()
+
+        self._retrying(attempt)
 
     def _on_aborted(self, wid: int, msg: dict) -> None:
         node = self._assigned.pop(wid, None)
@@ -539,7 +712,50 @@ class DistRuntime:
 
     # -- failure recovery --------------------------------------------------------
 
-    def _on_worker_dead(self, wid: int, address) -> None:
+    def _retrying(self, fn: Callable[[], Any]) -> Any:
+        """Run an *idempotent* storage op, riding out shard deaths.
+
+        Each failure first handles any dead shard (respawn + loss closure)
+        so the retry has a live process to reconnect to — without this, a
+        recovery-path RPC against a dead shard would back off forever,
+        because the event loop that respawns shards is the caller.
+        """
+
+        def attempt() -> Any:
+            try:
+                return fn()
+            except StorageNodeDown:
+                self._check_dead_shards()
+                raise
+
+        return call_with_retry(attempt, self.settings.policy, (StorageNodeDown,))
+
+    def _check_dead_shards(self) -> bool:
+        """Synchronous shard-death sweep; True if any death was handled."""
+        handled = False
+        for index, proc in enumerate(self._shard_procs):
+            if proc is not None and not proc.is_alive():
+                self._on_shard_dead(index, proc)
+                handled = True
+        return handled
+
+    def _absorb_storage_down(self) -> bool:
+        """Shard-death sweep with a grace window for an exit in flight.
+
+        A client can observe the torn connection *before* the dying
+        process is reapable — ``is_alive()`` still says True for a few
+        milliseconds. Re-sweep briefly before declaring the failure
+        unexplained; True means a death was found and handled.
+        """
+        deadline = time.monotonic() + 1.0
+        while True:
+            if self._check_dead_shards():
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
+
+    def _on_worker_dead(self, wid: int) -> None:
         worker = self._workers.pop(wid, None)
         if worker is None or self._teardown:
             return
@@ -560,23 +776,172 @@ class DistRuntime:
             raise SchedulingError(
                 f"{self.worker_deaths} worker deaths exceed the restart budget"
             )
-        # All of the corpse's in-flight storage writes are applied before
-        # recovery mutates any bag.
-        self._store.call("fence", f"worker-{wid}", 10.0)
-        self._spawn_worker(address)
+        # All of the corpse's in-flight storage writes — on every shard it
+        # touched — are applied before recovery mutates any bag.
+        self._retrying(lambda: self._store.fence(f"worker-{wid}", 10.0))
+        self._spawn_worker()
         if node is None:
             return
         self._node_worker.pop(node.node_id, None)
-        affected = self._cascade(node.task_id)
-        self._recovery_tasks |= affected
-        for task_id in affected:
+        if (
+            node.node_id not in self.exec.nodes
+            or node.task_id in self._recovery_tasks
+            or node.state != NodeState.RUNNING
+        ):
+            # The family is already being reset (e.g. its shard died first).
+            self._finish_recovery_if_ready()
+            return
+        to_reset, refills = self._loss_closure(set(), {}, seed_tasks=(node.task_id,))
+        self._begin_family_resets(to_reset, refills)
+
+    def _on_shard_dead(self, index: int, proc) -> None:
+        if self._teardown:
+            return
+        if self._shard_procs[index] is not proc:
+            return  # stale monitor event for an already-replaced process
+        proc.join(timeout=5.0)
+        self.shard_deaths += 1
+        self.tracer.inc("dist.shard_deaths")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "shard_dead", cat="dist", shard=index, exitcode=proc.exitcode
+            )
+        if self.shard_deaths > self.max_shard_restarts:
+            raise SchedulingError(
+                f"{self.shard_deaths} shard deaths exceed the restart budget"
+            )
+        # Replacement first: reconnects must find a listener on the stable
+        # path, and the loss closure's own discards go through it too.
+        self._store.invalidate(index)
+        self._spawn_shard(index)
+        self.router.respawn(index)
+        for worker in self._workers.values():
+            try:
+                worker.conn.send({"type": "rebind", "shard": index})
+            except (OSError, BrokenPipeError):
+                pass  # dying worker; its EOF recovery handles the rest
+        lost_bags, lost_partials = self._homed_bags(index)
+        to_reset, refills = self._loss_closure(lost_bags, lost_partials)
+        self._begin_family_resets(to_reset, refills)
+
+    def _homed_bags(self, shard: int) -> Tuple[Set[str], Dict[str, str]]:
+        """Graph bags and live partial bags (-> owner task) homed on ``shard``."""
+        graph_bags = {
+            bag_id
+            for bag_id in self.graph.bags
+            if self.router.home(bag_id) == shard
+        }
+        partials: Dict[str, str] = {}
+        for task_id, family in self.exec.families.items():
+            if not family.original.spec.needs_merge:
+                continue
+            for index in range(family.clone_counter + 1):
+                bag_id = partial_bag_id(task_id, index)
+                if self.router.home(bag_id) == shard:
+                    partials[bag_id] = task_id
+        return graph_bags, partials
+
+    def _loss_closure(
+        self,
+        lost_bags: Set[str],
+        lost_partials: Dict[str, str],
+        seed_tasks: Iterable[str] = (),
+    ) -> Tuple[Set[str], Set[str]]:
+        """Families to reset (and source bags to refill) after data loss.
+
+        Fixpoint over bags: a lost or discarded bag pulls in every
+        *started* producer family (finished ones included — their output
+        is gone) and every started-but-unfinished consumer family (it may
+        have consumed chunks that recovery will re-produce, so replaying
+        it from a rewound input is the only consistent option). Resetting
+        a family discards its outputs and partials, which feed back into
+        the frontier; intact inputs of a reset family do NOT cascade
+        upstream — replay just re-reads them. Lost *source* bags have no
+        producer to re-run and are refilled from the master's kept inputs.
+        Worker death is the degenerate case: no lost bags, seeded with the
+        dead worker's family (this subsumes the old shared-output-bag
+        cascade, and unlike it can recover a finished co-producer).
+        """
+        sources = set(self.graph.source_bags())
+        to_reset: Set[str] = set()
+        refills: Set[str] = set()
+        frontier: deque = deque()
+        seen: Set[str] = set()
+
+        def push(bag_id: str) -> None:
+            if bag_id not in seen:
+                seen.add(bag_id)
+                frontier.append(bag_id)
+
+        def started(family) -> bool:
+            if family.finished:
+                return True
+            if any(
+                w.state in (NodeState.RUNNING, NodeState.DONE)
+                for w in family.workers
+            ):
+                return True
+            merge = family.merge
+            return merge is not None and merge.state != NodeState.PENDING
+
+        def add_family(task_id: str) -> None:
+            if task_id in to_reset:
+                return
+            to_reset.add(task_id)
+            family = self.exec.families[task_id]
+            spec = family.original.spec
+            for bag_id in spec.outputs:
+                push(bag_id)
+            if spec.needs_merge:
+                for index in range(family.clone_counter + 1):
+                    push(partial_bag_id(task_id, index))
+
+        for bag_id in sorted(lost_bags):
+            push(bag_id)
+        for bag_id in sorted(lost_partials):
+            push(bag_id)
+        for task_id in seed_tasks:
+            add_family(task_id)
+
+        while frontier:
+            bag_id = frontier.popleft()
+            if bag_id in self.graph.bags:
+                if bag_id in sources:
+                    refills.add(bag_id)
+                else:
+                    for producer in self.graph.producers_of(bag_id):
+                        if started(self.exec.families[producer.task_id]):
+                            add_family(producer.task_id)
+                for task_id, spec in self.graph.tasks.items():
+                    if bag_id not in spec.inputs:
+                        continue
+                    family = self.exec.families[task_id]
+                    if started(family) and not family.finished:
+                        add_family(task_id)
+            else:
+                # A partial bag: only its owner family cares. Partials of a
+                # *finished* family were already folded into the real
+                # output, so their loss is harmless.
+                owner = lost_partials.get(bag_id)
+                if owner is None:
+                    continue  # pushed by its own family's add_family
+                family = self.exec.families[owner]
+                if started(family) and not family.finished:
+                    add_family(owner)
+        return to_reset, refills
+
+    def _begin_family_resets(self, to_reset: Set[str], refills: Set[str]) -> None:
+        """Queue the resets, cancel running members, finish if nothing runs."""
+        self._recovery_tasks |= to_reset
+        self._recovery_refill |= refills
+        for task_id in sorted(to_reset):
             family = self.exec.families[task_id]
             members = list(family.workers)
             if family.merge is not None:
                 members.append(family.merge)
             for member in members:
                 owner = self._node_worker.get(member.node_id)
-                if owner is None or owner == wid:
+                if owner is None:
                     continue
                 try:
                     self._workers[owner].conn.send(
@@ -587,60 +952,90 @@ class DistRuntime:
                     pass  # that worker is dying too; its EOF will arrive
         self._finish_recovery_if_ready()
 
-    def _cascade(self, task_id: str) -> Set[str]:
-        """Families that must reset together with ``task_id``.
-
-        A streaming family writes shared output bags; discarding one
-        discards every producer's chunks, so unfinished producers sharing
-        an output bag join the reset. A *finished* co-producer cannot be
-        replayed safely — that configuration is rejected.
-        """
-        affected = {task_id}
-        frontier = [task_id]
-        while frontier:
-            current = frontier.pop()
-            family = self.exec.families[current]
-            for bag_id in family.original.spec.outputs:
-                for producer in self.graph.producers_of(bag_id):
-                    other = producer.task_id
-                    if other in affected:
-                        continue
-                    other_family = self.exec.families[other]
-                    if other_family.finished:
-                        raise SchedulingError(
-                            f"cannot recover task {task_id!r}: finished task "
-                            f"{other!r} shares output bag {bag_id!r}"
-                        )
-                    started = any(
-                        w.state in (NodeState.RUNNING, NodeState.DONE)
-                        for w in other_family.workers
-                    )
-                    if started:
-                        affected.add(other)
-                        frontier.append(other)
-        return affected
+    def _on_storage_failed(self, wid: int, msg: dict) -> None:
+        """A task failed with StorageNodeDown: shard death or a blip."""
+        node = self._assigned.pop(wid, None)
+        self._idle.append(wid)
+        self._recovery_pending.discard(msg.get("node_id"))
+        if node is not None:
+            self._node_worker.pop(node.node_id, None)
+        # Most likely a shard just died under the task; handling the death
+        # first usually folds this family into the loss closure.
+        self._absorb_storage_down()
+        if node is None:
+            self._finish_recovery_if_ready()
+            return
+        if (
+            node.node_id not in self.exec.nodes
+            or node.task_id in self._recovery_tasks
+            or node.state != NodeState.RUNNING
+        ):
+            self._finish_recovery_if_ready()
+            return
+        # No dead shard owns this: a blip (e.g. a stale connection racing a
+        # respawn). Reset just this family, under a budget.
+        self.storage_resets += 1
+        self.tracer.inc("dist.storage_resets")
+        if self.storage_resets > self.max_storage_resets:
+            raise RemoteTaskError(
+                msg.get("node_id", "?"), msg.get("error", "storage failure"),
+                msg.get("traceback", ""),
+            )
+        to_reset, refills = self._loss_closure(set(), {}, seed_tasks=(node.task_id,))
+        self._begin_family_resets(to_reset, refills)
 
     def _finish_recovery_if_ready(self) -> None:
-        if not self._recovery_tasks or self._recovery_pending:
-            return
+        if self._in_recovery:
+            return  # a nested shard death queued more work; the loop below sees it
+        self._in_recovery = True
+        try:
+            while self._recovery_tasks and not self._recovery_pending:
+                self._apply_recovery()
+        finally:
+            self._in_recovery = False
+
+    def _apply_recovery(self) -> None:
         tasks, self._recovery_tasks = self._recovery_tasks, set()
+        refills, self._recovery_refill = self._recovery_refill, set()
+        # Collect the physical bags *before* the graph reset wipes the
+        # clone/merge wiring they are derived from.
+        plan = []
         for task_id in sorted(tasks):
             family = self.exec.families[task_id]
             bags = set()
-            members = list(family.workers)
-            for member in members:
+            for member in family.workers:
                 bags.update(member.outputs)
             if family.merge is not None:
                 # A merge that died after emitting but before reporting may
                 # have written the real output bag already.
                 bags.update(family.merge.outputs)
-            for index in range(family.clone_counter + 1):
-                bags.add(partial_bag_id(task_id, index))
-            self.exec.reset_family(task_id)
-            for bag_id in bags:
-                self._store.get(bag_id).discard()
-            self._store.get(family.original.spec.stream_input).rewind()
-            self._ready.append(family.original)
+            if family.original.spec.needs_merge:
+                for index in range(family.clone_counter + 1):
+                    bags.add(partial_bag_id(task_id, index))
+            plan.append((task_id, bags, family.original.spec.stream_input))
+        self.exec.reset_families(tasks)
+        for task_id, bags, _ in plan:
+            for bag_id in sorted(bags):
+                self._retrying(lambda b=bag_id: self._store.get(b).discard())
+        for bag_id in sorted(refills):
+            self._retrying(
+                lambda b=bag_id: refill_bag(
+                    self._store,
+                    self.graph,
+                    b,
+                    self._inputs.get(b, ()),
+                    chunk_size=self.settings.chunk_size,
+                    records_per_chunk=self.settings.records_per_chunk,
+                )
+            )
+        for _, _, stream_input in plan:
+            self._retrying(lambda b=stream_input: self._store.get(b).rewind())
+        for task_id, _, _ in plan:
+            family = self.exec.families[task_id]
+            # PENDING originals wait for their (also-reset) producers to
+            # finish again; _finish_family re-readies them.
+            if family.original.state == NodeState.READY:
+                self._ready.append(family.original)
             self.family_resets += 1
             self.tracer.inc("dist.family_resets")
             if self.tracer.enabled:
@@ -678,12 +1073,16 @@ class DistRuntime:
                 pass
         if self._store is not None:
             try:
-                self._store.call("shutdown")
+                self._store.shutdown()
             except ReproError:
                 pass
             self._store.close()
-        if self._server_proc is not None:
-            self._server_proc.join(timeout=3.0)
-            if self._server_proc.is_alive():
-                self._server_proc.terminate()
-                self._server_proc.join(timeout=2.0)
+        for proc in self._shard_procs:
+            if proc is None:
+                continue
+            proc.join(timeout=3.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        if self._socket_dir is not None:
+            shutil.rmtree(self._socket_dir, ignore_errors=True)

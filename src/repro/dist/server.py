@@ -1,33 +1,49 @@
-"""The storage-server process: data bags behind a socket RPC loop.
+"""A storage-shard process: data bags behind a socket RPC loop.
 
-One process owns every bag of a run (a :class:`LocalBagStore`), and every
-bag mutation happens under that store's locks — which is what makes chunk
-removal **exactly-once across processes**: two clones racing ``remove``
-on the same bag are serialized server-side, so each chunk is handed to
-exactly one of them. Workers, the master, and prefetch threads each open
-their own connection; the server runs one dispatcher thread per
-connection.
+One process owns one *shard* of a run's bags (a :class:`LocalBagStore`
+holding every bag the :class:`~repro.dist.sharding.ShardRouter` homes at
+its index), and every bag mutation happens under that store's locks —
+which is what makes chunk removal **exactly-once across processes**: two
+clones racing ``remove`` on the same bag are serialized server-side by
+the shard that homes it, so each chunk is handed to exactly one of them.
+Workers, the master, and prefetch threads each open their own connection;
+the server runs one dispatcher thread per connection.
 
 Connections introduce themselves with ``("hello", client_id)``. The
 master uses the registry for the **fence** operation: after a worker
 process dies, ``("fence", client_id)`` blocks until every connection that
-worker had registered is fully drained and closed — i.e. until all of the
-dead worker's in-flight inserts have been applied — so the recovery
-discard/rewind cannot race with a late write from the corpse.
+worker had registered *on this shard* is fully drained and closed — i.e.
+until all of the dead worker's in-flight inserts here have been applied —
+so the recovery discard/rewind cannot race with a late write from the
+corpse. With ``m`` shards the master fences all ``m``.
+
+Shards listen on **stable socket paths** chosen by the master
+(``shard-<i>.sock`` in a run-scoped temp dir): when a shard dies and is
+respawned, the replacement re-binds the same path, so clients recover by
+reconnecting to the address they already know — no re-homing, no
+placement epoch protocol. Fault injection mirrors the worker side's
+``kill_after_chunks``: with ``kill_after_ops`` set, the shard hard-exits
+(``os._exit``) upon receiving its N-th ``remove_batch``, before replying
+— the requester observes a torn connection, exactly like a SIGKILL.
 """
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
 from multiprocessing.connection import Connection, Listener
-from typing import Any, Dict, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.storage.local import LocalBagStore
 
+#: ``os._exit`` status used by the shard-kill fault injection.
+SHARD_KILL_EXIT_CODE = 23
+
 
 class _ServerState:
-    def __init__(self):
+    def __init__(self, shard: int = 0, kill_after_ops: Optional[int] = None):
+        self.shard = shard
         self.store = LocalBagStore()
         self.stats: Dict[str, int] = {}
         self.stats_lock = threading.Lock()
@@ -36,15 +52,31 @@ class _ServerState:
         self.registry_cond = threading.Condition(self.registry_lock)
         #: client_id -> live connection object ids.
         self.clients: Dict[str, Set[int]] = {}
+        #: Fault injection: hard-exit on the N-th remove_batch request.
+        self.kill_after_ops = kill_after_ops
+        self._batch_ops_seen = 0
 
     def bump(self, op: str, n: int = 1) -> None:
         with self.stats_lock:
             self.stats[op] = self.stats.get(op, 0) + n
 
+    def maybe_die(self, op: str) -> None:
+        """Die like a SIGKILLed shard when the injected op budget is hit."""
+        if self.kill_after_ops is None or op != "remove_batch":
+            return
+        with self.stats_lock:
+            self._batch_ops_seen += 1
+            doomed = self._batch_ops_seen >= self.kill_after_ops
+        if doomed:
+            # No reply, no flushes, no goodbyes: every connected client
+            # sees a torn connection, the master sees the process exit.
+            os._exit(SHARD_KILL_EXIT_CODE)
+
 
 def _dispatch(state: _ServerState, conn_id: int, req: Tuple[Any, ...]) -> Any:
     op = req[0]
     store = state.store
+    state.maybe_die(op)
     state.bump(op)
     if op == "hello":
         client_id = req[1]
@@ -86,7 +118,7 @@ def _dispatch(state: _ServerState, conn_id: int, req: Tuple[Any, ...]) -> Any:
         return store.ensure(req[1]).size()
     if op == "stats":
         with state.stats_lock:
-            return dict(state.stats)
+            return dict(state.stats, shard=state.shard)
     if op == "fence":
         client_id, timeout = req[1], req[2]
         deadline = threading.TIMEOUT_MAX if timeout is None else timeout
@@ -154,15 +186,31 @@ def _poke(address) -> None:
         pass
 
 
-def storage_server_main(ready_conn: Connection, authkey: bytes) -> None:
-    """Process entry point: listen, report the bound address, serve.
+def storage_server_main(
+    ready_conn: Connection,
+    authkey: bytes,
+    shard: int = 0,
+    socket_path: Optional[str] = None,
+    kill_after_ops: Optional[int] = None,
+) -> None:
+    """Process entry point for shard ``shard``: listen, report, serve.
 
-    The listener is a Unix-domain socket (auto-generated temp path):
-    same-host only by construction, and immune to the Nagle/delayed-ACK
-    stall that adds ~40ms to every >16KB chunk reply over localhost TCP.
+    The listener is a Unix-domain socket: same-host only by construction,
+    and immune to the Nagle/delayed-ACK stall that adds ~40ms to every
+    >16KB chunk reply over localhost TCP. When ``socket_path`` is given
+    the shard binds exactly there (unlinking a stale file left by a
+    killed predecessor), which is what keeps shard addresses stable
+    across respawns; otherwise an auto-generated temp path is used.
     """
-    state = _ServerState()
-    listener = Listener(family="AF_UNIX", authkey=authkey)
+    state = _ServerState(shard=shard, kill_after_ops=kill_after_ops)
+    if socket_path is not None:
+        try:
+            os.unlink(socket_path)
+        except FileNotFoundError:
+            pass
+        listener = Listener(address=socket_path, family="AF_UNIX", authkey=authkey)
+    else:
+        listener = Listener(family="AF_UNIX", authkey=authkey)
     ready_conn.send(listener.address)
     ready_conn.close()
     while not state.stop.is_set():
@@ -178,6 +226,6 @@ def storage_server_main(ready_conn: Connection, authkey: bytes) -> None:
             target=_serve_connection,
             args=(state, conn, listener),
             daemon=True,
-            name="storage-conn",
+            name=f"storage-conn-s{shard}",
         )
         thread.start()

@@ -1,0 +1,78 @@
+"""Bag-to-shard placement for the sharded storage tier.
+
+The paper's storage layer is *always-spread*: data is distributed
+uniformly pseudorandomly over **all** ``m`` storage nodes, so cloning a
+task never concentrates load on one node and batch sampling (Eq. 1,
+``rho(b, m) = 1 - (1 - 1/m)^(b*m)``) has an ``m`` to sample over. The
+sim models that policy through :class:`~repro.storage.replication.ReplicaMap`;
+:class:`ShardRouter` is the same pseudorandom-spread placement for the
+*real* dist engine, at bag granularity: every bag id is homed on one of
+``m`` storage-server processes by a keyed stable hash
+(:func:`~repro.storage.replication.stable_spread`).
+
+Placement must be a pure function of ``(bag_id, m)``:
+
+* **deterministic across processes** — the master and every worker
+  compute placement independently (no placement RPCs, no shared state),
+  so the hash cannot depend on per-process salt like Python's builtin
+  ``hash`` under ``PYTHONHASHSEED``;
+* **stable across shard respawns** — when the master respawns a dead
+  shard, the replacement takes over the dead shard's index and socket
+  address, so live bags are never re-homed; a respawn changes *which
+  process* serves an index, never *which index* serves a bag;
+* **uniform** — over many bag ids the shard loads stay balanced within
+  binomial tolerance (pinned by ``tests/test_property_sharding.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.storage.replication import stable_spread
+
+
+class ShardRouter:
+    """Deterministic pseudorandom spread of bag ids over ``m`` shards."""
+
+    def __init__(self, shards: int):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        #: Bumped on every respawn of each shard index; placement does not
+        #: depend on it (respawn keeps the index), it only tracks history.
+        self.generations: List[int] = [0] * shards
+
+    def home(self, bag_id: str) -> int:
+        """The shard index that hosts ``bag_id`` (pure, process-independent)."""
+        return stable_spread(bag_id, self.shards)
+
+    def respawn(self, shard: int) -> int:
+        """Record that ``shard`` was replaced; returns the new generation.
+
+        Placement is intentionally unaffected: the replacement process
+        inherits the shard index (and its socket address), so every bag
+        homed there before the death is homed there after it.
+        """
+        self.generations[shard] += 1
+        return self.generations[shard]
+
+    def partition(self, bag_ids: Iterable[str]) -> Dict[int, List[str]]:
+        """Group ``bag_ids`` by home shard (for fan-out RPCs)."""
+        groups: Dict[int, List[str]] = {}
+        for bag_id in bag_ids:
+            groups.setdefault(self.home(bag_id), []).append(bag_id)
+        return groups
+
+    def assignments(self, bag_ids: Iterable[str]) -> Dict[str, int]:
+        """Explicit ``bag_id -> shard`` map (debugging / tests)."""
+        return {bag_id: self.home(bag_id) for bag_id in bag_ids}
+
+    def load(self, bag_ids: Sequence[str]) -> Tuple[int, ...]:
+        """Bag count per shard over ``bag_ids`` (uniformity checks)."""
+        counts = [0] * self.shards
+        for bag_id in bag_ids:
+            counts[self.home(bag_id)] += 1
+        return tuple(counts)
+
+    def __repr__(self) -> str:
+        return f"ShardRouter(shards={self.shards})"

@@ -3,12 +3,13 @@
 A worker is a loop over master commands. For a TASK/CLONE node it runs
 the task function against a :class:`DistTaskContext` — the shared
 :class:`~repro.local.context.TaskContext` with the stream input swapped
-for the batch-sampling :class:`~repro.dist.client.BatchChunkFetcher` —
-then writes its partial (aggregations) into the family's per-member
-partial bag on the storage server. For a MERGE node it reads every
-member's partial bag in member order, folds with the merge procedure, and
-emits the reconciled value into the real output bag — the same
-reconciliation :mod:`repro.local` performs in-memory.
+for the batch-sampling :class:`~repro.dist.client.BatchChunkFetcher`,
+connected to whichever storage shard homes the input bag — then writes
+its partial (aggregations) into the family's per-member partial bag on
+the shard homing *that* bag. For a MERGE node it reads every member's
+partial bag in member order, folds with the merge procedure, and emits
+the reconciled value into the real output bag — the same reconciliation
+:mod:`repro.local` performs in-memory.
 
 Late binding is literal here: a clone started mid-task simply opens the
 same input bag and starts removing chunks; the storage server's
@@ -24,10 +25,11 @@ died and the master is resetting the family) and unwinds with
 from __future__ import annotations
 
 import os
+import queue
 import traceback
 from typing import Any, List, Optional
 
-from repro.dist.client import BatchChunkFetcher, RemoteBagStore
+from repro.dist.client import BatchChunkFetcher, ShardedBagStore
 from repro.dist.protocol import DistSettings, NodeDescriptor
 from repro.engine.common import emit_value, fold_partials, resolve_merge
 from repro.errors import SchedulingError
@@ -62,7 +64,7 @@ class _NodeShim:
 class _WorkerRuntime:
     """The runtime surface TaskContext expects (graph, store, chunking)."""
 
-    def __init__(self, graph: AppGraph, store: RemoteBagStore, settings: DistSettings):
+    def __init__(self, graph: AppGraph, store: ShardedBagStore, settings: DistSettings):
         self.graph = graph
         self.store = store
         self.chunk_size = settings.chunk_size
@@ -84,12 +86,30 @@ class DistTaskContext(TaskContext):
             msg = self._cmd_conn.recv()
             if msg.get("type") == "cancel" and msg.get("node_id") == self._desc.node_id:
                 raise _Cancelled(self._desc.node_id)
+            if msg.get("type") == "rebind":
+                # A storage shard was respawned mid-task: drop the stale
+                # connection now so the next RPC reconnects to the new
+                # process instead of failing on the corpse's socket.
+                self._runtime.store.invalidate(msg["shard"])
+                continue
             # Anything else addressed to a busy worker is stale; drop it.
+
+    def _next_chunk(self):
+        # Bounded waits, polling for cancellation in between: after a
+        # storage-shard death the stream bag may sit empty-and-unsealed on
+        # the respawned shard until recovery refills it — a task already
+        # condemned by that same recovery must notice its cancel message
+        # instead of blocking in fetcher.get() forever.
+        while True:
+            try:
+                return self._fetcher.get(timeout=0.05)
+            except queue.Empty:
+                self._poll_cancel()
 
     def records(self):
         kill_after = self._desc.kill_after_chunks
         while True:
-            chunk = self._fetcher.get()
+            chunk = self._next_chunk()
             if chunk is None:
                 return
             self._poll_cancel()
@@ -125,10 +145,11 @@ def _run_task(
             f"task {desc.task_id!r} has no fn; distributed execution needs one"
         )
     node = _NodeShim(desc, spec)
-    fetcher = BatchChunkFetcher(
-        runtime.store.address,
-        runtime.store.authkey,
-        wid,
+    # Routed, not hardwired: the fetcher must connect to the shard homing
+    # the stream bag — a single-address fetcher would stream an empty bag
+    # whenever the router placed the input elsewhere.
+    fetcher = BatchChunkFetcher.for_bag(
+        runtime.store,
         desc.stream_input,
         settings.batch_requests,
         settings.policy,
@@ -154,6 +175,7 @@ def _run_task(
         "records": ctx.records_in,
         "chunks": ctx.chunks_in,
         "latencies": fetcher.latencies[:512],
+        "latency_shard": fetcher.shard,
     }
 
 
@@ -185,13 +207,19 @@ def _run_merge(runtime: _WorkerRuntime, desc: NodeDescriptor) -> dict:
 def worker_main(
     wid: int,
     cmd_conn,
-    address,
+    addresses,
     authkey: bytes,
     graph: AppGraph,
     settings: DistSettings,
     close_conns=(),
 ) -> None:
-    """Process entry point for one worker (forked; graph comes for free)."""
+    """Process entry point for one worker (forked; graph comes for free).
+
+    ``addresses`` lists the storage shards in index order; the worker
+    holds one lazily-connected chunk client per shard behind a
+    :class:`~repro.dist.client.ShardedBagStore` and routes every bag
+    access through the shared :class:`~repro.dist.sharding.ShardRouter`.
+    """
     for other in close_conns:
         # Inherited copies of other workers' pipe ends: close them so a
         # sibling's death is visible to the master as EOF.
@@ -200,7 +228,7 @@ def worker_main(
         except OSError:
             pass
     client_id = f"worker-{wid}"
-    store = RemoteBagStore(address, authkey, client_id, settings.policy)
+    store = ShardedBagStore(addresses, authkey, client_id, settings.policy)
     runtime = _WorkerRuntime(graph, store, settings)
     cmd_conn.send({"type": "hello", "wid": wid, "pid": os.getpid()})
     try:
@@ -214,6 +242,11 @@ def worker_main(
                 return
             if mtype == "cancel":
                 continue  # stale: the node already finished here
+            if mtype == "rebind":
+                # A storage shard was respawned while this worker idled;
+                # drop the stale connection so the next task reconnects.
+                store.invalidate(msg["shard"])
+                continue
             if mtype != "run":
                 continue
             desc: NodeDescriptor = msg["desc"]

@@ -2,8 +2,12 @@
 
 Every function takes the bag *store* as a duck-typed argument: a
 :class:`~repro.storage.local.LocalBagStore` in the local engine, a
-``RemoteBagStore`` proxy in the distributed one. The store only needs
-``ensure``/``get`` returning bags with ``insert``/``seal``/``read_all``.
+``RemoteBagStore`` or shard-routing ``ShardedBagStore`` proxy in the
+distributed one. The store only needs ``ensure``/``get`` returning bags
+with ``insert``/``seal``/``read_all`` — notably, nothing here may assume
+two bags live in the same process: each ``ensure``/``get`` resolves
+placement independently, which is what lets the same helpers drive one
+storage server or ``m`` shards.
 
 Bags come in two representations, decided by the bag's ``codec_spec``:
 
@@ -50,6 +54,35 @@ def fill_bag(
         for chunk in chunk_records(records, codec_for(spec), chunk_size):
             bag.insert(chunk)
     bag.seal()
+
+
+def refill_bag(
+    store,
+    graph,
+    bag_id: str,
+    records: Iterable[Any],
+    *,
+    chunk_size: int,
+    records_per_chunk: int,
+) -> None:
+    """Discard ``bag_id`` and re-materialize it from ``records``.
+
+    The storage-loss recovery path: when the shard homing a source bag
+    dies, its data is gone and the master replays the original input.
+    The discard also clears the sealed flag — ``fill_bag`` alone would
+    raise ``BagSealedError`` against the sealed original (or a stale
+    survivor), and must start from a zeroed read pointer so replaying
+    consumers see every chunk again.
+    """
+    store.ensure(bag_id).discard()
+    fill_bag(
+        store,
+        graph,
+        bag_id,
+        records,
+        chunk_size=chunk_size,
+        records_per_chunk=records_per_chunk,
+    )
 
 
 def resolve_merge(spec: TaskSpec) -> Callable:

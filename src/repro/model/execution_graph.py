@@ -18,7 +18,7 @@ where bag insertion order is unspecified, i.e. concatenation.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import GraphError, SchedulingError
 from repro.model.graph import AppGraph, TaskSpec
@@ -301,4 +301,60 @@ class ExecutionGraph:
             family.merge = None
             family.original.outputs = family.original.spec.outputs
         family.original.state = NodeState.READY
+        return discarded
+
+    def reset_families(self, task_ids: Iterable[str]) -> List[str]:
+        """Reset a *batch* of families, finished ones included.
+
+        ``reset_family`` undoes one unfinished family after a compute
+        failure; losing a **storage shard** can additionally invalidate
+        *finished* families, because their output data is gone and must be
+        re-produced. Resetting a finished family marks it unfinished and
+        removes its output bags from the complete set, so downstream
+        readiness is recomputed honestly.
+
+        The caller (the dist master's shard-loss closure) is responsible
+        for passing a *closed* set: every started co-producer and consumer
+        of a discarded bag must be in ``task_ids`` together. After the
+        reset, each original is READY if its inputs are still complete and
+        PENDING otherwise (it re-readies when its producers finish again),
+        and any READY-but-unstarted original elsewhere whose input became
+        incomplete is demoted back to PENDING. Returns the discarded
+        clone/merge node ids.
+        """
+        tasks = sorted(set(task_ids))
+        discarded: List[str] = []
+        for task_id in tasks:
+            family = self.families[task_id]
+            family.finished = False
+            for clone in family.clones:
+                discarded.append(clone.node_id)
+                del self.nodes[clone.node_id]
+            family.clones = []
+            if family.merge is not None:
+                discarded.append(family.merge.node_id)
+                del self.nodes[family.merge.node_id]
+                family.merge = None
+                family.original.outputs = family.original.spec.outputs
+        # Output bags of reset producers are no longer complete. Safe
+        # without a producer re-scan because the closure guarantees every
+        # co-producer of these bags is itself being reset.
+        for task_id in tasks:
+            for bag_id in self.families[task_id].original.spec.outputs:
+                self._complete_bags.discard(bag_id)
+        for task_id in tasks:
+            original = self.families[task_id].original
+            original.state = (
+                NodeState.READY if self._task_ready(task_id) else NodeState.PENDING
+            )
+        # A READY original outside the reset set cannot have started (it
+        # would be RUNNING/DONE, and then the closure would include it), so
+        # demoting it is always safe; it re-readies via _finish_family.
+        reset = set(tasks)
+        for task_id, family in self.families.items():
+            if task_id in reset:
+                continue
+            original = family.original
+            if original.state == NodeState.READY and not self._task_ready(task_id):
+                original.state = NodeState.PENDING
         return discarded

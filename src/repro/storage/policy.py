@@ -10,8 +10,11 @@ comes first — after which the original error propagates.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator, Tuple, Type, TypeVar
+
+T = TypeVar("T")
 
 
 @dataclass(frozen=True)
@@ -52,3 +55,28 @@ class StorageConfig:
             yield delay
             waited += delay
             delay *= self.backoff_multiplier
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: StorageConfig,
+    exceptions: Tuple[Type[BaseException], ...],
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Run an **idempotent** operation under the policy's backoff schedule.
+
+    Retries ``fn`` on ``exceptions``, sleeping each backoff in *real*
+    time, and re-raises the last error once the schedule is exhausted.
+    Only safe for idempotent operations (reads, seal, discard, rewind,
+    fence): a mutating RPC that failed mid-flight may already have been
+    applied, and replaying it would double-apply.
+    """
+    backoffs = policy.backoffs()
+    while True:
+        try:
+            return fn()
+        except exceptions:
+            delay = next(backoffs, None)
+            if delay is None:
+                raise
+            sleep(delay)

@@ -9,9 +9,27 @@ write ``r`` copies and (b) reads are served by the first live replica.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, List
 
 from repro.errors import ReplicationError
+
+
+def stable_spread(key: str, buckets: int) -> int:
+    """Uniform pseudorandom bucket for ``key``, stable across processes.
+
+    This is the placement primitive behind the paper's always-spread
+    storage: both the sim's per-bag shard homing and the dist engine's
+    :class:`~repro.dist.sharding.ShardRouter` place by this function, so
+    the two layers model the *same* policy. Uses a keyed blake2b digest
+    rather than Python's builtin ``hash``, which is salted per process
+    (``PYTHONHASHSEED``) and therefore useless for cross-process
+    placement agreement.
+    """
+    if buckets < 1:
+        raise ValueError(f"buckets must be >= 1, got {buckets}")
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % buckets
 
 
 class ReplicaMap:
@@ -50,6 +68,16 @@ class ReplicaMap:
         pos = self._ring_pos[home]
         m = len(self.nodes)
         return [self.nodes[(pos + j) % m] for j in range(self.replication)]
+
+    def home_of(self, key: str) -> int:
+        """The ring node that homes ``key`` under pseudorandom spread.
+
+        Keys spread uniformly over the *current* ring via
+        :func:`stable_spread` — the same placement the dist engine's
+        ``ShardRouter`` applies to bag ids, so sim placement experiments
+        and real sharded runs agree on who owns what.
+        """
+        return self.nodes[stable_spread(key, len(self.nodes))]
 
     def replicas(self, home: int) -> List[int]:
         """All nodes holding a copy of the shard homed at ``home``."""

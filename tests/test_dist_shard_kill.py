@@ -1,0 +1,173 @@
+"""Shard-death recovery: kill a storage shard mid-run, demand exact sinks.
+
+The injected fault (``kill_shard`` / ``kill_shard_after_ops``) makes the
+victim shard hard-exit upon its N-th ``remove_batch`` — mid-stream, with
+clients connected and chunks in flight. Recovery must fence nothing less
+than the full protocol: detect the exit, respawn the shard on the same
+socket path, rebind live workers, reset every task family whose bags
+were lost (the loss closure), refill lost source bags from the master's
+kept inputs, and replay — ending with sinks byte-identical to the
+no-fault LocalRuntime baseline.
+"""
+
+import pytest
+
+from repro.apps import build_clicklog_local, build_hashjoin_local
+from repro.dist import DistRuntime, ShardRouter
+from repro.local import LocalRuntime
+
+from tests.test_dist_runtime import (
+    REGIONS,
+    clicklog_baseline,
+    clicklog_counts,
+    clicklog_records,
+    hashjoin_inputs,
+    hashjoin_rows,
+)
+
+
+def clicklog_run(shards, victim, ops, **kwargs):
+    records = clicklog_records()
+    expected = clicklog_baseline(records)
+    result = DistRuntime(
+        build_clicklog_local(regions=REGIONS),
+        workers=3,
+        shards=shards,
+        chunk_size=2048,
+        kill_shard=victim,
+        kill_shard_after_ops=ops,
+        **kwargs,
+    ).run({"clicklog": records}, timeout=180)
+    return result, clicklog_counts(result), expected
+
+
+class TestShardKillRecovery:
+    @pytest.mark.parametrize("ops", [1, 3, 6])
+    def test_stream_shard_kill_recovers_to_baseline(self, ops):
+        # The victim homes the stream bag, so the kill lands mid-stream
+        # (remove_batch traffic is guaranteed) and the loss takes the
+        # source bag with it — recovery must refill it from kept inputs.
+        victim = ShardRouter(2).home("clicklog")
+        result, counts, expected = clicklog_run(2, victim, ops)
+        assert result.shard_deaths == 1
+        assert result.family_resets >= 1
+        assert counts == expected
+
+    def test_other_shard_kill_recovers_to_baseline(self):
+        # The non-stream shard homes intermediate/sink bags; killing it
+        # exercises the closure's finished-family resets (outputs already
+        # produced there are gone and must be re-produced).
+        victim = 1 - ShardRouter(2).home("clicklog")
+        records = clicklog_records()
+        expected = clicklog_baseline(records)
+        result = DistRuntime(
+            build_clicklog_local(regions=REGIONS),
+            workers=3,
+            shards=2,
+            chunk_size=2048,
+            kill_shard=victim,
+            # The kill arms on remove_batch traffic, which reaches this
+            # shard once phase2/phase3 stream the bags it homes.
+            kill_shard_after_ops=2,
+        ).run({"clicklog": records}, timeout=180)
+        assert result.shard_deaths == 1
+        assert clicklog_counts(result) == expected
+
+    @pytest.mark.parametrize("victim", [0, 1])
+    def test_hashjoin_shard_kill_recovers(self, victim):
+        # Both shards home at least one streamed bag (relation.s on one,
+        # the partitioned s.* on both), so either victim sees remove_batch.
+        inputs = hashjoin_inputs()
+        expected = hashjoin_rows(
+            LocalRuntime(
+                build_hashjoin_local(partitions=2), workers=1, cloning=False
+            ).run(dict(inputs), timeout=120)
+        )
+        result = DistRuntime(
+            build_hashjoin_local(partitions=2),
+            workers=3,
+            shards=2,
+            records_per_chunk=64,
+            kill_shard=victim,
+            kill_shard_after_ops=2,
+        ).run(dict(inputs), timeout=180)
+        assert result.shard_deaths == 1
+        assert hashjoin_rows(result) == expected
+
+    def test_shard_kill_with_forced_clones(self):
+        # Clones mid-flight when the shard dies: their partial bags join
+        # the loss closure and the whole family replays consistently.
+        victim = ShardRouter(2).home("clicklog")
+        result, counts, expected = clicklog_run(
+            2, victim, 4, forced_clones={"phase1": 2}
+        )
+        assert result.shard_deaths == 1
+        assert counts == expected
+
+    def test_shard_and_worker_kill_together(self):
+        # Compound failure: a worker AND a shard die in one run. The two
+        # recovery paths (fence/cascade vs loss closure) must compose.
+        victim = ShardRouter(2).home("clicklog")
+        records = clicklog_records()
+        expected = clicklog_baseline(records)
+        result = DistRuntime(
+            build_clicklog_local(regions=REGIONS),
+            workers=3,
+            shards=2,
+            chunk_size=2048,
+            kill_shard=victim,
+            kill_shard_after_ops=5,
+            kill_task="phase1",
+            kill_after_chunks=2,
+        ).run({"clicklog": records}, timeout=180)
+        assert result.shard_deaths == 1
+        assert result.worker_deaths == 1
+        assert clicklog_counts(result) == expected
+
+    def test_three_shards_single_kill(self):
+        victim = ShardRouter(3).home("clicklog")
+        result, counts, expected = clicklog_run(3, victim, 3)
+        assert result.shard_deaths == 1
+        assert counts == expected
+
+
+class TestShardKillProtocol:
+    def test_respawn_bumps_generation_not_placement(self):
+        victim = ShardRouter(2).home("clicklog")
+        runtime = DistRuntime(
+            build_clicklog_local(regions=REGIONS),
+            workers=2,
+            shards=2,
+            chunk_size=2048,
+            kill_shard=victim,
+            kill_shard_after_ops=3,
+        )
+        records = clicklog_records()
+        runtime.run({"clicklog": records}, timeout=180)
+        assert runtime.shard_deaths == 1
+        # The replacement is a new generation of the *same* shard index...
+        assert runtime.router.generations[victim] == 1
+        # ...and no bag re-homed: placement is pure in (bag_id, shards).
+        fresh = ShardRouter(2)
+        for bag_id in runtime.graph.bags:
+            assert runtime.router.home(bag_id) == fresh.home(bag_id)
+
+    def test_restart_budget_bounds_shard_deaths(self):
+        victim = ShardRouter(2).home("clicklog")
+        with pytest.raises(Exception) as excinfo:
+            DistRuntime(
+                build_clicklog_local(regions=REGIONS),
+                workers=2,
+                shards=2,
+                chunk_size=2048,
+                kill_shard=victim,
+                kill_shard_after_ops=1,
+                max_shard_restarts=0,
+            ).run({"clicklog": clicklog_records(2000)}, timeout=60)
+        assert "restart budget" in str(excinfo.value)
+
+    def test_no_kill_no_deaths(self):
+        result, counts, expected = clicklog_run(2, None, 1)
+        assert result.shard_deaths == 0
+        assert result.storage_resets == 0
+        assert counts == expected

@@ -1,0 +1,121 @@
+"""Property tests: ShardRouter placement invariants (Hypothesis).
+
+The router is the contract between every process in a dist run: master,
+workers, and fetchers each compute bag placement independently, so
+placement must be a pure function of (bag_id, shard count) — identical
+across processes (no interpreter-salted ``hash()``), uniform enough that
+no shard is starved, and untouched by shard respawns (a replacement
+process re-binds the same index; re-homing would orphan surviving bags).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.sharding import ShardRouter
+from repro.storage.replication import stable_spread
+
+bag_ids = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=40
+)
+
+
+class TestPlacementPurity:
+    @given(bag_ids, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=200, deadline=None)
+    def test_home_is_deterministic_and_in_range(self, bag_id, shards):
+        router = ShardRouter(shards)
+        home = router.home(bag_id)
+        assert 0 <= home < shards
+        assert home == router.home(bag_id)  # same router
+        assert home == ShardRouter(shards).home(bag_id)  # fresh router
+        assert home == stable_spread(bag_id, shards)  # the shared policy
+
+    @given(st.lists(bag_ids, min_size=1, max_size=50, unique=True),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_is_a_partition(self, ids, shards):
+        router = ShardRouter(shards)
+        partition = router.partition(ids)
+        flattened = [bag_id for group in partition.values() for bag_id in group]
+        assert sorted(flattened) == sorted(ids)
+        for shard, group in partition.items():
+            assert 0 <= shard < shards
+            for bag_id in group:
+                assert router.home(bag_id) == shard
+
+    def test_placement_survives_process_boundary(self):
+        # The property the dist engine actually relies on: a *different
+        # interpreter* (fresh, adversarial PYTHONHASHSEED) computes the
+        # same homes. Python's builtin hash() fails this; blake2b doesn't.
+        ids = [f"bag.{i}" for i in range(64)] + ["clicklog", "join.0", "count.usa"]
+        expected = {bag_id: ShardRouter(5).home(bag_id) for bag_id in ids}
+        code = (
+            "import sys, json\n"
+            "from repro.dist.sharding import ShardRouter\n"
+            "ids = json.loads(sys.stdin.read())\n"
+            "print(json.dumps({b: ShardRouter(5).home(b) for b in ids}))\n"
+        )
+        for seed in ("0", "12345", "random"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [os.path.join(os.path.dirname(__file__), "..", "src"),
+                 env.get("PYTHONPATH", "")]
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                input=json.dumps(ids),
+                capture_output=True, text=True, env=env, check=True,
+            )
+            assert json.loads(proc.stdout) == expected
+
+
+class TestPlacementUniformity:
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_load_within_tolerance_over_1k_bags(self, shards, salt):
+        # 1000 pseudorandomly-spread bags over m shards: each shard should
+        # get about 1000/m. A 2.5x band catches a broken hash (which
+        # collapses to one shard) without flaking on binomial noise.
+        ids = [f"bag.{salt}.{i}" for i in range(1000)]
+        router = ShardRouter(shards)
+        load = router.load(ids)
+        assert sum(load) == 1000
+        mean = 1000 / shards
+        for count in load:
+            assert mean / 2.5 <= count <= mean * 2.5
+
+    def test_two_shard_split_is_balanced(self):
+        load = ShardRouter(2).load(f"b{i}" for i in range(1000))
+        assert abs(load[0] - load[1]) < 250
+
+
+class TestRespawnStability:
+    @given(st.lists(bag_ids, min_size=1, max_size=30, unique=True),
+           st.integers(min_value=1, max_value=6),
+           st.lists(st.integers(min_value=0, max_value=5), max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_respawn_never_rehomes(self, ids, shards, respawns):
+        router = ShardRouter(shards)
+        before = {bag_id: router.home(bag_id) for bag_id in ids}
+        for victim in respawns:
+            router.respawn(victim % shards)
+        assert {bag_id: router.home(bag_id) for bag_id in ids} == before
+        assert sum(router.generations) == len(respawns)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_fresh_router_matches_respawned_router(self, shards):
+        # A worker forked before a respawn (generation 0 everywhere) and
+        # the master after N respawns must still agree on every placement.
+        veteran = ShardRouter(shards)
+        for _ in range(3):
+            veteran.respawn(0)
+        rookie = ShardRouter(shards)
+        for i in range(200):
+            bag_id = f"bag.{i}"
+            assert veteran.home(bag_id) == rookie.home(bag_id)
