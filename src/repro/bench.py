@@ -2,13 +2,23 @@
 
 Runs the clicklog, hashjoin, and calibration workloads on the thread-pool
 engine (:class:`~repro.local.LocalRuntime`) and on the multiprocess engine
-(:class:`~repro.dist.DistRuntime`) at each requested worker count and
-storage shard count (``--shards``), then writes one JSON report with, per
-run: wall time, input-record throughput, speedup over the local baseline,
-clone counts, worker deaths, and (dist only) chunk-service latency
+(:class:`~repro.dist.DistRuntime`) at each requested worker count,
+storage shard count (``--shards``), and replication factor
+(``--replication``), then writes one JSON report with, per run: wall
+time, input-record throughput, speedup over the local baseline, clone
+counts, worker deaths, and (dist only) chunk-service latency
 percentiles, pooled and per shard — the observable side of Eq. 1's
 batch-sampling term, where ``--shards`` is the ``m`` servers a task's
 ``b`` outstanding batch requests spread across.
+
+Replicated combinations additionally run one **failover probe**: the same
+workload with a shard kill injected mid-stream, reporting the measured
+failover latency (death detection to promotion live on every surviving
+shard) and re-replication latency, plus the family-reset count — which
+the probe requires to be *zero* for its parity to mean anything (the
+whole point of replication is surviving the kill without replay).
+Combinations where the replication factor exceeds the shard count are
+skipped (there are not enough distinct processes to hold the copies).
 
 Every dist run's sink output is checked against the local baseline before
 its numbers are reported, so a "fast" engine that drops or duplicates
@@ -128,10 +138,23 @@ def _run_local(workload: _Workload) -> Dict[str, Any]:
     }
 
 
-def _run_dist(workload: _Workload, workers: int, shards: int, baseline: Dict[str, Any]):
+def _present(summary: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop ``None`` percentile fields: absent beats a fake null column."""
+    return {key: value for key, value in summary.items() if value is not None}
+
+
+def _run_dist(
+    workload: _Workload,
+    workers: int,
+    shards: int,
+    replication: int,
+    baseline: Dict[str, Any],
+):
     from repro.dist import DistRuntime
 
-    runtime = DistRuntime(workload.build(), workers=workers, shards=shards)
+    runtime = DistRuntime(
+        workload.build(), workers=workers, shards=shards, replication=replication
+    )
     started = time.perf_counter()
     result = runtime.run(dict(workload.inputs), timeout=RUN_TIMEOUT)
     seconds = time.perf_counter() - started
@@ -140,6 +163,7 @@ def _run_dist(workload: _Workload, workers: int, shards: int, baseline: Dict[str
         "engine": "dist",
         "workers": workers,
         "shards": shards,
+        "replication": replication,
         "seconds": round(seconds, 4),
         "throughput_records_per_s": _throughput(workload, seconds),
         "speedup_vs_local": round(baseline["seconds"] / seconds, 3) if seconds else None,
@@ -149,15 +173,60 @@ def _run_dist(workload: _Workload, workers: int, shards: int, baseline: Dict[str
         "worker_deaths": result.worker_deaths,
         "shard_deaths": result.shard_deaths,
         "chunks_processed": result.chunks_processed,
-        "chunk_latency_ms": result.chunk_latency_percentiles(),
+        "chunk_latency_ms": _present(result.chunk_latency_percentiles()),
         # JSON objects key on strings; shard indices survive round-trips
         # as "0", "1", ... in shard order.
         "per_shard_latency_ms": {
-            str(shard): summary
+            str(shard): _present(summary)
             for shard, summary in sorted(
                 result.per_shard_latency_percentiles().items()
             )
         },
+    }
+
+
+def _run_failover_probe(
+    workload: _Workload,
+    workers: int,
+    shards: int,
+    replication: int,
+    baseline: Dict[str, Any],
+):
+    """One replicated run with a shard kill: measure failover, demand parity."""
+    from repro.dist import DistRuntime, ShardRouter
+
+    # Kill the shard that is primary for a streamed source bag, so the
+    # injected death is guaranteed to land mid-remove_batch traffic.
+    victim = ShardRouter(shards, replication).home(next(iter(workload.inputs)))
+    runtime = DistRuntime(
+        workload.build(),
+        workers=workers,
+        shards=shards,
+        replication=replication,
+        kill_shard=victim,
+        # First remove_batch against the victim: quick-mode streams are
+        # short, and a later trigger can miss the run entirely.
+        kill_shard_after_ops=1,
+    )
+    started = time.perf_counter()
+    result = runtime.run(dict(workload.inputs), timeout=RUN_TIMEOUT)
+    seconds = time.perf_counter() - started
+    matches = workload.snapshot(result) == baseline["snapshot"]
+    return {
+        "engine": "dist",
+        "failover_probe": True,
+        "workers": workers,
+        "shards": shards,
+        "replication": replication,
+        "killed_shard": victim,
+        "seconds": round(seconds, 4),
+        # Replication's contract: the kill is absorbed by promotion, not
+        # replay — a probe that reset families fails parity accounting.
+        "matches_local": matches and result.family_resets == 0,
+        "shard_deaths": result.shard_deaths,
+        "family_resets": result.family_resets,
+        "failover_ms": [round(ms, 3) for ms in result.failover_ms],
+        "resync_ms": [round(ms, 3) for ms in result.resync_ms],
     }
 
 
@@ -213,6 +282,13 @@ def _parse_args(argv):
         "(default: %(default)s)",
     )
     parser.add_argument(
+        "--replication",
+        default="1",
+        help="comma-separated replication factors per dist run; factors "
+        "exceeding the shard count are skipped for that shard count "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
         "--workloads",
         default="clicklog,hashjoin,calibration",
         help="comma-separated workload subset (default: %(default)s)",
@@ -234,6 +310,23 @@ def _parse_args(argv):
         parser.error(f"--shards must be comma-separated integers, got {args.shards!r}")
     if not args.shard_counts or any(s < 1 for s in args.shard_counts):
         parser.error(f"--shards needs positive integers, got {args.shards!r}")
+    try:
+        args.replication_counts = [
+            int(r) for r in args.replication.split(",") if r.strip()
+        ]
+    except ValueError:
+        parser.error(
+            f"--replication must be comma-separated integers, got {args.replication!r}"
+        )
+    if not args.replication_counts or any(r < 1 for r in args.replication_counts):
+        parser.error(
+            f"--replication needs positive integers, got {args.replication!r}"
+        )
+    if all(r > s for r in args.replication_counts for s in args.shard_counts):
+        parser.error(
+            "every --replication factor exceeds every --shards count; "
+            "nothing would run"
+        )
     return args
 
 
@@ -250,6 +343,7 @@ def run_bench(argv=None) -> Dict[str, Any]:
             "quick": args.quick,
             "workers": args.worker_counts,
             "shards": args.shard_counts,
+            "replication": args.replication_counts,
             "workloads": args.workloads,
         },
         "workloads": {},
@@ -260,13 +354,39 @@ def run_bench(argv=None) -> Dict[str, Any]:
         runs = [dict(baseline)]
         runs[0].pop("snapshot")
         for shards in args.shard_counts:
-            for workers in args.worker_counts:
-                print(
-                    f"[bench] {workload.name}: dist x{workers} "
-                    f"({shards} shard{'s' if shards != 1 else ''}) ...",
-                    flush=True,
-                )
-                runs.append(_run_dist(workload, workers, shards, baseline))
+            for replication in args.replication_counts:
+                if replication > shards:
+                    print(
+                        f"[bench] {workload.name}: skip r={replication} "
+                        f"(> {shards} shards)",
+                        flush=True,
+                    )
+                    continue
+                for workers in args.worker_counts:
+                    print(
+                        f"[bench] {workload.name}: dist x{workers} "
+                        f"({shards} shard{'s' if shards != 1 else ''}, "
+                        f"r={replication}) ...",
+                        flush=True,
+                    )
+                    runs.append(
+                        _run_dist(workload, workers, shards, replication, baseline)
+                    )
+                if replication > 1:
+                    # Replicated topologies get a failover probe: the same
+                    # workload with a shard killed mid-stream, recording
+                    # the promotion/resync latencies in the report.
+                    workers = max(args.worker_counts)
+                    print(
+                        f"[bench] {workload.name}: failover probe x{workers} "
+                        f"({shards} shards, r={replication}, kill 1) ...",
+                        flush=True,
+                    )
+                    runs.append(
+                        _run_failover_probe(
+                            workload, workers, shards, replication, baseline
+                        )
+                    )
         parity_ok = all(r.get("matches_local", True) for r in runs)
         speedups = [
             r["speedup_vs_local"] for r in runs if r.get("speedup_vs_local") is not None

@@ -29,8 +29,13 @@ multiprocess engine: each seeded run draws a (shards, workers) topology
 plus a fault cocktail — a storage-shard kill (``os._exit`` on the N-th
 ``remove_batch``, aimed at a shard that demonstrably serves stream
 traffic) and optionally a worker kill — and demands sink parity against
-a fault-free LocalRuntime baseline. No determinism digest there: OS
-process scheduling is not seeded, only the *outcome* is checked.
+a fault-free LocalRuntime baseline. Every other run index replicates the
+shards (``replication=2``) so both shard-death recovery paths get
+coverage at any seed: loss-closure replay (r=1) and primary-backup
+failover (r=2), the latter additionally required to finish with ZERO
+family resets when no worker kill is in the plan. No determinism digest
+there: OS process scheduling is not seeded, only the *outcome* is
+checked.
 """
 
 from __future__ import annotations
@@ -516,9 +521,14 @@ def fuzz_one_dist(
     app, inputs, kwargs = scenario.build()
     shards = rng.randint(2, 3)
     workers = rng.randint(2, 3)
+    # Alternate replication by run index rather than drawing it from the
+    # rng: every other run exercises the primary-backup failover path and
+    # the rest exercise loss-closure replay — both fault paths are
+    # guaranteed coverage at any seed and any --runs >= 2.
+    replication = 2 if index % 2 else 1
     # Aim at a shard that homes a stream-input bag: remove_batch traffic
     # is guaranteed there, so the injected kill actually fires mid-run.
-    router = ShardRouter(shards)
+    router = ShardRouter(shards, replication)
     stream_homes = sorted(
         {router.home(spec.stream_input) for spec in app.graph.tasks.values()}
     )
@@ -528,7 +538,7 @@ def fuzz_one_dist(
     if rng.random() < 0.35:
         kill_task = rng.choice(sorted(app.graph.tasks))
     plan_desc = (
-        f"shards={shards} workers={workers} "
+        f"shards={shards} workers={workers} r={replication} "
         f"kill_shard={kill_shard}@{kill_ops}ops"
         + (f" kill_task={kill_task}" if kill_task else "")
     )
@@ -536,6 +546,7 @@ def fuzz_one_dist(
         app,
         workers=workers,
         shards=shards,
+        replication=replication,
         kill_shard=kill_shard,
         kill_shard_after_ops=kill_ops,
         kill_task=kill_task,
@@ -555,14 +566,21 @@ def fuzz_one_dist(
         for bag_id, expected in baseline_sinks.items()
         if sinks.get(bag_id) != expected
     )
-    status = "ok" if not diverged else f"DIVERGED({','.join(diverged)})"
+    problems = list(diverged)
+    # Replication's whole point: a shard kill with live copies must be
+    # absorbed by failover, never replayed. Worker kills still reset
+    # their family (compute state is unreplicated), so only gate the
+    # plans without one.
+    if replication > 1 and kill_task is None and result.family_resets:
+        problems.append(f"RESETS({result.family_resets})")
+    status = "ok" if not problems else f"DIVERGED({','.join(problems)})"
     line = (
         f"{scenario.name} dist run {index}: {plan_desc} "
         f"shard_deaths={result.shard_deaths} "
         f"worker_deaths={result.worker_deaths} "
         f"resets={result.family_resets} {status}"
     )
-    return not diverged, line
+    return not problems, line
 
 
 def _main_dist(args) -> int:

@@ -8,19 +8,40 @@ in :mod:`repro.engine.common` (and the shared
 :class:`~repro.local.context.TaskContext`) work unchanged in worker and
 master processes whether the storage tier is one process or ``m``.
 
+With ``replication = r > 1`` the store hands out
+:class:`ReplicatedRemoteBag` proxies instead: writes fan out to all ``r``
+replicas (chunks stamped with client-unique ids so duplicate delivery is
+a no-op), and reads **sweep** the replica set in serving order — primary
+first — handling two refusals distinctly:
+
+* :class:`~repro.errors.StorageNodeDown` — the replica's process is gone;
+  demote it locally and try the next copy (client-side failover, no
+  master round trip);
+* :class:`~repro.errors.NotPrimary` — the replica is alive but not the
+  bag's primary under *its* (master-pushed, authoritative) epoch vector;
+  adopt the vector the refusal carries and re-route.
+
+A sweep that fails on every replica backs off under the storage policy
+and re-sweeps — riding out the window where the primary is dead but the
+master has not yet pushed the promotion epochs — and only then raises
+:class:`~repro.errors.StorageNodeDown` for the master's coarse recovery.
+
 :class:`BatchChunkFetcher` is the paper's batch-sampling access path
 (Section 4.2, Eq. 1): instead of one round trip per chunk, a prefetch
 thread on its own connection requests up to ``b`` chunks per RPC and
 keeps a buffer of ``b`` chunks ahead of the consuming task — while the
 task burns CPU on buffered chunks, the next batch is already in flight,
 hiding the chunk-service latency that Eq. 1 charges per request. With
-``m`` shards, each fetcher connects to the shard homing its bag, so a
-worker running a task plus prefetch keeps its outstanding ``remove_batch``
-RPCs spread over the shards its bags land on — Eq. 1's ``m`` made real.
+``m`` shards, each fetcher connects to the shard homing its bag (or, with
+replication, sweeps the replica set on private connections), so a worker
+running a task plus prefetch keeps its outstanding ``remove_batch`` RPCs
+spread over the shards its bags land on — Eq. 1's ``m`` made real.
 """
 
 from __future__ import annotations
 
+import ast
+import itertools
 import queue
 import threading
 import time
@@ -29,7 +50,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 import repro.errors as errors_mod
 from repro.dist.protocol import DIST_STORAGE_POLICY, StorageAddress, connect_with_retry
 from repro.dist.sharding import ShardRouter
-from repro.errors import StorageNodeDown
+from repro.errors import NotPrimary, StorageNodeDown
 from repro.storage.policy import StorageConfig
 
 #: Sentinel queued by the fetcher when the bag is drained and sealed.
@@ -39,6 +60,43 @@ _EOF = object()
 #: possible for bags filled concurrently; scheduled tasks stream sealed
 #: bags, so this path is a safety net, not a hot loop).
 _UNSEALED_POLL_SECONDS = 0.005
+
+#: Connection policy for per-replica stores in replicated mode. Unlike the
+#: single-copy path — where waiting out the full storage policy against one
+#: address is the only hope — a replicated client has somewhere better to
+#: be: fail the connect fast, demote the replica, and let the *sweep* carry
+#: the patience (its backoff loop re-tries the whole replica set under the
+#: full policy). A couple of quick probes still absorb the bind-to-accept
+#: startup race of a freshly spawned shard.
+REPLICATED_PROBE_POLICY = StorageConfig(
+    rpc_retries=3,
+    retry_backoff=0.02,
+    backoff_multiplier=1.8,
+    rpc_timeout=1.0,
+)
+
+#: Bounded in-fence retry budget: the first few policy backoffs only.
+#: ``fence`` is called by the master's recovery path, and the master is
+#: the only agent that can respawn a dead shard — blocking inside fence
+#: for the full policy window would deadlock recovery against itself, so
+#: after a short grace the failure is surfaced for the caller's own
+#: retry loop (which runs shard reaping between attempts).
+_FENCE_RETRY_STEPS = 3
+
+
+def _parse_epoch_vector(message: str) -> Dict[int, int]:
+    """Recover the ``{shard: epoch}`` dict a NotPrimary refusal carries."""
+    try:
+        vector = ast.literal_eval(message)
+    except (ValueError, SyntaxError):
+        return {}
+    if not isinstance(vector, dict):
+        return {}
+    return {
+        int(shard): int(epoch)
+        for shard, epoch in vector.items()
+        if isinstance(shard, int) and isinstance(epoch, int)
+    }
 
 
 class RemoteBag:
@@ -173,6 +231,52 @@ class RemoteBagStore:
             self._drop_conn_locked()
 
 
+class ReplicatedRemoteBag:
+    """Proxy for one bag replicated over ``r`` storage shards.
+
+    Writes fan out to every replica; destructive and snapshot reads go
+    through the owning store's serving-order sweep, which fails over to a
+    backup when the primary dies and re-routes when a replica refuses
+    with :class:`~repro.errors.NotPrimary`. ``remove_batch`` carries a
+    ``(client_id, seq)`` pair that stays **stable across the sweep's
+    retries**, so a request the dead primary served-but-never-answered is
+    answered from the promoted backup's shipped removal log instead of
+    being served twice.
+    """
+
+    def __init__(self, store: "ShardedBagStore", bag_id: str):
+        self.bag_id = bag_id
+        self._store = store
+
+    def insert(self, chunk: Any) -> None:
+        self._store.fanout_insert(self.bag_id, chunk)
+
+    def remove(self) -> Optional[Any]:
+        chunks, _sealed = self.remove_batch(1)
+        return chunks[0] if chunks else None
+
+    def remove_batch(self, count: int) -> Tuple[List[Any], bool]:
+        return self._store.replicated_remove_batch(self.bag_id, count)
+
+    def read_all(self) -> List[Any]:
+        return self._store.sweep_call(self.bag_id, "read_all", self.bag_id)
+
+    def seal(self) -> None:
+        self._store.fanout(self.bag_id, "seal", self.bag_id)
+
+    def remaining(self) -> int:
+        return self._store.sweep_call(self.bag_id, "remaining", self.bag_id)
+
+    def rewind(self) -> None:
+        self._store.fanout(self.bag_id, "rewind", self.bag_id)
+
+    def discard(self) -> None:
+        self._store.fanout(self.bag_id, "discard", self.bag_id)
+
+    def size(self) -> int:
+        return self._store.sweep_call(self.bag_id, "size", self.bag_id)
+
+
 class ShardedBagStore:
     """LocalBagStore-compatible facade over ``m`` storage shards.
 
@@ -181,6 +285,14 @@ class ShardedBagStore:
     (the engine-agnostic helpers, ``TaskContext``, the master) never see
     the sharding. Fan-out operations — ``stats``, ``fence``, ``shutdown``,
     ``remaining_many`` — address all shards explicitly.
+
+    In replicated mode (``router.replication > 1``) the store also owns
+    the client-side failover state: a demotion-epoch *hint* vector that
+    orders each bag's replica sweep (the servers gate authoritatively, so
+    a stale hint costs an extra hop, never correctness), the
+    client-unique chunk-id counter behind idempotent insert fan-out, and
+    the per-bag removal sequence counters behind exactly-once
+    ``remove_batch`` retries.
     """
 
     def __init__(
@@ -201,14 +313,29 @@ class ShardedBagStore:
                 f"{len(self.addresses)} addresses were given"
             )
         self.client_id = client_id
+        self.authkey = authkey
+        self.policy = policy
+        per_shard_policy = (
+            REPLICATED_PROBE_POLICY if self.router.replication > 1 else policy
+        )
+        self.per_shard_policy = per_shard_policy
         self.stores = [
-            RemoteBagStore(address, authkey, client_id, policy)
+            RemoteBagStore(address, authkey, client_id, per_shard_policy)
             for address in self.addresses
         ]
+        self._epochs: Dict[int, int] = {}
+        self._epoch_lock = threading.Lock()
+        self._chunk_counter = itertools.count()
+        self._seqs: Dict[str, int] = {}
+        self._seq_lock = threading.Lock()
 
     @property
     def shards(self) -> int:
         return len(self.stores)
+
+    @property
+    def replication(self) -> int:
+        return self.router.replication
 
     def shard_of(self, bag_id: str) -> int:
         return self.router.home(bag_id)
@@ -219,18 +346,161 @@ class ShardedBagStore:
     def store_for(self, bag_id: str) -> RemoteBagStore:
         return self.stores[self.shard_of(bag_id)]
 
+    # -- replication state ------------------------------------------------------
+
+    def epoch_snapshot(self) -> Dict[int, int]:
+        with self._epoch_lock:
+            return dict(self._epochs)
+
+    def mark_demoted(self, shard: int) -> None:
+        """Locally demote ``shard`` in sweep order (its process looked dead)."""
+        with self._epoch_lock:
+            self._epochs[shard] = self._epochs.get(shard, 0) + 1
+
+    def adopt_epochs(self, epochs: Dict[int, int]) -> None:
+        """Max-merge an epoch vector learned from a server or rebind."""
+        with self._epoch_lock:
+            for shard, epoch in epochs.items():
+                if epoch > self._epochs.get(shard, 0):
+                    self._epochs[shard] = epoch
+
+    def serving_order(self, bag_id: str) -> List[int]:
+        """``bag_id``'s replicas, believed-primary first.
+
+        Sorted by (demotion epoch, ring position) — the same rule each
+        shard applies to its authoritative vector, so with fresh hints
+        the first entry is the real primary and the sweep is one hop.
+        """
+        replicas = self.router.replicas(bag_id)
+        with self._epoch_lock:
+            return sorted(
+                replicas,
+                key=lambda s: (self._epochs.get(s, 0), replicas.index(s)),
+            )
+
+    def next_chunk_id(self) -> str:
+        return f"{self.client_id}#{next(self._chunk_counter)}"
+
+    def next_seq(self, bag_id: str) -> int:
+        with self._seq_lock:
+            seq = self._seqs.get(bag_id, 0) + 1
+            self._seqs[bag_id] = seq
+            return seq
+
+    # -- replicated access paths ------------------------------------------------
+
+    def sweep(self, bag_id: str, attempt) -> Any:
+        """Run ``attempt(shard)`` against ``bag_id``'s replicas until one serves.
+
+        One pass over the serving order per round: a replica whose process
+        is unreachable is demoted locally and skipped; a replica refusing
+        as non-primary donates its (authoritative) epoch vector. Rounds
+        are separated by the storage policy's backoff — covering the gap
+        between a primary's death and the master's promotion push — and
+        exhaustion raises :class:`~repro.errors.StorageNodeDown` so the
+        master's coarse-grained recovery takes over.
+        """
+        backoffs = self.policy.backoffs()
+        while True:
+            last_down: Optional[StorageNodeDown] = None
+            for shard in self.serving_order(bag_id):
+                try:
+                    return attempt(shard)
+                except StorageNodeDown as exc:
+                    self.mark_demoted(shard)
+                    last_down = exc
+                except NotPrimary as exc:
+                    self.adopt_epochs(_parse_epoch_vector(str(exc)))
+            delay = next(backoffs, None)
+            if delay is None:
+                raise StorageNodeDown(
+                    f"no replica of bag {bag_id!r} would serve "
+                    f"(replicas {self.router.replicas(bag_id)})"
+                ) from last_down
+            time.sleep(delay)
+
+    def sweep_call(self, bag_id: str, op: str, *args: Any) -> Any:
+        return self.sweep(
+            bag_id, lambda shard: self.stores[shard].call(op, *args)
+        )
+
+    def replicated_remove_batch(
+        self, bag_id: str, count: int
+    ) -> Tuple[List[Any], bool]:
+        seq = self.next_seq(bag_id)
+        return self.sweep(
+            bag_id,
+            lambda shard: self.stores[shard].call(
+                "rremove_batch", bag_id, count, self.client_id, seq
+            ),
+        )
+
+    def fanout(self, bag_id: str, op: str, *args: Any) -> None:
+        """Apply a write-side op to every replica of ``bag_id``.
+
+        A replica whose process is unreachable is skipped: a dead shard's
+        replacement is re-replicated by the master from a surviving copy
+        before it can serve, so the skipped write still arrives. At least
+        one replica must accept, or the write would vanish entirely.
+        """
+        served = 0
+        for shard in self.router.replicas(bag_id):
+            try:
+                self.stores[shard].call(op, *args)
+                served += 1
+            except StorageNodeDown:
+                self.mark_demoted(shard)
+        if not served:
+            raise StorageNodeDown(
+                f"all {self.replication} replicas of bag {bag_id!r} "
+                f"are down for {op!r}"
+            )
+
+    def fanout_insert(self, bag_id: str, chunk: Any) -> None:
+        chunk_id = self.next_chunk_id()
+        self.fanout(bag_id, "rinsert", bag_id, chunk_id, chunk)
+
+    # -- master-side replication control ---------------------------------------
+
+    def sync_pull(self, shard: int, bag_ids: Iterable[str]) -> Dict[str, Any]:
+        """Snapshot ``bag_ids`` from ``shard`` (re-replication source)."""
+        return self.stores[shard].call("sync_pull", list(bag_ids))
+
+    def sync_push(self, shard: int, snaps: Dict[str, Any]) -> None:
+        """Merge bag snapshots into ``shard`` (re-replication target)."""
+        self.stores[shard].call("sync_push", snaps)
+
+    def push_epochs(self, shard: int, epochs: Dict[int, int]) -> None:
+        """Install the master's demotion-epoch vector on ``shard``."""
+        self.stores[shard].call("set_epochs", dict(epochs))
+
     # -- LocalBagStore surface ------------------------------------------------
 
-    def ensure(self, bag_id: str) -> RemoteBag:
+    def ensure(self, bag_id: str):
+        if self.replication > 1:
+            return ReplicatedRemoteBag(self, bag_id)
         return self.store_for(bag_id).ensure(bag_id)
 
-    def get(self, bag_id: str) -> RemoteBag:
+    def get(self, bag_id: str):
+        if self.replication > 1:
+            return ReplicatedRemoteBag(self, bag_id)
         return self.store_for(bag_id).get(bag_id)
 
     # -- fan-out operations -----------------------------------------------------
 
     def remaining_many(self, bag_ids: Iterable[str]) -> Dict[str, int]:
-        """Remaining-chunk counts for ``bag_ids``, one RPC per shard hit."""
+        """Remaining-chunk counts for ``bag_ids``, one RPC per shard hit.
+
+        Replicated mode sweeps per bag instead: the counts must come from
+        each bag's primary (a backup's pending set can run ahead of the
+        shipped removal log), and different bags in one home-shard group
+        can have different primaries after a failover.
+        """
+        if self.replication > 1:
+            return {
+                bag_id: self.sweep_call(bag_id, "remaining", bag_id)
+                for bag_id in bag_ids
+            }
         merged: Dict[str, int] = {}
         for shard, group in sorted(self.router.partition(bag_ids).items()):
             merged.update(self.stores[shard].call("remaining_many", group))
@@ -248,11 +518,40 @@ class ShardedBagStore:
         single-server fence generalizes to all-shards: recovery may only
         proceed once no shard still holds an undrained connection of the
         corpse.
+
+        The sweep continues past a shard that is down — aborting
+        mid-loop would leave the remaining shards unfenced while the
+        caller believes the corpse is drained. Failed shards are retried
+        under a short bounded backoff (they may be mid-respawn, and a
+        respawned shard holds no old connections — its fence is trivially
+        clean); a shard still down after the budget raises
+        :class:`~repro.errors.StorageNodeDown` so the caller's own
+        retry loop (which can actually respawn shards) takes over.
         """
         leftover = 0
-        for store in self.stores:
-            leftover += store.call("fence", client_id, timeout)
-        return leftover
+        failed: List[int] = []
+        for shard, store in enumerate(self.stores):
+            try:
+                leftover += store.call("fence", client_id, timeout)
+            except StorageNodeDown:
+                failed.append(shard)
+        if not failed:
+            return leftover
+        backoffs = itertools.islice(self.policy.backoffs(), _FENCE_RETRY_STEPS)
+        for delay in backoffs:
+            time.sleep(delay)
+            still_failed: List[int] = []
+            for shard in failed:
+                try:
+                    leftover += self.stores[shard].call("fence", client_id, timeout)
+                except StorageNodeDown:
+                    still_failed.append(shard)
+            failed = still_failed
+            if not failed:
+                return leftover
+        raise StorageNodeDown(
+            f"shards {failed} unreachable while fencing {client_id!r}"
+        )
 
     def shutdown(self) -> None:
         for store in self.stores:
@@ -270,15 +569,58 @@ class ShardedBagStore:
             store.close()
 
 
+class _ReplicatedFetchSource:
+    """Replica-sweeping chunk source for a prefetching fetcher.
+
+    Owns one private :class:`RemoteBagStore` per replica (so fetch RPCs
+    never contend on the worker store's connection locks) but shares the
+    parent store's epoch hints and — critically — its per-bag sequence
+    counters and client id: the server's removal log is keyed by client,
+    so every remover in one process must draw from one monotone sequence.
+    """
+
+    def __init__(self, store: ShardedBagStore, bag_id: str):
+        self._parent = store
+        self.bag_id = bag_id
+        self.shard = store.serving_order(bag_id)[0]
+        self._stores: Dict[int, RemoteBagStore] = {}
+
+    def _store_for(self, shard: int) -> RemoteBagStore:
+        if shard not in self._stores:
+            self._stores[shard] = RemoteBagStore(
+                self._parent.addresses[shard],
+                self._parent.authkey,
+                self._parent.client_id,
+                self._parent.per_shard_policy,
+            )
+        return self._stores[shard]
+
+    def remove_batch(self, count: int) -> Tuple[List[Any], bool]:
+        seq = self._parent.next_seq(self.bag_id)
+
+        def attempt(shard: int) -> Tuple[List[Any], bool]:
+            result = self._store_for(shard).call(
+                "rremove_batch", self.bag_id, count, self._parent.client_id, seq
+            )
+            self.shard = shard  # tag latency samples with the server that served
+            return result
+
+        return self._parent.sweep(self.bag_id, attempt)
+
+    def close(self) -> None:
+        for store in self._stores.values():
+            store.close()
+
+
 class BatchChunkFetcher:
     """Prefetching chunk client for one stream-input bag.
 
     A daemon thread on a dedicated connection — to the shard homing the
-    bag — issues ``remove_batch`` RPCs of ``batch`` chunks and feeds a
-    bounded queue; :meth:`get` returns the next chunk or ``None`` at
-    end-of-bag. Per-RPC latency samples (seconds) accumulate in
-    :attr:`latencies`, tagged with :attr:`shard` for the benchmark's
-    per-shard chunk-service percentiles.
+    bag, or sweeping its replica set — issues ``remove_batch`` RPCs of
+    ``batch`` chunks and feeds a bounded queue; :meth:`get` returns the
+    next chunk or ``None`` at end-of-bag. Per-RPC latency samples
+    (seconds) accumulate in :attr:`latencies`, tagged with :attr:`shard`
+    for the benchmark's per-shard chunk-service percentiles.
     """
 
     def __init__(
@@ -290,6 +632,7 @@ class BatchChunkFetcher:
         batch: int,
         policy: StorageConfig = DIST_STORAGE_POLICY,
         shard: int = 0,
+        source: Optional[_ReplicatedFetchSource] = None,
     ):
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
@@ -300,7 +643,13 @@ class BatchChunkFetcher:
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=batch)
         self._stop = threading.Event()
         self._error: Optional[BaseException] = None
-        self._store = RemoteBagStore(address, authkey, client_id, policy)
+        self._source = source
+        if source is None:
+            self._store: Optional[RemoteBagStore] = RemoteBagStore(
+                address, authkey, client_id, policy
+            )
+        else:
+            self._store = None
         self._thread = threading.Thread(
             target=self._run, daemon=True, name=f"fetch-{bag_id}"
         )
@@ -314,12 +663,27 @@ class BatchChunkFetcher:
         batch: int,
         policy: StorageConfig = DIST_STORAGE_POLICY,
     ) -> "BatchChunkFetcher":
-        """Fetcher wired to the shard that homes ``bag_id``.
+        """Fetcher wired to the shard(s) serving ``bag_id``.
 
         The pre-sharding code connected every fetcher to *the* server
         address; this constructor is the routed replacement — connecting a
         fetcher to any other shard would stream an eternally-empty bag.
+        With replication it wires a sweeping source over the bag's whole
+        replica set instead, so a mid-stream primary death fails over
+        inside the fetch thread without surfacing to the task.
         """
+        if store.replication > 1:
+            source = _ReplicatedFetchSource(store, bag_id)
+            return cls(
+                store.addresses[source.shard],
+                store.authkey,
+                store.client_id,
+                bag_id,
+                batch,
+                policy,
+                shard=source.shard,
+                source=source,
+            )
         return cls(
             store.address_of(bag_id),
             store.stores[0].authkey,
@@ -330,12 +694,20 @@ class BatchChunkFetcher:
             shard=store.shard_of(bag_id),
         )
 
+    def _remove_batch(self) -> Tuple[List[Any], bool]:
+        if self._source is not None:
+            chunks, sealed = self._source.remove_batch(self.batch)
+            self.shard = self._source.shard
+            return chunks, sealed
+        return self._bag.remove_batch(self.batch)
+
     def _run(self) -> None:
-        bag = self._store.get(self.bag_id)
+        if self._store is not None:
+            self._bag = self._store.get(self.bag_id)
         try:
             while not self._stop.is_set():
                 started = time.perf_counter()
-                chunks, sealed = bag.remove_batch(self.batch)
+                chunks, sealed = self._remove_batch()
                 self.latencies.append(time.perf_counter() - started)
                 if not chunks:
                     if sealed:
@@ -349,10 +721,17 @@ class BatchChunkFetcher:
             self._error = exc
             self._put(_EOF)
         finally:
-            self._store.close()
+            if self._store is not None:
+                self._store.close()
+            if self._source is not None:
+                self._source.close()
 
     def _put(self, item: Any) -> None:
-        # Bounded put that gives up when the consumer stopped listening.
+        # Blocking put that never drops: loop on the bounded queue until
+        # the item lands, re-checking only for consumer cancellation. A
+        # timed put that gave up on Full would silently lose the chunk —
+        # exactly-once delivery ends at this queue, so the only legal ways
+        # out are "enqueued" and "nobody is listening anymore".
         while not self._stop.is_set():
             try:
                 self._queue.put(item, timeout=0.1)

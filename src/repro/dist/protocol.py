@@ -16,9 +16,19 @@ Two channels exist:
   Nagle + delayed-ACK on TCP to add ~40ms per chunk RPC.
 
 The command channel additionally carries ``{"type": "rebind", "shard":
-i}`` master->worker messages after a shard respawn, telling workers to
-drop their cached connection to shard ``i`` so the next RPC reconnects
-to the replacement process on the same socket path.
+i, "epochs": {...}}`` master->worker messages after a shard respawn,
+telling workers to drop their cached connection to shard ``i`` so the
+next RPC reconnects to the replacement process on the same socket path;
+with replication the piggybacked demotion-epoch vector refreshes the
+workers' sweep-order hints (authoritative gating stays server-side).
+
+With ``replication = r > 1`` the storage channel grows a replicated op
+family: ``rinsert`` (id-stamped, idempotent insert, fanned out to all
+``r`` replicas by the client), ``rremove_batch`` (primary-gated,
+``(client, seq)``-deduplicated destructive read), ``apply_removals``
+(primary -> backup removal-log shipping), and the master-only
+``sync_pull`` / ``sync_push`` (re-replication snapshots) and
+``set_epochs`` (authoritative demotion-epoch push).
 
 Connections are established with :func:`connect_with_retry`, which reuses
 the :class:`~repro.storage.policy.StorageConfig` retry/timeout/backoff
@@ -84,6 +94,10 @@ class DistSettings:
     #: ``b`` of Eq. 1: chunk requests kept outstanding by the batch-sampling
     #: client (one in-flight batch of ``b`` while up to ``b`` are buffered).
     batch_requests: int = 4
+    #: ``r`` of Section 4.4: copies kept of every bag. 1 = no replication
+    #: (shard death recovers by replay); ``r > 1`` = primary-backup with
+    #: client-side failover (shard death recovers by promotion).
+    replication: int = 1
     policy: StorageConfig = field(default_factory=lambda: DIST_STORAGE_POLICY)
 
 

@@ -1,0 +1,225 @@
+"""Server-side replicated bag state for the dist storage shards.
+
+With ``replication > 1`` every shard process stores bag copies as
+**id-keyed chunk sets** instead of the pointer-based
+:class:`~repro.storage.local.LocalBag` log. The change of representation
+is what makes replication tractable:
+
+* **inserts are idempotent and commutative** — clients stamp every chunk
+  with a unique id (``client#n``) and fan the write out to all ``r``
+  replicas; a retried or doubly-delivered insert is a set no-op, and two
+  replicas receiving writes in different orders still converge to the
+  same chunk *set*;
+* **removals are a log, not a pointer** — the primary pops chunks from
+  its pending set and ships ``(client, seq, [(chunk_id, payload)...])``
+  removal records to its backups *before replying*, so any chunk a
+  client has ever been handed is marked consumed on every live replica
+  first. Applying a removal record is idempotent (move by id), so
+  re-shipping on client retries is safe;
+* **promotion needs no state transfer** — a backup already holds the
+  chunk set and the removal log (the per-client dedup entries below);
+  when the master's epoch push makes it primary, a client retrying an
+  unanswered ``remove_batch`` with the same ``seq`` gets the *recorded*
+  reply instead of fresh chunks, so a request the dead primary served
+  but never acknowledged is never served twice.
+
+Consumed chunks are retained (exactly like ``LocalBag``'s read pointer
+never erasing the log), which keeps ``rewind``/``read_all`` trivially
+correct and lets :meth:`RepBag.snapshot` / :meth:`RepBag.merge_snapshot`
+re-replicate a respawned shard while live traffic mutates the source:
+the merge is monotone (consumed wins over pending, later removal seqs
+win over earlier), so a snapshot racing concurrent inserts, removals, or
+shipped removal records lands in a consistent state.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import BagSealedError
+
+#: A removal-log entry: (chunk ids + payloads popped, bag sealed at serve).
+RemovalRecord = Tuple[List[Tuple[str, Any]], bool]
+
+
+class RepBag:
+    """One replica's copy of a bag: id-keyed pending/consumed chunk sets."""
+
+    def __init__(self, bag_id: str):
+        self.bag_id = bag_id
+        self._pending: Dict[str, Any] = {}
+        self._consumed: Dict[str, Any] = {}
+        self._sealed = False
+        #: Per-client removal log tail: client -> (seq, pairs, sealed).
+        #: One entry per client suffices because each client serializes
+        #: its removals per bag and only ever retries its *latest* seq.
+        self._dedup: Dict[str, Tuple[int, List[Tuple[str, Any]], bool]] = {}
+        self._lock = threading.Lock()
+
+    # -- write side ----------------------------------------------------------
+
+    def insert_id(self, chunk_id: str, chunk: Any) -> None:
+        with self._lock:
+            if self._sealed:
+                raise BagSealedError(f"insert into sealed bag {self.bag_id!r}")
+            if chunk_id in self._pending or chunk_id in self._consumed:
+                return  # duplicate delivery (client retry / replayed fan-out)
+            self._pending[chunk_id] = chunk
+
+    def seal(self) -> None:
+        with self._lock:
+            self._sealed = True
+
+    @property
+    def sealed(self) -> bool:
+        with self._lock:
+            return self._sealed
+
+    # -- read side -------------------------------------------------------------
+
+    def remove_batch(
+        self, count: int, client_id: str, seq: int
+    ) -> RemovalRecord:
+        """Pop up to ``count`` chunks for ``client_id``'s request ``seq``.
+
+        Idempotent per (client, seq): a retry of the latest request —
+        the only retry a serialized client can issue — returns the
+        recorded removal instead of popping again, whether the record
+        was made here (primary serving) or shipped here (backup that
+        was since promoted).
+        """
+        with self._lock:
+            recorded = self._dedup.get(client_id)
+            if recorded is not None and recorded[0] == seq:
+                return recorded[1], recorded[2]
+            pairs: List[Tuple[str, Any]] = []
+            for chunk_id in list(self._pending):
+                if len(pairs) >= count:
+                    break
+                pairs.append((chunk_id, self._pending.pop(chunk_id)))
+                self._consumed[chunk_id] = pairs[-1][1]
+            if pairs:
+                self._dedup[client_id] = (seq, pairs, self._sealed)
+            return pairs, self._sealed
+
+    def apply_removals(
+        self,
+        client_id: str,
+        seq: int,
+        pairs: List[Tuple[str, Any]],
+        sealed: bool,
+    ) -> None:
+        """Apply a removal record shipped by the serving replica.
+
+        Payloads travel with the ids so a removal racing this replica's
+        re-sync (or arriving before the insert fan-out) still lands: the
+        chunk goes straight to consumed, and the late copy dedups against
+        it. Later seqs overwrite the dedup tail; earlier ones only apply
+        their chunk moves.
+        """
+        with self._lock:
+            for chunk_id, chunk in pairs:
+                self._pending.pop(chunk_id, None)
+                self._consumed[chunk_id] = chunk
+            recorded = self._dedup.get(client_id)
+            if recorded is None or recorded[0] <= seq:
+                self._dedup[client_id] = (seq, list(pairs), sealed)
+
+    # -- bag API extras --------------------------------------------------------
+
+    def read_all(self) -> List[Any]:
+        with self._lock:
+            return list(self._consumed.values()) + list(self._pending.values())
+
+    def remaining(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._pending) + len(self._consumed)
+
+    def rewind(self) -> None:
+        """Every chunk becomes deliverable again (family replay)."""
+        with self._lock:
+            rewound = dict(self._consumed)
+            rewound.update(self._pending)
+            self._pending = rewound
+            self._consumed = {}
+            self._dedup = {}
+
+    def discard(self) -> None:
+        with self._lock:
+            self._pending = {}
+            self._consumed = {}
+            self._dedup = {}
+            self._sealed = False
+
+    def __len__(self) -> int:
+        return self.remaining()
+
+    # -- re-replication --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable full state, for re-replicating a respawned shard."""
+        with self._lock:
+            return {
+                "pending": list(self._pending.items()),
+                "consumed": list(self._consumed.items()),
+                "sealed": self._sealed,
+                "dedup": {
+                    client: (seq, list(pairs), sealed)
+                    for client, (seq, pairs, sealed) in self._dedup.items()
+                },
+            }
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Fold a snapshot into this copy; monotone under concurrent traffic.
+
+        Consumed wins over pending (a chunk the source has handed out must
+        never become deliverable here), presence wins over absence, sealed
+        wins over open, and the removal-log tail with the higher seq wins
+        — so it does not matter whether a concurrent insert / removal /
+        shipped record arrives before or after the snapshot lands.
+        """
+        with self._lock:
+            for chunk_id, chunk in snap["consumed"]:
+                self._pending.pop(chunk_id, None)
+                self._consumed[chunk_id] = chunk
+            for chunk_id, chunk in snap["pending"]:
+                if chunk_id not in self._consumed and chunk_id not in self._pending:
+                    self._pending[chunk_id] = chunk
+            self._sealed = self._sealed or snap["sealed"]
+            for client, (seq, pairs, sealed) in snap["dedup"].items():
+                recorded = self._dedup.get(client)
+                if recorded is None or recorded[0] < seq:
+                    self._dedup[client] = (seq, list(pairs), sealed)
+
+
+class RepBagStore:
+    """Catalog of replicated bag copies for one shard process."""
+
+    def __init__(self):
+        self._bags: Dict[str, RepBag] = {}
+        self._lock = threading.Lock()
+
+    def ensure(self, bag_id: str) -> RepBag:
+        with self._lock:
+            if bag_id not in self._bags:
+                self._bags[bag_id] = RepBag(bag_id)
+            return self._bags[bag_id]
+
+    def get(self, bag_id: str) -> RepBag:
+        return self.ensure(bag_id)
+
+    def snapshot_many(self, bag_ids: List[str]) -> Dict[str, Dict[str, Any]]:
+        return {bag_id: self.ensure(bag_id).snapshot() for bag_id in bag_ids}
+
+    def merge_many(self, snaps: Dict[str, Dict[str, Any]]) -> None:
+        for bag_id, snap in snaps.items():
+            self.ensure(bag_id).merge_snapshot(snap)
+
+    def __contains__(self, bag_id: str) -> bool:
+        with self._lock:
+            return bag_id in self._bags

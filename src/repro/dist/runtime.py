@@ -27,7 +27,16 @@ from a single event loop fed by per-worker reader threads:
   — every bag homed on the dead shard is gone, so every started family
   that produced or consumed one of them resets (finished families
   included, since their outputs may need re-producing), and lost source
-  bags are refilled from the master's kept copy of the inputs.
+  bags are refilled from the master's kept copy of the inputs;
+* with ``replication = r > 1`` a shard death does **not** reset anything
+  (unless every replica of some bag is gone): the master bumps the dead
+  shard's demotion epoch and pushes the vector to the surviving shards —
+  promoting each affected bag's next ring replica, to which the clients'
+  sweeps fail over on their own — then re-replicates the dead shard's
+  bag copies onto its replacement from the promoted survivors
+  (``sync_pull``/``sync_push``), restoring ``r`` live copies without
+  replaying a single task. Section 4.4's ``n`` failures with ``n + 1``
+  replicas, on real processes.
 
 Aggregation partials travel through per-member partial bags on whichever
 shard homes them; the merge node is assigned to a worker like any other
@@ -86,11 +95,23 @@ class _Worker:
         self.alive = True
 
 
-def _latency_percentiles(samples_s: List[float]) -> Dict[str, float]:
-    """Percentile summary (milliseconds) of latency samples in seconds."""
+def _latency_percentiles(samples_s: List[float]) -> Dict[str, Optional[float]]:
+    """Percentile summary (milliseconds) of latency samples in seconds.
+
+    With no samples every percentile is ``None`` — an explicit "absent",
+    distinct from 0.0 (which is a legal, excellent latency). Consumers
+    (the bench report, JSON artifacts) render ``None`` as missing rather
+    than as a zero that would skew cross-run comparisons.
+    """
     samples = sorted(samples_s)
     if not samples:
-        return {"count": 0}
+        return {
+            "count": 0,
+            "p50_ms": None,
+            "p90_ms": None,
+            "p99_ms": None,
+            "max_ms": None,
+        }
 
     def pct(p: float) -> float:
         index = min(len(samples) - 1, int(p * len(samples)))
@@ -123,8 +144,18 @@ class DistResult:
         self.worker_deaths = runtime.worker_deaths
         self.family_resets = runtime.family_resets
         self.shards = runtime.shards
+        self.replication = runtime.replication
         self.shard_deaths = runtime.shard_deaths
         self.storage_resets = runtime.storage_resets
+        #: Per-shard-death failover latency (ms): death detection until the
+        #: promotion epochs are live on every surviving shard (empty when
+        #: replication is 1 — those deaths recover by replay, not failover).
+        self.failover_ms: List[float] = [
+            s * 1e3 for s in runtime.failover_seconds
+        ]
+        #: Per-shard-death re-replication latency (ms): snapshotting the
+        #: surviving copies and installing them on the replacement shard.
+        self.resync_ms: List[float] = [s * 1e3 for s in runtime.resync_seconds]
         self.chunk_rpc_seconds: List[float] = list(runtime.chunk_rpc_seconds)
         self.chunk_rpc_seconds_by_shard: Dict[int, List[float]] = {
             shard: list(samples)
@@ -183,6 +214,7 @@ class DistRuntime:
         app: Application,
         workers: int = 4,
         shards: int = 1,
+        replication: int = 1,
         cloning: bool = True,
         chunk_size: int = 64 * KB,
         records_per_chunk: int = 256,
@@ -205,6 +237,10 @@ class DistRuntime:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if not 1 <= replication <= shards:
+            raise ValueError(
+                f"replication must be in [1, {shards}], got {replication}"
+            )
         if kill_shard is not None and not 0 <= kill_shard < shards:
             raise ValueError(
                 f"kill_shard {kill_shard} out of range for {shards} shards"
@@ -212,12 +248,14 @@ class DistRuntime:
         self.graph: AppGraph = app.graph if isinstance(app, Application) else app
         self.workers = workers
         self.shards = shards
-        self.router = ShardRouter(shards)
+        self.replication = replication
+        self.router = ShardRouter(shards, replication)
         self.cloning = cloning
         self.settings = DistSettings(
             chunk_size=chunk_size,
             records_per_chunk=records_per_chunk,
             batch_requests=batch_requests,
+            replication=replication,
             policy=storage_policy,
         )
         self.clone_min_chunks = clone_min_chunks
@@ -248,6 +286,8 @@ class DistRuntime:
         self.family_resets = 0
         self.shard_deaths = 0
         self.storage_resets = 0
+        self.failover_seconds: List[float] = []
+        self.resync_seconds: List[float] = []
         self.chunk_rpc_seconds: List[float] = []
         self.chunk_rpc_seconds_by_shard: Dict[int, List[float]] = {}
         # -- run-scoped state --
@@ -261,13 +301,32 @@ class DistRuntime:
         self._node_worker: Dict[str, int] = {}
         self._node_member: Dict[str, int] = {}
         self._forced_pending: Set[str] = set(self.forced_clones)
-        self._kill_injected = False
+        #: Worker-kill injection state: the node currently armed to die,
+        #: and whether a kill was actually delivered. Arming alone does
+        #: not spend the injection — if the armed incarnation is
+        #: cancelled or reset (e.g. a shard death condemned its family)
+        #: before reaching kill_after_chunks, the next incarnation
+        #: re-arms, so the requested fault reliably happens once.
+        self._kill_armed_node: Optional[str] = None
+        self._kill_delivered = False
         self._shard_kill_spent = False
         self._recovery_tasks: Set[str] = set()
         self._recovery_pending: Set[str] = set()
         self._recovery_refill: Set[str] = set()
         self._in_recovery = False
         self._inputs: Dict[str, List[Any]] = {}
+        #: Master-authoritative demotion-epoch vector (replicated mode):
+        #: bumped for a shard on each of its deaths, pushed to every live
+        #: shard and into every spawn, and piggybacked on rebinds.
+        #: Guarded by _epoch_lock: the shard-monitor threads promote
+        #: backups the instant a corpse is joined, concurrently with the
+        #: event loop.
+        self._epochs: Dict[int, int] = {}
+        self._epoch_lock = threading.Lock()
+        #: Dead shard processes whose backups were already promoted
+        #: (strong refs on purpose: identity must not be recycled while a
+        #: monitor thread could still report the death).
+        self._promoted: Set[Any] = set()
         self._socket_dir: Optional[str] = None
         self._shard_paths: List[str] = []
         self._shard_procs: List[Any] = []
@@ -295,6 +354,9 @@ class DistRuntime:
                 index,
                 self._shard_paths[index],
                 kill_after,
+                self.replication,
+                list(self._shard_paths),
+                self._epoch_vector(),
             ),
             name=f"dist-shard-{index}",
             daemon=True,
@@ -318,10 +380,56 @@ class DistRuntime:
 
     def _shard_monitor(self, index: int, proc) -> None:
         proc.join()
+        if (
+            self.replication > 1
+            and not self._teardown
+            and self._shard_procs[index] is proc
+        ):
+            # Promote the dead shard's backups from THIS thread, before
+            # the death event is even dequeued: the event loop may itself
+            # be blocked in a storage sweep against the dead primary, and
+            # every client's failover sweep is waiting on the epoch push
+            # to land within its bounded patience.
+            try:
+                self._promote_backups(index, proc)
+            except Exception:
+                pass  # the event-loop handler re-pushes via the rebind
         # Stale events (for an already-replaced process) are filtered by
         # identity in _on_shard_dead; post-shutdown events fall off the
         # queue unread.
         self._events.put(("shard_dead", index, proc))
+
+    def _promote_backups(self, index: int, proc) -> None:
+        """Demote dead shard ``index``: bump its epoch, push to live shards.
+
+        Exactly once per death (keyed by process identity) even though
+        both the monitor thread and the event-loop death handler call it
+        — whichever gets here first does the promotion and records the
+        failover latency. The bump is max-of-all-epochs + 1, so the most
+        recent death always carries the strictly largest epoch and the
+        least-recently-demoted replica of every bag serves, regardless of
+        how unevenly deaths were distributed across shards.
+        """
+        with self._epoch_lock:
+            if proc in self._promoted:
+                return
+            self._promoted.add(proc)
+            self._epochs[index] = max(self._epochs.values(), default=0) + 1
+            vector = dict(self._epochs)
+        started = time.monotonic()
+        self._store.adopt_epochs(vector)
+        for shard in range(self.shards):
+            if shard == index or not self._shard_alive(shard):
+                continue
+            try:
+                self._store.push_epochs(shard, vector)
+            except ReproError:
+                pass  # died just now; its own death event re-pushes
+        self.failover_seconds.append(time.monotonic() - started)
+
+    def _epoch_vector(self) -> Dict[int, int]:
+        with self._epoch_lock:
+            return dict(self._epochs)
 
     def _spawn_worker(self) -> _Worker:
         wid = next(self._wid_counter)
@@ -339,6 +447,7 @@ class DistRuntime:
                 self.graph,
                 self.settings,
                 close_conns,
+                self._epoch_vector(),
             ),
             name=f"dist-worker-{wid}",
             daemon=True,
@@ -428,6 +537,7 @@ class DistRuntime:
                         self.graph,
                         self.settings,
                         close_conns,
+                        self._epoch_vector(),
                     ),
                     name=f"dist-worker-{wid}",
                     daemon=True,
@@ -523,13 +633,25 @@ class DistRuntime:
 
     def _descriptor(self, node: ExecutionNode) -> NodeDescriptor:
         kill_after = None
+        if self._kill_armed_node is not None and not self._kill_delivered:
+            # The armed incarnation went away without dying (cancelled by
+            # a concurrent recovery, or finished under the threshold and
+            # was reset): the injection is unspent, so let it re-arm.
+            armed = self.exec.nodes.get(self._kill_armed_node)
+            if (
+                armed is None
+                or armed.state != NodeState.RUNNING
+                or self._kill_armed_node not in self._node_worker
+            ):
+                self._kill_armed_node = None
         if (
-            not self._kill_injected
+            self._kill_armed_node is None
+            and not self._kill_delivered
             and self.kill_task is not None
             and node.task_id == self.kill_task
             and node.kind != NodeKind.MERGE
         ):
-            self._kill_injected = True
+            self._kill_armed_node = node.node_id
             kill_after = self.kill_after_chunks
         return NodeDescriptor(
             node_id=node.node_id,
@@ -612,6 +734,13 @@ class DistRuntime:
             and task_id not in self._recovery_tasks
             and any(w.state == NodeState.RUNNING for w in family.workers)
             and self.exec.clone_count(task_id) < self.max_clones_per_task
+            # An armed-but-undelivered worker kill pins its task to the
+            # armed incarnation: a clone could drain the stream under the
+            # kill threshold, and the injected fault would silently never
+            # happen. Forced clone schedules still apply (explicit).
+            and not (
+                task_id == self.kill_task and not self._kill_delivered
+            )
         ]
         if not running:
             return
@@ -772,6 +901,9 @@ class DistRuntime:
         if self.tracer.enabled:
             self.tracer.instant("worker_dead", cat="dist", worker=wid)
         node = self._assigned.pop(wid, None)
+        if node is not None and node.node_id == self._kill_armed_node:
+            self._kill_delivered = True
+            self._kill_armed_node = None
         if self.worker_deaths > self.max_worker_restarts:
             raise SchedulingError(
                 f"{self.worker_deaths} worker deaths exceed the restart budget"
@@ -810,17 +942,37 @@ class DistRuntime:
             raise SchedulingError(
                 f"{self.shard_deaths} shard deaths exceed the restart budget"
             )
-        # Replacement first: reconnects must find a listener on the stable
-        # path, and the loss closure's own discards go through it too.
         self._store.invalidate(index)
+        if self.replication > 1:
+            # Failover, not replay: promote the dead shard's backups by
+            # bumping its demotion epoch and pushing the vector to every
+            # surviving shard — from that point the epoch-minimal backup
+            # serves each affected bag and clients' sweeps land there.
+            # Usually already done by the monitor thread the instant the
+            # corpse was joined; this covers the client-detected path
+            # (_absorb_storage_down) that can beat the monitor here.
+            self._promote_backups(index, proc)
+        # Replacement next: reconnects must find a listener on the stable
+        # path, and the recovery discards/resync go through it too. The
+        # spawn args carry the bumped epoch vector, so the replacement
+        # starts demoted and cannot serve its empty bags as truth.
         self._spawn_shard(index)
         self.router.respawn(index)
         for worker in self._workers.values():
             try:
-                worker.conn.send({"type": "rebind", "shard": index})
+                worker.conn.send(
+                    {"type": "rebind", "shard": index, "epochs": self._epoch_vector()}
+                )
             except (OSError, BrokenPipeError):
                 pass  # dying worker; its EOF recovery handles the rest
-        lost_bags, lost_partials = self._homed_bags(index)
+        if self.replication > 1:
+            lost_bags, lost_partials = self._resync_shard(index)
+            if not lost_bags and not lost_partials:
+                return  # every copy re-replicated; zero families reset
+            # Every replica of these bags is gone (deaths beyond the
+            # replication factor): fall back to replay for just them.
+        else:
+            lost_bags, lost_partials = self._homed_bags(index)
         to_reset, refills = self._loss_closure(lost_bags, lost_partials)
         self._begin_family_resets(to_reset, refills)
 
@@ -840,6 +992,76 @@ class DistRuntime:
                 if self.router.home(bag_id) == shard:
                     partials[bag_id] = task_id
         return graph_bags, partials
+
+    def _replica_bags(self, shard: int) -> Tuple[Set[str], Dict[str, str]]:
+        """Like :meth:`_homed_bags`, but by replica set membership."""
+        graph_bags = {
+            bag_id
+            for bag_id in self.graph.bags
+            if shard in self.router.replicas(bag_id)
+        }
+        partials: Dict[str, str] = {}
+        for task_id, family in self.exec.families.items():
+            if not family.original.spec.needs_merge:
+                continue
+            for index in range(family.clone_counter + 1):
+                bag_id = partial_bag_id(task_id, index)
+                if shard in self.router.replicas(bag_id):
+                    partials[bag_id] = task_id
+        return graph_bags, partials
+
+    def _shard_alive(self, shard: int) -> bool:
+        proc = self._shard_procs[shard]
+        return proc is not None and proc.is_alive()
+
+    def _resync_shard(self, index: int) -> Tuple[Set[str], Dict[str, str]]:
+        """Re-replicate every bag copy the dead shard held, onto its respawn.
+
+        Each affected bag is snapshotted from its *serving* replica (the
+        promoted copy clients are now reading — snapshots are monotone, so
+        concurrent traffic is safe) and merged into the replacement, one
+        batched pull/push per source shard. Returns the bags with **no**
+        surviving replica (deaths beyond the replication factor); those
+        fall back to the replay path.
+        """
+        resync_started = time.monotonic()
+        graph_bags, partials = self._replica_bags(index)
+        lost_bags: Set[str] = set()
+        lost_partials: Dict[str, str] = {}
+        groups: Dict[int, List[str]] = {}
+        for bag_id in sorted(graph_bags) + sorted(partials):
+            source = next(
+                (
+                    shard
+                    for shard in self._store.serving_order(bag_id)
+                    if shard != index and self._shard_alive(shard)
+                ),
+                None,
+            )
+            if source is None:
+                if bag_id in partials:
+                    lost_partials[bag_id] = partials[bag_id]
+                else:
+                    lost_bags.add(bag_id)
+            else:
+                groups.setdefault(source, []).append(bag_id)
+        for source, bag_ids in sorted(groups.items()):
+            snaps = self._retrying(
+                lambda s=source, b=bag_ids: self._store.sync_pull(s, b)
+            )
+            self._retrying(
+                lambda sn=snaps, i=index: self._store.sync_push(i, sn)
+            )
+        self.resync_seconds.append(time.monotonic() - resync_started)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "shard_resynced",
+                cat="dist",
+                shard=index,
+                bags=sum(len(b) for b in groups.values()),
+                lost=len(lost_bags) + len(lost_partials),
+            )
+        return lost_bags, lost_partials
 
     def _loss_closure(
         self,

@@ -2,12 +2,32 @@
 
 One process owns one *shard* of a run's bags (a :class:`LocalBagStore`
 holding every bag the :class:`~repro.dist.sharding.ShardRouter` homes at
-its index), and every bag mutation happens under that store's locks —
-which is what makes chunk removal **exactly-once across processes**: two
-clones racing ``remove`` on the same bag are serialized server-side by
-the shard that homes it, so each chunk is handed to exactly one of them.
-Workers, the master, and prefetch threads each open their own connection;
-the server runs one dispatcher thread per connection.
+its index — or, with ``replication > 1``, a
+:class:`~repro.dist.replica.RepBagStore` holding every bag whose replica
+set includes this index), and every bag mutation happens under that
+store's locks — which is what makes chunk removal **exactly-once across
+processes**: two clones racing ``remove`` on the same bag are serialized
+server-side by the shard serving it, so each chunk is handed to exactly
+one of them. Workers, the master, and prefetch threads each open their
+own connection; the server runs one dispatcher thread per connection.
+
+Replication extends exactly-once across *replicas* with two mechanisms:
+
+* **primary gating** — destructive reads (``rremove_batch``) and
+  snapshot reads are only served by the bag's *primary*: the
+  epoch-minimal replica under the master-pushed demotion-epoch vector
+  (``set_epochs``; respawned shards receive the current vector in their
+  spawn arguments, so a replacement can never believe itself primary
+  with stale state). Requests landing on a backup are refused with
+  :class:`~repro.errors.NotPrimary` carrying the vector, and the client
+  re-routes. Exactly one live shard believes itself primary for a bag
+  at any instant, because epochs only change when the displaced primary
+  is already dead;
+* **removal-log shipping** — the primary ships every removal record to
+  its backup replicas *before replying*, so any chunk a client has been
+  handed is marked consumed on every live copy first; a promoted backup
+  answers a retried request from the shipped log instead of popping
+  fresh chunks (:mod:`repro.dist.replica`).
 
 Connections introduce themselves with ``("hello", client_id)``. The
 master uses the registry for the **fence** operation: after a worker
@@ -23,8 +43,9 @@ respawned, the replacement re-binds the same path, so clients recover by
 reconnecting to the address they already know — no re-homing, no
 placement epoch protocol. Fault injection mirrors the worker side's
 ``kill_after_chunks``: with ``kill_after_ops`` set, the shard hard-exits
-(``os._exit``) upon receiving its N-th ``remove_batch``, before replying
-— the requester observes a torn connection, exactly like a SIGKILL.
+(``os._exit``) upon receiving its N-th ``remove_batch`` (or
+``rremove_batch``), before replying — the requester observes a torn
+connection, exactly like a SIGKILL.
 """
 
 from __future__ import annotations
@@ -32,19 +53,50 @@ from __future__ import annotations
 import os
 import socket
 import threading
-from multiprocessing.connection import Connection, Listener
-from typing import Any, Dict, Optional, Set, Tuple
+from multiprocessing.connection import Client, Connection, Listener
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.dist.replica import RepBagStore
+from repro.dist.sharding import ShardRouter
+from repro.errors import NotPrimary
 from repro.storage.local import LocalBagStore
 
 #: ``os._exit`` status used by the shard-kill fault injection.
 SHARD_KILL_EXIT_CODE = 23
 
+#: Ops that count toward (and can trigger) the injected shard kill.
+_KILLABLE_OPS = ("remove_batch", "rremove_batch")
+
 
 class _ServerState:
-    def __init__(self, shard: int = 0, kill_after_ops: Optional[int] = None):
+    def __init__(
+        self,
+        shard: int = 0,
+        kill_after_ops: Optional[int] = None,
+        replication: int = 1,
+        addresses: Optional[Sequence[str]] = None,
+        authkey: Optional[bytes] = None,
+        epochs: Optional[Dict[int, int]] = None,
+    ):
         self.shard = shard
-        self.store = LocalBagStore()
+        self.replication = replication
+        self.addresses = list(addresses) if addresses else []
+        self.authkey = authkey
+        if replication > 1:
+            self.store: Any = RepBagStore()
+            self.router: Optional[ShardRouter] = ShardRouter(
+                len(self.addresses), replication
+            )
+        else:
+            self.store = LocalBagStore()
+            self.router = None
+        #: Demotion-epoch vector, master-authoritative (monotone max-merge).
+        self.epochs: Dict[int, int] = dict(epochs or {})
+        self.epochs_lock = threading.Lock()
+        #: Lazily-opened connections to peer replicas, for removal shipping.
+        self._peers: Dict[int, Connection] = {}
+        self._peer_locks: Dict[int, threading.Lock] = {}
+        self._peers_lock = threading.Lock()
         self.stats: Dict[str, int] = {}
         self.stats_lock = threading.Lock()
         self.stop = threading.Event()
@@ -62,7 +114,7 @@ class _ServerState:
 
     def maybe_die(self, op: str) -> None:
         """Die like a SIGKILLed shard when the injected op budget is hit."""
-        if self.kill_after_ops is None or op != "remove_batch":
+        if self.kill_after_ops is None or op not in _KILLABLE_OPS:
             return
         with self.stats_lock:
             self._batch_ops_seen += 1
@@ -71,6 +123,92 @@ class _ServerState:
             # No reply, no flushes, no goodbyes: every connected client
             # sees a torn connection, the master sees the process exit.
             os._exit(SHARD_KILL_EXIT_CODE)
+
+    # -- replication helpers ---------------------------------------------------
+
+    def merge_epochs(self, epochs: Dict[int, int]) -> None:
+        with self.epochs_lock:
+            for shard, epoch in epochs.items():
+                if epoch > self.epochs.get(shard, 0):
+                    self.epochs[shard] = epoch
+
+    def ensure_primary(self, bag_id: str) -> None:
+        """Refuse to serve ``bag_id`` unless this shard is its primary."""
+        replicas = self.router.replicas(bag_id)
+        with self.epochs_lock:
+            primary = min(
+                replicas,
+                key=lambda s: (self.epochs.get(s, 0), replicas.index(s)),
+            )
+            vector = dict(self.epochs)
+        if primary != self.shard:
+            raise NotPrimary(repr(vector))
+
+    def _peer_conn(self, peer: int):
+        """(lock, conn) for ``peer``, connecting if needed; None if down."""
+        with self._peers_lock:
+            lock = self._peer_locks.setdefault(peer, threading.Lock())
+        with lock:
+            conn = self._peers.get(peer)
+            if conn is None:
+                try:
+                    conn = Client(self.addresses[peer], authkey=self.authkey)
+                except (EOFError, OSError):
+                    return lock, None
+                self._peers[peer] = conn
+        return lock, conn
+
+    def _drop_peer(self, peer: int) -> None:
+        with self._peers_lock:
+            conn = self._peers.pop(peer, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def ship_removals(
+        self,
+        bag_id: str,
+        client_id: str,
+        seq: int,
+        pairs: List[Tuple[str, Any]],
+        sealed: bool,
+    ) -> None:
+        """Synchronously replicate a removal record to the backup replicas.
+
+        Runs *before* the primary replies, so a chunk is consumed on
+        every live copy before any client sees it. A peer that cannot be
+        reached is presumed dead and skipped — the master re-replicates
+        its state on respawn, snapshotting this shard's (already
+        updated) copy, so the skipped record still arrives.
+        """
+        for peer in self.router.replicas(bag_id):
+            if peer == self.shard:
+                continue
+            record = ("apply_removals", bag_id, client_id, seq, pairs, sealed)
+            for attempt in range(2):
+                lock, conn = self._peer_conn(peer)
+                if conn is None:
+                    break
+                with lock:
+                    try:
+                        conn.send(record)
+                        status, _payload = conn.recv()
+                    except (EOFError, OSError):
+                        self._drop_peer(peer)
+                        continue  # one reconnect attempt, then give up
+                if status == "ok":
+                    break
+
+    def close_peers(self) -> None:
+        with self._peers_lock:
+            conns, self._peers = list(self._peers.values()), {}
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
 
 
 def _dispatch(state: _ServerState, conn_id: int, req: Tuple[Any, ...]) -> Any:
@@ -86,6 +224,9 @@ def _dispatch(state: _ServerState, conn_id: int, req: Tuple[Any, ...]) -> Any:
     if op == "insert":
         store.ensure(req[1]).insert(req[2])
         return None
+    if op == "rinsert":
+        store.ensure(req[1]).insert_id(req[2], req[3])
+        return None
     if op == "remove":
         bag = store.ensure(req[1])
         return (bag.remove(), bag.sealed)
@@ -99,14 +240,45 @@ def _dispatch(state: _ServerState, conn_id: int, req: Tuple[Any, ...]) -> Any:
             chunks.append(chunk)
         state.bump("chunks_removed", len(chunks))
         return (chunks, bag.sealed)
+    if op == "rremove_batch":
+        bag_id, count, client_id, seq = req[1], req[2], req[3], req[4]
+        state.ensure_primary(bag_id)
+        pairs, sealed = store.ensure(bag_id).remove_batch(count, client_id, seq)
+        if pairs:
+            # Ship outside the bag lock (remove_batch released it), and
+            # on dedup hits too: a primary that died mid-fan-out may have
+            # reached only some backups, and the client's retry at the
+            # promoted one must converge the rest.
+            state.ship_removals(bag_id, client_id, seq, pairs, sealed)
+        state.bump("chunks_removed", len(pairs))
+        return ([chunk for _, chunk in pairs], sealed)
+    if op == "apply_removals":
+        bag_id, client_id, seq, pairs, sealed = req[1:6]
+        store.ensure(bag_id).apply_removals(client_id, seq, pairs, sealed)
+        return None
+    if op == "sync_pull":
+        return store.snapshot_many(list(req[1]))
+    if op == "sync_push":
+        store.merge_many(req[1])
+        return None
+    if op == "set_epochs":
+        state.merge_epochs(req[1])
+        return None
     if op == "read_all":
+        if state.replication > 1:
+            state.ensure_primary(req[1])
         return store.ensure(req[1]).read_all()
     if op == "seal":
         store.ensure(req[1]).seal()
         return None
     if op == "remaining":
+        if state.replication > 1:
+            state.ensure_primary(req[1])
         return store.ensure(req[1]).remaining()
     if op == "remaining_many":
+        if state.replication > 1:
+            for bag_id in req[1]:
+                state.ensure_primary(bag_id)
         return {bag_id: store.ensure(bag_id).remaining() for bag_id in req[1]}
     if op == "rewind":
         store.ensure(req[1]).rewind()
@@ -115,6 +287,8 @@ def _dispatch(state: _ServerState, conn_id: int, req: Tuple[Any, ...]) -> Any:
         store.ensure(req[1]).discard()
         return None
     if op == "size":
+        if state.replication > 1:
+            state.ensure_primary(req[1])
         return store.ensure(req[1]).size()
     if op == "stats":
         with state.stats_lock:
@@ -141,6 +315,7 @@ def _serve_connection(state: _ServerState, conn: Connection, listener) -> None:
             if req[0] == "shutdown":
                 conn.send(("ok", None))
                 state.stop.set()
+                state.close_peers()
                 # Closing the listener does NOT wake a thread blocked in
                 # accept(2); poke it with a throwaway connection so the
                 # accept loop re-checks the stop flag immediately.
@@ -192,6 +367,9 @@ def storage_server_main(
     shard: int = 0,
     socket_path: Optional[str] = None,
     kill_after_ops: Optional[int] = None,
+    replication: int = 1,
+    addresses: Optional[Sequence[str]] = None,
+    epochs: Optional[Dict[int, int]] = None,
 ) -> None:
     """Process entry point for shard ``shard``: listen, report, serve.
 
@@ -201,8 +379,21 @@ def storage_server_main(
     the shard binds exactly there (unlinking a stale file left by a
     killed predecessor), which is what keeps shard addresses stable
     across respawns; otherwise an auto-generated temp path is used.
+
+    With ``replication > 1`` the shard also needs ``addresses`` (every
+    shard's socket path, for removal shipping to peers) and ``epochs``
+    (the master's current demotion-epoch vector — a respawned
+    replacement must start out knowing it is demoted, or stale clients
+    could read its empty, not-yet-resynced bags as truth).
     """
-    state = _ServerState(shard=shard, kill_after_ops=kill_after_ops)
+    state = _ServerState(
+        shard=shard,
+        kill_after_ops=kill_after_ops,
+        replication=replication,
+        addresses=addresses,
+        authkey=authkey,
+        epochs=epochs,
+    )
     if socket_path is not None:
         try:
             os.unlink(socket_path)

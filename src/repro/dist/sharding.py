@@ -8,7 +8,11 @@ sim models that policy through :class:`~repro.storage.replication.ReplicaMap`;
 :class:`ShardRouter` is the same pseudorandom-spread placement for the
 *real* dist engine, at bag granularity: every bag id is homed on one of
 ``m`` storage-server processes by a keyed stable hash
-(:func:`~repro.storage.replication.stable_spread`).
+(:func:`~repro.storage.replication.stable_spread`), and with
+``replication=r`` its copies live on the next ``r - 1`` shards in ring
+order (:func:`~repro.storage.replication.ring_successors` — the same
+ring rule :class:`~repro.storage.replication.ReplicaMap` encodes, so
+sim and real replica sets agree for every ``(m, r)``).
 
 Placement must be a pure function of ``(bag_id, m)``:
 
@@ -28,23 +32,37 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Tuple
 
-from repro.storage.replication import stable_spread
+from repro.storage.replication import ring_successors, stable_spread
 
 
 class ShardRouter:
     """Deterministic pseudorandom spread of bag ids over ``m`` shards."""
 
-    def __init__(self, shards: int):
+    def __init__(self, shards: int, replication: int = 1):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if not 1 <= replication <= shards:
+            raise ValueError(
+                f"replication must be in [1, {shards}], got {replication}"
+            )
         self.shards = shards
+        self.replication = replication
         #: Bumped on every respawn of each shard index; placement does not
         #: depend on it (respawn keeps the index), it only tracks history.
         self.generations: List[int] = [0] * shards
 
     def home(self, bag_id: str) -> int:
-        """The shard index that hosts ``bag_id`` (pure, process-independent)."""
+        """The primary shard index for ``bag_id`` (pure, process-independent)."""
         return stable_spread(bag_id, self.shards)
+
+    def replicas(self, bag_id: str) -> List[int]:
+        """All shard indices holding a copy of ``bag_id``, primary first.
+
+        The home shard plus its ``replication - 1`` ring successors —
+        exactly :class:`~repro.storage.replication.ReplicaMap` ring
+        semantics with ``node_indices=range(m)``.
+        """
+        return ring_successors(self.home(bag_id), self.shards, self.replication)
 
     def respawn(self, shard: int) -> int:
         """Record that ``shard`` was replaced; returns the new generation.
@@ -75,4 +93,9 @@ class ShardRouter:
         return tuple(counts)
 
     def __repr__(self) -> str:
+        if self.replication > 1:
+            return (
+                f"ShardRouter(shards={self.shards}, "
+                f"replication={self.replication})"
+            )
         return f"ShardRouter(shards={self.shards})"

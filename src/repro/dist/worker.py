@@ -31,6 +31,7 @@ from typing import Any, List, Optional
 
 from repro.dist.client import BatchChunkFetcher, ShardedBagStore
 from repro.dist.protocol import DistSettings, NodeDescriptor
+from repro.dist.sharding import ShardRouter
 from repro.engine.common import emit_value, fold_partials, resolve_merge
 from repro.errors import SchedulingError
 from repro.local.context import TaskContext
@@ -91,6 +92,7 @@ class DistTaskContext(TaskContext):
                 # connection now so the next RPC reconnects to the new
                 # process instead of failing on the corpse's socket.
                 self._runtime.store.invalidate(msg["shard"])
+                self._runtime.store.adopt_epochs(msg.get("epochs") or {})
                 continue
             # Anything else addressed to a busy worker is stale; drop it.
 
@@ -212,6 +214,7 @@ def worker_main(
     graph: AppGraph,
     settings: DistSettings,
     close_conns=(),
+    epochs=None,
 ) -> None:
     """Process entry point for one worker (forked; graph comes for free).
 
@@ -219,6 +222,9 @@ def worker_main(
     holds one lazily-connected chunk client per shard behind a
     :class:`~repro.dist.client.ShardedBagStore` and routes every bag
     access through the shared :class:`~repro.dist.sharding.ShardRouter`.
+    ``epochs`` seeds the replica sweep-order hints: a worker spawned
+    after a shard failover must not waste its first RPCs rediscovering
+    demotions the master already knows about.
     """
     for other in close_conns:
         # Inherited copies of other workers' pipe ends: close them so a
@@ -228,7 +234,11 @@ def worker_main(
         except OSError:
             pass
     client_id = f"worker-{wid}"
-    store = ShardedBagStore(addresses, authkey, client_id, settings.policy)
+    router = ShardRouter(len(addresses), settings.replication)
+    store = ShardedBagStore(
+        addresses, authkey, client_id, settings.policy, router=router
+    )
+    store.adopt_epochs(epochs or {})
     runtime = _WorkerRuntime(graph, store, settings)
     cmd_conn.send({"type": "hello", "wid": wid, "pid": os.getpid()})
     try:
@@ -244,8 +254,11 @@ def worker_main(
                 continue  # stale: the node already finished here
             if mtype == "rebind":
                 # A storage shard was respawned while this worker idled;
-                # drop the stale connection so the next task reconnects.
+                # drop the stale connection so the next task reconnects,
+                # and adopt the demotion epochs so replicated reads go to
+                # the promoted primary, not the freshly-resynced respawn.
                 store.invalidate(msg["shard"])
+                store.adopt_epochs(msg.get("epochs") or {})
                 continue
             if mtype != "run":
                 continue

@@ -104,3 +104,16 @@ class StorageNodeDown(ReproError):
     is served by a backup replica (Section 4.4).
     """
 
+
+class NotPrimary(ReproError):
+    """A replicated storage shard refused to serve a bag it does not own.
+
+    Destructive reads (chunk removal) and snapshot reads must be served by
+    exactly one replica at a time — the *primary* — or two clients could
+    consume the same chunk from two copies. Each shard gates those ops on
+    the master-pushed demotion-epoch vector; a request landing on a
+    backup is refused with this error, whose message carries the shard's
+    current epoch vector (``repr`` of a ``{shard: epoch}`` dict) so the
+    client can adopt it and re-route to the real primary.
+    """
+

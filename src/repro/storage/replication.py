@@ -15,6 +15,24 @@ from typing import Callable, Dict, List
 from repro.errors import ReplicationError
 
 
+def ring_successors(position: int, total: int, count: int) -> List[int]:
+    """Ring positions ``position, position+1, ... (mod total)``, ``count`` long.
+
+    The one placement rule both replication layers share: replicas of the
+    shard homed at ring position ``p`` live on the next ``count - 1``
+    positions in ring order. :class:`ReplicaMap` (the sim) and the dist
+    engine's :class:`~repro.dist.sharding.ShardRouter` both derive their
+    replica sets from this function, so the real engine provably models
+    the same policy the simulator's experiments measure
+    (``tests/test_property_sharding.py`` pins the equivalence).
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if count > total:
+        raise ValueError(f"count {count} exceeds ring size {total}")
+    return [(position + j) % total for j in range(count)]
+
+
 def stable_spread(key: str, buckets: int) -> int:
     """Uniform pseudorandom bucket for ``key``, stable across processes.
 
@@ -67,7 +85,9 @@ class ReplicaMap:
     def _ring_replicas(self, home: int) -> List[int]:
         pos = self._ring_pos[home]
         m = len(self.nodes)
-        return [self.nodes[(pos + j) % m] for j in range(self.replication)]
+        return [
+            self.nodes[p] for p in ring_successors(pos, m, self.replication)
+        ]
 
     def home_of(self, key: str) -> int:
         """The ring node that homes ``key`` under pseudorandom spread.

@@ -1,0 +1,380 @@
+"""Replication protocol tests below the DistRuntime level.
+
+Covers the pieces the end-to-end shard-kill tests exercise only in
+aggregate: the replicated bag representation (id-keyed sets, removal-log
+dedup, monotone snapshot merge), the primary gate and removal shipping on
+real server processes, the client sweep's failover behavior, the fence
+sweep's continue-past-dead-shards fix, the fetcher queue's no-drop
+guarantee, and the empty-sample latency percentile contract.
+"""
+
+import multiprocessing
+import os
+import queue
+import threading
+import time
+
+import pytest
+
+from repro.dist.client import (
+    BatchChunkFetcher,
+    RemoteBagStore,
+    ShardedBagStore,
+    _parse_epoch_vector,
+)
+from repro.dist.replica import RepBag, RepBagStore
+from repro.dist.runtime import _latency_percentiles
+from repro.dist.server import storage_server_main
+from repro.dist.sharding import ShardRouter
+from repro.errors import BagSealedError, NotPrimary, StorageNodeDown
+from repro.storage.policy import StorageConfig
+
+CTX = multiprocessing.get_context("fork")
+AUTHKEY = b"test-replication"
+
+#: Snappy policy: these tests exercise failure paths on purpose, and the
+#: production backoff schedule would turn each negative case into seconds
+#: of sleeping.
+QUICK = StorageConfig(
+    rpc_retries=3, retry_backoff=0.01, backoff_multiplier=1.5, rpc_timeout=1.0
+)
+
+
+class _Shards:
+    """A real replicated shard group: one server process per index."""
+
+    def __init__(self, tmpdir, count, replication):
+        self.paths = [os.path.join(tmpdir, f"shard-{i}.sock") for i in range(count)]
+        self.replication = replication
+        self.procs = [None] * count
+        for index in range(count):
+            self.spawn(index)
+
+    def spawn(self, index, epochs=None):
+        ready_parent, ready_child = CTX.Pipe(duplex=False)
+        proc = CTX.Process(
+            target=storage_server_main,
+            args=(
+                ready_child,
+                AUTHKEY,
+                index,
+                self.paths[index],
+                None,
+                self.replication,
+                list(self.paths),
+                dict(epochs or {}),
+            ),
+            daemon=True,
+        )
+        proc.start()
+        ready_child.close()
+        assert ready_parent.poll(15.0), f"shard {index} did not start"
+        ready_parent.recv()
+        ready_parent.close()
+        self.procs[index] = proc
+
+    def kill(self, index):
+        self.procs[index].terminate()
+        self.procs[index].join(timeout=5.0)
+
+    def store(self, client_id="tester"):
+        return ShardedBagStore(
+            self.paths,
+            AUTHKEY,
+            client_id,
+            QUICK,
+            router=ShardRouter(len(self.paths), self.replication),
+        )
+
+    def raw(self, index, client_id="raw"):
+        return RemoteBagStore(self.paths[index], AUTHKEY, client_id, QUICK)
+
+    def close(self):
+        for proc in self.procs:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+
+@pytest.fixture
+def shards2(tmp_path):
+    group = _Shards(str(tmp_path), 2, replication=2)
+    yield group
+    group.close()
+
+
+class TestRepBag:
+    def test_insert_is_idempotent_by_id(self):
+        bag = RepBag("b")
+        bag.insert_id("c#0", "alpha")
+        bag.insert_id("c#0", "alpha")
+        assert bag.remaining() == 1 and bag.size() == 1
+
+    def test_sealed_insert_raises(self):
+        bag = RepBag("b")
+        bag.seal()
+        with pytest.raises(BagSealedError):
+            bag.insert_id("c#0", "x")
+
+    def test_remove_batch_dedups_retried_seq(self):
+        bag = RepBag("b")
+        for i in range(4):
+            bag.insert_id(f"c#{i}", i)
+        first, _ = bag.remove_batch(2, "client", seq=1)
+        again, _ = bag.remove_batch(2, "client", seq=1)  # retry, same seq
+        assert again == first
+        fresh, _ = bag.remove_batch(2, "client", seq=2)
+        assert [cid for cid, _ in fresh] == ["c#2", "c#3"]
+        assert bag.remaining() == 0 and bag.size() == 4
+
+    def test_apply_removals_lands_before_insert(self):
+        # A shipped removal can outrun the insert fan-out: the payload
+        # travels with it, the chunk lands consumed, the late insert is
+        # a dedup no-op (not a resurrection into pending).
+        bag = RepBag("b")
+        bag.apply_removals("client", 1, [("c#0", "early")], sealed=False)
+        bag.insert_id("c#0", "early")
+        assert bag.remaining() == 0
+        assert bag.read_all() == ["early"]
+
+    def test_apply_removals_keeps_highest_seq(self):
+        bag = RepBag("b")
+        bag.apply_removals("client", 2, [("c#1", "two")], sealed=False)
+        bag.apply_removals("client", 1, [("c#0", "one")], sealed=False)
+        # Both chunk moves applied; the dedup tail stays at seq 2.
+        assert bag.size() == 2
+        pairs, _ = bag.remove_batch(5, "client", seq=2)
+        assert pairs == [("c#1", "two")]
+
+    def test_rewind_restores_everything(self):
+        bag = RepBag("b")
+        for i in range(3):
+            bag.insert_id(f"c#{i}", i)
+        bag.remove_batch(2, "client", seq=1)
+        bag.rewind()
+        assert bag.remaining() == 3
+        # Post-rewind the removal log is void: same seq pops fresh.
+        pairs, _ = bag.remove_batch(3, "client", seq=1)
+        assert len(pairs) == 3
+
+    def test_merge_snapshot_is_monotone(self):
+        source = RepBag("b")
+        for i in range(3):
+            source.insert_id(f"c#{i}", i)
+        source.remove_batch(1, "client", seq=5)
+        source.seal()
+        target = RepBag("b")
+        target.insert_id("c#0", 0)  # already has a pending copy of c#0
+        target.apply_removals("client", 3, [("c#2", 2)], sealed=False)
+        target.merge_snapshot(source.snapshot())
+        # Consumed wins over pending: c#0 (consumed at source) must not
+        # stay deliverable at the target; c#2 (consumed locally) must not
+        # be resurrected by the snapshot's pending copy.
+        assert target.remaining() == 1  # only c#1
+        assert target.sealed
+        # Dedup: the snapshot's seq 5 tail replaced the local seq 3 one.
+        pairs, _ = target.remove_batch(5, "client", seq=5)
+        assert pairs == [("c#0", 0)]
+
+    def test_store_snapshot_roundtrip(self):
+        store = RepBagStore()
+        store.ensure("a").insert_id("c#0", "x")
+        store.ensure("b").seal()
+        other = RepBagStore()
+        other.merge_many(store.snapshot_many(["a", "b"]))
+        assert other.get("a").remaining() == 1
+        assert other.get("b").sealed
+
+
+class TestPrimaryGate:
+    def test_backup_refuses_with_epoch_vector(self, shards2):
+        store = shards2.store()
+        bag_id = "gate-bag"
+        backup = store.router.replicas(bag_id)[1]
+        store.get(bag_id).insert(["r0"])
+        raw = shards2.raw(backup)
+        with pytest.raises(NotPrimary) as excinfo:
+            raw.call("rremove_batch", bag_id, 1, "tester", 1)
+        assert _parse_epoch_vector(str(excinfo.value)) == {}
+        raw.close()
+        store.close()
+
+    def test_shipping_consumes_on_backup_before_reply(self, shards2):
+        store = shards2.store()
+        bag_id = "ship-bag"
+        for i in range(3):
+            store.get(bag_id).insert([i])
+        chunks, _sealed = store.get(bag_id).remove_batch(2)
+        assert len(chunks) == 2
+        # The backup's copy shows the same chunks consumed already.
+        backup = store.router.replicas(bag_id)[1]
+        snap = store.sync_pull(backup, [bag_id])[bag_id]
+        assert len(snap["consumed"]) == 2 and len(snap["pending"]) == 1
+        store.close()
+
+    def test_promoted_backup_answers_retry_from_shipped_log(self, shards2):
+        store = shards2.store()
+        bag_id = "promote-bag"
+        for i in range(4):
+            store.get(bag_id).insert([i])
+        primary, backup = store.router.replicas(bag_id)
+        served = shards2.raw(primary, "consumer").call(
+            "rremove_batch", bag_id, 2, "consumer", 1
+        )
+        # The primary dies before its client saw the reply; the master
+        # promotes the backup. The client's retry carries the same seq...
+        shards2.kill(primary)
+        epochs = {primary: 1}
+        store.push_epochs(backup, epochs)
+        retry = shards2.raw(backup, "consumer").call(
+            "rremove_batch", bag_id, 2, "consumer", 1
+        )
+        # ...and gets the recorded removal, not two fresh chunks.
+        assert retry == served
+        follow, _ = shards2.raw(backup, "consumer2").call(
+            "rremove_batch", bag_id, 4, "consumer", 2
+        ), None
+        chunks, _sealed = follow
+        assert len(chunks) == 2  # only the two never-served chunks remain
+        store.close()
+
+
+class TestClientSweep:
+    def test_sweep_fails_over_to_promoted_backup(self, shards2):
+        store = shards2.store()
+        bag_id = "failover-bag"
+        for i in range(6):
+            store.get(bag_id).insert([i])
+        store.get(bag_id).seal()
+        primary, backup = store.router.replicas(bag_id)
+        shards2.kill(primary)
+        store.push_epochs(backup, {primary: 1})
+        # The client was never told: its sweep discovers the death, adopts
+        # the promotion, and drains the bag from the backup.
+        seen = []
+        while True:
+            chunks, sealed = store.get(bag_id).remove_batch(2)
+            seen.extend(chunks)
+            if not chunks and sealed:
+                break
+        assert len(seen) == 6
+        assert store.serving_order(bag_id)[0] == backup
+        store.close()
+
+    def test_replicated_fetcher_survives_primary_death(self, shards2):
+        store = shards2.store()
+        bag_id = "fetch-bag"
+        for i in range(20):
+            store.get(bag_id).insert([i])
+        store.get(bag_id).seal()
+        primary, backup = store.router.replicas(bag_id)
+        fetcher = BatchChunkFetcher.for_bag(store, bag_id, batch=2, policy=QUICK)
+        got = [fetcher.get(timeout=5.0)]
+        shards2.kill(primary)
+        store.push_epochs(backup, {primary: 1})
+        while True:
+            chunk = fetcher.get(timeout=5.0)
+            if chunk is None:
+                break
+            got.append(chunk)
+        fetcher.stop()
+        assert sorted(value for [value] in got) == list(range(20))
+        store.close()
+
+    def test_sweep_exhaustion_raises_storage_down(self, shards2):
+        store = shards2.store()
+        bag_id = "doomed-bag"
+        store.get(bag_id).insert(["x"])
+        shards2.kill(0)
+        shards2.kill(1)
+        with pytest.raises(StorageNodeDown):
+            store.get(bag_id).remove_batch(1)
+        store.close()
+
+    def test_epoch_vector_parsing(self):
+        assert _parse_epoch_vector("{0: 2, 1: 1}") == {0: 2, 1: 1}
+        assert _parse_epoch_vector("{}") == {}
+        assert _parse_epoch_vector("not a dict") == {}
+        assert _parse_epoch_vector("[1, 2]") == {}
+
+
+class TestFenceSweep:
+    def test_fence_continues_past_dead_shard(self, tmp_path):
+        # Shard 0's socket path never gets a listener (a corpse); shard 1
+        # is alive. The regression: fence used to raise on shard 0 and
+        # never reach shard 1, leaving it unfenced while recovery
+        # proceeded as if the corpse's writes were all applied.
+        group = _Shards(str(tmp_path), 2, replication=1)
+        try:
+            group.kill(0)
+            os.unlink(group.paths[0])
+            store = ShardedBagStore(group.paths, AUTHKEY, "master", QUICK)
+            with pytest.raises(StorageNodeDown) as excinfo:
+                store.fence("worker-9", 0.2)
+            assert "0" in str(excinfo.value)
+            # The live shard WAS fenced despite the earlier failure.
+            stats = group.raw(1).call("stats")
+            assert stats.get("fence", 0) >= 1
+            store.close()
+        finally:
+            group.close()
+
+    def test_fence_all_live_sums_leftovers(self, tmp_path):
+        group = _Shards(str(tmp_path), 2, replication=1)
+        try:
+            store = ShardedBagStore(group.paths, AUTHKEY, "master", QUICK)
+            assert store.fence("worker-0", 0.2) == 0
+            store.close()
+        finally:
+            group.close()
+
+
+class TestFetcherQueue:
+    def test_put_never_drops_on_slow_consumer(self):
+        # Regression guard for the prefetch queue: a bounded put that
+        # timed out and moved on would silently lose chunks. The put must
+        # block (re-checking only for cancellation) until the consumer
+        # makes room.
+        fetcher = BatchChunkFetcher.__new__(BatchChunkFetcher)
+        fetcher._queue = queue.Queue(maxsize=1)
+        fetcher._stop = threading.Event()
+        total = 50
+        producer = threading.Thread(
+            target=lambda: [fetcher._put(i) for i in range(total)]
+        )
+        producer.start()
+        received = []
+        for _ in range(total):
+            time.sleep(0.002)  # consumer far slower than the producer
+            received.append(fetcher._queue.get(timeout=5.0))
+        producer.join(timeout=5.0)
+        assert received == list(range(total))
+
+    def test_put_unblocks_on_stop(self):
+        fetcher = BatchChunkFetcher.__new__(BatchChunkFetcher)
+        fetcher._queue = queue.Queue(maxsize=1)
+        fetcher._stop = threading.Event()
+        fetcher._put("fills the queue")
+        blocked = threading.Thread(target=lambda: fetcher._put("stuck"))
+        blocked.start()
+        time.sleep(0.05)
+        assert blocked.is_alive()  # blocking, not dropping
+        fetcher._stop.set()
+        blocked.join(timeout=5.0)
+        assert not blocked.is_alive()
+
+
+class TestEmptyPercentiles:
+    def test_empty_samples_yield_none_not_zero(self):
+        summary = _latency_percentiles([])
+        assert summary["count"] == 0
+        assert summary["p50_ms"] is None
+        assert summary["p90_ms"] is None
+        assert summary["p99_ms"] is None
+        assert summary["max_ms"] is None
+
+    def test_nonempty_samples_unchanged(self):
+        summary = _latency_percentiles([0.001, 0.002, 0.003])
+        assert summary["count"] == 3
+        assert summary["p50_ms"] == 2.0
+        assert summary["max_ms"] == 3.0

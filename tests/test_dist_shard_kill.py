@@ -131,6 +131,91 @@ class TestShardKillRecovery:
         assert counts == expected
 
 
+class TestReplicatedShardKill:
+    """With ``replication=2`` a shard death is absorbed by failover: the
+    backup replica is promoted and re-replication restores two copies —
+    no family replays, no ``reset_families``, sinks identical anyway."""
+
+    @pytest.mark.parametrize("victim", [0, 1])
+    def test_kill_either_replica_zero_resets(self, victim):
+        result, counts, expected = clicklog_run(2, victim, 2, replication=2)
+        assert result.shard_deaths == 1
+        assert result.family_resets == 0
+        assert result.storage_resets == 0
+        assert result.worker_deaths == 0
+        assert counts == expected
+        # One failover (epoch push) and one re-replication were measured.
+        assert len(result.failover_ms) == 1 and result.failover_ms[0] >= 0
+        assert len(result.resync_ms) == 1 and result.resync_ms[0] >= 0
+
+    def test_hashjoin_replicated_kill_zero_resets(self):
+        inputs = hashjoin_inputs()
+        expected = hashjoin_rows(
+            LocalRuntime(
+                build_hashjoin_local(partitions=2), workers=1, cloning=False
+            ).run(dict(inputs), timeout=120)
+        )
+        result = DistRuntime(
+            build_hashjoin_local(partitions=2),
+            workers=3,
+            shards=2,
+            replication=2,
+            records_per_chunk=64,
+            kill_shard=0,
+            kill_shard_after_ops=2,
+        ).run(dict(inputs), timeout=180)
+        assert result.shard_deaths == 1
+        assert result.family_resets == 0
+        assert hashjoin_rows(result) == expected
+
+    def test_replicated_kill_with_forced_clones(self):
+        # Clones in two workers race remove_batch on the same replicated
+        # bag across the failover; the per-client removal logs must keep
+        # the partition exact (no chunk double-consumed or dropped).
+        victim = ShardRouter(2).home("clicklog")
+        result, counts, expected = clicklog_run(
+            2, victim, 4, replication=2, forced_clones={"phase1": 2}
+        )
+        assert result.shard_deaths == 1
+        assert result.family_resets == 0
+        assert counts == expected
+
+    def test_replicated_shard_and_worker_kill_compose(self):
+        # Compound failure: the worker death still resets its family
+        # (compute state is unreplicated), but the shard death must not
+        # add replay on top — recovery is fence+reset plus failover.
+        victim = ShardRouter(2).home("clicklog")
+        records = clicklog_records()
+        expected = clicklog_baseline(records)
+        result = DistRuntime(
+            build_clicklog_local(regions=REGIONS),
+            workers=3,
+            shards=2,
+            replication=2,
+            chunk_size=2048,
+            kill_shard=victim,
+            kill_shard_after_ops=5,
+            kill_task="phase1",
+            kill_after_chunks=2,
+        ).run({"clicklog": records}, timeout=180)
+        assert result.shard_deaths == 1
+        assert result.worker_deaths == 1
+        assert clicklog_counts(result) == expected
+
+    def test_replicated_three_shards_r2(self):
+        victim = ShardRouter(3).home("clicklog")
+        result, counts, expected = clicklog_run(3, victim, 2, replication=2)
+        assert result.shard_deaths == 1
+        assert result.family_resets == 0
+        assert counts == expected
+
+    def test_replication_exceeding_shards_rejected(self):
+        with pytest.raises(ValueError):
+            DistRuntime(
+                build_clicklog_local(regions=REGIONS), shards=2, replication=3
+            )
+
+
 class TestShardKillProtocol:
     def test_respawn_bumps_generation_not_placement(self):
         victim = ShardRouter(2).home("clicklog")

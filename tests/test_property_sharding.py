@@ -17,7 +17,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dist.sharding import ShardRouter
-from repro.storage.replication import stable_spread
+from repro.storage.replication import ReplicaMap, ring_successors, stable_spread
 
 bag_ids = st.text(
     alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=40
@@ -72,6 +72,50 @@ class TestPlacementPurity:
                 capture_output=True, text=True, env=env, check=True,
             )
             assert json.loads(proc.stdout) == expected
+
+
+class TestReplicaPlacement:
+    """The dist router and the sim's ReplicaMap must encode ONE policy:
+    replicas live on the home's ring successors. If they diverged, the
+    sim's replication experiments would measure a layout the real engine
+    never runs."""
+
+    @given(bag_ids, st.integers(min_value=1, max_value=12), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_replicas_match_replica_map_ring(self, bag_id, shards, data):
+        replication = data.draw(
+            st.integers(min_value=1, max_value=shards), label="replication"
+        )
+        router = ShardRouter(shards, replication)
+        replicas = router.replicas(bag_id)
+        # Primary first, exactly r distinct shards, all in range.
+        assert replicas[0] == router.home(bag_id)
+        assert len(replicas) == replication == len(set(replicas))
+        assert all(0 <= shard < shards for shard in replicas)
+        # Ring successors of the home — byte-for-byte the shared rule...
+        assert replicas == ring_successors(
+            router.home(bag_id), shards, replication
+        )
+        # ...and exactly what the sim's ReplicaMap assigns the same home.
+        rmap = ReplicaMap(list(range(shards)), replication)
+        assert rmap.home_of(bag_id) == router.home(bag_id)
+        assert rmap.replicas(rmap.home_of(bag_id)) == replicas
+
+    @given(st.integers(min_value=1, max_value=12), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_replication_bounds_enforced(self, shards, data):
+        bad = data.draw(
+            st.one_of(
+                st.integers(min_value=shards + 1, max_value=shards + 5),
+                st.integers(max_value=0),
+            ),
+            label="bad_replication",
+        )
+        try:
+            ShardRouter(shards, bad)
+            assert False, "out-of-range replication accepted"
+        except ValueError:
+            pass
 
 
 class TestPlacementUniformity:
