@@ -20,6 +20,13 @@ whole point of replication is surviving the kill without replay).
 Combinations where the replication factor exceeds the shard count are
 skipped (there are not enough distinct processes to hold the copies).
 
+Each workload also runs one **master failover probe**: a journaled run
+with the master killed after its first assignments land, resumed by a
+fresh master from the snapshot + WAL. The report records the measured
+control-plane failover latency (``master_failover_ms``: journal load
+through fleet re-adoption to the event loop restarting) and demands sink
+parity with the local baseline.
+
 Every dist run's sink output is checked against the local baseline before
 its numbers are reported, so a "fast" engine that drops or duplicates
 chunks fails loudly instead of winning the benchmark.
@@ -230,6 +237,71 @@ def _run_failover_probe(
     }
 
 
+def _run_master_failover_probe(
+    workload: _Workload,
+    workers: int,
+    shards: int,
+    replication: int,
+    baseline: Dict[str, Any],
+):
+    """One journaled run with a master kill: measure recovery, demand parity."""
+    import shutil
+    import tempfile
+
+    from repro.dist import DistRuntime, MasterKilled
+
+    def attempt(threshold: int):
+        journal_dir = tempfile.mkdtemp(prefix="repro-bench-journal-")
+        plan = dict(
+            workers=workers,
+            shards=shards,
+            replication=replication,
+            journal_dir=journal_dir,
+        )
+        started = time.perf_counter()
+        try:
+            runtime = DistRuntime(
+                workload.build(),
+                kill_master_after_records=threshold,
+                **plan,
+            )
+            try:
+                result = runtime.run(dict(workload.inputs), timeout=RUN_TIMEOUT)
+            except MasterKilled as exc:
+                successor = DistRuntime(workload.build(), **plan)
+                result = successor.resume(exc.fleet, timeout=RUN_TIMEOUT)
+            return result, time.perf_counter() - started
+        finally:
+            shutil.rmtree(journal_dir, ignore_errors=True)
+
+    # Preferred kill point: right after the initial spawns plus the first
+    # assignments — real work is in flight when the master dies. A
+    # workload whose whole run journals fewer records than that never
+    # reaches the threshold (the single-task calibration graph appends
+    # spawn/assign/done and is finished); fall back to killing at the
+    # spawn records themselves, which every run is guaranteed to hit.
+    result, seconds = attempt(workers + 2)
+    if result.master_recoveries == 0:
+        result, seconds = attempt(workers)
+    matches = workload.snapshot(result) == baseline["snapshot"]
+    return {
+        "engine": "dist",
+        "master_failover_probe": True,
+        "workers": workers,
+        "shards": shards,
+        "replication": replication,
+        "seconds": round(seconds, 4),
+        # The probe's contract: the kill fired, exactly one recovery
+        # happened, and the sinks still match the local baseline.
+        "matches_local": matches and result.master_recoveries == 1,
+        "master_recoveries": result.master_recoveries,
+        "master_failover_ms": [round(ms, 3) for ms in result.master_failover_ms],
+        "family_resets": result.family_resets,
+        "worker_deaths": result.worker_deaths,
+        "shard_deaths": result.shard_deaths,
+    }
+
+
 def _throughput(workload: _Workload, seconds: float) -> Optional[float]:
     if seconds <= 0 or workload.input_records == 0:
         return None
@@ -387,6 +459,20 @@ def run_bench(argv=None) -> Dict[str, Any]:
                             workload, workers, shards, replication, baseline
                         )
                     )
+        # One master failover probe per workload, at the largest worker
+        # count and the smallest shard topology: the control-plane
+        # recovery path is shard-count-independent, so one point
+        # suffices for the report.
+        workers = max(args.worker_counts)
+        shards = args.shard_counts[0]
+        print(
+            f"[bench] {workload.name}: master failover probe x{workers} "
+            f"({shards} shard{'s' if shards != 1 else ''}) ...",
+            flush=True,
+        )
+        runs.append(
+            _run_master_failover_probe(workload, workers, shards, 1, baseline)
+        )
         parity_ok = all(r.get("matches_local", True) for r in runs)
         speedups = [
             r["speedup_vs_local"] for r in runs if r.get("speedup_vs_local") is not None

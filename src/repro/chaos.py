@@ -28,14 +28,16 @@ seed — reproduces the run exactly.
 multiprocess engine: each seeded run draws a (shards, workers) topology
 plus a fault cocktail — a storage-shard kill (``os._exit`` on the N-th
 ``remove_batch``, aimed at a shard that demonstrably serves stream
-traffic) and optionally a worker kill — and demands sink parity against
-a fault-free LocalRuntime baseline. Every other run index replicates the
-shards (``replication=2``) so both shard-death recovery paths get
-coverage at any seed: loss-closure replay (r=1) and primary-backup
-failover (r=2), the latter additionally required to finish with ZERO
-family resets when no worker kill is in the plan. No determinism digest
-there: OS process scheduling is not seeded, only the *outcome* is
-checked.
+traffic), optionally a worker kill, and optionally a **master kill**
+(the control plane dies after a seeded number of journal records and a
+fresh incarnation resumes from checkpoint + WAL replay; ``--master-kill``
+makes this part of every plan) — and demands sink parity against a
+fault-free LocalRuntime baseline. Replication is drawn from the seeded
+rng (1 or 2) so both shard-death recovery paths — loss-closure replay
+(r=1) and primary-backup failover (r=2) — are reachable at any run
+count; r=2 plans with neither a worker nor a master kill must finish
+with ZERO family resets. No determinism digest there: OS process
+scheduling is not seeded, only the *outcome* is checked.
 """
 
 from __future__ import annotations
@@ -512,20 +514,26 @@ def fuzz_one_dist(
     baseline_sinks: Dict[str, List[str]],
     seed: int,
     index: int,
+    master_kill: bool = False,
 ) -> Tuple[bool, str]:
     """One seeded dist run with injected kills; (ok, summary line)."""
-    from repro.dist import DistRuntime
+    import os
+    import shutil
+    import tempfile
+
+    from repro.dist import DistRuntime, MasterKilled
     from repro.dist.sharding import ShardRouter
 
     rng = rng_from("chaos-dist", seed, scenario.name, index)
     app, inputs, kwargs = scenario.build()
     shards = rng.randint(2, 3)
     workers = rng.randint(2, 3)
-    # Alternate replication by run index rather than drawing it from the
-    # rng: every other run exercises the primary-backup failover path and
-    # the rest exercise loss-closure replay — both fault paths are
-    # guaranteed coverage at any seed and any --runs >= 2.
-    replication = 2 if index % 2 else 1
+    # Drawn from the seeded rng, not from run-index parity: a single-run
+    # invocation (--runs 1, or a CI shard pinned to one index) can land on
+    # either recovery path depending on the seed, and a seed sweep covers
+    # both without needing an even run count. The old ``index % 2`` rule
+    # made ``--runs 1`` structurally unable to ever test replication.
+    replication = rng.choice([1, 2])
     # Aim at a shard that homes a stream-input bag: remove_batch traffic
     # is guaranteed there, so the injected kill actually fires mid-run.
     router = ShardRouter(shards, replication)
@@ -537,13 +545,29 @@ def fuzz_one_dist(
     kill_task = None
     if rng.random() < 0.35:
         kill_task = rng.choice(sorted(app.graph.tasks))
+    # The master joins the fault cocktail: journal its control plane and
+    # kill it after a seeded number of write-ahead records, then resume a
+    # fresh incarnation from the journal. With ``master_kill`` the kill is
+    # unconditional (the CI cocktail); otherwise it joins ~40% of plans.
+    kill_master_after = None
+    journal_dir = None
+    if master_kill or rng.random() < 0.4:
+        # These scenarios journal roughly 15-30 records end to end; the
+        # range keeps most kills actually firing mid-run while the high
+        # tail doubles as a does-nothing-when-unfired check.
+        kill_master_after = rng.randint(2, 18)
+        journal_dir = tempfile.mkdtemp(prefix="repro-chaos-journal-")
     plan_desc = (
         f"shards={shards} workers={workers} r={replication} "
         f"kill_shard={kill_shard}@{kill_ops}ops"
         + (f" kill_task={kill_task}" if kill_task else "")
+        + (
+            f" kill_master@{kill_master_after}rec"
+            if kill_master_after is not None
+            else ""
+        )
     )
-    runtime = DistRuntime(
-        app,
+    plan_kwargs = dict(
         workers=workers,
         shards=shards,
         replication=replication,
@@ -551,15 +575,53 @@ def fuzz_one_dist(
         kill_shard_after_ops=kill_ops,
         kill_task=kill_task,
         kill_after_chunks=rng.randint(1, 3),
+        journal_dir=journal_dir,
         **kwargs,
     )
+    runtime = DistRuntime(
+        app, kill_master_after_records=kill_master_after, **plan_kwargs
+    )
+    recoveries = 0
+
+    def settle_journal(failed: bool) -> str:
+        # A failed plan's journal is the post-mortem: with
+        # REPRO_CHAOS_KEEP_JOURNALS set (CI points it at an artifact
+        # directory) the snapshot + WAL of a failing run are preserved
+        # instead of deleted, named by scenario and run index so the
+        # reproduce hint and the artifact line up.
+        if journal_dir is None:
+            return ""
+        keep_root = os.environ.get("REPRO_CHAOS_KEEP_JOURNALS")
+        if failed and keep_root:
+            os.makedirs(keep_root, exist_ok=True)
+            kept = os.path.join(keep_root, f"{scenario.name}-run{index}")
+            shutil.rmtree(kept, ignore_errors=True)
+            shutil.move(journal_dir, kept)
+            return f" journal kept at {kept}"
+        shutil.rmtree(journal_dir, ignore_errors=True)
+        return ""
+
     try:
-        result = runtime.run(dict(inputs), timeout=180.0)
+        try:
+            result = runtime.run(dict(inputs), timeout=180.0)
+        except MasterKilled as exc:
+            # The master died as planned; a fresh incarnation (same
+            # plan, kill disarmed) adopts the surviving fleet from
+            # the journal.
+            successor = DistRuntime(
+                app, kill_master_after_records=None, **plan_kwargs
+            )
+            result = successor.resume(exc.fleet, timeout=180.0)
+            recoveries = result.master_recoveries
     except ReproError as exc:
+        kept = settle_journal(failed=True)
         return False, (
             f"{scenario.name} dist run {index}: {plan_desc} "
-            f"FAILED ({type(exc).__name__}: {exc})"
+            f"FAILED ({type(exc).__name__}: {exc}){kept}"
         )
+    except BaseException:
+        settle_journal(failed=True)
+        raise
     sinks = _dist_sink_fingerprint(app.graph, result.records)
     diverged = sorted(
         bag_id
@@ -569,16 +631,24 @@ def fuzz_one_dist(
     problems = list(diverged)
     # Replication's whole point: a shard kill with live copies must be
     # absorbed by failover, never replayed. Worker kills still reset
-    # their family (compute state is unreplicated), so only gate the
-    # plans without one.
-    if replication > 1 and kill_task is None and result.family_resets:
+    # their family (compute state is unreplicated), and a master kill
+    # legitimately resets whatever the journal could not prove committed,
+    # so only gate the plans with neither.
+    if (
+        replication > 1
+        and kill_task is None
+        and kill_master_after is None
+        and result.family_resets
+    ):
         problems.append(f"RESETS({result.family_resets})")
+    kept = settle_journal(failed=bool(problems))
     status = "ok" if not problems else f"DIVERGED({','.join(problems)})"
     line = (
         f"{scenario.name} dist run {index}: {plan_desc} "
         f"shard_deaths={result.shard_deaths} "
         f"worker_deaths={result.worker_deaths} "
-        f"resets={result.family_resets} {status}"
+        f"resets={result.family_resets} "
+        f"recoveries={recoveries} {status}{kept}"
     )
     return not problems, line
 
@@ -603,7 +673,11 @@ def _main_dist(args) -> int:
                 f"in {len(sinks)} bags"
             )
         ok, line = fuzz_one_dist(
-            scenario, baselines[scenario.name], args.seed, index
+            scenario,
+            baselines[scenario.name],
+            args.seed,
+            index,
+            master_kill=args.master_kill,
         )
         print(f"[{index + 1:3d}/{args.runs}] {line}")
         if not ok:
@@ -649,6 +723,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="fuzz the real multiprocess engine with shard/worker kills "
         "instead of the simulator",
+    )
+    parser.add_argument(
+        "--master-kill",
+        action="store_true",
+        help="with --dist: kill the master in every plan (instead of "
+        "~40%% of them) and resume it from its journal",
     )
     args = parser.parse_args(argv)
 

@@ -18,13 +18,27 @@ connections (Section 3's scheduling/data-plane split made concrete):
   from killed workers — and killed *storage shards* — by resetting the
   affected task families (:mod:`repro.dist.runtime`).
 
+The master itself is recoverable: with ``journal_dir`` set it write-ahead
+journals every control-plane decision (assignments, clone grants, done
+transitions, family condemnations, demotion epochs) with periodic
+compacted snapshots (:mod:`repro.dist.journal`). A master death surfaces
+as :class:`MasterKilled` carrying the surviving :class:`MasterFleet`;
+``DistRuntime.resume`` on a fresh runtime replays the journal, re-adopts
+the worker and shard fleet, and drives the run to the same sinks.
+
 Because workers are processes, CPU-bound task functions scale across
 cores — the thread-pool :class:`~repro.local.LocalRuntime` is capped at
 one core by the GIL. Results are the same, byte for byte, on every
 worker and shard count; ``python -m repro bench`` measures the difference.
 """
 
-from repro.dist.runtime import DistResult, DistRuntime
+from repro.dist.runtime import DistResult, DistRuntime, MasterFleet, MasterKilled
 from repro.dist.sharding import ShardRouter
 
-__all__ = ["DistResult", "DistRuntime", "ShardRouter"]
+__all__ = [
+    "DistResult",
+    "DistRuntime",
+    "MasterFleet",
+    "MasterKilled",
+    "ShardRouter",
+]

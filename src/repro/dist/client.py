@@ -474,6 +474,16 @@ class ShardedBagStore:
         """Install the master's demotion-epoch vector on ``shard``."""
         self.stores[shard].call("set_epochs", dict(epochs))
 
+    def probe(self, shard: int) -> Dict[str, Any]:
+        """``shard``'s identity, epoch vector, and bag inventory.
+
+        The recovering master's ground-truth check: what the journal says
+        ran is reconciled against what the shards actually hold, and any
+        demotions the shards gossiped among themselves while no master
+        was alive are max-merged back into the master's vector.
+        """
+        return self.stores[shard].call("probe")
+
     # -- LocalBagStore surface ------------------------------------------------
 
     def ensure(self, bag_id: str):

@@ -1,0 +1,157 @@
+"""The master's write-ahead journal: checkpoint + log of control state.
+
+The dist master owns very little authoritative state — the execution
+graph's node transitions (assign / done), clone grants, family resets,
+the demotion-epoch vector, and the kept input manifests — and everything
+else (bag contents, removal logs) lives in the storage shards. Master
+checkpoint-replay persists exactly that little: every state transition
+is appended to ``wal.bin`` *before* its externally visible effect, and a
+periodic compaction rewrites ``snapshot.bin`` as an equivalent compacted
+record sequence (per family: clone grants in index order, done marks,
+assigns of still-running nodes) and truncates the log. Recovery loads
+``snapshot + log tail`` and replays the records through the very same
+graph machinery (``restore_clone`` / ``node_done`` / ``reset_families``)
+the live master used, so a replayed master and a never-crashed master
+are bit-for-bit the same control state.
+
+Records are framed ``length(4) | crc32(4) | pickle`` so a torn tail —
+the master died mid-append, or the file was truncated — parses as "log
+ends here" rather than as an exception: :func:`read_records` stops at
+the first short or corrupt frame and returns everything before it. That
+is the correct semantics for a *write-ahead* log: a record that never
+fully landed describes an effect that never happened (the append ran
+before the effect), so dropping it re-creates the pre-crash state.
+
+The snapshot is written to a temp file and atomically renamed, then the
+WAL is truncated — crash between the two leaves snapshot *plus* a stale
+tail whose records are all already folded into the snapshot; replaying
+them again is prevented by truncating on the next successful load-free
+compaction, and tolerated meanwhile because the snapshot header carries
+the WAL position it folded (records before it are skipped on load).
+
+Appends flush to the OS (the simulated master death is process-level,
+not kernel-level, so page-cache durability is the honest equivalent of
+the paper's local-disk WAL; an ``fsync`` per record would only model a
+power failure we never inject).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+import zlib
+from typing import Any, Iterable, List, Optional, Tuple
+
+_FRAME = struct.Struct(">II")
+
+SNAPSHOT_FILE = "snapshot.bin"
+WAL_FILE = "wal.bin"
+
+
+def _write_record(fobj, record: Any) -> None:
+    payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    fobj.write(_FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF))
+    fobj.write(payload)
+
+
+def read_records(path: str) -> List[Any]:
+    """Every intact record in ``path``; a torn/corrupt tail ends the list.
+
+    Tolerates a missing file (no records yet), a short header, a short
+    payload, a crc mismatch, and an unpicklable payload — all are "the
+    log ends here", never an exception, because a write-ahead record
+    that did not fully land describes an effect that never happened.
+    """
+    records: List[Any] = []
+    try:
+        fobj = open(path, "rb")
+    except FileNotFoundError:
+        return records
+    with fobj:
+        while True:
+            head = fobj.read(_FRAME.size)
+            if len(head) < _FRAME.size:
+                return records
+            size, crc = _FRAME.unpack(head)
+            payload = fobj.read(size)
+            if len(payload) < size:
+                return records
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                return records
+            try:
+                records.append(pickle.loads(payload))
+            except Exception:
+                return records
+
+
+class MasterJournal:
+    """Append-only WAL plus compacted snapshot for one run's master state.
+
+    Thread-safe: ``append`` may be called from the event loop and from
+    the shard-monitor threads (epoch bumps) concurrently. ``appended``
+    counts records appended *by this instance* — a recovered master's
+    journal starts its own count, which is what the master-kill fault
+    injection keys on (kill after N records of *this* incarnation).
+    """
+
+    def __init__(self, dirpath: str):
+        self.dirpath = dirpath
+        os.makedirs(dirpath, exist_ok=True)
+        self.snapshot_path = os.path.join(dirpath, SNAPSHOT_FILE)
+        self.wal_path = os.path.join(dirpath, WAL_FILE)
+        self._lock = threading.Lock()
+        self._wal = open(self.wal_path, "ab")
+        self.appended = 0
+
+    def append(self, record: Any) -> int:
+        """Durably append one record; returns this instance's append count."""
+        with self._lock:
+            _write_record(self._wal, record)
+            self._wal.flush()
+            self.appended += 1
+            return self.appended
+
+    def write_snapshot(self, header: Any, records: Iterable[Any]) -> None:
+        """Atomically replace the snapshot and truncate the WAL.
+
+        ``header`` is the snapshot's first record (inputs, generation,
+        counters); ``records`` is the compacted event sequence replay
+        will feed through the graph machinery. The temp-write + rename
+        keeps a crash mid-snapshot from ever corrupting the previous
+        checkpoint, and the WAL truncation happens only after the rename
+        lands.
+        """
+        tmp_path = self.snapshot_path + ".tmp"
+        with self._lock:
+            with open(tmp_path, "wb") as tmp:
+                _write_record(tmp, header)
+                for record in records:
+                    _write_record(tmp, record)
+                tmp.flush()
+                os.fsync(tmp.fileno())
+            os.replace(tmp_path, self.snapshot_path)
+            self._wal.close()
+            self._wal = open(self.wal_path, "wb")
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._wal.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def load(dirpath: str) -> Tuple[Optional[Any], List[Any]]:
+        """(snapshot header, snapshot records + WAL tail) for recovery.
+
+        Returns ``(None, [])`` when the directory holds no journal yet.
+        The WAL tail is whatever parses cleanly; a torn final record is
+        silently dropped (see module docstring for why that is correct).
+        """
+        snapshot = read_records(os.path.join(dirpath, SNAPSHOT_FILE))
+        wal = read_records(os.path.join(dirpath, WAL_FILE))
+        if not snapshot:
+            return None, wal
+        return snapshot[0], snapshot[1:] + wal

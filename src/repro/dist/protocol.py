@@ -22,6 +22,20 @@ next RPC reconnects to the replacement process on the same socket path;
 with replication the piggybacked demotion-epoch vector refreshes the
 workers' sweep-order hints (authoritative gating stays server-side).
 
+Master recovery adds a **re-adoption handshake** on the same channel: a
+master reconstructed from its journal sends ``{"type": "reattach",
+"epochs": {...}}`` to every surviving worker, and the worker answers
+with a fresh ``hello`` carrying a ``running`` key — the node id it is
+mid-task on, or ``None`` if idle — handled both from the idle loop and
+from the in-task cancellation poll, so a busy worker re-introduces
+itself without abandoning its chunk stream. On the storage channel the
+recovered master sends ``("probe",)``, answered with the shard's
+demotion-epoch vector and bag inventory (the journal replay is checked
+against what storage actually holds), and with ``replication > 1`` the
+shards exchange ``("gossip", vector)`` peer-to-peer — a max-merge of
+the same ``set_epochs`` payload — so primary failover keeps working
+while the master is absent.
+
 With ``replication = r > 1`` the storage channel grows a replicated op
 family: ``rinsert`` (id-stamped, idempotent insert, fanned out to all
 ``r`` replicas by the client), ``rremove_batch`` (primary-gated,
@@ -39,6 +53,7 @@ instead of failing.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from dataclasses import dataclass, field
 from multiprocessing.connection import Client, Connection
@@ -52,6 +67,12 @@ StorageAddress = Union[str, Tuple[str, int]]
 
 #: Real-time flavor of the Section 4.4 policy: sub-second backoffs, a few
 #: seconds of total patience — tuned for same-host RPCs, not simulation.
+#: The naive 12-step * 1.6x sum would be ~23s, but ``rpc_timeout`` caps
+#: cumulative backoff: :meth:`StorageConfig.backoffs` stops before any
+#: delay that would push the total past 8s, so only 9 of the 12 retries
+#: ever happen and total patience is ~5.6s (<= ``rpc_timeout``, asserted
+#: by ``tests/test_dist_protocol.py`` so schedule and intent can't drift
+#: apart again).
 DIST_STORAGE_POLICY = StorageConfig(
     rpc_retries=12,
     retry_backoff=0.05,
@@ -111,11 +132,16 @@ def connect_with_retry(
     while True:
         try:
             return Client(address, authkey=authkey)
-        except (EOFError, OSError):
+        except (EOFError, OSError, multiprocessing.AuthenticationError):
             # EOFError: the server died mid-auth-handshake (it is raised by
             # the challenge exchange, and is *not* an OSError). Retryable
             # exactly like a refused connection — the replacement process
             # binds the same socket path.
+            # AuthenticationError: the same torn handshake one read later —
+            # the dying server's half-written challenge digests as garbage.
+            # It subclasses ProcessError, not OSError, so without this
+            # clause it escaped the backoff loop entirely and a kill
+            # landing mid-handshake was fatal instead of retried.
             delay = next(backoffs, None)
             if delay is None:
                 raise

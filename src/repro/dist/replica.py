@@ -220,6 +220,11 @@ class RepBagStore:
         for bag_id, snap in snaps.items():
             self.ensure(bag_id).merge_snapshot(snap)
 
+    def bag_ids(self) -> List[str]:
+        """Sorted inventory of every bag this replica holds a copy of."""
+        with self._lock:
+            return sorted(self._bags)
+
     def __contains__(self, bag_id: str) -> bool:
         with self._lock:
             return bag_id in self._bags

@@ -48,6 +48,7 @@ mirroring ``LocalRuntime._complete``.
 from __future__ import annotations
 
 import itertools
+import math
 import multiprocessing
 import os
 import queue
@@ -59,6 +60,7 @@ from collections import deque
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.dist.client import ShardedBagStore
+from repro.dist.journal import MasterJournal
 from repro.dist.protocol import (
     DIST_STORAGE_POLICY,
     DistSettings,
@@ -85,14 +87,68 @@ from repro.units import KB
 
 
 class _Worker:
-    """Master-side bookkeeping for one worker process."""
+    """Master-side bookkeeping for one worker process.
 
-    def __init__(self, wid: int, proc, conn, reader: threading.Thread):
+    ``sink`` is the event queue the worker's reader thread delivers into.
+    It is swappable because the reader thread *outlives the master*: when
+    a master death is simulated the sink is set to ``None`` (messages
+    drain into the void, exactly as a dead process would lose them), and
+    the recovered master repoints it at its own event queue — the reader
+    keeps the pipe, so the surviving worker process is re-adopted without
+    ever re-establishing its channel.
+    """
+
+    def __init__(self, wid: int, proc, conn, reader, sink):
         self.wid = wid
         self.proc = proc
         self.conn = conn
         self.reader = reader
+        self.sink = sink
         self.alive = True
+
+
+class MasterKilled(Exception):
+    """The injected master death fired; carries the surviving fleet.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: generic
+    recovery handlers must never absorb a simulated master death — the
+    only legitimate catcher is a test or chaos harness that follows up
+    with :meth:`DistRuntime.resume` on a fresh runtime.
+    """
+
+    def __init__(self, fleet: "MasterFleet"):
+        super().__init__("master process killed (simulated)")
+        self.fleet = fleet
+
+
+class MasterFleet:
+    """What survives a master death: worker/shard processes and channels.
+
+    A real master crash leaves these processes running with their sockets
+    and pipes intact; the simulation hands them to the next
+    :class:`DistRuntime` incarnation through this bundle instead of
+    through the kernel. Everything the new master must *not* trust — node
+    states, assignments, epochs — is deliberately absent: that state is
+    reconstructed from the journal and from probing the fleet itself.
+    """
+
+    def __init__(
+        self,
+        workers: Dict[int, _Worker],
+        shard_procs: List[Any],
+        shard_addresses: List["StorageAddress"],
+        shard_paths: List[str],
+        socket_dir: str,
+        authkey: bytes,
+        journal_dir: str,
+    ):
+        self.workers = workers
+        self.shard_procs = shard_procs
+        self.shard_addresses = shard_addresses
+        self.shard_paths = shard_paths
+        self.socket_dir = socket_dir
+        self.authkey = authkey
+        self.journal_dir = journal_dir
 
 
 def _latency_percentiles(samples_s: List[float]) -> Dict[str, Optional[float]]:
@@ -114,7 +170,11 @@ def _latency_percentiles(samples_s: List[float]) -> Dict[str, Optional[float]]:
         }
 
     def pct(p: float) -> float:
-        index = min(len(samples) - 1, int(p * len(samples)))
+        # Nearest-rank: the smallest sample >= p of the distribution is
+        # element ceil(p*n) (1-based), i.e. index ceil(p*n)-1. The old
+        # int(p*n) form pointed one rank too high — p50 of two samples
+        # returned the max.
+        index = max(0, min(len(samples) - 1, math.ceil(p * len(samples)) - 1))
         return samples[index] * 1e3
 
     return {
@@ -156,6 +216,15 @@ class DistResult:
         #: Per-shard-death re-replication latency (ms): snapshotting the
         #: surviving copies and installing them on the replacement shard.
         self.resync_ms: List[float] = [s * 1e3 for s in runtime.resync_seconds]
+        #: How many times this run's master was reconstructed from its
+        #: journal (0 for a run whose master never died).
+        self.master_recoveries = runtime.master_recoveries
+        #: Per-recovery master failover latency (ms): journal replay start
+        #: until the resumed event loop is live (fleet re-adoption, shard
+        #: probe/respawn, and recovery resets included).
+        self.master_failover_ms: List[float] = [
+            s * 1e3 for s in runtime.master_failover_seconds
+        ]
         self.chunk_rpc_seconds: List[float] = list(runtime.chunk_rpc_seconds)
         self.chunk_rpc_seconds_by_shard: Dict[int, List[float]] = {
             shard: list(samples)
@@ -227,6 +296,9 @@ class DistRuntime:
         kill_after_chunks: int = 1,
         kill_shard: Optional[int] = None,
         kill_shard_after_ops: int = 4,
+        journal_dir: Optional[str] = None,
+        journal_compact_every: int = 256,
+        kill_master_after_records: Optional[int] = None,
         max_worker_restarts: Optional[int] = None,
         max_shard_restarts: Optional[int] = None,
         max_storage_resets: Optional[int] = None,
@@ -265,6 +337,18 @@ class DistRuntime:
         self.kill_after_chunks = kill_after_chunks
         self.kill_shard = kill_shard
         self.kill_shard_after_ops = kill_shard_after_ops
+        if kill_master_after_records is not None and journal_dir is None:
+            raise ValueError(
+                "kill_master_after_records requires journal_dir: a master "
+                "death without a journal is unrecoverable by design"
+            )
+        if journal_compact_every < 1:
+            raise ValueError(
+                f"journal_compact_every must be >= 1, got {journal_compact_every}"
+            )
+        self.journal_dir = journal_dir
+        self.journal_compact_every = journal_compact_every
+        self.kill_master_after_records = kill_master_after_records
         self.max_worker_restarts = (
             max_worker_restarts if max_worker_restarts is not None else 2 * workers
         )
@@ -288,6 +372,8 @@ class DistRuntime:
         self.storage_resets = 0
         self.failover_seconds: List[float] = []
         self.resync_seconds: List[float] = []
+        self.master_recoveries = 0
+        self.master_failover_seconds: List[float] = []
         self.chunk_rpc_seconds: List[float] = []
         self.chunk_rpc_seconds_by_shard: Dict[int, List[float]] = {}
         # -- run-scoped state --
@@ -295,6 +381,9 @@ class DistRuntime:
         self._events: "queue.Queue[Tuple]" = queue.Queue()
         self._workers: Dict[int, _Worker] = {}
         self._wid_counter = itertools.count()
+        #: Highest wid ever issued (snapshot compaction journals it so a
+        #: recovered master continues the sequence instead of recycling).
+        self._max_wid = -1
         self._idle: List[int] = []
         self._ready: List[ExecutionNode] = []
         self._assigned: Dict[int, ExecutionNode] = {}
@@ -313,6 +402,11 @@ class DistRuntime:
         self._recovery_tasks: Set[str] = set()
         self._recovery_pending: Set[str] = set()
         self._recovery_refill: Set[str] = set()
+        #: Families whose re-adoption claim was cancelled (the journal
+        #: could not confirm the worker's in-flight node): the cancelled
+        #: incarnation consumed chunks nobody re-delivers, so resume
+        #: seeds its loss closure with these.
+        self._unadopted_tasks: Set[str] = set()
         self._in_recovery = False
         self._inputs: Dict[str, List[Any]] = {}
         #: Master-authoritative demotion-epoch vector (replicated mode):
@@ -334,6 +428,17 @@ class DistRuntime:
         self._store: Optional[ShardedBagStore] = None
         self._authkey = os.urandom(16)
         self._teardown = False
+        #: Write-ahead journal (None = journaling off, zero overhead).
+        self._journal: Optional[MasterJournal] = None
+        #: Master incarnation: 0 originally, +1 per journal recovery. Scopes
+        #: the store client id so a recovered master's chunk-id stamps and
+        #: removal seqs can never collide with (and be deduplicated against)
+        #: its dead predecessor's.
+        self._generation = 0
+        self._compact_base = 0
+        #: True once a simulated master death fired: _shutdown becomes a
+        #: no-op so the fleet survives for the next incarnation to adopt.
+        self._simulated_death = False
 
     # -- process management ---------------------------------------------------
 
@@ -343,7 +448,10 @@ class DistRuntime:
         if self.kill_shard == index and not self._shard_kill_spent:
             # Fault injection arms the *first* incarnation only; the
             # respawned replacement must live, or recovery would livelock.
+            # Journaled so a recovered master does not re-arm the fault on
+            # the victim's next respawn and kill the same shard twice.
             self._shard_kill_spent = True
+            self._jappend(("shard_kill_armed",))
             kill_after = self.kill_shard_after_ops
         ready_parent, ready_child = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
@@ -416,6 +524,10 @@ class DistRuntime:
             self._promoted.add(proc)
             self._epochs[index] = max(self._epochs.values(), default=0) + 1
             vector = dict(self._epochs)
+        # Journaled from this (monitor) thread — MasterJournal serializes
+        # appends internally. A recovered master must start from the
+        # bumped vector, or it could briefly trust a demoted shard.
+        self._jappend(("epochs", vector))
         started = time.monotonic()
         self._store.adopt_epochs(vector)
         for shard in range(self.shards):
@@ -433,6 +545,12 @@ class DistRuntime:
 
     def _spawn_worker(self) -> _Worker:
         wid = next(self._wid_counter)
+        self._max_wid = max(self._max_wid, wid)
+        # Journaled so a recovered master continues the wid sequence past
+        # every wid ever issued: ``worker-<wid>`` names the per-client
+        # storage state (fence registry, removal-seq dedup logs), and a
+        # recycled wid would silently alias a dead worker's.
+        self._jappend(("spawn", wid))
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         # Close inherited copies of every *other* worker's pipe ends in the
         # child, so one worker holding a sibling's fd can't mask its EOF.
@@ -454,23 +572,32 @@ class DistRuntime:
         )
         proc.start()
         child_conn.close()
+        worker = _Worker(wid, proc, parent_conn, None, self._events)
         reader = threading.Thread(
-            target=self._reader_loop, args=(wid, parent_conn), daemon=True,
+            target=self._reader_loop, args=(worker,), daemon=True,
             name=f"dist-reader-{wid}",
         )
-        worker = _Worker(wid, proc, parent_conn, reader)
+        worker.reader = reader
         self._workers[wid] = worker
         reader.start()
         return worker
 
-    def _reader_loop(self, wid: int, conn) -> None:
+    def _reader_loop(self, worker: _Worker) -> None:
+        # Delivery goes through worker.sink, re-read every message: a
+        # simulated master death nulls it (messages are lost, as they
+        # would be with a dead process) and a recovered master repoints
+        # it at its own queue — the thread itself survives the master.
         while True:
             try:
-                msg = conn.recv()
+                msg = worker.conn.recv()
             except (EOFError, OSError):
-                self._events.put(("dead", wid))
+                sink = worker.sink
+                if sink is not None:
+                    sink.put(("dead", worker.wid))
                 return
-            self._events.put(("msg", wid, msg))
+            sink = worker.sink
+            if sink is not None:
+                sink.put(("msg", worker.wid, msg))
 
     # -- run -------------------------------------------------------------------
 
@@ -486,6 +613,12 @@ class DistRuntime:
             bag_id: list(inputs.get(bag_id, ()))
             for bag_id in self.graph.source_bags()
         }
+        if self.journal_dir is not None:
+            self._journal = MasterJournal(self.journal_dir)
+            # The initial checkpoint carries the input manifests: a lost
+            # source bag is refilled from the journal on recovery, exactly
+            # as the live master refills from self._inputs.
+            self._write_checkpoint()
         self._socket_dir = tempfile.mkdtemp(prefix="repro-dist-")
         self._shard_paths = [
             os.path.join(self._socket_dir, f"shard-{index}.sock")
@@ -516,6 +649,8 @@ class DistRuntime:
             procs = []
             for _ in range(self.workers):
                 wid = next(self._wid_counter)
+                self._max_wid = max(self._max_wid, wid)
+                self._jappend(("spawn", wid))
                 parent_conn, child_conn = self._ctx.Pipe(duplex=True)
                 procs.append((wid, parent_conn, child_conn))
             for wid, parent_conn, child_conn in procs:
@@ -544,12 +679,12 @@ class DistRuntime:
                 )
                 proc.start()
                 child_conn.close()
-                worker = _Worker(wid, proc, parent_conn, None)
+                worker = _Worker(wid, proc, parent_conn, None, self._events)
                 self._workers[wid] = worker
             for worker in list(self._workers.values()):
                 reader = threading.Thread(
                     target=self._reader_loop,
-                    args=(worker.wid, worker.conn),
+                    args=(worker,),
                     daemon=True,
                     name=f"dist-reader-{worker.wid}",
                 )
@@ -567,6 +702,17 @@ class DistRuntime:
 
     def _event_loop(self, deadline: float) -> None:
         while not self.exec.all_done():
+            if self._journal is not None:
+                self._maybe_kill_master()
+                if (
+                    self._journal.appended - self._compact_base
+                    >= self.journal_compact_every
+                ):
+                    # Compaction runs only here, on the event-loop thread:
+                    # building the snapshot reads graph state that monitor
+                    # threads never touch, and their concurrent epoch
+                    # appends are serialized by the journal's own lock.
+                    self._write_checkpoint()
             try:
                 self._assign_ready()
                 if self.cloning and self._idle and not self._pending_ready():
@@ -622,6 +768,12 @@ class DistRuntime:
     def _dispatch(self, wid: int, node: ExecutionNode) -> None:
         worker = self._workers[wid]
         desc = self._descriptor(node)
+        # Write-ahead: the assign record lands before the worker can see
+        # the command. A master that dies in between replays the node as
+        # RUNNING-unclaimed and resets its family — conservative but safe;
+        # the reverse order could leave a running task the replay has
+        # never heard of, silently double-producing after recovery.
+        self._jappend(("assign", node.node_id, wid))
         node.state = NodeState.RUNNING
         self._assigned[wid] = node
         self._node_worker[node.node_id] = wid
@@ -670,7 +822,7 @@ class DistRuntime:
     def _on_message(self, wid: int, msg: dict) -> None:
         mtype = msg.get("type")
         if mtype == "hello":
-            self._idle.append(wid)
+            self._on_hello(wid, msg)
         elif mtype == "progress":
             self._on_progress(wid, msg)
         elif mtype == "done":
@@ -691,6 +843,65 @@ class DistRuntime:
                     node_id or "?", msg.get("error", "unknown error"),
                     msg.get("traceback", ""),
                 )
+
+    def _mark_idle(self, wid: int) -> None:
+        """Queue ``wid`` for work, deduplicated.
+
+        Recovery can introduce a worker twice (a re-hello racing an
+        aborted ack, or a completion whose assignment record died with the
+        old master). Double-listing would let one worker hold two nodes,
+        and the second assignment would overwrite the first in
+        ``_assigned`` — the orphaned node then never reports done, a
+        silent hang. Dead or busy workers never re-enter the pool.
+        """
+        if (
+            wid in self._workers
+            and wid not in self._assigned
+            and wid not in self._idle
+        ):
+            self._idle.append(wid)
+
+    def _on_hello(self, wid: int, msg: dict) -> None:
+        """A worker introduced itself: fresh spawn, or recovery re-hello.
+
+        A re-hello (answer to ``reattach``) carries ``running``: the node
+        id the worker is mid-task on, or ``None``. Running work whose
+        assignment the journal confirms is **re-adopted** — the task keeps
+        streaming, nothing resets. A claim the journal cannot back (the
+        family was reset before the crash, or the record never landed) is
+        cancelled instead; the aborted ack returns the worker to the pool.
+        """
+        running = msg.get("running")
+        if running is None:
+            self._mark_idle(wid)
+            return
+        node = self.exec.nodes.get(running)
+        if (
+            node is None
+            or node.state != NodeState.RUNNING
+            or node.task_id in self._recovery_tasks
+            or self._node_worker.get(running, wid) != wid
+        ):
+            try:
+                self._workers[wid].conn.send(
+                    {"type": "cancel", "node_id": running}
+                )
+            except (KeyError, OSError, BrokenPipeError):
+                pass  # dying worker; its EOF recovery takes over
+            # The cancelled incarnation consumed stream chunks nobody
+            # will re-deliver: its family is in doubt and must replay
+            # (resume seeds the loss closure with these). The hello's
+            # task id covers claims whose very node the journal lost.
+            task_id = node.task_id if node is not None else msg.get("task")
+            if task_id in self.exec.families:
+                self._unadopted_tasks.add(task_id)
+            return
+        self._assigned[wid] = node
+        self._node_worker[running] = wid
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "dist_readopt", cat="dist", node=running, worker=wid
+            )
 
     def _on_progress(self, wid: int, msg: dict) -> None:
         node = self._assigned.get(wid)
@@ -717,6 +928,9 @@ class DistRuntime:
     def _grant_clone(self, task_id: str) -> None:
         family = self.exec.families[task_id]
         clone = self.exec.add_clone(task_id)
+        # Clone grants are replayed through restore_clone in increasing
+        # index order, which reproduces the partial-bag wiring exactly.
+        self._jappend(("clone", task_id, family.clone_counter))
         self._node_member[clone.node_id] = family.clone_counter
         if family.merge is not None:
             self._node_member.setdefault(family.original.node_id, 0)
@@ -757,7 +971,7 @@ class DistRuntime:
 
     def _on_done(self, wid: int, msg: dict) -> None:
         node = self._assigned.pop(wid, None)
-        self._idle.append(wid)
+        self._mark_idle(wid)
         if node is None:
             return
         self._node_worker.pop(node.node_id, None)
@@ -805,6 +1019,13 @@ class DistRuntime:
                 values[0],
                 chunk_size=self.settings.chunk_size,
             )
+        # Write-ahead placement is load-bearing in both directions: after
+        # the lone-partial promotion above (emit_value is not idempotent —
+        # a replay that re-promoted would double-emit), yet before the
+        # graph transition (a done the journal never saw leaves the family
+        # in doubt, and the recovery reset discards whatever this node
+        # wrote — including that emitted value — before re-running it).
+        self._jappend(("done", node.node_id))
         newly_ready = self.exec.node_done(node.node_id)
         for ready in newly_ready:
             if ready.kind == NodeKind.MERGE:
@@ -833,7 +1054,7 @@ class DistRuntime:
 
     def _on_aborted(self, wid: int, msg: dict) -> None:
         node = self._assigned.pop(wid, None)
-        self._idle.append(wid)
+        self._mark_idle(wid)
         if node is not None:
             self._node_worker.pop(node.node_id, None)
         self._recovery_pending.discard(msg.get("node_id"))
@@ -904,6 +1125,9 @@ class DistRuntime:
         if node is not None and node.node_id == self._kill_armed_node:
             self._kill_delivered = True
             self._kill_armed_node = None
+            # Journaled so a recovered master knows the injected worker
+            # kill already happened and must not re-arm it.
+            self._jappend(("kill_delivered",))
         if self.worker_deaths > self.max_worker_restarts:
             raise SchedulingError(
                 f"{self.worker_deaths} worker deaths exceed the restart budget"
@@ -915,6 +1139,13 @@ class DistRuntime:
         if node is None:
             return
         self._node_worker.pop(node.node_id, None)
+        # A cancel in flight to this worker can never be acknowledged —
+        # the EOF *is* the acknowledgement. Without this, a member killed
+        # between its family's condemnation and its abort poll leaves a
+        # permanent _recovery_pending entry: the reset never applies, every
+        # worker idles, and the run rides its timeout out (seen as a
+        # shard-kill + worker-kill cocktail wedging the whole job).
+        self._recovery_pending.discard(node.node_id)
         if (
             node.node_id not in self.exec.nodes
             or node.task_id in self._recovery_tasks
@@ -1154,6 +1385,13 @@ class DistRuntime:
 
     def _begin_family_resets(self, to_reset: Set[str], refills: Set[str]) -> None:
         """Queue the resets, cancel running members, finish if nothing runs."""
+        if to_reset or refills:
+            # Write-ahead condemnation: the decision to reset these
+            # families must survive a master death that lands between the
+            # cancels below and the eventual reset record — replaying only
+            # the assigns would resurrect families whose inputs a
+            # shard-loss closure already declared inconsistent.
+            self._jappend(("condemn", sorted(to_reset), sorted(refills)))
         self._recovery_tasks |= to_reset
         self._recovery_refill |= refills
         for task_id in sorted(to_reset):
@@ -1177,7 +1415,7 @@ class DistRuntime:
     def _on_storage_failed(self, wid: int, msg: dict) -> None:
         """A task failed with StorageNodeDown: shard death or a blip."""
         node = self._assigned.pop(wid, None)
-        self._idle.append(wid)
+        self._mark_idle(wid)
         self._recovery_pending.discard(msg.get("node_id"))
         if node is not None:
             self._node_worker.pop(node.node_id, None)
@@ -1262,6 +1500,417 @@ class DistRuntime:
             self.tracer.inc("dist.family_resets")
             if self.tracer.enabled:
                 self.tracer.instant("family_reset", cat="dist", task=task_id)
+        # Journaled *after* the storage effects: the record asserts "these
+        # families were reset and their bags discarded/rewound", which is
+        # only true here. A death before this line replays the condemn
+        # record instead, and the recovery re-runs the (idempotent)
+        # discards — conservative, never wrong.
+        self._jappend(("reset", sorted(tasks)))
+
+    # -- master checkpoint-replay -------------------------------------------------
+
+    def _jappend(self, record: Tuple) -> None:
+        """Append one write-ahead record; a no-op with journaling off."""
+        if self._journal is not None:
+            self._journal.append(record)
+
+    def _maybe_kill_master(self) -> None:
+        """Fault injection: simulate a master SIGKILL at the event-loop top.
+
+        Workers and shards are real processes and genuinely survive; only
+        the master's in-process state dies — by abandonment. Reader
+        threads keep their pipes but lose their sink (messages drain into
+        the void, exactly as writes to a dead process would), the storage
+        connections drop without goodbye, and ``_shutdown`` is disarmed so
+        the fleet outlives this incarnation for :meth:`resume` to adopt.
+        """
+        if (
+            self.kill_master_after_records is None
+            or self._simulated_death
+            or self._journal.appended < self.kill_master_after_records
+        ):
+            return
+        self._simulated_death = True
+        self._teardown = True
+        fleet = MasterFleet(
+            workers=dict(self._workers),
+            shard_procs=list(self._shard_procs),
+            shard_addresses=list(self._shard_addresses),
+            shard_paths=list(self._shard_paths),
+            socket_dir=self._socket_dir,
+            authkey=self._authkey,
+            journal_dir=self.journal_dir,
+        )
+        for worker in self._workers.values():
+            worker.sink = None
+        self._journal.close()
+        if self._store is not None:
+            self._store.close()
+        raise MasterKilled(fleet)
+
+    def _write_checkpoint(self) -> None:
+        """Compact the journal: current state as snapshot, WAL truncated."""
+        header = {
+            "generation": self._generation,
+            "inputs": {
+                bag_id: list(records)
+                for bag_id, records in self._inputs.items()
+            },
+        }
+        self._journal.write_snapshot(header, self._snapshot_records())
+        self._compact_base = self._journal.appended
+
+    def _snapshot_records(self) -> List[Tuple]:
+        """The live control state as an equivalent compact record sequence.
+
+        Replay reproduces the graph exactly: per family, clone grants in
+        member-index order, the clone-counter high-water mark (gaps are
+        clones discarded by resets), done marks (members before the
+        merge), then assigns of still-RUNNING nodes; plus the wid
+        high-water mark, the epoch vector, any in-flight condemnation,
+        and the fault-injection arming — everything a recovered master
+        must know and cannot re-derive from the fleet.
+        """
+        records: List[Tuple] = []
+        if self._max_wid >= 0:
+            records.append(("spawn", self._max_wid))
+        for task_id in sorted(self.exec.families):
+            family = self.exec.families[task_id]
+            for clone in sorted(
+                family.clones, key=lambda c: self._node_member[c.node_id]
+            ):
+                records.append(
+                    ("clone", task_id, self._node_member[clone.node_id])
+                )
+            if family.clone_counter:
+                records.append(("counter", task_id, family.clone_counter))
+            members = list(family.workers)
+            if family.merge is not None:
+                members.append(family.merge)
+            for member in members:
+                if member.state == NodeState.DONE:
+                    records.append(("done", member.node_id))
+            for member in members:
+                if member.state == NodeState.RUNNING:
+                    wid = self._node_worker.get(member.node_id)
+                    if wid is not None:
+                        records.append(("assign", member.node_id, wid))
+        vector = self._epoch_vector()
+        if vector:
+            records.append(("epochs", vector))
+        if self._recovery_tasks or self._recovery_refill:
+            records.append(
+                (
+                    "condemn",
+                    sorted(self._recovery_tasks),
+                    sorted(self._recovery_refill),
+                )
+            )
+        if self._shard_kill_spent:
+            records.append(("shard_kill_armed",))
+        if self._kill_delivered:
+            records.append(("kill_delivered",))
+        return records
+
+    def _replay(
+        self, records: List[Tuple]
+    ) -> Tuple[Dict[str, int], Set[str], Set[str]]:
+        """Feed journal records through the live graph machinery.
+
+        Returns ``(running, condemned, refills)``: the node -> wid
+        assignments the journal last saw RUNNING (recovery must prove
+        each one is still claimed by a live worker, or reset it), and the
+        condemned-family / source-refill intent of any reset whose final
+        record never landed. Records replay in append order through the
+        same methods the live master used, so a replayed master and a
+        never-crashed one hold bit-for-bit the same control state.
+        """
+        self.exec.initially_ready()
+        running: Dict[str, int] = {}
+        condemned: Set[str] = set()
+        refills: Set[str] = set()
+        max_wid = self._max_wid
+        generation = self._generation
+        for record in records:
+            kind = record[0]
+            if kind == "spawn":
+                max_wid = max(max_wid, record[1])
+            elif kind == "clone":
+                task_id, index = record[1], record[2]
+                node = self.exec.restore_clone(task_id, index)
+                self._node_member[node.node_id] = index
+                # A replayed grant proves the forced-clone schedule fired
+                # for this task already; re-granting would double it.
+                self._forced_pending.discard(task_id)
+            elif kind == "counter":
+                family = self.exec.families[record[1]]
+                family.clone_counter = max(family.clone_counter, record[2])
+            elif kind == "assign":
+                node = self.exec.nodes.get(record[1])
+                if node is not None and node.state != NodeState.DONE:
+                    node.state = NodeState.RUNNING
+                    running[record[1]] = record[2]
+            elif kind == "done":
+                if record[1] in self.exec.nodes:
+                    self.exec.node_done(record[1])
+                running.pop(record[1], None)
+            elif kind == "condemn":
+                condemned.update(record[1])
+                refills.update(record[2])
+            elif kind == "reset":
+                self.exec.reset_families(set(record[1]))
+                for node_id in list(running):
+                    node = self.exec.nodes.get(node_id)
+                    if node is None or node.state != NodeState.RUNNING:
+                        running.pop(node_id, None)
+                # The reset record closes out the whole accumulated
+                # condemnation (the live master swaps the full set out
+                # atomically), so the outstanding intent is clean again.
+                condemned.clear()
+                refills.clear()
+            elif kind == "epochs":
+                with self._epoch_lock:
+                    for shard, epoch in record[1].items():
+                        if epoch > self._epochs.get(shard, 0):
+                            self._epochs[shard] = epoch
+            elif kind == "shard_kill_armed":
+                self._shard_kill_spent = True
+            elif kind == "kill_delivered":
+                self._kill_delivered = True
+            elif kind == "generation":
+                generation = max(generation, record[1])
+            # Unknown kinds fall through: a journal written by a newer
+            # master may carry records this replay does not need.
+        self._generation = generation
+        self._max_wid = max_wid
+        self._wid_counter = itertools.count(max_wid + 1)
+        # Prune member entries for nodes a replayed reset deleted.
+        self._node_member = {
+            node_id: member
+            for node_id, member in self._node_member.items()
+            if node_id in self.exec.nodes
+        }
+        return running, condemned, refills
+
+    def resume(self, fleet: MasterFleet, timeout: float = 120.0) -> DistResult:
+        """Reconstruct the master from its journal and drive the run home.
+
+        Call on a **fresh** runtime built with the same constructor
+        arguments (and the same ``journal_dir``) as the one that raised
+        :class:`MasterKilled`. Recovery: load snapshot + WAL tail and
+        replay; adopt the surviving shard fleet (probing each survivor
+        for its epoch vector and inventory, respawning the dead);
+        re-adopt the workers via the reattach handshake — running nodes a
+        live worker still claims continue untouched, everything RUNNING
+        per the journal but claimed by nobody is in doubt and its family
+        resets through the ordinary loss-closure machinery; re-seal what
+        finished; resume the event loop.
+        """
+        deadline = time.monotonic() + timeout
+        started = time.monotonic()
+        if self.journal_dir is None:
+            self.journal_dir = fleet.journal_dir
+        header, records = MasterJournal.load(self.journal_dir)
+        if header is None:
+            raise SchedulingError(
+                f"no journal checkpoint in {self.journal_dir!r}; a master "
+                "that never checkpointed cannot be resumed"
+            )
+        self._inputs = {
+            bag_id: list(header.get("inputs", {}).get(bag_id, ()))
+            for bag_id in self.graph.source_bags()
+        }
+        self._generation = header.get("generation", 0)
+        running, condemned, refills = self._replay(records)
+        self._generation += 1
+        # Adopt the surviving fleet.
+        self._socket_dir = fleet.socket_dir
+        self._shard_paths = list(fleet.shard_paths)
+        self._shard_procs = list(fleet.shard_procs)
+        self._shard_addresses = list(fleet.shard_addresses)
+        self._authkey = fleet.authkey
+        if fleet.workers:
+            # The fleet outranks the journal on wids in use: a spawn
+            # record lost to a torn tail must not make the counter hand
+            # out a wid some surviving process already owns.
+            self._max_wid = max(self._max_wid, max(fleet.workers))
+            self._wid_counter = itertools.count(self._max_wid + 1)
+        self._journal = MasterJournal(self.journal_dir)
+        self._compact_base = self._journal.appended
+        self._jappend(("generation", self._generation))
+        try:
+            # Generation-scoped client id: the dead incarnation's chunk-id
+            # stamps and removal seqs live on in the shards' dedup state,
+            # and a successor reusing ``master`` would have its first
+            # writes silently swallowed as duplicates.
+            self._store = ShardedBagStore(
+                self._shard_addresses,
+                self._authkey,
+                f"master.g{self._generation}",
+                self.settings.policy,
+                router=self.router,
+            )
+            for index, proc in enumerate(self._shard_procs):
+                if proc is not None and proc.is_alive():
+                    threading.Thread(
+                        target=self._shard_monitor,
+                        args=(index, proc),
+                        daemon=True,
+                        name=f"dist-shardmon-{index}",
+                    ).start()
+            # Probe the survivors: max-merge any demotions the shards
+            # gossiped among themselves while no master was alive, then
+            # make the merged vector authoritative everywhere.
+            for index in range(self.shards):
+                if not self._shard_alive(index):
+                    continue
+                try:
+                    info = self._store.probe(index)
+                except ReproError:
+                    continue  # died since the aliveness check; reaped below
+                with self._epoch_lock:
+                    for shard, epoch in info.get("epochs", {}).items():
+                        if epoch > self._epochs.get(shard, 0):
+                            self._epochs[shard] = epoch
+            vector = self._epoch_vector()
+            self._store.adopt_epochs(vector)
+            if self.replication > 1 and vector:
+                for index in range(self.shards):
+                    if not self._shard_alive(index):
+                        continue
+                    try:
+                        self._store.push_epochs(index, vector)
+                    except ReproError:
+                        pass  # its death event re-pushes
+            # Re-adopt the workers: repoint their reader-thread sinks at
+            # our queue, then take attendance with the reattach handshake.
+            self._workers = fleet.workers
+            for worker in self._workers.values():
+                worker.sink = self._events
+            dead_wids: Set[int] = set()
+            awaiting: Set[int] = set()
+            for wid, worker in sorted(self._workers.items()):
+                if not worker.proc.is_alive():
+                    dead_wids.add(wid)
+                    continue
+                try:
+                    worker.conn.send(
+                        {"type": "reattach", "epochs": vector}
+                    )
+                    awaiting.add(wid)
+                except (OSError, BrokenPipeError):
+                    dead_wids.add(wid)
+            stashed: List[Tuple] = []
+            greeted: Set[int] = set()
+            adopt_deadline = time.monotonic() + 10.0
+            while awaiting and time.monotonic() < adopt_deadline:
+                try:
+                    event = self._events.get(timeout=0.1)
+                except queue.Empty:
+                    continue
+                if event[0] == "dead":
+                    awaiting.discard(event[1])
+                    dead_wids.add(event[1])
+                elif event[0] == "msg" and event[2].get("type") == "hello":
+                    awaiting.discard(event[1])
+                    greeted.add(event[1])
+                    self._on_hello(event[1], event[2])
+                elif event[1] in greeted:
+                    # Post-hello traffic from an adopted mid-task worker
+                    # (progress, or its done landing while attendance
+                    # continues elsewhere): live — re-injected below, once
+                    # the recovery resets are decided.
+                    stashed.append(event)
+                # Pre-hello traffic is from the dead master's era and is
+                # DROPPED, exactly as the dead master's queue dropped it.
+                # This is load-bearing: a worker that finished node X into
+                # the void answers the reattach from its *idle* loop
+                # (running=None), so X resets and re-dispatches — replaying
+                # its stale pre-death done against the re-run's fresh
+                # assignment would complete a node whose partials the
+                # re-run has not produced yet. Nothing committed is lost:
+                # any done the dead master journaled replays from the
+                # journal, and one it did not journal is unprovable and
+                # must reset anyway.
+            for wid in sorted(awaiting):
+                # Unresponsive within the window: kill it first so it can
+                # never write again, then recover it as a corpse.
+                self._workers[wid].proc.terminate()
+                dead_wids.add(wid)
+            # Dead shards next (cancels from their loss closure need the
+            # assignment map the adoption just rebuilt).
+            for index, proc in enumerate(list(self._shard_procs)):
+                if proc is not None and not proc.is_alive():
+                    self._on_shard_dead(index, proc)
+            # Dead workers: restore the journal's assignment so the
+            # ordinary corpse recovery fences them and resets their
+            # families.
+            for wid in sorted(dead_wids):
+                node_id = next(
+                    (n for n, w in running.items() if w == wid), None
+                )
+                if (
+                    node_id is not None
+                    and node_id in self.exec.nodes
+                    and node_id not in self._node_worker
+                    and self.exec.nodes[node_id].state == NodeState.RUNNING
+                ):
+                    self._assigned[wid] = self.exec.nodes[node_id]
+                    self._node_worker[node_id] = wid
+                if wid in self._workers:
+                    self._on_worker_dead(wid)
+            # In-doubt sweep: RUNNING per the journal, claimed by nobody.
+            # The worker may have finished the node and reported into the
+            # void, or died unreported — either way the committed state
+            # cannot be proven, so the family replays. Journal-recorded
+            # condemnation intent joins the same closure.
+            in_doubt = {
+                self.exec.nodes[node_id].task_id
+                for node_id in running
+                if node_id in self.exec.nodes
+                and self.exec.nodes[node_id].state == NodeState.RUNNING
+                and node_id not in self._node_worker
+            }
+            unadopted, self._unadopted_tasks = self._unadopted_tasks, set()
+            seeds = sorted(
+                task_id
+                for task_id in in_doubt | condemned | unadopted
+                if task_id in self.exec.families
+                and task_id not in self._recovery_tasks
+            )
+            if seeds or refills:
+                to_reset, closure_refills = self._loss_closure(
+                    set(refills), {}, seed_tasks=seeds
+                )
+                self._begin_family_resets(to_reset, closure_refills)
+            # Re-seal: a family whose done landed in the journal may have
+            # died before its output bag's seal RPC. Idempotent.
+            for bag_id in sorted(self.graph.bags):
+                if self.exec.bag_complete(bag_id):
+                    self._seal_if_complete(bag_id)
+            # Rebuild the ready list from graph state (assignment replays
+            # left READY whatever was in the dead master's in-memory
+            # queue); duplicates are tolerated — _assign_ready skips any
+            # entry no longer READY when popped.
+            for node in self.exec.nodes.values():
+                if node.kind == NodeKind.MERGE:
+                    self._node_member.setdefault(node.node_id, 0)
+                if node.state == NodeState.READY:
+                    self._ready.append(node)
+            for family in self.exec.families.values():
+                if family.merge is not None:
+                    self._node_member.setdefault(family.original.node_id, 0)
+            self.master_recoveries += 1
+            self._write_checkpoint()
+            self.master_failover_seconds.append(time.monotonic() - started)
+            for event in stashed:
+                self._events.put(event)
+            self._event_loop(deadline)
+            snapshots = self._snapshot()
+            shard_stats = self._store.stats()
+            return DistResult(self, snapshots, shard_stats)
+        finally:
+            self._shutdown()
 
     # -- results & teardown -------------------------------------------------------
 
@@ -1278,7 +1927,13 @@ class DistRuntime:
         }
 
     def _shutdown(self) -> None:
+        if self._simulated_death:
+            # The fleet deliberately outlives this master incarnation; a
+            # successor adopts it via resume().
+            return
         self._teardown = True
+        if self._journal is not None:
+            self._journal.close()
         for worker in self._workers.values():
             try:
                 worker.conn.send({"type": "shutdown"})

@@ -29,6 +29,14 @@ Replication extends exactly-once across *replicas* with two mechanisms:
   answers a retried request from the shipped log instead of popping
   fresh chunks (:mod:`repro.dist.replica`).
 
+With ``replication > 1`` the shards additionally **gossip** the
+demotion-epoch vector peer-to-peer (max-merge both ways, every
+:data:`GOSSIP_INTERVAL_SECONDS`), and demote a peer themselves after
+:data:`GOSSIP_DEATH_STRIKES` consecutive refused connections — so
+primary failover keeps working during the window where no master is
+alive to push promotions. A recovering master asks any shard
+``("probe",)`` for its identity, epoch vector, and bag inventory.
+
 Connections introduce themselves with ``("hello", client_id)``. The
 master uses the registry for the **fence** operation: after a worker
 process dies, ``("fence", client_id)`` blocks until every connection that
@@ -66,6 +74,17 @@ SHARD_KILL_EXIT_CODE = 23
 
 #: Ops that count toward (and can trigger) the injected shard kill.
 _KILLABLE_OPS = ("remove_batch", "rremove_batch")
+
+#: Seconds between peer epoch-gossip rounds (replicated shards only).
+GOSSIP_INTERVAL_SECONDS = 0.25
+
+#: Consecutive unreachable gossip rounds before a peer is declared dead
+#: and demoted shard-side. Connection-refused against a same-host Unix
+#: socket is a fail-stop death certificate, but one refusal can also be
+#: the bind-to-accept window of a respawning replacement; three rounds
+#: (~0.75s) is far past any startup race while staying well inside a
+#: sweeping client's total patience.
+GOSSIP_DEATH_STRIKES = 3
 
 
 class _ServerState:
@@ -264,6 +283,20 @@ def _dispatch(state: _ServerState, conn_id: int, req: Tuple[Any, ...]) -> Any:
     if op == "set_epochs":
         state.merge_epochs(req[1])
         return None
+    if op == "gossip":
+        # Peer-to-peer epoch exchange: max-merge the caller's vector and
+        # answer with ours, so demotions propagate shard-to-shard even
+        # while no master is alive to push them.
+        state.merge_epochs(req[1])
+        with state.epochs_lock:
+            return dict(state.epochs)
+    if op == "probe":
+        # Recovered-master inventory: what this shard is, what it believes
+        # about demotions, and which bags it physically holds — the
+        # journal replay is checked against ground truth, not trusted.
+        with state.epochs_lock:
+            vector = dict(state.epochs)
+        return {"shard": state.shard, "epochs": vector, "bags": store.bag_ids()}
     if op == "read_all":
         if state.replication > 1:
             state.ensure_primary(req[1])
@@ -345,6 +378,63 @@ def _serve_connection(state: _ServerState, conn: Connection, listener) -> None:
             pass
 
 
+def _gossip_loop(state: _ServerState) -> None:
+    """Exchange demotion epochs with peers; demote peers that stay dead.
+
+    The master normally owns failure detection, but it can be absent (a
+    master death with a replicated storage tier): without gossip, a
+    primary dying in that window would leave every surviving backup
+    refusing ``NotPrimary`` against its own stale vector forever. Each
+    round max-merges vectors both ways with every peer; a peer whose
+    socket refuses :data:`GOSSIP_DEATH_STRIKES` consecutive rounds is
+    demoted with the same max+1 bump the master uses — safe without a
+    lease because in the fail-stop same-host process model a refused
+    connection proves the displaced primary is already dead.
+    """
+    strikes: Dict[int, int] = {}
+    while not state.stop.wait(GOSSIP_INTERVAL_SECONDS):
+        for peer in range(len(state.addresses)):
+            if peer == state.shard or state.stop.is_set():
+                continue
+            with state.epochs_lock:
+                vector = dict(state.epochs)
+            answer: Optional[Dict[int, int]] = None
+            try:
+                lock, conn = state._peer_conn(peer)
+                if conn is not None:
+                    with lock:
+                        try:
+                            conn.send(("gossip", vector))
+                            status, payload = conn.recv()
+                        except (EOFError, OSError):
+                            state._drop_peer(peer)
+                        else:
+                            if status == "ok":
+                                answer = payload
+            except Exception:
+                # A torn auth handshake against a dying peer can raise
+                # outside the (EOFError, OSError) family; count it as an
+                # unreachable round like any other.
+                state._drop_peer(peer)
+            if answer is not None:
+                strikes[peer] = 0
+                state.merge_epochs(answer)
+                continue
+            strikes[peer] = strikes.get(peer, 0) + 1
+            if strikes[peer] < GOSSIP_DEATH_STRIKES:
+                continue
+            strikes[peer] = 0
+            with state.epochs_lock:
+                ceiling = max(state.epochs.values(), default=0)
+                if state.epochs.get(peer, 0) < ceiling or ceiling == 0:
+                    # Not already the most recent demotion: bump it past
+                    # everything so the least-recently-demoted replica of
+                    # each affected bag takes over, exactly like the
+                    # master's promotion rule.
+                    state.epochs[peer] = ceiling + 1
+            state.bump("gossip_demotions")
+
+
 def _poke(address) -> None:
     """Connect-and-close against our own listener to unblock accept()."""
     try:
@@ -404,6 +494,13 @@ def storage_server_main(
         listener = Listener(family="AF_UNIX", authkey=authkey)
     ready_conn.send(listener.address)
     ready_conn.close()
+    if replication > 1 and len(state.addresses) > 1:
+        threading.Thread(
+            target=_gossip_loop,
+            args=(state,),
+            daemon=True,
+            name=f"storage-gossip-s{shard}",
+        ).start()
     while not state.stop.is_set():
         try:
             conn = listener.accept()

@@ -94,6 +94,25 @@ class DistTaskContext(TaskContext):
                 self._runtime.store.invalidate(msg["shard"])
                 self._runtime.store.adopt_epochs(msg.get("epochs") or {})
                 continue
+            if msg.get("type") == "reattach":
+                # A recovered master is taking attendance mid-task:
+                # re-introduce ourselves with the node id we are running,
+                # so it re-adopts this in-flight work instead of resetting
+                # the family — the chunk stream continues uninterrupted.
+                self._runtime.store.adopt_epochs(msg.get("epochs") or {})
+                self._cmd_conn.send(
+                    {
+                        "type": "hello",
+                        "pid": os.getpid(),
+                        "running": self._desc.node_id,
+                        # The task id rides along for the claim the master
+                        # cannot confirm (e.g. a clone grant lost to a torn
+                        # journal tail): the master knows which family to
+                        # replay even when the node id means nothing to it.
+                        "task": self._desc.task_id,
+                    }
+                )
+                continue
             # Anything else addressed to a busy worker is stale; drop it.
 
     def _next_chunk(self):
@@ -259,6 +278,16 @@ def worker_main(
                 # the promoted primary, not the freshly-resynced respawn.
                 store.invalidate(msg["shard"])
                 store.adopt_epochs(msg.get("epochs") or {})
+                continue
+            if mtype == "reattach":
+                # A recovered master is taking attendance; an idle worker
+                # answers with ``running: None`` — anything it finished
+                # while the old master was dying was reported into the
+                # void and will be re-proven by replay, not trusted.
+                store.adopt_epochs(msg.get("epochs") or {})
+                cmd_conn.send(
+                    {"type": "hello", "pid": os.getpid(), "running": None}
+                )
                 continue
             if mtype != "run":
                 continue

@@ -138,6 +138,11 @@ class LocalBagStore:
             except KeyError:
                 raise BagError(f"unknown bag {bag_id!r}") from None
 
+    def bag_ids(self) -> List[str]:
+        """Sorted inventory of every bag this store holds."""
+        with self._lock:
+            return sorted(self._bags)
+
     def __contains__(self, bag_id: str) -> bool:
         with self._lock:
             return bag_id in self._bags

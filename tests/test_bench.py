@@ -43,12 +43,29 @@ class TestBenchReport:
         entry = report["workloads"]["calibration"]
         assert report["parity_ok"] is True
         assert entry["parity_ok"] is True
-        dist_runs = [r for r in entry["runs"] if r["engine"] == "dist"]
+        dist_runs = [
+            r
+            for r in entry["runs"]
+            if r["engine"] == "dist" and not r.get("master_failover_probe")
+        ]
         assert [r["workers"] for r in dist_runs] == [1, 2]
         for run in dist_runs:
             assert run["matches_local"] is True
             assert run["speedup_vs_local"] is not None
             assert run["chunk_latency_ms"]["count"] > 0
+
+    def test_master_failover_probe_reported(self, quick_report):
+        report, _ = quick_report
+        entry = report["workloads"]["calibration"]
+        probes = [
+            r for r in entry["runs"] if r.get("master_failover_probe")
+        ]
+        assert len(probes) == 1
+        probe = probes[0]
+        assert probe["matches_local"] is True
+        assert probe["master_recoveries"] == 1
+        assert len(probe["master_failover_ms"]) == 1
+        assert probe["master_failover_ms"][0] >= 0
 
     def test_local_baseline_first(self, quick_report):
         report, _ = quick_report

@@ -1,0 +1,175 @@
+"""Connection-layer contracts: backoff patience and handshake fault paths.
+
+Two regressions pinned here:
+
+* ``DIST_STORAGE_POLICY``'s docstring promises "a few seconds of total
+  patience", but the naive 12-step geometric sum is ~23s — the promise
+  only holds because :meth:`StorageConfig.backoffs` caps *cumulative*
+  backoff at ``rpc_timeout``. These tests assert the bound so schedule
+  and intent cannot drift apart again.
+* A storage shard killed mid-auth-handshake surfaces client-side as
+  ``multiprocessing.AuthenticationError`` (the dying server's torn
+  challenge digests as garbage), which subclasses ``ProcessError`` — not
+  ``OSError`` — and therefore escaped ``connect_with_retry``'s backoff
+  loop entirely: a kill landing in the handshake window was fatal where
+  a kill one syscall earlier (refused connection) was retried.
+"""
+
+import multiprocessing
+import os
+import socket
+import struct
+import tempfile
+import threading
+
+import pytest
+from multiprocessing.connection import Listener
+
+from repro.dist.protocol import DIST_STORAGE_POLICY, connect_with_retry
+from repro.storage.policy import StorageConfig
+
+AUTHKEY = b"test-protocol"
+
+
+class TestStoragePolicyPatience:
+    def test_total_backoff_bounded_by_rpc_timeout(self):
+        total = sum(DIST_STORAGE_POLICY.backoffs())
+        assert total <= DIST_STORAGE_POLICY.rpc_timeout
+
+    def test_cap_is_load_bearing(self):
+        # The uncapped geometric schedule would blow way past the
+        # docstring's "few seconds": the rpc_timeout cap is what makes
+        # the promise true, not the step count.
+        policy = DIST_STORAGE_POLICY
+        naive = sum(
+            policy.retry_backoff * policy.backoff_multiplier**i
+            for i in range(policy.rpc_retries)
+        )
+        assert naive > policy.rpc_timeout
+        delays = list(policy.backoffs())
+        assert len(delays) < policy.rpc_retries
+        # Pin today's schedule so a retuning shows up as a test diff:
+        # 9 of the 12 configured retries fire before the cap.
+        assert len(delays) == 9
+
+    def test_backoffs_monotone_geometric(self):
+        delays = list(DIST_STORAGE_POLICY.backoffs())
+        assert delays[0] == DIST_STORAGE_POLICY.retry_backoff
+        for earlier, later in zip(delays, delays[1:]):
+            assert later == pytest.approx(
+                earlier * DIST_STORAGE_POLICY.backoff_multiplier
+            )
+
+
+#: Snappy schedule for the live-socket tests below: enough retries to ride
+#: through one torn handshake plus the rebind window, without the
+#: production policy's seconds of sleeping.
+QUICK = StorageConfig(
+    rpc_retries=40, retry_backoff=0.02, backoff_multiplier=1.0, rpc_timeout=5.0
+)
+
+
+def _socket_path():
+    # Keep it short: AF_UNIX paths are capped around 100 bytes.
+    return tempfile.mktemp(prefix="repro-proto-", dir="/tmp")
+
+
+def _send_framed(conn, payload):
+    conn.sendall(struct.pack("!i", len(payload)) + payload)
+
+
+def _recv_framed(conn):
+    buf = b""
+    while len(buf) < 4:
+        buf += conn.recv(4 - len(buf))
+    (size,) = struct.unpack("!i", buf)
+    data = b""
+    while len(data) < size:
+        data += conn.recv(size - len(data))
+    return data
+
+
+def _torn_handshake_server(path, ready, torn_done, mode):
+    """One connection answered with a torn handshake, then a real Listener.
+
+    ``mode="rejected"`` plays the auth protocol but rejects the client's
+    (correct) digest — the shape of a server whose key state died under
+    it — so ``answer_challenge`` raises AuthenticationError client-side;
+    ``mode="eof"`` closes without sending (EOFError). Either way the
+    path is then rebound by a real authenticated Listener — exactly the
+    shard-respawn sequence the retry loop must ride through.
+    """
+    raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    raw.bind(path)
+    raw.listen(1)
+    ready.set()
+    conn, _ = raw.accept()
+    if mode == "rejected":
+        _send_framed(conn, b"#CHALLENGE#" + os.urandom(20))
+        _recv_framed(conn)  # the client's hmac digest, discarded
+        _send_framed(conn, b"#FAILURE#")
+    conn.close()
+    raw.close()
+    os.unlink(path)
+    listener = Listener(path, authkey=AUTHKEY)
+    torn_done.set()
+    server_conn = listener.accept()
+    server_conn.recv()  # wait for the client's liveness ping
+    server_conn.close()
+    listener.close()
+
+
+class TestHandshakeRetry:
+    @pytest.mark.parametrize("mode", ["rejected", "eof"])
+    def test_kill_during_handshake_is_retried(self, mode):
+        # Regression: AuthenticationError from a torn handshake must be
+        # retryable like a refused connection — before the fix the
+        # "rejected" variant propagated out of connect_with_retry on the
+        # first attempt.
+        path = _socket_path()
+        ready, torn_done = threading.Event(), threading.Event()
+        server = threading.Thread(
+            target=_torn_handshake_server,
+            args=(path, ready, torn_done, mode),
+            daemon=True,
+        )
+        server.start()
+        assert ready.wait(5.0)
+        conn = connect_with_retry(path, AUTHKEY, QUICK)
+        assert torn_done.is_set()  # success came from the real listener
+        conn.send("ping")
+        conn.close()
+        server.join(timeout=5.0)
+        assert not server.is_alive()
+
+    def test_wrong_authkey_eventually_raises(self):
+        # Retrying AuthenticationError must not loop forever on a genuine
+        # key mismatch: the policy exhausts and the error propagates.
+        path = _socket_path()
+        listener = Listener(path, authkey=b"the-real-key")
+        stop = threading.Event()
+
+        def serve():
+            # Server side of each doomed handshake: accept() itself
+            # raises on the digest mismatch; swallow it so the listener
+            # survives for the next retry attempt.
+            while not stop.is_set():
+                try:
+                    listener.accept().close()
+                except (multiprocessing.AuthenticationError, OSError, EOFError):
+                    pass
+
+        server = threading.Thread(target=serve, daemon=True)
+        server.start()
+        impatient = StorageConfig(
+            rpc_retries=2, retry_backoff=0.01, backoff_multiplier=1.0,
+            rpc_timeout=1.0,
+        )
+        try:
+            with pytest.raises(multiprocessing.AuthenticationError):
+                connect_with_retry(path, b"not-the-key", impatient)
+        finally:
+            stop.set()
+            listener.close()
+            if os.path.exists(path):
+                os.unlink(path)

@@ -378,3 +378,28 @@ class TestEmptyPercentiles:
         assert summary["count"] == 3
         assert summary["p50_ms"] == 2.0
         assert summary["max_ms"] == 3.0
+
+    def test_two_samples_p50_is_lower_rank(self):
+        # Nearest-rank: the p50 of two samples is the first (ceil(0.5*2)
+        # = rank 1), not the max. The old int(p*n) indexing returned the
+        # max here, inflating every small-sample median.
+        summary = _latency_percentiles([0.001, 0.009])
+        assert summary["p50_ms"] == 1.0
+        assert summary["p90_ms"] == 9.0
+
+    def test_single_sample_every_percentile_is_it(self):
+        summary = _latency_percentiles([0.004])
+        assert summary["count"] == 1
+        assert summary["p50_ms"] == 4.0
+        assert summary["p90_ms"] == 4.0
+        assert summary["p99_ms"] == 4.0
+        assert summary["max_ms"] == 4.0
+
+    def test_hundred_samples_hit_exact_ranks(self):
+        # n=100 makes nearest-rank exact: p50 = 50th value (1-based),
+        # p90 = 90th, p99 = 99th.
+        summary = _latency_percentiles([i / 1000.0 for i in range(1, 101)])
+        assert summary["p50_ms"] == 50.0
+        assert summary["p90_ms"] == 90.0
+        assert summary["p99_ms"] == 99.0
+        assert summary["max_ms"] == 100.0

@@ -256,3 +256,55 @@ class TestShardKillProtocol:
         assert result.shard_deaths == 0
         assert result.storage_resets == 0
         assert counts == expected
+
+    def test_worker_eof_acks_pending_cancel(self, monkeypatch):
+        # A member killed between its family's condemnation and its abort
+        # poll can never acknowledge the cancel — the corpse's EOF must
+        # count as the ack. Without that, the reset waits on the dead
+        # worker forever: every survivor idles and the run rides out its
+        # timeout (chaos-found: a shard kill and a worker kill landing in
+        # the same loss closure, seed 11 hashjoin).
+        from types import SimpleNamespace
+
+        from repro.model.execution_graph import NodeState
+
+        runtime = DistRuntime(
+            build_hashjoin_local(partitions=2), workers=2, shards=2
+        )
+        node = runtime.exec.nodes["partition.s"]
+        node.state = NodeState.RUNNING
+        corpse = SimpleNamespace(
+            wid=1,
+            proc=SimpleNamespace(
+                is_alive=lambda: False,
+                join=lambda timeout=None: None,
+                exitcode=17,
+            ),
+            conn=SimpleNamespace(close=lambda: None),
+            reader=None,
+            sink=None,
+            alive=True,
+        )
+        runtime._workers = {1: corpse}
+        runtime._assigned = {1: node}
+        runtime._node_worker = {"partition.s": 1}
+        # Mid-condemnation: both partitions' cancels are in flight.
+        runtime._recovery_tasks = {"partition.r", "partition.s"}
+        runtime._recovery_pending = {"partition.r", "partition.s"}
+        applied = []
+
+        def fake_apply():
+            applied.append(sorted(runtime._recovery_tasks))
+            runtime._recovery_tasks = set()
+            runtime._recovery_refill = set()
+
+        monkeypatch.setattr(runtime, "_apply_recovery", fake_apply)
+        monkeypatch.setattr(runtime, "_spawn_worker", lambda: None)
+        monkeypatch.setattr(runtime, "_retrying", lambda fn: None)  # store fence
+        runtime._on_worker_dead(1)
+        # The corpse's cancel is acked by its EOF; the reset still waits
+        # for the live owner of partition.r, and applies on its ack.
+        assert "partition.s" not in runtime._recovery_pending
+        assert not applied
+        runtime._on_aborted(2, {"node_id": "partition.r"})
+        assert applied == [["partition.r", "partition.s"]]
