@@ -156,11 +156,20 @@ def _run_dist(
     shards: int,
     replication: int,
     baseline: Dict[str, Any],
+    multiplex: bool = False,
+    batch_requests: Optional[int] = None,
 ):
     from repro.dist import DistRuntime
 
+    extra: Dict[str, Any] = {"multiplex": multiplex}
+    if batch_requests is not None:
+        extra["batch_requests"] = batch_requests
     runtime = DistRuntime(
-        workload.build(), workers=workers, shards=shards, replication=replication
+        workload.build(),
+        workers=workers,
+        shards=shards,
+        replication=replication,
+        **extra,
     )
     started = time.perf_counter()
     result = runtime.run(dict(workload.inputs), timeout=RUN_TIMEOUT)
@@ -171,6 +180,8 @@ def _run_dist(
         "workers": workers,
         "shards": shards,
         "replication": replication,
+        "multiplex": multiplex,
+        "batch_requests": runtime.settings.batch_requests,
         "seconds": round(seconds, 4),
         "throughput_records_per_s": _throughput(workload, seconds),
         "speedup_vs_local": round(baseline["seconds"] / seconds, 3) if seconds else None,
@@ -198,6 +209,7 @@ def _run_failover_probe(
     shards: int,
     replication: int,
     baseline: Dict[str, Any],
+    multiplex: bool = False,
 ):
     """One replicated run with a shard kill: measure failover, demand parity."""
     from repro.dist import DistRuntime, ShardRouter
@@ -210,6 +222,7 @@ def _run_failover_probe(
         workers=workers,
         shards=shards,
         replication=replication,
+        multiplex=multiplex,
         kill_shard=victim,
         # First remove_batch against the victim: quick-mode streams are
         # short, and a later trigger can miss the run entirely.
@@ -225,6 +238,7 @@ def _run_failover_probe(
         "workers": workers,
         "shards": shards,
         "replication": replication,
+        "multiplex": multiplex,
         "killed_shard": victim,
         "seconds": round(seconds, 4),
         # Replication's contract: the kill is absorbed by promotion, not
@@ -243,6 +257,7 @@ def _run_master_failover_probe(
     shards: int,
     replication: int,
     baseline: Dict[str, Any],
+    multiplex: bool = False,
 ):
     """One journaled run with a master kill: measure recovery, demand parity."""
     import shutil
@@ -256,6 +271,7 @@ def _run_master_failover_probe(
             workers=workers,
             shards=shards,
             replication=replication,
+            multiplex=multiplex,
             journal_dir=journal_dir,
         )
         started = time.perf_counter()
@@ -365,6 +381,19 @@ def _parse_args(argv):
         default="clicklog,hashjoin,calibration",
         help="comma-separated workload subset (default: %(default)s)",
     )
+    parser.add_argument(
+        "--multiplex",
+        action="store_true",
+        help="run every dist configuration over the multiplexed storage "
+        "channel (one framed connection per worker-shard pair) instead of "
+        "the legacy connection-per-caller protocol",
+    )
+    parser.add_argument(
+        "--batch-requests",
+        type=int,
+        help="chunks requested per remove_batch RPC (Eq. 1's b; "
+        "default: the runtime's)",
+    )
     parser.add_argument("--records", type=int, help="clicklog input records")
     parser.add_argument("--rows", type=int, help="hashjoin probe-side rows")
     parser.add_argument("--rounds", type=int, help="calibration mixing rounds")
@@ -417,6 +446,8 @@ def run_bench(argv=None) -> Dict[str, Any]:
             "shards": args.shard_counts,
             "replication": args.replication_counts,
             "workloads": args.workloads,
+            "multiplex": args.multiplex,
+            "batch_requests": args.batch_requests,
         },
         "workloads": {},
     }
@@ -442,7 +473,15 @@ def run_bench(argv=None) -> Dict[str, Any]:
                         flush=True,
                     )
                     runs.append(
-                        _run_dist(workload, workers, shards, replication, baseline)
+                        _run_dist(
+                            workload,
+                            workers,
+                            shards,
+                            replication,
+                            baseline,
+                            multiplex=args.multiplex,
+                            batch_requests=args.batch_requests,
+                        )
                     )
                 if replication > 1:
                     # Replicated topologies get a failover probe: the same
@@ -456,7 +495,12 @@ def run_bench(argv=None) -> Dict[str, Any]:
                     )
                     runs.append(
                         _run_failover_probe(
-                            workload, workers, shards, replication, baseline
+                            workload,
+                            workers,
+                            shards,
+                            replication,
+                            baseline,
+                            multiplex=args.multiplex,
                         )
                     )
         # One master failover probe per workload, at the largest worker
@@ -471,7 +515,9 @@ def run_bench(argv=None) -> Dict[str, Any]:
             flush=True,
         )
         runs.append(
-            _run_master_failover_probe(workload, workers, shards, 1, baseline)
+            _run_master_failover_probe(
+                workload, workers, shards, 1, baseline, multiplex=args.multiplex
+            )
         )
         parity_ok = all(r.get("matches_local", True) for r in runs)
         speedups = [

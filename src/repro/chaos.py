@@ -515,6 +515,7 @@ def fuzz_one_dist(
     seed: int,
     index: int,
     master_kill: bool = False,
+    multiplex: bool = False,
 ) -> Tuple[bool, str]:
     """One seeded dist run with injected kills; (ok, summary line)."""
     import os
@@ -560,6 +561,7 @@ def fuzz_one_dist(
     plan_desc = (
         f"shards={shards} workers={workers} r={replication} "
         f"kill_shard={kill_shard}@{kill_ops}ops"
+        + (" mux" if multiplex else "")
         + (f" kill_task={kill_task}" if kill_task else "")
         + (
             f" kill_master@{kill_master_after}rec"
@@ -571,6 +573,7 @@ def fuzz_one_dist(
         workers=workers,
         shards=shards,
         replication=replication,
+        multiplex=multiplex,
         kill_shard=kill_shard,
         kill_shard_after_ops=kill_ops,
         kill_task=kill_task,
@@ -678,6 +681,7 @@ def _main_dist(args) -> int:
             args.seed,
             index,
             master_kill=args.master_kill,
+            multiplex=args.multiplex,
         )
         print(f"[{index + 1:3d}/{args.runs}] {line}")
         if not ok:
@@ -729,6 +733,13 @@ def main(argv=None) -> int:
         action="store_true",
         help="with --dist: kill the master in every plan (instead of "
         "~40%% of them) and resume it from its journal",
+    )
+    parser.add_argument(
+        "--multiplex",
+        action="store_true",
+        help="with --dist: run every plan over the multiplexed storage "
+        "channel (framed call-id protocol) instead of the legacy "
+        "connection-per-caller protocol",
     )
     args = parser.parse_args(argv)
 

@@ -36,21 +36,45 @@ hiding the chunk-service latency that Eq. 1 charges per request. With
 replication, sweeps the replica set on private connections), so a worker
 running a task plus prefetch keeps its outstanding ``remove_batch`` RPCs
 spread over the shards its bags land on — Eq. 1's ``m`` made real.
+
+With ``multiplex=True`` the store drops the connection-per-caller model
+entirely: each shard gets one :class:`MuxShardClient` carrying every
+caller's frames over a single socket (call-id-tagged, futures resolved
+by the process's one :class:`MuxPump` selector thread), and
+:class:`MuxBatchFetcher` replaces the prefetch thread with a completion
+callback that re-arms the next batch — same Eq. 1 overlap, O(shards)
+threads instead of O(streams).
 """
 
 from __future__ import annotations
 
 import ast
 import itertools
+import os
 import queue
+import selectors
+import socket
 import threading
 import time
+from collections import deque
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeout
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import repro.errors as errors_mod
-from repro.dist.protocol import DIST_STORAGE_POLICY, StorageAddress, connect_with_retry
+from repro.dist.protocol import (
+    DIST_STORAGE_POLICY,
+    KIND_REQUEST,
+    KIND_RESPONSE_ERR,
+    KIND_RESPONSE_OK,
+    FrameDecoder,
+    FrameError,
+    StorageAddress,
+    connect_with_retry,
+    encode_frame,
+)
 from repro.dist.sharding import ShardRouter
-from repro.errors import NotPrimary, StorageNodeDown
+from repro.errors import FetchTimeout, NotPrimary, ReproError, StorageNodeDown
 from repro.storage.policy import StorageConfig
 
 #: Sentinel queued by the fetcher when the bag is drained and sealed.
@@ -85,7 +109,16 @@ _FENCE_RETRY_STEPS = 3
 
 
 def _parse_epoch_vector(message: str) -> Dict[int, int]:
-    """Recover the ``{shard: epoch}`` dict a NotPrimary refusal carries."""
+    """Recover the ``{shard: epoch}`` dict a NotPrimary refusal carries.
+
+    Defensive on every axis, because the message crossed a process
+    boundary as text: non-literal strings, non-dict literals, and
+    entries whose key or value is not an int are all dropped rather
+    than raised on. The type check is ``type(...) is int``, not
+    ``isinstance``, because ``isinstance(True, int)`` holds — a bool
+    smuggled into the vector would otherwise become shard 0/1 with a
+    nonsense epoch and silently skew the sweep order.
+    """
     try:
         vector = ast.literal_eval(message)
     except (ValueError, SyntaxError):
@@ -93,9 +126,9 @@ def _parse_epoch_vector(message: str) -> Dict[int, int]:
     if not isinstance(vector, dict):
         return {}
     return {
-        int(shard): int(epoch)
+        shard: epoch
         for shard, epoch in vector.items()
-        if isinstance(shard, int) and isinstance(epoch, int)
+        if type(shard) is int and type(epoch) is int
     }
 
 
@@ -159,11 +192,17 @@ class RemoteBagStore:
         self.policy = policy
         self._conn = None
         self._lock = threading.Lock()
+        self._abort_requested = False
 
     def _ensure_conn(self):
         if self._conn is None:
             try:
-                conn = connect_with_retry(self.address, self.authkey, self.policy)
+                conn = connect_with_retry(
+                    self.address,
+                    self.authkey,
+                    self.policy,
+                    abort=lambda: self._abort_requested,
+                )
                 conn.send(("hello", self.client_id))
                 status, payload = conn.recv()
             except (EOFError, OSError) as exc:
@@ -217,6 +256,34 @@ class RemoteBagStore:
         with self._lock:
             self._drop_conn_locked()
 
+    def abort(self) -> None:
+        """Force a call blocked inside this store to fail immediately.
+
+        Deliberately lock-free: ``call`` holds the lock across its recv,
+        so a locked abort would deadlock behind the very call it needs
+        to interrupt. Closing the fd would not help either — Linux does
+        not wake a thread blocked in ``read`` when another thread closes
+        its fd — so the socket is *shut down* instead, which delivers
+        EOF into the blocked recv and lets ``call`` unwind through its
+        normal torn-connection path. A call parked in connect backoff
+        (no socket yet to shut down) is covered by the abort flag, which
+        ``connect_with_retry`` checks before every sleep.
+        """
+        self._abort_requested = True
+        conn = self._conn
+        if conn is None:
+            return
+        try:
+            sock = socket.socket(fileno=os.dup(conn.fileno()))
+        except OSError:
+            return
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        finally:
+            sock.close()
+
     # -- LocalBagStore surface ------------------------------------------------
 
     def ensure(self, bag_id: str) -> RemoteBag:
@@ -229,6 +296,335 @@ class RemoteBagStore:
     def close(self) -> None:
         with self._lock:
             self._drop_conn_locked()
+
+
+class MuxPump:
+    """The per-process selector thread behind every mux connection.
+
+    One thread owns readability for all registered mux sockets of a
+    :class:`ShardedBagStore`: it reads, frame-decodes, and resolves
+    response futures for every shard link — which is what keeps a
+    worker's thread count O(shards) instead of O(streams). Registration
+    and teardown are funneled through an op queue drained on the pump
+    thread (a self-pipe wakes the selector), so a socket is always
+    removed from the selector *before* it is closed — a reused fd
+    number can never land in a stale registration.
+    """
+
+    def __init__(self) -> None:
+        self._selector = selectors.DefaultSelector()
+        self._waker_read, self._waker_write = os.pipe()
+        os.set_blocking(self._waker_read, False)
+        self._selector.register(self._waker_read, selectors.EVENT_READ, None)
+        self._ops: "deque[Tuple[str, Any, Any]]" = deque()
+        self._lock = threading.Lock()
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._waker_write, b"x")
+        except OSError:
+            pass
+
+    def register(self, fd: int, client: "MuxShardClient") -> None:
+        """Watch ``fd`` and deliver its bytes to ``client._on_readable``."""
+        with self._lock:
+            self._ops.append(("register", fd, client))
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, daemon=True, name="mux-pump"
+                )
+                self._thread.start()
+        self._wake()
+
+    def discard(self, conn: Any) -> None:
+        """Unregister ``conn``'s socket and close it, from any thread."""
+        if threading.current_thread() is self._thread:
+            self._discard_now(conn)
+            return
+        with self._lock:
+            deliverable = (
+                self._thread is not None
+                and self._thread.is_alive()
+                and not self._stopping
+            )
+            if deliverable:
+                self._ops.append(("discard", conn, None))
+        if deliverable:
+            self._wake()
+        else:
+            self._discard_now(conn)
+
+    def _discard_now(self, conn: Any) -> None:
+        try:
+            self._selector.unregister(conn.fileno())
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def _apply_ops(self) -> None:
+        while True:
+            with self._lock:
+                if not self._ops:
+                    return
+                op, first, second = self._ops.popleft()
+            if op == "register":
+                try:
+                    self._selector.register(first, selectors.EVENT_READ, second)
+                except (KeyError, ValueError, OSError):
+                    pass
+            else:
+                self._discard_now(first)
+
+    def _run(self) -> None:
+        while True:
+            self._apply_ops()
+            if self._stopping:
+                break
+            try:
+                events = self._selector.select()
+            except OSError:
+                continue
+            for key, _mask in events:
+                if key.fd == self._waker_read:
+                    try:
+                        os.read(self._waker_read, 4096)
+                    except OSError:
+                        pass
+                    continue
+                if key.data is not None:
+                    key.data._on_readable()
+        self._close_resources()
+
+    def _close_resources(self) -> None:
+        try:
+            self._selector.close()
+        except OSError:
+            pass
+        for fd in (self._waker_read, self._waker_write):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        with self._lock:
+            self._stopping = True
+            thread = self._thread
+        if thread is None:
+            self._close_resources()
+            return
+        self._wake()
+        if thread is not threading.current_thread():
+            thread.join(timeout=2.0)
+
+
+class MuxShardClient:
+    """RemoteBagStore-compatible facade multiplexing calls on one socket.
+
+    Every caller in the process shares this one connection per shard:
+    :meth:`submit` stamps the request with a client-unique 64-bit call
+    id, parks a future under it, and writes one frame; the store's
+    :class:`MuxPump` resolves the future when the matching response
+    frame arrives — so a slow ``remove_batch`` never head-of-line
+    blocks a concurrent ``rinsert`` ack, and callers that want
+    pipelining hold several futures at once. :meth:`call` is the
+    blocking convenience wrapper with the legacy error mapping.
+
+    Failure semantics mirror :class:`RemoteBagStore`: a connection
+    death fails every in-flight future with
+    :class:`~repro.errors.StorageNodeDown` (mutating ops are not
+    idempotent, so nothing is silently retried) and the *next* submit
+    reconnects under the storage policy's backoff.
+    """
+
+    def __init__(
+        self,
+        address: StorageAddress,
+        authkey: bytes,
+        client_id: str,
+        policy: StorageConfig,
+        pump: MuxPump,
+    ):
+        self.address = address
+        self.authkey = authkey
+        self.client_id = client_id
+        self.policy = policy
+        self._pump = pump
+        self._lock = threading.Lock()
+        self._conn = None
+        self._decoder: Optional[FrameDecoder] = None
+        #: Never reset across reconnects: a late reply from a torn
+        #: connection can then never collide with a new call's future.
+        self._call_ids = itertools.count(1)
+        self._pending: Dict[int, Future] = {}
+
+    # -- connection lifecycle ---------------------------------------------------
+
+    def _ensure_conn_locked(self) -> None:
+        if self._conn is not None:
+            return
+        try:
+            conn = connect_with_retry(self.address, self.authkey, self.policy)
+            conn.send(("mux", self.client_id))
+            status, payload = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise StorageNodeDown(
+                f"storage shard unreachable during mux handshake "
+                f"(address {self.address!r}): {exc}"
+            ) from exc
+        if status != "ok":
+            conn.close()
+            raise StorageNodeDown(f"storage mux handshake failed: {payload}")
+        self._conn = conn
+        self._decoder = FrameDecoder()
+        self._pump.register(conn.fileno(), self)
+
+    @property
+    def connected(self) -> bool:
+        return self._conn is not None
+
+    def _teardown_locked(self) -> List[Future]:
+        """Drop the connection; the caller fails the returned futures
+        *outside* the lock (their callbacks may re-enter this client)."""
+        conn, self._conn = self._conn, None
+        self._decoder = None
+        doomed = list(self._pending.values())
+        self._pending.clear()
+        if conn is not None:
+            self._pump.discard(conn)
+        return doomed
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._lock:
+            doomed = self._teardown_locked()
+        for future in doomed:
+            if not future.done():
+                future.set_exception(exc)
+
+    # -- call paths -------------------------------------------------------------
+
+    def _send_locked(self, data: bytes) -> None:
+        fd = self._conn.fileno()
+        view = memoryview(data)
+        while view:
+            view = view[os.write(fd, view):]
+
+    def submit(self, op: str, *args: Any) -> "Future[Any]":
+        """Write one request frame; the returned future resolves on reply.
+
+        Raises :class:`~repro.errors.StorageNodeDown` if no connection
+        could be established; a send failure instead lands on the future
+        (and every other in-flight future, since the link is dead).
+        """
+        future: "Future[Any]" = Future()
+        with self._lock:
+            self._ensure_conn_locked()
+            call_id = next(self._call_ids)
+            data = encode_frame(call_id, KIND_REQUEST, (op,) + args)
+            self._pending[call_id] = future
+            try:
+                self._send_locked(data)
+            except OSError as exc:
+                down = StorageNodeDown(
+                    f"storage shard unreachable during {op!r} "
+                    f"(address {self.address!r}): {exc}"
+                )
+                doomed = self._teardown_locked()
+            else:
+                return future
+        for pending in doomed:
+            if not pending.done():
+                pending.set_exception(down)
+        return future
+
+    def call(self, op: str, *args: Any) -> Any:
+        return self.submit(op, *args).result()
+
+    # -- pump side --------------------------------------------------------------
+
+    def _on_readable(self) -> None:
+        # Non-blocking grab: a caller mid-reconnect holds the lock for
+        # the whole backoff schedule, and the pump must never wait that
+        # out (it would freeze every other shard's traffic). Declining
+        # is safe — unread bytes stay queued and select re-fires.
+        if not self._lock.acquire(blocking=False):
+            return
+        try:
+            conn, decoder = self._conn, self._decoder
+        finally:
+            self._lock.release()
+        if conn is None:
+            return
+        try:
+            data = os.read(conn.fileno(), 1 << 16)
+        except OSError:
+            data = b""
+        if not data:
+            self._fail(
+                StorageNodeDown(
+                    f"storage shard at {self.address!r} closed the mux link"
+                )
+            )
+            return
+        try:
+            frames = decoder.feed(data)
+        except FrameError as exc:
+            self._fail(
+                StorageNodeDown(
+                    f"mux stream from {self.address!r} corrupt: {exc}"
+                )
+            )
+            return
+        for call_id, kind, payload in frames:
+            with self._lock:
+                future = self._pending.pop(call_id, None)
+            if future is None or future.done():
+                continue  # caller gave up on this id; drop the reply
+            if kind == KIND_RESPONSE_OK:
+                future.set_result(payload)
+            elif kind == KIND_RESPONSE_ERR:
+                exc_name, message = payload
+                exc_type = getattr(errors_mod, exc_name, None)
+                if exc_type is None or not isinstance(exc_type, type):
+                    exc_type = errors_mod.ReproError
+                future.set_exception(exc_type(message))
+            else:
+                self._fail(
+                    StorageNodeDown(
+                        f"storage shard at {self.address!r} sent a "
+                        f"request frame to a client"
+                    )
+                )
+                return
+
+    # -- RemoteBagStore surface -------------------------------------------------
+
+    def ensure(self, bag_id: str) -> "RemoteBag":
+        return RemoteBag(self, bag_id)
+
+    def get(self, bag_id: str) -> "RemoteBag":
+        return RemoteBag(self, bag_id)
+
+    def invalidate(self) -> None:
+        """Drop the link (the shard was replaced); fails in-flight calls."""
+        self._fail(
+            StorageNodeDown(
+                f"mux connection to {self.address!r} invalidated"
+            )
+        )
+
+    def abort(self) -> None:
+        self.invalidate()
+
+    def close(self) -> None:
+        self._fail(
+            StorageNodeDown(f"mux client for {self.address!r} closed")
+        )
 
 
 class ReplicatedRemoteBag:
@@ -302,6 +698,7 @@ class ShardedBagStore:
         client_id: str,
         policy: StorageConfig = DIST_STORAGE_POLICY,
         router: Optional[ShardRouter] = None,
+        multiplex: bool = False,
     ):
         if not addresses:
             raise ValueError("ShardedBagStore needs at least one shard address")
@@ -315,14 +712,24 @@ class ShardedBagStore:
         self.client_id = client_id
         self.authkey = authkey
         self.policy = policy
+        self.multiplex = bool(multiplex)
         per_shard_policy = (
             REPLICATED_PROBE_POLICY if self.router.replication > 1 else policy
         )
         self.per_shard_policy = per_shard_policy
-        self.stores = [
-            RemoteBagStore(address, authkey, client_id, per_shard_policy)
-            for address in self.addresses
-        ]
+        self._pump: Optional[MuxPump] = MuxPump() if self.multiplex else None
+        if self.multiplex:
+            self.stores: List[Any] = [
+                MuxShardClient(
+                    address, authkey, client_id, per_shard_policy, self._pump
+                )
+                for address in self.addresses
+            ]
+        else:
+            self.stores = [
+                RemoteBagStore(address, authkey, client_id, per_shard_policy)
+                for address in self.addresses
+            ]
         self._epochs: Dict[int, int] = {}
         self._epoch_lock = threading.Lock()
         self._chunk_counter = itertools.count()
@@ -444,12 +851,28 @@ class ShardedBagStore:
         one replica must accept, or the write would vanish entirely.
         """
         served = 0
-        for shard in self.router.replicas(bag_id):
-            try:
-                self.stores[shard].call(op, *args)
-                served += 1
-            except StorageNodeDown:
-                self.mark_demoted(shard)
+        if self.multiplex:
+            # One submit round, one gather round: the replicas serve the
+            # write concurrently instead of paying r serial round trips.
+            submitted: List[Tuple[int, Future]] = []
+            for shard in self.router.replicas(bag_id):
+                try:
+                    submitted.append((shard, self.stores[shard].submit(op, *args)))
+                except StorageNodeDown:
+                    self.mark_demoted(shard)
+            for shard, future in submitted:
+                try:
+                    future.result()
+                    served += 1
+                except StorageNodeDown:
+                    self.mark_demoted(shard)
+        else:
+            for shard in self.router.replicas(bag_id):
+                try:
+                    self.stores[shard].call(op, *args)
+                    served += 1
+                except StorageNodeDown:
+                    self.mark_demoted(shard)
         if not served:
             raise StorageNodeDown(
                 f"all {self.replication} replicas of bag {bag_id!r} "
@@ -512,12 +935,23 @@ class ShardedBagStore:
                 for bag_id in bag_ids
             }
         merged: Dict[str, int] = {}
-        for shard, group in sorted(self.router.partition(bag_ids).items()):
+        groups = sorted(self.router.partition(bag_ids).items())
+        if self.multiplex:
+            submitted = [
+                (shard, self.stores[shard].submit("remaining_many", group))
+                for shard, group in groups
+            ]
+            for _shard, future in submitted:
+                merged.update(future.result())
+            return merged
+        for shard, group in groups:
             merged.update(self.stores[shard].call("remaining_many", group))
         return merged
 
     def stats(self) -> List[Dict[str, int]]:
         """Per-shard op-counter snapshots, indexed by shard."""
+        if self.multiplex:
+            return [f.result() for f in [s.submit("stats") for s in self.stores]]
         return [store.call("stats") for store in self.stores]
 
     def fence(self, client_id: str, timeout: Optional[float]) -> int:
@@ -577,6 +1011,18 @@ class ShardedBagStore:
     def close(self) -> None:
         for store in self.stores:
             store.close()
+        if self._pump is not None:
+            self._pump.close()
+
+
+class _FetchAborted(Exception):
+    """Internal: unwinds a fetch sweep interrupted by ``stop()``.
+
+    Deliberately neither :class:`~repro.errors.StorageNodeDown` nor
+    :class:`~repro.errors.NotPrimary`, so it escapes the sweep's retry
+    handling immediately instead of being absorbed as one more replica
+    failure.
+    """
 
 
 class _ReplicatedFetchSource:
@@ -594,6 +1040,7 @@ class _ReplicatedFetchSource:
         self.bag_id = bag_id
         self.shard = store.serving_order(bag_id)[0]
         self._stores: Dict[int, RemoteBagStore] = {}
+        self._aborted = False
 
     def _store_for(self, shard: int) -> RemoteBagStore:
         if shard not in self._stores:
@@ -609,6 +1056,8 @@ class _ReplicatedFetchSource:
         seq = self._parent.next_seq(self.bag_id)
 
         def attempt(shard: int) -> Tuple[List[Any], bool]:
+            if self._aborted:
+                raise _FetchAborted(self.bag_id)
             result = self._store_for(shard).call(
                 "rremove_batch", self.bag_id, count, self._parent.client_id, seq
             )
@@ -616,6 +1065,12 @@ class _ReplicatedFetchSource:
             return result
 
         return self._parent.sweep(self.bag_id, attempt)
+
+    def abort(self) -> None:
+        """Make any in-flight or future sweep fail fast (stop() support)."""
+        self._aborted = True
+        for store in list(self._stores.values()):
+            store.abort()
 
     def close(self) -> None:
         for store in self._stores.values():
@@ -672,7 +1127,7 @@ class BatchChunkFetcher:
         bag_id: str,
         batch: int,
         policy: StorageConfig = DIST_STORAGE_POLICY,
-    ) -> "BatchChunkFetcher":
+    ):
         """Fetcher wired to the shard(s) serving ``bag_id``.
 
         The pre-sharding code connected every fetcher to *the* server
@@ -680,8 +1135,12 @@ class BatchChunkFetcher:
         fetcher to any other shard would stream an eternally-empty bag.
         With replication it wires a sweeping source over the bag's whole
         replica set instead, so a mid-stream primary death fails over
-        inside the fetch thread without surfacing to the task.
+        inside the fetch thread without surfacing to the task. A
+        multiplexed store gets the threadless :class:`MuxBatchFetcher`
+        (same surface, no dedicated connection or thread).
         """
+        if getattr(store, "multiplex", False):
+            return MuxBatchFetcher(store, bag_id, batch)
         if store.replication > 1:
             source = _ReplicatedFetchSource(store, bag_id)
             return cls(
@@ -696,13 +1155,18 @@ class BatchChunkFetcher:
             )
         return cls(
             store.address_of(bag_id),
-            store.stores[0].authkey,
+            store.authkey,
             store.client_id,
             bag_id,
             batch,
             policy,
             shard=store.shard_of(bag_id),
         )
+
+    @property
+    def latencies_by_shard(self) -> Dict[int, List[float]]:
+        """Per-shard latency samples (legacy fetcher: one serving shard)."""
+        return {self.shard: self.latencies}
 
     def _remove_batch(self) -> Tuple[List[Any], bool]:
         if self._source is not None:
@@ -750,8 +1214,20 @@ class BatchChunkFetcher:
                 continue
 
     def get(self, timeout: Optional[float] = None) -> Optional[Any]:
-        """Next chunk, or ``None`` once the bag is drained and sealed."""
-        item = self._queue.get(timeout=timeout)
+        """Next chunk, or ``None`` once the bag is drained and sealed.
+
+        A ``timeout`` with nothing buffered raises
+        :class:`~repro.errors.FetchTimeout` — a typed signal that no
+        chunk was lost (the next get may well succeed) — never the
+        stdlib's bare ``queue.Empty``, which is an implementation detail
+        callers should not have to know about.
+        """
+        try:
+            item = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            raise FetchTimeout(
+                f"no chunk from bag {self.bag_id!r} within {timeout}s"
+            ) from None
         if item is _EOF:
             if self._error is not None:
                 raise self._error
@@ -759,5 +1235,340 @@ class BatchChunkFetcher:
         return item
 
     def stop(self) -> None:
+        """Stop the fetch thread deterministically; loud if it survives.
+
+        Setting the flag alone is not enough: a thread parked in a
+        blocked RPC (a stalled or half-dead shard) re-checks nothing
+        until the recv returns. Aborting the underlying socket(s) forces
+        that recv to fail with EOF *now*, so the join below is bounded
+        by cleanup, not by a remote process's lifetime — and if the
+        thread still survives, that is a bug worth a loud failure, not a
+        silently leaked thread per stopped stream.
+        """
         self._stop.set()
+        if self._store is not None:
+            self._store.abort()
+        if self._source is not None:
+            self._source.abort()
         self._thread.join(timeout=2.0)
+        if self._thread.is_alive():
+            raise ReproError(
+                f"fetcher thread for bag {self.bag_id!r} survived stop(): "
+                f"its in-flight RPC could not be interrupted"
+            )
+
+
+class MuxBatchFetcher:
+    """Threadless batch-sampling fetcher over a multiplexed store.
+
+    Same surface and Eq. 1 behaviour as :class:`BatchChunkFetcher` —
+    ``get`` returns buffered chunks while the next ``remove_batch`` of
+    ``b`` chunks is already in flight — but the overlap comes from a
+    completion callback instead of a dedicated thread: each resolved
+    batch future re-arms the next request on the shared
+    :class:`MuxShardClient` link, so a worker streaming fifty bags runs
+    fifty of these on the *same* O(shards) pump threads. The only
+    thread this class ever spawns is a short-lived replicated-failover
+    sweep (primary died mid-stream), because that path must block
+    through reconnect backoffs, which the pump may not.
+
+    Latency samples are tagged per serving shard in
+    :attr:`latencies_by_shard` (the flat :attr:`latencies` /
+    :attr:`shard` pair is kept for legacy consumers).
+    """
+
+    def __init__(self, store: ShardedBagStore, bag_id: str, batch: int):
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        self._parent = store
+        self.bag_id = bag_id
+        self.batch = batch
+        self.shard = (
+            store.serving_order(bag_id)[0]
+            if store.replication > 1
+            else store.shard_of(bag_id)
+        )
+        self.latencies: List[float] = []
+        self._latencies_by_shard: Dict[int, List[float]] = {}
+        self._cond = threading.Condition()
+        self._buffer: "deque[Any]" = deque()
+        self._eof = False
+        self._error: Optional[BaseException] = None
+        self._stopped = False
+        self._aborted = False
+        self._inflight = False
+        #: Earliest monotonic time the next request may be issued; set
+        #: when a batch comes back empty-but-unsealed so the re-arm loop
+        #: polls at ``_UNSEALED_POLL_SECONDS`` instead of spinning.
+        self._retry_after: Optional[float] = None
+        self._recovery: Optional[threading.Thread] = None
+        with self._cond:
+            self._issue_locked()
+
+    @property
+    def latencies_by_shard(self) -> Dict[int, List[float]]:
+        return self._latencies_by_shard
+
+    # -- request pipeline --------------------------------------------------------
+
+    def _issue_locked(self, from_pump: bool = False) -> None:
+        """Arm the next ``remove_batch`` if the stream wants one.
+
+        Skips when a request is already in flight, the bag is done, a
+        failover sweep owns the stream, the buffer already holds a full
+        batch (bounded prefetch, like the legacy queue), or the
+        unsealed-empty pacing window has not elapsed.
+        """
+        if (
+            self._inflight
+            or self._eof
+            or self._stopped
+            or self._recovery is not None
+            or len(self._buffer) >= self.batch
+        ):
+            return
+        if self._retry_after is not None:
+            if time.monotonic() < self._retry_after:
+                return
+            self._retry_after = None
+        parent = self._parent
+        if parent.replication > 1:
+            shard = parent.serving_order(self.bag_id)[0]
+            seq: Optional[int] = parent.next_seq(self.bag_id)
+            op_args: Tuple[Any, ...] = (
+                "rremove_batch", self.bag_id, self.batch, parent.client_id, seq,
+            )
+        else:
+            shard = parent.shard_of(self.bag_id)
+            seq = None
+            op_args = ("remove_batch", self.bag_id, self.batch)
+        client = parent.stores[shard]
+        if from_pump and not client.connected:
+            # Reconnecting blocks through the storage policy's backoff
+            # schedule — never on the pump thread. The consumer's next
+            # ``get`` re-issues from a thread allowed to wait.
+            return
+        started = time.perf_counter()
+        try:
+            future = client.submit(*op_args)
+        except StorageNodeDown as exc:
+            self._handle_failure_locked(shard, seq, exc)
+            return
+        self._inflight = True
+        future.add_done_callback(
+            lambda f: self._on_batch(f, shard, seq, started)
+        )
+
+    def _on_batch(
+        self,
+        future: "Future[Any]",
+        shard: int,
+        seq: Optional[int],
+        started: float,
+    ) -> None:
+        elapsed = time.perf_counter() - started
+        with self._cond:
+            self._inflight = False
+            if self._stopped:
+                self._cond.notify_all()
+                return
+            try:
+                chunks, sealed = future.result()
+            except (StorageNodeDown, NotPrimary) as exc:
+                self._handle_failure_locked(shard, seq, exc)
+                return
+            except BaseException as exc:
+                self._error = exc
+                self._eof = True
+                self._cond.notify_all()
+                return
+            self._deliver_locked(shard, chunks, sealed, elapsed)
+            self._issue_locked(from_pump=True)
+
+    def _deliver_locked(
+        self, shard: int, chunks: List[Any], sealed: bool, elapsed: float
+    ) -> None:
+        self.shard = shard
+        self.latencies.append(elapsed)
+        self._latencies_by_shard.setdefault(shard, []).append(elapsed)
+        if chunks:
+            self._buffer.extend(chunks)
+        elif sealed:
+            self._eof = True
+        else:
+            self._retry_after = time.monotonic() + _UNSEALED_POLL_SECONDS
+        self._cond.notify_all()
+
+    # -- replicated failover -----------------------------------------------------
+
+    def _handle_failure_locked(
+        self, shard: int, seq: Optional[int], exc: BaseException
+    ) -> None:
+        parent = self._parent
+        if seq is None or parent.replication <= 1:
+            # Single-copy semantics match the legacy fetcher: the one
+            # home shard refusing mid-stream ends the stream with the
+            # failure (the master's coarse recovery owns what follows).
+            self._error = exc
+            self._eof = True
+            self._cond.notify_all()
+            return
+        if isinstance(exc, NotPrimary):
+            parent.adopt_epochs(_parse_epoch_vector(str(exc)))
+        else:
+            parent.mark_demoted(shard)
+        # The fallback sweep must ride out reconnect backoffs and
+        # promotion-push windows — blocking work, so it gets the one
+        # thread this fetcher ever spawns. It retries the SAME seq: the
+        # server removal log answers a request the dead primary
+        # served-but-never-acked instead of serving it twice.
+        thread = threading.Thread(
+            target=self._sweep_fallback,
+            args=(seq,),
+            daemon=True,
+            name=f"mux-fetch-recover-{self.bag_id}",
+        )
+        self._recovery = thread
+        thread.start()
+
+    def _await_interruptible(self, future: "Future[Any]") -> Any:
+        while True:
+            try:
+                return future.result(timeout=0.1)
+            except _FutureTimeout:
+                if self._aborted:
+                    raise _FetchAborted(self.bag_id) from None
+
+    def _sleep_interruptible(self, delay: float) -> None:
+        deadline = time.monotonic() + delay
+        while not self._aborted:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(remaining, 0.05))
+
+    def _sweep_fallback(self, seq: int) -> None:
+        """Replica sweep for one orphaned ``rremove_batch`` (own thread).
+
+        An abort-aware unrolling of :meth:`ShardedBagStore.sweep`: every
+        wait — future result, inter-round backoff — re-checks the abort
+        flag on a short period, so ``stop()`` stays bounded even while a
+        replica stalls or the whole set is mid-respawn.
+        """
+        parent = self._parent
+        op_args = (
+            "rremove_batch", self.bag_id, self.batch, parent.client_id, seq,
+        )
+        outcome: Optional[Tuple[int, Tuple[List[Any], bool], float]] = None
+        error: Optional[BaseException] = None
+        backoffs = parent.policy.backoffs()
+        try:
+            while outcome is None and not self._aborted:
+                last_down: Optional[StorageNodeDown] = None
+                for shard in parent.serving_order(self.bag_id):
+                    if self._aborted:
+                        break
+                    started = time.perf_counter()
+                    try:
+                        result = self._await_interruptible(
+                            parent.stores[shard].submit(*op_args)
+                        )
+                    except StorageNodeDown as exc:
+                        parent.mark_demoted(shard)
+                        last_down = exc
+                    except NotPrimary as exc:
+                        parent.adopt_epochs(_parse_epoch_vector(str(exc)))
+                    else:
+                        outcome = (
+                            shard, result, time.perf_counter() - started
+                        )
+                        break
+                if outcome is not None or self._aborted:
+                    break
+                delay = next(backoffs, None)
+                if delay is None:
+                    error = StorageNodeDown(
+                        f"no replica of bag {self.bag_id!r} would serve "
+                        f"(replicas {parent.router.replicas(self.bag_id)})"
+                    )
+                    error.__cause__ = last_down
+                    break
+                self._sleep_interruptible(delay)
+        except _FetchAborted:
+            pass
+        except BaseException as exc:
+            error = exc
+        with self._cond:
+            self._recovery = None
+            if self._stopped or self._aborted:
+                self._cond.notify_all()
+                return
+            if outcome is not None:
+                shard, (chunks, sealed), elapsed = outcome
+                self._deliver_locked(shard, chunks, sealed, elapsed)
+                self._issue_locked(from_pump=True)
+            else:
+                self._error = error
+                self._eof = True
+                self._cond.notify_all()
+
+    # -- consumer surface --------------------------------------------------------
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Next chunk, or ``None`` once the bag is drained and sealed.
+
+        Same contract as :meth:`BatchChunkFetcher.get`, including the
+        typed :class:`~repro.errors.FetchTimeout` on a timeout with
+        nothing buffered.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._buffer:
+                    chunk = self._buffer.popleft()
+                    self._issue_locked()
+                    return chunk
+                if self._eof:
+                    if self._error is not None:
+                        raise self._error
+                    return None
+                self._issue_locked()
+                if self._buffer or self._eof:
+                    continue
+                now = time.monotonic()
+                wait: Optional[float] = None
+                if self._retry_after is not None:
+                    wait = max(0.0, self._retry_after - now)
+                if deadline is not None:
+                    remaining = deadline - now
+                    if remaining <= 0:
+                        raise FetchTimeout(
+                            f"no chunk from bag {self.bag_id!r} "
+                            f"within {timeout}s"
+                        )
+                    wait = remaining if wait is None else min(wait, remaining)
+                self._cond.wait(wait)
+
+    def stop(self) -> None:
+        """Stop streaming; bounded and loud, like the legacy ``stop``.
+
+        There is no fetch thread to interrupt — an unresolved in-flight
+        future just has its completion callback observe ``_stopped`` and
+        drop the batch on the shared link (the pump and connection are
+        the store's, not this fetcher's). Only an active failover sweep
+        owns a thread; the abort flag unblocks its interruptible waits,
+        and a sweep that survives the join anyway is a loud failure.
+        """
+        with self._cond:
+            self._stopped = True
+            self._aborted = True
+            self._eof = True
+            recovery = self._recovery
+            self._cond.notify_all()
+        if recovery is not None:
+            recovery.join(timeout=2.0)
+            if recovery.is_alive():
+                raise ReproError(
+                    f"failover sweep for bag {self.bag_id!r} survived "
+                    f"stop(): its in-flight RPC could not be interrupted"
+                )

@@ -9,11 +9,51 @@ Two channels exist:
   framing is atomic.
 * **storage channel** (any process -> a storage shard, a Unix-domain
   socket; with ``m`` shards there are ``m`` such sockets on stable
-  master-chosen paths): requests are ``(op, *args)`` tuples, responses
-  are ``("ok", payload)`` or ``("err", (exc_type_name, message))``. A
-  Unix socket (not localhost TCP) because ``multiprocessing`` sends
-  large messages as separate header/body writes, which interacts with
-  Nagle + delayed-ACK on TCP to add ~40ms per chunk RPC.
+  master-chosen paths). A Unix socket (not localhost TCP) because
+  ``multiprocessing`` sends large messages as separate header/body
+  writes, which interacts with Nagle + delayed-ACK on TCP to add ~40ms
+  per chunk RPC. The channel speaks one of two dialects, chosen by the
+  client's first message after the auth handshake:
+
+  * **one-exchange** (legacy, the ``DistSettings.multiplex = False``
+    default): the client introduces itself with ``("hello",
+    client_id)`` and then strictly alternates — requests are
+    ``(op, *args)`` tuples, responses are ``("ok", payload)`` or
+    ``("err", (exc_type_name, message))``, and each caller needs its
+    own connection (plus a prefetch thread per stream) to overlap
+    requests;
+  * **multiplexed** (``DistSettings.multiplex = True``): the client
+    opens with ``("mux", client_id)``, and after the ``("ok", _)`` ack
+    both sides switch from whole-pickled-message exchange to the raw
+    frame stream below. One connection per (process, shard) pair then
+    carries every caller's traffic concurrently.
+
+**Mux frame format** — every frame, both directions, is::
+
+    payload_len(4, big-endian) | call_id(8) | kind(1) | payload
+
+where ``kind`` is :data:`KIND_REQUEST` (0), :data:`KIND_RESPONSE_OK`
+(1), or :data:`KIND_RESPONSE_ERR` (2), and ``payload`` is the pickled
+``(op, *args)`` tuple (requests), result object (ok responses), or
+``(exc_type_name, message)`` pair (error responses), capped at
+:data:`MAX_FRAME_PAYLOAD` bytes. :func:`encode_frame` builds frames and
+:class:`FrameDecoder` incrementally parses a byte stream back into
+``(call_id, kind, payload)`` triples, tolerating torn delivery (a
+partial frame is buffered until the rest arrives) but refusing corrupt
+headers with :class:`FrameError` — on a stream transport a bad header
+means the connection itself is poisoned, so clients tear it down and
+fail every in-flight call with ``StorageNodeDown``.
+
+**Call-id lifecycle**: the client assigns each request a process-unique
+monotonically increasing 64-bit ``call_id`` and parks a future under
+it; the server dispatches frames as they arrive (each op runs inline on
+the connection's demux loop, except ``fence``, which blocks on another
+client's drain and is served from its own thread) and stamps the reply
+with the same id. Replies may therefore arrive out of order; the id —
+not arrival order — pairs them with their futures. A connection death
+fails every parked future at once; ids are never reused within a
+connection, and a reply for an id nobody waits on (the caller gave up)
+is dropped.
 
 The command channel additionally carries ``{"type": "rebind", "shard":
 i, "epochs": {...}}`` master->worker messages after a shard respawn,
@@ -54,11 +94,14 @@ instead of failing.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
+import struct
 import time
 from dataclasses import dataclass, field
 from multiprocessing.connection import Client, Connection
-from typing import Optional, Tuple, Union
+from typing import Any, List, Optional, Tuple, Union
 
+from repro.errors import ReproError
 from repro.storage.policy import StorageConfig
 from repro.units import KB
 
@@ -79,6 +122,88 @@ DIST_STORAGE_POLICY = StorageConfig(
     backoff_multiplier=1.6,
     rpc_timeout=8.0,
 )
+
+# -- multiplexed storage-channel framing --------------------------------------
+
+#: ``payload_len(4) | call_id(8) | kind(1)``, big-endian.
+MUX_HEADER = struct.Struct(">IQB")
+
+KIND_REQUEST = 0
+KIND_RESPONSE_OK = 1
+KIND_RESPONSE_ERR = 2
+_KINDS = frozenset((KIND_REQUEST, KIND_RESPONSE_OK, KIND_RESPONSE_ERR))
+
+#: Ceiling on one frame's pickled payload. Chunks are tens of KB; the cap
+#: only exists so a corrupt length field (or a absurd caller) is rejected
+#: as a protocol error instead of attempting a multi-GB allocation.
+MAX_FRAME_PAYLOAD = 64 * 1024 * KB
+
+
+class FrameError(ReproError):
+    """A mux frame could not be encoded, or the byte stream is corrupt.
+
+    Raised by :func:`encode_frame` for oversized payloads and by
+    :class:`FrameDecoder` for headers that cannot be valid (unknown kind,
+    length past :data:`MAX_FRAME_PAYLOAD`). Unlike the journal's framing
+    — where a torn tail means "the log ends here" — a corrupt frame on a
+    live stream means sender and receiver have lost sync, so the only
+    safe reaction is tearing the connection down.
+    """
+
+
+def encode_frame(call_id: int, kind: int, obj: Any) -> bytes:
+    """One wire-ready mux frame carrying ``obj`` pickled."""
+    if kind not in _KINDS:
+        raise FrameError(f"unknown frame kind {kind!r}")
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_PAYLOAD:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_PAYLOAD}-byte cap (call {call_id})"
+        )
+    return MUX_HEADER.pack(len(payload), call_id, kind) + payload
+
+
+class FrameDecoder:
+    """Incremental parser for a mux byte stream.
+
+    Feed it whatever the socket produced — any split, including
+    mid-header — and it returns every *complete* frame as a
+    ``(call_id, kind, payload_object)`` triple, buffering the torn tail
+    for the next feed. Corrupt headers raise :class:`FrameError`.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held back waiting for the rest of a torn frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Tuple[int, int, Any]]:
+        self._buffer += data
+        frames: List[Tuple[int, int, Any]] = []
+        while len(self._buffer) >= MUX_HEADER.size:
+            size, call_id, kind = MUX_HEADER.unpack_from(self._buffer)
+            if kind not in _KINDS:
+                raise FrameError(f"unknown frame kind {kind} on the wire")
+            if size > MAX_FRAME_PAYLOAD:
+                raise FrameError(
+                    f"frame announces {size} payload bytes, past the "
+                    f"{MAX_FRAME_PAYLOAD}-byte cap — stream out of sync"
+                )
+            end = MUX_HEADER.size + size
+            if len(self._buffer) < end:
+                break
+            payload = bytes(self._buffer[MUX_HEADER.size:end])
+            del self._buffer[:end]
+            try:
+                obj = pickle.loads(payload)
+            except Exception as exc:
+                raise FrameError(f"frame payload would not unpickle: {exc}")
+            frames.append((call_id, kind, obj))
+        return frames
 
 
 @dataclass(frozen=True)
@@ -119,6 +244,13 @@ class DistSettings:
     #: (shard death recovers by replay); ``r > 1`` = primary-backup with
     #: client-side failover (shard death recovers by promotion).
     replication: int = 1
+    #: Storage-channel dialect: ``True`` multiplexes every caller in a
+    #: process onto one framed connection per shard (futures keyed by
+    #: call id, one selector pump thread instead of a thread+connection
+    #: per stream); ``False`` keeps the one-exchange-per-call path. Off
+    #: by default for one release so parity, chaos, and failover
+    #: semantics can be A/B-gated against the legacy transport.
+    multiplex: bool = False
     policy: StorageConfig = field(default_factory=lambda: DIST_STORAGE_POLICY)
 
 
@@ -126,8 +258,16 @@ def connect_with_retry(
     address: StorageAddress,
     authkey: bytes,
     policy: StorageConfig = DIST_STORAGE_POLICY,
+    abort=None,
 ) -> Connection:
-    """Open a storage connection, backing off per ``policy`` on refusal."""
+    """Open a storage connection, backing off per ``policy`` on refusal.
+
+    ``abort`` (an optional zero-argument callable) is consulted before
+    each backoff sleep; returning true re-raises the connect failure
+    immediately. Without it, a caller being stopped (a fetcher whose
+    task was cancelled) would ride out the full patience schedule
+    against an address nobody cares about anymore.
+    """
     backoffs = policy.backoffs()
     while True:
         try:
@@ -142,6 +282,8 @@ def connect_with_retry(
             # It subclasses ProcessError, not OSError, so without this
             # clause it escaped the backoff loop entirely and a kill
             # landing mid-handshake was fatal instead of retried.
+            if abort is not None and abort():
+                raise
             delay = next(backoffs, None)
             if delay is None:
                 raise

@@ -290,6 +290,7 @@ class DistRuntime:
         clone_min_chunks: int = 2,
         max_clones_per_task: Optional[int] = None,
         batch_requests: int = 4,
+        multiplex: bool = False,
         storage_policy: StorageConfig = DIST_STORAGE_POLICY,
         forced_clones: Optional[Dict[str, int]] = None,
         kill_task: Optional[str] = None,
@@ -327,6 +328,7 @@ class DistRuntime:
             chunk_size=chunk_size,
             records_per_chunk=records_per_chunk,
             batch_requests=batch_requests,
+            multiplex=multiplex,
             replication=replication,
             policy=storage_policy,
         )
@@ -635,6 +637,7 @@ class DistRuntime:
                 "master",
                 self.settings.policy,
                 router=self.router,
+                multiplex=self.settings.multiplex,
             )
             for bag_id in self.graph.source_bags():
                 fill_bag(
@@ -977,11 +980,24 @@ class DistRuntime:
         self._node_worker.pop(node.node_id, None)
         self.records_processed += msg.get("records", 0)
         self.chunks_processed += msg.get("chunks", 0)
-        latencies = msg.get("latencies", ())
-        if latencies:
-            self.chunk_rpc_seconds.extend(latencies)
-            shard = msg.get("latency_shard", 0)
-            self.chunk_rpc_seconds_by_shard.setdefault(shard, []).extend(latencies)
+        by_shard = msg.get("latencies_by_shard")
+        if by_shard:
+            # Preferred shape: the worker tagged each sample with the
+            # shard that actually served it (a mux fetcher can cross
+            # shards mid-stream on failover).
+            for shard, samples in by_shard.items():
+                self.chunk_rpc_seconds.extend(samples)
+                self.chunk_rpc_seconds_by_shard.setdefault(shard, []).extend(
+                    samples
+                )
+        else:
+            latencies = msg.get("latencies", ())
+            if latencies:
+                self.chunk_rpc_seconds.extend(latencies)
+                shard = msg.get("latency_shard", 0)
+                self.chunk_rpc_seconds_by_shard.setdefault(shard, []).extend(
+                    latencies
+                )
         if node.node_id in self._recovery_pending:
             # Completed before the cancel landed; the family is being reset,
             # so ignore the completion itself.
@@ -1749,6 +1765,7 @@ class DistRuntime:
                 f"master.g{self._generation}",
                 self.settings.policy,
                 router=self.router,
+                multiplex=self.settings.multiplex,
             )
             for index, proc in enumerate(self._shard_procs):
                 if proc is not None and proc.is_alive():

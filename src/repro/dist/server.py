@@ -37,8 +37,18 @@ primary failover keeps working during the window where no master is
 alive to push promotions. A recovering master asks any shard
 ``("probe",)`` for its identity, epoch vector, and bag inventory.
 
-Connections introduce themselves with ``("hello", client_id)``. The
-master uses the registry for the **fence** operation: after a worker
+Connections speak one of two dialects. Legacy connections introduce
+themselves with ``("hello", client_id)`` and then pay one
+request/response exchange per call. A connection whose *first* message
+is ``("mux", client_id)`` instead switches — after the ``("ok", ...)``
+ack — to the framed multiplexed protocol of :mod:`repro.dist.protocol`:
+every request frame carries a client-chosen call id, requests are
+served as they decode (a blocking ``fence`` moves to its own thread so
+it cannot head-of-line block the lane), and replies are written
+whenever ready under a send lock, in whatever order they finish. The
+detection is first-message-only because replication peers send raw ops
+with no hello at all. Either way the connection lands in the client
+registry, so the **fence** operation sees both dialects: after a worker
 process dies, ``("fence", client_id)`` blocks until every connection that
 worker had registered *on this shard* is fully drained and closed — i.e.
 until all of the dead worker's in-flight inserts here have been applied —
@@ -64,6 +74,14 @@ import threading
 from multiprocessing.connection import Client, Connection, Listener
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.dist.protocol import (
+    KIND_REQUEST,
+    KIND_RESPONSE_ERR,
+    KIND_RESPONSE_OK,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
 from repro.dist.replica import RepBagStore
 from repro.dist.sharding import ShardRouter
 from repro.errors import NotPrimary
@@ -337,14 +355,113 @@ def _dispatch(state: _ServerState, conn_id: int, req: Tuple[Any, ...]) -> Any:
     raise ValueError(f"unknown storage op {op!r}")
 
 
+def _serve_mux(
+    state: _ServerState, conn: Connection, conn_id: int, listener
+) -> None:
+    """Serve one multiplexed connection: raw frames, interleaved calls.
+
+    Requests are dispatched in decode order on this thread — the shard's
+    store locks already serialize bag mutations, so one lane per
+    connection keeps the exactly-once story unchanged — but replies only
+    *start* in decode order: ``fence`` (the one op that blocks on
+    external progress) is handed to its own thread, and every reply is
+    written under a send lock whenever its call finishes. A corrupt
+    frame tears the connection down (stream state is unrecoverable; the
+    client reconnects), unlike an op-level error, which is just an ERR
+    frame for that call id.
+    """
+    fd = conn.fileno()
+    decoder = FrameDecoder()
+    send_lock = threading.Lock()
+    closed = [False]  # guarded by send_lock; set on write failure/shutdown
+
+    def reply(call_id: int, kind: int, payload: Any) -> None:
+        try:
+            data = encode_frame(call_id, kind, payload)
+        except FrameError as exc:
+            # Unencodable reply (e.g. oversized read_all): the *call*
+            # failed, not the stream — tell that caller, keep serving.
+            data = encode_frame(
+                call_id, KIND_RESPONSE_ERR, (type(exc).__name__, str(exc))
+            )
+        with send_lock:
+            if closed[0]:
+                return
+            view = memoryview(data)
+            try:
+                while view:
+                    view = view[os.write(fd, view):]
+            except OSError:
+                closed[0] = True
+
+    def handle(call_id: int, req: Tuple[Any, ...]) -> None:
+        try:
+            payload = _dispatch(state, conn_id, req)
+        except Exception as exc:
+            reply(call_id, KIND_RESPONSE_ERR, (type(exc).__name__, str(exc)))
+        else:
+            reply(call_id, KIND_RESPONSE_OK, payload)
+
+    while True:
+        try:
+            data = os.read(fd, 1 << 16)
+        except OSError:
+            return
+        if not data:
+            return
+        try:
+            frames = decoder.feed(data)
+        except FrameError:
+            return
+        for call_id, kind, req in frames:
+            if kind != KIND_REQUEST:
+                return
+            if req[0] == "shutdown":
+                reply(call_id, KIND_RESPONSE_OK, None)
+                with send_lock:
+                    closed[0] = True
+                state.stop.set()
+                state.close_peers()
+                _poke(listener.address)
+                listener.close()
+                return
+            if req[0] == "fence":
+                # Blocks until the fenced client's connections drain —
+                # possibly on *this shard's other lanes* — so it must
+                # not occupy this lane while it waits.
+                threading.Thread(
+                    target=handle,
+                    args=(call_id, req),
+                    daemon=True,
+                    name=f"storage-mux-fence-s{state.shard}",
+                ).start()
+                continue
+            handle(call_id, req)
+
+
 def _serve_connection(state: _ServerState, conn: Connection, listener) -> None:
     conn_id = id(conn)
+    first = True
     try:
         while True:
             try:
                 req = conn.recv()
             except (EOFError, OSError):
                 return
+            if first and req[0] == "mux":
+                # Dialect switch — only honored as the very first
+                # message (replication peers send raw ops with no
+                # introduction, and "mux" must never shadow a payload).
+                client_id = req[1]
+                with state.registry_cond:
+                    state.clients.setdefault(client_id, set()).add(conn_id)
+                try:
+                    conn.send(("ok", client_id))
+                except (OSError, BrokenPipeError):
+                    return
+                _serve_mux(state, conn, conn_id, listener)
+                return
+            first = False
             if req[0] == "shutdown":
                 conn.send(("ok", None))
                 state.stop.set()

@@ -25,7 +25,6 @@ died and the master is resetting the family) and unwinds with
 from __future__ import annotations
 
 import os
-import queue
 import traceback
 from typing import Any, List, Optional
 
@@ -33,7 +32,7 @@ from repro.dist.client import BatchChunkFetcher, ShardedBagStore
 from repro.dist.protocol import DistSettings, NodeDescriptor
 from repro.dist.sharding import ShardRouter
 from repro.engine.common import emit_value, fold_partials, resolve_merge
-from repro.errors import SchedulingError
+from repro.errors import FetchTimeout, SchedulingError
 from repro.local.context import TaskContext
 from repro.model.execution_graph import partial_bag_id
 from repro.model.graph import AppGraph
@@ -124,7 +123,7 @@ class DistTaskContext(TaskContext):
         while True:
             try:
                 return self._fetcher.get(timeout=0.05)
-            except queue.Empty:
+            except FetchTimeout:
                 self._poll_cancel()
 
     def records(self):
@@ -195,8 +194,15 @@ def _run_task(
     return {
         "records": ctx.records_in,
         "chunks": ctx.chunks_in,
+        # Per-shard samples are the real signal (a mux fetcher can be
+        # served by several shards across a failover); the flat list and
+        # single-shard tag stay for mixed-version masters.
         "latencies": fetcher.latencies[:512],
         "latency_shard": fetcher.shard,
+        "latencies_by_shard": {
+            shard: samples[:512]
+            for shard, samples in fetcher.latencies_by_shard.items()
+        },
     }
 
 
@@ -222,7 +228,7 @@ def _run_merge(runtime: _WorkerRuntime, desc: NodeDescriptor) -> dict:
         merged,
         chunk_size=runtime.chunk_size,
     )
-    return {"records": 0, "chunks": 0, "latencies": []}
+    return {"records": 0, "chunks": 0, "latencies": [], "latencies_by_shard": {}}
 
 
 def worker_main(
@@ -255,7 +261,12 @@ def worker_main(
     client_id = f"worker-{wid}"
     router = ShardRouter(len(addresses), settings.replication)
     store = ShardedBagStore(
-        addresses, authkey, client_id, settings.policy, router=router
+        addresses,
+        authkey,
+        client_id,
+        settings.policy,
+        router=router,
+        multiplex=settings.multiplex,
     )
     store.adopt_epochs(epochs or {})
     runtime = _WorkerRuntime(graph, store, settings)

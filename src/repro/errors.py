@@ -97,6 +97,19 @@ class ReplicationError(ReproError):
     """Not enough live replicas to serve a bag after storage failures."""
 
 
+class FetchTimeout(ReproError):
+    """A chunk fetcher produced nothing within the caller's timeout.
+
+    The documented ``get`` contract is "a chunk, or ``None`` at end of
+    bag" — a timeout is neither, and used to escape as the stdlib's
+    bare ``queue.Empty``, which callers had to know was an
+    implementation detail. This type makes the timeout a first-class
+    protocol signal: it promises no chunk was lost (the request is
+    still in flight or will be retried), so polling callers just try
+    again after their housekeeping.
+    """
+
+
 class StorageNodeDown(ReproError):
     """An in-flight storage request was lost because its server crashed.
 
