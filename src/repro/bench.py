@@ -27,6 +27,14 @@ control-plane failover latency (``master_failover_ms``: journal load
 through fleet re-adoption to the event loop restarting) and demands sink
 parity with the local baseline.
 
+Two memory-pressure axes ride the same matrix: ``--dataset-scale``
+multiplies every workload's input size (one report then holds a sweep),
+and ``--resident-bytes`` sets the shards' hot-cache budget so runs spill
+sealed segments to disk beyond it. Each dist run reports its shards' RSS
+high-water mark (``shard_rss_hwm_kb``), the number of sealed segments
+written, and whether a shard-death recovery shipped segments — all
+parity-gated like every other number here.
+
 Every dist run's sink output is checked against the local baseline before
 its numbers are reported, so a "fast" engine that drops or duplicates
 chunks fails loudly instead of winning the benchmark.
@@ -156,14 +164,18 @@ def _run_dist(
     shards: int,
     replication: int,
     baseline: Dict[str, Any],
-    multiplex: bool = False,
+    multiplex: bool = True,
     batch_requests: Optional[int] = None,
+    resident_bytes: Optional[int] = None,
+    dataset_scale: float = 1.0,
 ):
     from repro.dist import DistRuntime
 
     extra: Dict[str, Any] = {"multiplex": multiplex}
     if batch_requests is not None:
         extra["batch_requests"] = batch_requests
+    if resident_bytes is not None:
+        extra["resident_bytes"] = resident_bytes
     runtime = DistRuntime(
         workload.build(),
         workers=workers,
@@ -182,6 +194,8 @@ def _run_dist(
         "replication": replication,
         "multiplex": multiplex,
         "batch_requests": runtime.settings.batch_requests,
+        "dataset_scale": dataset_scale,
+        "resident_bytes": resident_bytes,
         "seconds": round(seconds, 4),
         "throughput_records_per_s": _throughput(workload, seconds),
         "speedup_vs_local": round(baseline["seconds"] / seconds, 3) if seconds else None,
@@ -191,6 +205,14 @@ def _run_dist(
         "worker_deaths": result.worker_deaths,
         "shard_deaths": result.shard_deaths,
         "chunks_processed": result.chunks_processed,
+        # Spill evidence, parity-gated like every other number here: the
+        # RSS high-water mark is what "bounded shard memory" means on a
+        # real kernel, and segments_written > 0 is what proves the run
+        # actually exercised the disk-backed layer at this budget.
+        "segments_written": result.segments_written,
+        "segment_resync": result.segment_resync,
+        "shard_rss_hwm_kb": result.shard_rss_hwm_kb,
+        "resident_peak_bytes": result.resident_peak_bytes,
         "chunk_latency_ms": _present(result.chunk_latency_percentiles()),
         # JSON objects key on strings; shard indices survive round-trips
         # as "0", "1", ... in shard order.
@@ -209,7 +231,8 @@ def _run_failover_probe(
     shards: int,
     replication: int,
     baseline: Dict[str, Any],
-    multiplex: bool = False,
+    multiplex: bool = True,
+    resident_bytes: Optional[int] = None,
 ):
     """One replicated run with a shard kill: measure failover, demand parity."""
     from repro.dist import DistRuntime, ShardRouter
@@ -217,6 +240,9 @@ def _run_failover_probe(
     # Kill the shard that is primary for a streamed source bag, so the
     # injected death is guaranteed to land mid-remove_batch traffic.
     victim = ShardRouter(shards, replication).home(next(iter(workload.inputs)))
+    extra: Dict[str, Any] = {}
+    if resident_bytes is not None:
+        extra["resident_bytes"] = resident_bytes
     runtime = DistRuntime(
         workload.build(),
         workers=workers,
@@ -227,6 +253,7 @@ def _run_failover_probe(
         # First remove_batch against the victim: quick-mode streams are
         # short, and a later trigger can miss the run entirely.
         kill_shard_after_ops=1,
+        **extra,
     )
     started = time.perf_counter()
     result = runtime.run(dict(workload.inputs), timeout=RUN_TIMEOUT)
@@ -239,6 +266,7 @@ def _run_failover_probe(
         "shards": shards,
         "replication": replication,
         "multiplex": multiplex,
+        "resident_bytes": resident_bytes,
         "killed_shard": victim,
         "seconds": round(seconds, 4),
         # Replication's contract: the kill is absorbed by promotion, not
@@ -246,6 +274,11 @@ def _run_failover_probe(
         "matches_local": matches and result.family_resets == 0,
         "shard_deaths": result.shard_deaths,
         "family_resets": result.family_resets,
+        # With spill on, resync ships sealed segment files instead of
+        # chunk snapshots — the probe records which path actually ran.
+        "segment_resync": result.segment_resync,
+        "segments_written": result.segments_written,
+        "shard_rss_hwm_kb": result.shard_rss_hwm_kb,
         "failover_ms": [round(ms, 3) for ms in result.failover_ms],
         "resync_ms": [round(ms, 3) for ms in result.resync_ms],
     }
@@ -257,7 +290,7 @@ def _run_master_failover_probe(
     shards: int,
     replication: int,
     baseline: Dict[str, Any],
-    multiplex: bool = False,
+    multiplex: bool = True,
 ):
     """One journaled run with a master kill: measure recovery, demand parity."""
     import shutil
@@ -324,18 +357,21 @@ def _throughput(workload: _Workload, seconds: float) -> Optional[float]:
     return round(workload.input_records / seconds, 1)
 
 
-def _build_workloads(args) -> List[_Workload]:
+def _build_workloads(args, scale: float = 1.0) -> List[_Workload]:
+    def scaled(count: int) -> int:
+        return max(1, int(round(count * scale)))
+
     if args.quick:
         sizes = {
-            "clicklog": (args.records or 2_000, 2),
-            "hashjoin": (80, args.rows or 400, 2),
-            "calibration": (60, args.rounds or 200),
+            "clicklog": (scaled(args.records or 2_000), 2),
+            "hashjoin": (scaled(80), scaled(args.rows or 400), 2),
+            "calibration": (scaled(60), args.rounds or 200),
         }
     else:
         sizes = {
-            "clicklog": (args.records or 20_000, 4),
-            "hashjoin": (300, args.rows or 2_500, 4),
-            "calibration": (2_000, args.rounds or CALIBRATION_ROUNDS),
+            "clicklog": (scaled(args.records or 20_000), 4),
+            "hashjoin": (scaled(300), scaled(args.rows or 2_500), 4),
+            "calibration": (scaled(2_000), args.rounds or CALIBRATION_ROUNDS),
         }
     builders = {
         "clicklog": lambda: _clicklog_workload(*sizes["clicklog"]),
@@ -384,9 +420,30 @@ def _parse_args(argv):
     parser.add_argument(
         "--multiplex",
         action="store_true",
-        help="run every dist configuration over the multiplexed storage "
-        "channel (one framed connection per worker-shard pair) instead of "
-        "the legacy connection-per-caller protocol",
+        help="accepted for compatibility: the multiplexed storage channel "
+        "is now the default (see --legacy for the A/B arm)",
+    )
+    parser.add_argument(
+        "--legacy",
+        action="store_true",
+        help="run every dist configuration over the legacy "
+        "connection-per-caller storage channel instead of the default "
+        "multiplexed one (the explicitly-flagged A/B arm, selectable for "
+        "one more release)",
+    )
+    parser.add_argument(
+        "--dataset-scale",
+        default="1",
+        help="comma-separated input-size multipliers; the whole matrix "
+        "reruns per scale, so one report holds a memory-pressure sweep "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--resident-bytes",
+        type=int,
+        help="per-shard hot-cache budget in bytes; dist runs spill sealed "
+        "segments to disk beyond it and the report carries the shard RSS "
+        "high-water mark as evidence (default: spill off)",
     )
     parser.add_argument(
         "--batch-requests",
@@ -428,6 +485,26 @@ def _parse_args(argv):
             "every --replication factor exceeds every --shards count; "
             "nothing would run"
         )
+    try:
+        args.dataset_scales = [
+            float(s) for s in args.dataset_scale.split(",") if s.strip()
+        ]
+    except ValueError:
+        parser.error(
+            f"--dataset-scale must be comma-separated numbers, got "
+            f"{args.dataset_scale!r}"
+        )
+    if not args.dataset_scales or any(s <= 0 for s in args.dataset_scales):
+        parser.error(
+            f"--dataset-scale needs positive numbers, got {args.dataset_scale!r}"
+        )
+    if args.resident_bytes is not None and args.resident_bytes < 1:
+        parser.error(
+            f"--resident-bytes must be >= 1, got {args.resident_bytes}"
+        )
+    if args.multiplex and args.legacy:
+        parser.error("--multiplex and --legacy are mutually exclusive")
+    args.use_multiplex = not args.legacy
     return args
 
 
@@ -446,89 +523,109 @@ def run_bench(argv=None) -> Dict[str, Any]:
             "shards": args.shard_counts,
             "replication": args.replication_counts,
             "workloads": args.workloads,
-            "multiplex": args.multiplex,
+            "multiplex": args.use_multiplex,
+            "legacy_channel": args.legacy,
+            "dataset_scale": args.dataset_scales,
+            "resident_bytes": args.resident_bytes,
             "batch_requests": args.batch_requests,
         },
         "workloads": {},
     }
-    for workload in _build_workloads(args):
-        print(f"[bench] {workload.name}: local baseline ...", flush=True)
-        baseline = _run_local(workload)
-        runs = [dict(baseline)]
-        runs[0].pop("snapshot")
-        for shards in args.shard_counts:
-            for replication in args.replication_counts:
-                if replication > shards:
-                    print(
-                        f"[bench] {workload.name}: skip r={replication} "
-                        f"(> {shards} shards)",
-                        flush=True,
-                    )
-                    continue
-                for workers in args.worker_counts:
-                    print(
-                        f"[bench] {workload.name}: dist x{workers} "
-                        f"({shards} shard{'s' if shards != 1 else ''}, "
-                        f"r={replication}) ...",
-                        flush=True,
-                    )
-                    runs.append(
-                        _run_dist(
-                            workload,
-                            workers,
-                            shards,
-                            replication,
-                            baseline,
-                            multiplex=args.multiplex,
-                            batch_requests=args.batch_requests,
-                        )
-                    )
-                if replication > 1:
-                    # Replicated topologies get a failover probe: the same
-                    # workload with a shard killed mid-stream, recording
-                    # the promotion/resync latencies in the report.
-                    workers = max(args.worker_counts)
-                    print(
-                        f"[bench] {workload.name}: failover probe x{workers} "
-                        f"({shards} shards, r={replication}, kill 1) ...",
-                        flush=True,
-                    )
-                    runs.append(
-                        _run_failover_probe(
-                            workload,
-                            workers,
-                            shards,
-                            replication,
-                            baseline,
-                            multiplex=args.multiplex,
-                        )
-                    )
-        # One master failover probe per workload, at the largest worker
-        # count and the smallest shard topology: the control-plane
-        # recovery path is shard-count-independent, so one point
-        # suffices for the report.
-        workers = max(args.worker_counts)
-        shards = args.shard_counts[0]
-        print(
-            f"[bench] {workload.name}: master failover probe x{workers} "
-            f"({shards} shard{'s' if shards != 1 else ''}) ...",
-            flush=True,
-        )
-        runs.append(
-            _run_master_failover_probe(
-                workload, workers, shards, 1, baseline, multiplex=args.multiplex
+    for scale in args.dataset_scales:
+        for workload in _build_workloads(args, scale):
+            # One report entry per (workload, scale); the unscaled matrix
+            # keeps its historical keys so downstream parsers survive.
+            entry_key = (
+                workload.name if scale == 1.0 else f"{workload.name}@x{scale:g}"
             )
-        )
-        parity_ok = all(r.get("matches_local", True) for r in runs)
-        speedups = [
-            r["speedup_vs_local"] for r in runs if r.get("speedup_vs_local") is not None
-        ]
-        report["workloads"][workload.name] = {
-            "input_records": workload.input_records,
-            "parity_ok": parity_ok,
-            "best_dist_speedup": max(speedups) if speedups else None,
-            "runs": runs,
-        }
+            print(
+                f"[bench] {entry_key}: local baseline ...", flush=True
+            )
+            baseline = _run_local(workload)
+            runs = [dict(baseline)]
+            runs[0].pop("snapshot")
+            runs[0]["dataset_scale"] = scale
+            for shards in args.shard_counts:
+                for replication in args.replication_counts:
+                    if replication > shards:
+                        print(
+                            f"[bench] {entry_key}: skip r={replication} "
+                            f"(> {shards} shards)",
+                            flush=True,
+                        )
+                        continue
+                    for workers in args.worker_counts:
+                        print(
+                            f"[bench] {entry_key}: dist x{workers} "
+                            f"({shards} shard{'s' if shards != 1 else ''}, "
+                            f"r={replication}) ...",
+                            flush=True,
+                        )
+                        runs.append(
+                            _run_dist(
+                                workload,
+                                workers,
+                                shards,
+                                replication,
+                                baseline,
+                                multiplex=args.use_multiplex,
+                                batch_requests=args.batch_requests,
+                                resident_bytes=args.resident_bytes,
+                                dataset_scale=scale,
+                            )
+                        )
+                    if replication > 1:
+                        # Replicated topologies get a failover probe: the
+                        # same workload with a shard killed mid-stream,
+                        # recording the promotion/resync latencies.
+                        workers = max(args.worker_counts)
+                        print(
+                            f"[bench] {entry_key}: failover probe "
+                            f"x{workers} ({shards} shards, r={replication}, "
+                            f"kill 1) ...",
+                            flush=True,
+                        )
+                        runs.append(
+                            _run_failover_probe(
+                                workload,
+                                workers,
+                                shards,
+                                replication,
+                                baseline,
+                                multiplex=args.use_multiplex,
+                                resident_bytes=args.resident_bytes,
+                            )
+                        )
+            # One master failover probe per workload, at the largest
+            # worker count and the smallest shard topology: the
+            # control-plane recovery path is shard-count-independent, so
+            # one point suffices for the report.
+            workers = max(args.worker_counts)
+            shards = args.shard_counts[0]
+            print(
+                f"[bench] {entry_key}: master failover probe x{workers} "
+                f"({shards} shard{'s' if shards != 1 else ''}) ...",
+                flush=True,
+            )
+            runs.append(
+                _run_master_failover_probe(
+                    workload, workers, shards, 1, baseline,
+                    multiplex=args.use_multiplex,
+                )
+            )
+            parity_ok = all(r.get("matches_local", True) for r in runs)
+            speedups = [
+                r["speedup_vs_local"]
+                for r in runs
+                if r.get("speedup_vs_local") is not None
+            ]
+            report["workloads"][entry_key] = {
+                "input_records": workload.input_records,
+                "dataset_scale": scale,
+                "parity_ok": parity_ok,
+                "best_dist_speedup": max(speedups) if speedups else None,
+                "runs": runs,
+            }
     report["parity_ok"] = all(
         entry["parity_ok"] for entry in report["workloads"].values()
     )

@@ -35,9 +35,17 @@ makes this part of every plan) — and demands sink parity against a
 fault-free LocalRuntime baseline. Replication is drawn from the seeded
 rng (1 or 2) so both shard-death recovery paths — loss-closure replay
 (r=1) and primary-backup failover (r=2) — are reachable at any run
-count; r=2 plans with neither a worker nor a master kill must finish
-with ZERO family resets. No determinism digest there: OS process
-scheduling is not seeded, only the *outcome* is checked.
+count. Spill joins the cocktail too: ~1/3 of plans (every plan with
+``--spill``) run with a tiny ``resident_bytes`` budget, so the
+disk-backed segment layer is what the kills land on — segment-shipping
+resync at r=2, directory reopen at r=1 — and plans with a live copy of
+everything (r=2, or spill at any r) and neither a worker nor a master
+kill must finish with ZERO family resets. Failing spill plans preserve
+their shards' segment directories alongside the journal under
+``REPRO_CHAOS_KEEP_JOURNALS``. The storage channel defaults to the
+multiplexed dialect; ``--legacy-channel`` pins the connection-per-caller
+one (selectable for one more release). No determinism digest there: OS
+process scheduling is not seeded, only the *outcome* is checked.
 """
 
 from __future__ import annotations
@@ -515,7 +523,8 @@ def fuzz_one_dist(
     seed: int,
     index: int,
     master_kill: bool = False,
-    multiplex: bool = False,
+    multiplex: bool = True,
+    spill: bool = False,
 ) -> Tuple[bool, str]:
     """One seeded dist run with injected kills; (ok, summary line)."""
     import os
@@ -535,6 +544,15 @@ def fuzz_one_dist(
     # both without needing an even run count. The old ``index % 2`` rule
     # made ``--runs 1`` structurally unable to ever test replication.
     replication = rng.choice([1, 2])
+    # Spilling plans exercise the disk-backed segment layer under kills:
+    # a deliberately tiny budget forces most chunks out of the hot cache,
+    # so the killed shard's recovery really reads segments back (reopen
+    # at r=1, segment shipping at r=2). ``--spill`` makes every plan
+    # spill (the CI arm); otherwise ~1/3 of plans draw it anyway so
+    # default fuzzing covers the layer too.
+    resident_bytes = None
+    if spill or rng.random() < 1 / 3:
+        resident_bytes = rng.choice([2048, 4096, 8192])
     # Aim at a shard that homes a stream-input bag: remove_batch traffic
     # is guaranteed there, so the injected kill actually fires mid-run.
     router = ShardRouter(shards, replication)
@@ -558,10 +576,14 @@ def fuzz_one_dist(
         # tail doubles as a does-nothing-when-unfired check.
         kill_master_after = rng.randint(2, 18)
         journal_dir = tempfile.mkdtemp(prefix="repro-chaos-journal-")
+    segment_dir = None
+    if resident_bytes is not None:
+        segment_dir = tempfile.mkdtemp(prefix="repro-chaos-segments-")
     plan_desc = (
         f"shards={shards} workers={workers} r={replication} "
         f"kill_shard={kill_shard}@{kill_ops}ops"
-        + (" mux" if multiplex else "")
+        + ("" if multiplex else " legacy")
+        + (f" spill={resident_bytes}B" if resident_bytes is not None else "")
         + (f" kill_task={kill_task}" if kill_task else "")
         + (
             f" kill_master@{kill_master_after}rec"
@@ -574,6 +596,8 @@ def fuzz_one_dist(
         shards=shards,
         replication=replication,
         multiplex=multiplex,
+        resident_bytes=resident_bytes,
+        segment_dir=segment_dir,
         kill_shard=kill_shard,
         kill_shard_after_ops=kill_ops,
         kill_task=kill_task,
@@ -587,22 +611,32 @@ def fuzz_one_dist(
     recoveries = 0
 
     def settle_journal(failed: bool) -> str:
-        # A failed plan's journal is the post-mortem: with
-        # REPRO_CHAOS_KEEP_JOURNALS set (CI points it at an artifact
-        # directory) the snapshot + WAL of a failing run are preserved
-        # instead of deleted, named by scenario and run index so the
-        # reproduce hint and the artifact line up.
-        if journal_dir is None:
-            return ""
+        # A failed plan's journal and segment directories are the
+        # post-mortem: with REPRO_CHAOS_KEEP_JOURNALS set (CI points it
+        # at an artifact directory) the snapshot + WAL — and, for spill
+        # plans, every shard's sealed segments plus its consumed/dedup
+        # index — of a failing run are preserved instead of deleted,
+        # named by scenario and run index so the reproduce hint and the
+        # artifact line up.
         keep_root = os.environ.get("REPRO_CHAOS_KEEP_JOURNALS")
-        if failed and keep_root:
-            os.makedirs(keep_root, exist_ok=True)
-            kept = os.path.join(keep_root, f"{scenario.name}-run{index}")
-            shutil.rmtree(kept, ignore_errors=True)
-            shutil.move(journal_dir, kept)
-            return f" journal kept at {kept}"
-        shutil.rmtree(journal_dir, ignore_errors=True)
-        return ""
+        kept_notes = []
+        for label, dirpath in (
+            ("journal", journal_dir),
+            ("segments", segment_dir),
+        ):
+            if dirpath is None:
+                continue
+            if failed and keep_root:
+                os.makedirs(keep_root, exist_ok=True)
+                kept = os.path.join(
+                    keep_root, f"{scenario.name}-run{index}-{label}"
+                )
+                shutil.rmtree(kept, ignore_errors=True)
+                shutil.move(dirpath, kept)
+                kept_notes.append(f" {label} kept at {kept}")
+            else:
+                shutil.rmtree(dirpath, ignore_errors=True)
+        return "".join(kept_notes)
 
     try:
         try:
@@ -633,12 +667,14 @@ def fuzz_one_dist(
     )
     problems = list(diverged)
     # Replication's whole point: a shard kill with live copies must be
-    # absorbed by failover, never replayed. Worker kills still reset
+    # absorbed by failover, never replayed. Spill makes the same promise
+    # at replication 1 — the respawn reopens its segment directory, so
+    # nothing was lost and nothing replays. Worker kills still reset
     # their family (compute state is unreplicated), and a master kill
     # legitimately resets whatever the journal could not prove committed,
     # so only gate the plans with neither.
     if (
-        replication > 1
+        (replication > 1 or resident_bytes is not None)
         and kill_task is None
         and kill_master_after is None
         and result.family_resets
@@ -681,7 +717,8 @@ def _main_dist(args) -> int:
             args.seed,
             index,
             master_kill=args.master_kill,
-            multiplex=args.multiplex,
+            multiplex=not args.legacy_channel,
+            spill=args.spill,
         )
         print(f"[{index + 1:3d}/{args.runs}] {line}")
         if not ok:
@@ -737,11 +774,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--multiplex",
         action="store_true",
-        help="with --dist: run every plan over the multiplexed storage "
-        "channel (framed call-id protocol) instead of the legacy "
-        "connection-per-caller protocol",
+        help="accepted for compatibility: the multiplexed storage channel "
+        "is now the default (see --legacy-channel for the A/B arm)",
+    )
+    parser.add_argument(
+        "--legacy-channel",
+        action="store_true",
+        help="with --dist: run every plan over the legacy "
+        "connection-per-caller storage channel instead of the default "
+        "multiplexed one (selectable for one more release)",
+    )
+    parser.add_argument(
+        "--spill",
+        action="store_true",
+        help="with --dist: give every plan a tiny per-shard resident-bytes "
+        "budget so the disk-backed segment layer is exercised under kills "
+        "(otherwise ~1/3 of plans draw spill from the seed)",
     )
     args = parser.parse_args(argv)
+    if args.multiplex and args.legacy_channel:
+        parser.error("--multiplex and --legacy-channel are mutually exclusive")
 
     if args.dist:
         return _main_dist(args)

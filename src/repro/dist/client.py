@@ -699,6 +699,7 @@ class ShardedBagStore:
         policy: StorageConfig = DIST_STORAGE_POLICY,
         router: Optional[ShardRouter] = None,
         multiplex: bool = False,
+        replica_ops: bool = False,
     ):
         if not addresses:
             raise ValueError("ShardedBagStore needs at least one shard address")
@@ -713,6 +714,14 @@ class ShardedBagStore:
         self.authkey = authkey
         self.policy = policy
         self.multiplex = bool(multiplex)
+        #: Speak the replicated op family (id-stamped ``rinsert``,
+        #: seq-deduplicated ``rremove_batch``, sweeping reads) even when
+        #: ``replication == 1``. Forced on by replication; requested by
+        #: the spill configuration (``DistSettings.resident_bytes``),
+        #: where the idempotent/deduplicated ops are what let in-flight
+        #: streams retry through a shard respawn that *reopens* its
+        #: segment directory — the zero-reset r=1 recovery path.
+        self.replica_ops = bool(replica_ops) or self.router.replication > 1
         per_shard_policy = (
             REPLICATED_PROBE_POLICY if self.router.replication > 1 else policy
         )
@@ -849,7 +858,29 @@ class ShardedBagStore:
         replacement is re-replicated by the master from a surviving copy
         before it can serve, so the skipped write still arrives. At least
         one replica must accept, or the write would vanish entirely.
+
+        At ``replication == 1`` (replica ops forced on by spill) there
+        is no surviving copy to re-replicate from — the one shard's
+        reopened segment directory *is* the data — so instead of failing
+        the write when that shard is mid-respawn, the pass is retried
+        under the storage policy's backoff. Every op routed here is
+        idempotent (``rinsert`` is id-keyed; seal/rewind/discard are
+        absorbing), so re-applying a round that half-landed is safe.
         """
+        backoffs = self.policy.backoffs()
+        while True:
+            served = self._fanout_pass(bag_id, op, args)
+            if served:
+                return
+            delay = None if self.replication > 1 else next(backoffs, None)
+            if delay is None:
+                raise StorageNodeDown(
+                    f"all {self.replication} replicas of bag {bag_id!r} "
+                    f"are down for {op!r}"
+                )
+            time.sleep(delay)
+
+    def _fanout_pass(self, bag_id: str, op: str, args: Tuple[Any, ...]) -> int:
         served = 0
         if self.multiplex:
             # One submit round, one gather round: the replicas serve the
@@ -873,11 +904,7 @@ class ShardedBagStore:
                     served += 1
                 except StorageNodeDown:
                     self.mark_demoted(shard)
-        if not served:
-            raise StorageNodeDown(
-                f"all {self.replication} replicas of bag {bag_id!r} "
-                f"are down for {op!r}"
-            )
+        return served
 
     def fanout_insert(self, bag_id: str, chunk: Any) -> None:
         chunk_id = self.next_chunk_id()
@@ -892,6 +919,16 @@ class ShardedBagStore:
     def sync_push(self, shard: int, snaps: Dict[str, Any]) -> None:
         """Merge bag snapshots into ``shard`` (re-replication target)."""
         self.stores[shard].call("sync_push", snaps)
+
+    def seg_pull(self, shard: int, bag_ids: Iterable[str]) -> Dict[str, Any]:
+        """Package ``bag_ids`` from a spilling ``shard``: whole sealed
+        segment files plus loose open-tail chunks — the segment-shipping
+        flavor of :meth:`sync_pull`."""
+        return self.stores[shard].call("seg_pull", list(bag_ids))
+
+    def seg_push(self, shard: int, packages: Dict[str, Any]) -> None:
+        """Install segment packages on ``shard`` (re-replication target)."""
+        self.stores[shard].call("seg_push", packages)
 
     def push_epochs(self, shard: int, epochs: Dict[int, int]) -> None:
         """Install the master's demotion-epoch vector on ``shard``."""
@@ -910,12 +947,12 @@ class ShardedBagStore:
     # -- LocalBagStore surface ------------------------------------------------
 
     def ensure(self, bag_id: str):
-        if self.replication > 1:
+        if self.replica_ops:
             return ReplicatedRemoteBag(self, bag_id)
         return self.store_for(bag_id).ensure(bag_id)
 
     def get(self, bag_id: str):
-        if self.replication > 1:
+        if self.replica_ops:
             return ReplicatedRemoteBag(self, bag_id)
         return self.store_for(bag_id).get(bag_id)
 
@@ -1141,7 +1178,7 @@ class BatchChunkFetcher:
         """
         if getattr(store, "multiplex", False):
             return MuxBatchFetcher(store, bag_id, batch)
-        if store.replication > 1:
+        if getattr(store, "replica_ops", False):
             source = _ReplicatedFetchSource(store, bag_id)
             return cls(
                 store.addresses[source.shard],
@@ -1285,7 +1322,7 @@ class MuxBatchFetcher:
         self.batch = batch
         self.shard = (
             store.serving_order(bag_id)[0]
-            if store.replication > 1
+            if store.replica_ops
             else store.shard_of(bag_id)
         )
         self.latencies: List[float] = []
@@ -1332,7 +1369,7 @@ class MuxBatchFetcher:
                 return
             self._retry_after = None
         parent = self._parent
-        if parent.replication > 1:
+        if parent.replica_ops:
             shard = parent.serving_order(self.bag_id)[0]
             seq: Optional[int] = parent.next_seq(self.bag_id)
             op_args: Tuple[Any, ...] = (
@@ -1405,10 +1442,13 @@ class MuxBatchFetcher:
         self, shard: int, seq: Optional[int], exc: BaseException
     ) -> None:
         parent = self._parent
-        if seq is None or parent.replication <= 1:
+        if seq is None:
             # Single-copy semantics match the legacy fetcher: the one
             # home shard refusing mid-stream ends the stream with the
             # failure (the master's coarse recovery owns what follows).
+            # With a seq the sweep below retries even at replication 1:
+            # a spilling shard respawns onto its reopened segment
+            # directory, and the seq-deduplicated retry rides it out.
             self._error = exc
             self._eof = True
             self._cond.notify_all()

@@ -46,14 +46,58 @@ from typing import Any, Iterable, List, Optional, Tuple
 
 _FRAME = struct.Struct(">II")
 
+#: Bytes of framing (length + crc32) ahead of each pickled payload —
+#: exported for :mod:`repro.dist.segments`, which preads frames back by
+#: recorded (offset, length) and must skip the header.
+FRAME_HEADER_BYTES = _FRAME.size
+
 SNAPSHOT_FILE = "snapshot.bin"
 WAL_FILE = "wal.bin"
 
 
-def _write_record(fobj, record: Any) -> None:
+def pack_frame(record: Any) -> bytes:
+    """One ``length(4) | crc32(4) | pickle`` frame as bytes.
+
+    The shared framing discipline of this journal and of
+    :mod:`repro.dist.segments`' on-disk segment files; what differs
+    between the two is only the *torn-tail policy* (EOF here, physical
+    truncation there — see the respective module docstrings).
+    """
     payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
-    fobj.write(_FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF))
-    fobj.write(payload)
+    return _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def scan_frames(fobj) -> "Iterable[Tuple[int, int, Any]]":
+    """Yield ``(offset, end_offset, record)`` per intact frame of ``fobj``.
+
+    Stops at the first short header, short payload, crc mismatch, or
+    unpicklable payload — the caller decides whether a torn tail means
+    "log ends here" (:func:`read_records`) or "truncate the file here"
+    (segment reopen). ``end_offset`` of the last yielded frame is the
+    length of the intact prefix.
+    """
+    offset = fobj.tell()
+    while True:
+        head = fobj.read(_FRAME.size)
+        if len(head) < _FRAME.size:
+            return
+        size, crc = _FRAME.unpack(head)
+        payload = fobj.read(size)
+        if len(payload) < size:
+            return
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            return
+        try:
+            record = pickle.loads(payload)
+        except Exception:
+            return
+        end = offset + _FRAME.size + size
+        yield offset, end, record
+        offset = end
+
+
+def _write_record(fobj, record: Any) -> None:
+    fobj.write(pack_frame(record))
 
 
 def read_records(path: str) -> List[Any]:
@@ -64,26 +108,12 @@ def read_records(path: str) -> List[Any]:
     log ends here", never an exception, because a write-ahead record
     that did not fully land describes an effect that never happened.
     """
-    records: List[Any] = []
     try:
         fobj = open(path, "rb")
     except FileNotFoundError:
-        return records
+        return []
     with fobj:
-        while True:
-            head = fobj.read(_FRAME.size)
-            if len(head) < _FRAME.size:
-                return records
-            size, crc = _FRAME.unpack(head)
-            payload = fobj.read(size)
-            if len(payload) < size:
-                return records
-            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
-                return records
-            try:
-                records.append(pickle.loads(payload))
-            except Exception:
-                return records
+        return [record for _start, _end, record in scan_frames(fobj)]
 
 
 class MasterJournal:

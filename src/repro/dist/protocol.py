@@ -15,18 +15,19 @@ Two channels exist:
   per chunk RPC. The channel speaks one of two dialects, chosen by the
   client's first message after the auth handshake:
 
-  * **one-exchange** (legacy, the ``DistSettings.multiplex = False``
-    default): the client introduces itself with ``("hello",
-    client_id)`` and then strictly alternates — requests are
-    ``(op, *args)`` tuples, responses are ``("ok", payload)`` or
-    ``("err", (exc_type_name, message))``, and each caller needs its
-    own connection (plus a prefetch thread per stream) to overlap
-    requests;
-  * **multiplexed** (``DistSettings.multiplex = True``): the client
-    opens with ``("mux", client_id)``, and after the ``("ok", _)`` ack
-    both sides switch from whole-pickled-message exchange to the raw
-    frame stream below. One connection per (process, shard) pair then
-    carries every caller's traffic concurrently.
+  * **multiplexed** (the ``DistSettings.multiplex = True`` default):
+    the client opens with ``("mux", client_id)``, and after the
+    ``("ok", _)`` ack both sides switch from whole-pickled-message
+    exchange to the raw frame stream below. One connection per
+    (process, shard) pair then carries every caller's traffic
+    concurrently;
+  * **one-exchange** (legacy, ``DistSettings.multiplex = False``,
+    selectable for one more release): the client introduces itself
+    with ``("hello", client_id)`` and then strictly alternates —
+    requests are ``(op, *args)`` tuples, responses are
+    ``("ok", payload)`` or ``("err", (exc_type_name, message))``, and
+    each caller needs its own connection (plus a prefetch thread per
+    stream) to overlap requests.
 
 **Mux frame format** — every frame, both directions, is::
 
@@ -83,6 +84,17 @@ family: ``rinsert`` (id-stamped, idempotent insert, fanned out to all
 (primary -> backup removal-log shipping), and the master-only
 ``sync_pull`` / ``sync_push`` (re-replication snapshots) and
 ``set_epochs`` (authoritative demotion-epoch push).
+
+With disk-backed spill (``DistSettings.resident_bytes``) the shards
+swap their in-memory store for :class:`repro.dist.segments.
+SegmentBagStore`, clients use the replicated op family even at
+``r = 1`` (the id-stamped, seq-deduplicated ops are what let in-flight
+streams ride out a shard respawn that *reopens* its segment directory),
+and the master-only segment-transfer ops replace snapshot resync:
+``seg_pull`` packages bags as whole sealed segment files plus loose
+open-tail chunks, ``seg_push`` installs such packages on the respawned
+replica — sealed data moves as raw file bytes, never re-pickled
+chunk-by-chunk.
 
 Connections are established with :func:`connect_with_retry`, which reuses
 the :class:`~repro.storage.policy.StorageConfig` retry/timeout/backoff
@@ -244,13 +256,22 @@ class DistSettings:
     #: (shard death recovers by replay); ``r > 1`` = primary-backup with
     #: client-side failover (shard death recovers by promotion).
     replication: int = 1
-    #: Storage-channel dialect: ``True`` multiplexes every caller in a
-    #: process onto one framed connection per shard (futures keyed by
-    #: call id, one selector pump thread instead of a thread+connection
-    #: per stream); ``False`` keeps the one-exchange-per-call path. Off
-    #: by default for one release so parity, chaos, and failover
-    #: semantics can be A/B-gated against the legacy transport.
-    multiplex: bool = False
+    #: Storage-channel dialect: ``True`` (the default, after a release
+    #: of A/B gating) multiplexes every caller in a process onto one
+    #: framed connection per shard (futures keyed by call id, one
+    #: selector pump thread instead of a thread+connection per stream);
+    #: ``False`` keeps the legacy one-exchange-per-call path, still
+    #: selectable for one more release as CI's explicitly-flagged A/B
+    #: arm before it is deleted.
+    multiplex: bool = True
+    #: Per-shard hot-memory budget in bytes; ``None`` (the default)
+    #: keeps every chunk resident, exactly the pre-spill behavior. Set,
+    #: it switches the shards to the disk-backed layered store
+    #: (:mod:`repro.dist.segments`): every chunk is written through to
+    #: append-only segment files and the in-memory hot tail is evicted
+    #: down to the budget, so a shard's dataset ceiling becomes disk,
+    #: not RAM.
+    resident_bytes: Optional[int] = None
     policy: StorageConfig = field(default_factory=lambda: DIST_STORAGE_POLICY)
 
 

@@ -99,6 +99,14 @@ class RepBag:
                     break
                 pairs.append((chunk_id, self._pending.pop(chunk_id)))
                 self._consumed[chunk_id] = pairs[-1][1]
+            # An empty serve is deliberately NOT recorded: serving []
+            # mutated nothing, so a retry of the same seq popping chunks
+            # that arrived in between is indistinguishable from the
+            # first attempt having been served late — exactly-once is
+            # about the *pops*, and zero pops need no dedup. Recording
+            # it would instead pin [] against the seq and starve a
+            # retrying client of chunks that landed after the first try.
+            # (Regression-tested in test_dist_replication.py.)
             if pairs:
                 self._dedup[client_id] = (seq, pairs, self._sealed)
             return pairs, self._sealed

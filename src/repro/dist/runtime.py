@@ -233,13 +233,31 @@ class DistResult:
         #: Raw per-shard op counters (each dict carries its ``shard`` index).
         self.shard_stats: List[Dict[str, int]] = [dict(s) for s in shard_stats]
         #: Op counters summed across shards — the pre-sharding surface.
+        #: Gauges (identity tags and high-water marks) are not counters
+        #: and stay out of the sum; they surface as dedicated fields.
+        gauges = {"shard", "rss_hwm_kb", "resident_peak_bytes"}
         aggregate: Dict[str, int] = {}
         for stats in shard_stats:
             for op, count in stats.items():
-                if op == "shard":
-                    continue  # identity tag, not a counter
+                if op in gauges:
+                    continue
                 aggregate[op] = aggregate.get(op, 0) + count
         self.storage_stats = aggregate
+        #: Max per-shard resident-set high-water mark (KiB, from the
+        #: kernel's VmHWM) — the bench's bounded-memory evidence.
+        self.shard_rss_hwm_kb = max(
+            (s.get("rss_hwm_kb", 0) for s in shard_stats), default=0
+        )
+        #: Max per-shard hot-cache peak (bytes; 0 with spill off). May
+        #: exceed the budget by at most one frame: eviction runs after
+        #: the oversized insert lands.
+        self.resident_peak_bytes = max(
+            (s.get("resident_peak_bytes", 0) for s in shard_stats), default=0
+        )
+        self.segments_written = aggregate.get("segments_written", 0)
+        #: True when at least one shard death resynced by shipping
+        #: sealed segment files instead of chunk-by-chunk snapshots.
+        self.segment_resync = runtime.segment_resyncs > 0
         self.trace_metrics = dict(runtime.tracer.metrics)
         self._snapshots = snapshots
 
@@ -290,7 +308,9 @@ class DistRuntime:
         clone_min_chunks: int = 2,
         max_clones_per_task: Optional[int] = None,
         batch_requests: int = 4,
-        multiplex: bool = False,
+        multiplex: bool = True,
+        resident_bytes: Optional[int] = None,
+        segment_dir: Optional[str] = None,
         storage_policy: StorageConfig = DIST_STORAGE_POLICY,
         forced_clones: Optional[Dict[str, int]] = None,
         kill_task: Optional[str] = None,
@@ -318,6 +338,15 @@ class DistRuntime:
             raise ValueError(
                 f"kill_shard {kill_shard} out of range for {shards} shards"
             )
+        if resident_bytes is not None and resident_bytes < 1:
+            raise ValueError(
+                f"resident_bytes must be >= 1 (or None), got {resident_bytes}"
+            )
+        if segment_dir is not None and resident_bytes is None:
+            raise ValueError(
+                "segment_dir without resident_bytes: the layered segment "
+                "store only runs when a resident-bytes budget is set"
+            )
         self.graph: AppGraph = app.graph if isinstance(app, Application) else app
         self.workers = workers
         self.shards = shards
@@ -331,7 +360,12 @@ class DistRuntime:
             multiplex=multiplex,
             replication=replication,
             policy=storage_policy,
+            resident_bytes=resident_bytes,
         )
+        #: Caller-owned root for the shards' segment directories (chaos
+        #: keeps it as a post-mortem artifact); None = a ``segments/``
+        #: subtree of the run's temp socket dir, removed at shutdown.
+        self.segment_dir = segment_dir
         self.clone_min_chunks = clone_min_chunks
         self.max_clones_per_task = max_clones_per_task or workers
         self.forced_clones = dict(forced_clones or {})
@@ -372,6 +406,9 @@ class DistRuntime:
         self.family_resets = 0
         self.shard_deaths = 0
         self.storage_resets = 0
+        #: Shard-death recoveries served by shipping sealed segment files
+        #: (spill mode) instead of chunk-by-chunk snapshot merges.
+        self.segment_resyncs = 0
         self.failover_seconds: List[float] = []
         self.resync_seconds: List[float] = []
         self.master_recoveries = 0
@@ -424,6 +461,10 @@ class DistRuntime:
         #: monitor thread could still report the death).
         self._promoted: Set[Any] = set()
         self._socket_dir: Optional[str] = None
+        #: Shards whose segment directory has been opened at least once
+        #: this master's lifetime: a *re*spawn of one at replication 1
+        #: reopens the directory (recovery-by-reopen) instead of wiping it.
+        self._segments_opened: Set[int] = set()
         self._shard_paths: List[str] = []
         self._shard_procs: List[Any] = []
         self._shard_addresses: List[StorageAddress] = []
@@ -455,6 +496,17 @@ class DistRuntime:
             self._shard_kill_spent = True
             self._jappend(("shard_kill_armed",))
             kill_after = self.kill_shard_after_ops
+        segment_dir = None
+        reopen = False
+        if self.settings.resident_bytes is not None:
+            root = self.segment_dir or os.path.join(self._socket_dir, "segments")
+            segment_dir = os.path.join(root, f"shard-{index}")
+            # A respawn at replication 1 *reopens* its directory — the
+            # spilled segments plus the consumed/dedup index ARE the
+            # recovery path. Replicated respawns start empty instead:
+            # resync ships sealed segments over from the survivors.
+            reopen = self.replication == 1 and index in self._segments_opened
+            self._segments_opened.add(index)
         ready_parent, ready_child = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=storage_server_main,
@@ -467,6 +519,9 @@ class DistRuntime:
                 self.replication,
                 list(self._shard_paths),
                 self._epoch_vector(),
+                segment_dir,
+                self.settings.resident_bytes,
+                reopen,
             ),
             name=f"dist-shard-{index}",
             daemon=True,
@@ -638,6 +693,7 @@ class DistRuntime:
                 self.settings.policy,
                 router=self.router,
                 multiplex=self.settings.multiplex,
+                replica_ops=self.settings.resident_bytes is not None,
             )
             for bag_id in self.graph.source_bags():
                 fill_bag(
@@ -717,6 +773,7 @@ class DistRuntime:
                     # appends are serialized by the journal's own lock.
                     self._write_checkpoint()
             try:
+                self._reconcile_dropped_recovery()
                 self._assign_ready()
                 if self.cloning and self._idle and not self._pending_ready():
                     self._maybe_clone()
@@ -1084,14 +1141,19 @@ class DistRuntime:
         Each failure first handles any dead shard (respawn + loss closure)
         so the retry has a live process to reconnect to — without this, a
         recovery-path RPC against a dead shard would back off forever,
-        because the event loop that respawns shards is the caller.
+        because the event loop that respawns shards is the caller. The
+        sweep is the graceful one: a client observes the torn connection
+        milliseconds before the corpse is reapable, and burning the whole
+        retry budget against a shard that ``is_alive()`` still vouches for
+        lets StorageNodeDown escape mid-recovery — stranding whatever
+        bookkeeping the caller had already torn down.
         """
 
         def attempt() -> Any:
             try:
                 return fn()
             except StorageNodeDown:
-                self._check_dead_shards()
+                self._absorb_storage_down()
                 raise
 
         return call_with_retry(attempt, self.settings.policy, (StorageNodeDown,))
@@ -1218,6 +1280,21 @@ class DistRuntime:
                 return  # every copy re-replicated; zero families reset
             # Every replica of these bags is gone (deaths beyond the
             # replication factor): fall back to replay for just them.
+        elif self.settings.resident_bytes is not None:
+            # Single copy, but disk-backed: the respawn *reopened* its
+            # segment directory, so pending chunks, consumed markers and
+            # removal-dedup logs are all back and in-flight client
+            # streams retry straight through — zero families reset. The
+            # probe confirms the replacement answers before trusting it;
+            # if it does not, fall back to the full replay closure.
+            if self._probe_reopen(index):
+                self.tracer.inc("dist.shard_reopens")
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "shard_reopened", cat="dist", shard=index
+                    )
+                return
+            lost_bags, lost_partials = self._homed_bags(index)
         else:
             lost_bags, lost_partials = self._homed_bags(index)
         to_reset, refills = self._loss_closure(lost_bags, lost_partials)
@@ -1261,6 +1338,19 @@ class DistRuntime:
         proc = self._shard_procs[shard]
         return proc is not None and proc.is_alive()
 
+    def _probe_reopen(self, index: int) -> bool:
+        """True once respawned shard ``index`` answers a segment op.
+
+        An empty ``seg_pull`` proves both that the replacement is serving
+        and that it runs the segment store (reopen path wired); its
+        reopened directory is then trusted as the bags' state.
+        """
+        try:
+            self._retrying(lambda: self._store.seg_pull(index, []))
+            return True
+        except ReproError:
+            return False
+
     def _resync_shard(self, index: int) -> Tuple[Set[str], Dict[str, str]]:
         """Re-replicate every bag copy the dead shard held, onto its respawn.
 
@@ -1292,13 +1382,28 @@ class DistRuntime:
                     lost_bags.add(bag_id)
             else:
                 groups.setdefault(source, []).append(bag_id)
+        spill = self.settings.resident_bytes is not None
         for source, bag_ids in sorted(groups.items()):
-            snaps = self._retrying(
-                lambda s=source, b=bag_ids: self._store.sync_pull(s, b)
-            )
-            self._retrying(
-                lambda sn=snaps, i=index: self._store.sync_push(i, sn)
-            )
+            if spill:
+                # Segment shipping: the source packages whole sealed
+                # segment files (raw bytes, no per-chunk decode) plus its
+                # loose open-tail chunks, and the replacement installs
+                # the blobs as local sealed segments.
+                packages = self._retrying(
+                    lambda s=source, b=bag_ids: self._store.seg_pull(s, b)
+                )
+                self._retrying(
+                    lambda p=packages, i=index: self._store.seg_push(i, p)
+                )
+            else:
+                snaps = self._retrying(
+                    lambda s=source, b=bag_ids: self._store.sync_pull(s, b)
+                )
+                self._retrying(
+                    lambda sn=snaps, i=index: self._store.sync_push(i, sn)
+                )
+        if spill and groups:
+            self.segment_resyncs += 1
         self.resync_seconds.append(time.monotonic() - resync_started)
         if self.tracer.enabled:
             self.tracer.instant(
@@ -1470,9 +1575,68 @@ class DistRuntime:
         finally:
             self._in_recovery = False
 
+    def _reconcile_dropped_recovery(self) -> None:
+        """Loop-top repair for recoveries interrupted by an absorbed shard death.
+
+        A worker death and a shard death landing together can unwind
+        ``_on_worker_dead`` / ``_apply_recovery`` mid-way: the event loop
+        absorbs the StorageNodeDown (respawn + segment reopen or replica
+        resync, zero resets) and carries on, but the interrupted handler's
+        bookkeeping is gone — a replacement worker never spawned, a
+        condemned family never re-applied, a RUNNING node owned by nobody.
+        The pointer-replay r=1 path used to mask all three by resetting
+        every family homed on the dead shard; the zero-reset paths do not,
+        so repair each explicitly:
+
+        * finish any condemned-but-unapplied reset (the set survives the
+          unwind — see ``_apply_recovery``);
+        * top the worker pool back up if a death handler unwound before
+          its ``_spawn_worker``;
+        * condemn RUNNING nodes that no live worker owns — nothing will
+          ever report those done, and every worker idles forever.
+        """
+        self._finish_recovery_if_ready()
+        while len(self._workers) < self.workers:
+            self._spawn_worker()
+        orphans: Set[str] = set()
+        for node in self.exec.nodes.values():
+            if node.state != NodeState.RUNNING:
+                continue
+            if node.task_id in self._recovery_tasks:
+                continue  # condemned already; its reset will re-ready it
+            wid = self._node_worker.get(node.node_id)
+            if (
+                wid is None
+                or wid not in self._workers
+                or self._assigned.get(wid) is not node
+            ):
+                orphans.add(node.task_id)
+        if orphans:
+            self.tracer.inc("dist.orphan_resets")
+            to_reset, refills = self._loss_closure(
+                set(), {}, seed_tasks=tuple(sorted(orphans))
+            )
+            self._begin_family_resets(to_reset, refills)
+
     def _apply_recovery(self) -> None:
         tasks, self._recovery_tasks = self._recovery_tasks, set()
         refills, self._recovery_refill = self._recovery_refill, set()
+        try:
+            self._apply_recovery_inner(tasks, refills)
+        except BaseException:
+            # A StorageNodeDown that outlives _retrying's budget (shard
+            # dying while a worker-death reset is being applied) unwinds
+            # to the event loop, which absorbs the death and carries on.
+            # The condemned set must survive that unwind: the graph may
+            # already be reset but the discards/refills/_ready re-queue
+            # have not happened, so the loop-top reconcile re-runs the
+            # whole (idempotent) apply. Dropping the set here is a
+            # permanent hang — READY families nobody ever dispatches.
+            self._recovery_tasks |= tasks
+            self._recovery_refill |= refills
+            raise
+
+    def _apply_recovery_inner(self, tasks: Set[str], refills: Set[str]) -> None:
         # Collect the physical bags *before* the graph reset wipes the
         # clone/merge wiring they are derived from.
         plan = []
@@ -1741,6 +1905,11 @@ class DistRuntime:
         self._generation += 1
         # Adopt the surviving fleet.
         self._socket_dir = fleet.socket_dir
+        if self.settings.resident_bytes is not None:
+            # Every adopted shard already opened its segment directory
+            # under the dead incarnation; a respawn under this one must
+            # reopen, never wipe.
+            self._segments_opened = set(range(self.shards))
         self._shard_paths = list(fleet.shard_paths)
         self._shard_procs = list(fleet.shard_procs)
         self._shard_addresses = list(fleet.shard_addresses)
@@ -1766,6 +1935,7 @@ class DistRuntime:
                 self.settings.policy,
                 router=self.router,
                 multiplex=self.settings.multiplex,
+                replica_ops=self.settings.resident_bytes is not None,
             )
             for index, proc in enumerate(self._shard_procs):
                 if proc is not None and proc.is_alive():

@@ -83,6 +83,7 @@ from repro.dist.protocol import (
     encode_frame,
 )
 from repro.dist.replica import RepBagStore
+from repro.dist.segments import SegmentBagStore
 from repro.dist.sharding import ShardRouter
 from repro.errors import NotPrimary
 from repro.storage.local import LocalBagStore
@@ -114,16 +115,30 @@ class _ServerState:
         addresses: Optional[Sequence[str]] = None,
         authkey: Optional[bytes] = None,
         epochs: Optional[Dict[int, int]] = None,
+        segment_dir: Optional[str] = None,
+        resident_bytes: Optional[int] = None,
+        reopen: bool = False,
     ):
         self.shard = shard
         self.replication = replication
         self.addresses = list(addresses) if addresses else []
         self.authkey = authkey
-        if replication > 1:
-            self.store: Any = RepBagStore()
-            self.router: Optional[ShardRouter] = ShardRouter(
-                len(self.addresses), replication
+        if segment_dir is not None:
+            # Disk-backed layered store: clients speak the replicated op
+            # family even at r=1 (idempotent id-keyed inserts, seq-deduped
+            # removals), so the router exists at any replication level for
+            # primary gating — trivially satisfied when r=1.
+            self.store: Any = SegmentBagStore(
+                segment_dir, resident_bytes=resident_bytes, reopen=reopen
             )
+            self.router: Optional[ShardRouter] = (
+                ShardRouter(len(self.addresses), replication)
+                if self.addresses
+                else None
+            )
+        elif replication > 1:
+            self.store = RepBagStore()
+            self.router = ShardRouter(len(self.addresses), replication)
         else:
             self.store = LocalBagStore()
             self.router = None
@@ -169,8 +184,15 @@ class _ServerState:
                 if epoch > self.epochs.get(shard, 0):
                     self.epochs[shard] = epoch
 
+    def close_store(self) -> None:
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close()
+
     def ensure_primary(self, bag_id: str) -> None:
         """Refuse to serve ``bag_id`` unless this shard is its primary."""
+        if self.router is None:
+            return
         replicas = self.router.replicas(bag_id)
         with self.epochs_lock:
             primary = min(
@@ -298,6 +320,13 @@ def _dispatch(state: _ServerState, conn_id: int, req: Tuple[Any, ...]) -> Any:
     if op == "sync_push":
         store.merge_many(req[1])
         return None
+    if op == "seg_pull":
+        # Master-only re-replication, segment flavor: bags packaged as
+        # whole sealed segment files plus loose open-tail chunks.
+        return store.seg_pull(list(req[1]))
+    if op == "seg_push":
+        store.seg_push(req[1])
+        return None
     if op == "set_epochs":
         state.merge_epochs(req[1])
         return None
@@ -342,8 +371,13 @@ def _dispatch(state: _ServerState, conn_id: int, req: Tuple[Any, ...]) -> Any:
             state.ensure_primary(req[1])
         return store.ensure(req[1]).size()
     if op == "stats":
+        extra: Dict[str, int] = {}
+        spill_stats = getattr(store, "spill_stats", None)
+        if spill_stats is not None:
+            extra.update(spill_stats())
+        extra["rss_hwm_kb"] = _rss_hwm_kb()
         with state.stats_lock:
-            return dict(state.stats, shard=state.shard)
+            return dict(state.stats, shard=state.shard, **extra)
     if op == "fence":
         client_id, timeout = req[1], req[2]
         deadline = threading.TIMEOUT_MAX if timeout is None else timeout
@@ -422,6 +456,7 @@ def _serve_mux(
                     closed[0] = True
                 state.stop.set()
                 state.close_peers()
+                state.close_store()
                 _poke(listener.address)
                 listener.close()
                 return
@@ -466,6 +501,7 @@ def _serve_connection(state: _ServerState, conn: Connection, listener) -> None:
                 conn.send(("ok", None))
                 state.stop.set()
                 state.close_peers()
+                state.close_store()
                 # Closing the listener does NOT wake a thread blocked in
                 # accept(2); poke it with a throwaway connection so the
                 # accept loop re-checks the stop flag immediately.
@@ -552,6 +588,29 @@ def _gossip_loop(state: _ServerState) -> None:
             state.bump("gossip_demotions")
 
 
+def _rss_hwm_kb() -> int:
+    """This process's resident-set high-water-mark, in KB.
+
+    Read from ``/proc/self/status`` (``VmHWM``); falls back to
+    ``getrusage.ru_maxrss`` (also KB on Linux) where procfs is absent.
+    Surfaced through the ``stats`` op so the bench can report that a
+    spilling shard's memory actually stayed near its budget.
+    """
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:
+        return 0
+
+
 def _poke(address) -> None:
     """Connect-and-close against our own listener to unblock accept()."""
     try:
@@ -577,6 +636,9 @@ def storage_server_main(
     replication: int = 1,
     addresses: Optional[Sequence[str]] = None,
     epochs: Optional[Dict[int, int]] = None,
+    segment_dir: Optional[str] = None,
+    resident_bytes: Optional[int] = None,
+    reopen: bool = False,
 ) -> None:
     """Process entry point for shard ``shard``: listen, report, serve.
 
@@ -592,6 +654,14 @@ def storage_server_main(
     (the master's current demotion-epoch vector — a respawned
     replacement must start out knowing it is demoted, or stale clients
     could read its empty, not-yet-resynced bags as truth).
+
+    With ``segment_dir`` set the shard stores its bags in the
+    disk-backed layered store (:mod:`repro.dist.segments`), bounded in
+    memory by ``resident_bytes``. ``reopen=True`` rebuilds state from an
+    intact directory — how an r=1 respawn recovers everything it had
+    acknowledged without master refill/replay; ``reopen=False`` wipes it
+    (an r>1 respawn is repopulated by resync instead, and stale segments
+    must not resurrect).
     """
     state = _ServerState(
         shard=shard,
@@ -600,6 +670,9 @@ def storage_server_main(
         addresses=addresses,
         authkey=authkey,
         epochs=epochs,
+        segment_dir=segment_dir,
+        resident_bytes=resident_bytes,
+        reopen=reopen,
     )
     if socket_path is not None:
         try:

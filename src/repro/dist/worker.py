@@ -267,6 +267,7 @@ def worker_main(
         settings.policy,
         router=router,
         multiplex=settings.multiplex,
+        replica_ops=settings.resident_bytes is not None,
     )
     store.adopt_epochs(epochs or {})
     runtime = _WorkerRuntime(graph, store, settings)

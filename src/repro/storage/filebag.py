@@ -18,6 +18,34 @@ replay-ability the paper's fault tolerance leans on.
 :class:`FileBagStore` adapts a directory of FileBags to the same interface
 as :class:`~repro.storage.local.LocalBagStore`, so the local engine can run
 entirely on disk-backed bags (``LocalRuntime(app, store=FileBagStore(dir))``).
+
+On-disk format vs. the dist engine's files
+------------------------------------------
+
+Three append-only formats coexist in this codebase, deliberately:
+
+* **This module**: ``[uvarint length][payload]`` frames, no checksum.
+  It reproduces the paper's §4.3 representation *faithfully* — the
+  paper's files carry no CRC either — and its fault model is a process
+  restart over an intact file, so a short or undecodable frame is
+  **corruption** and raises :class:`BagError` (see ``_rebuild_index``).
+  The payload is opaque bytes: serde happens above this layer.
+* **:mod:`repro.dist.journal`**: ``length(4)|crc32(4)|pickle`` frames
+  (see ``pack_frame``/``scan_frames`` there). It is a write-ahead log,
+  so a torn tail means "the logged effect never happened" — scanning
+  **stops at EOF** silently and the torn record is dropped.
+* **:mod:`repro.dist.segments`**: the *same* frame codec as the journal
+  (it imports ``pack_frame``/``scan_frames`` rather than re-deriving
+  them), but segment files are *data*, not intent, so a torn tail is
+  **physically truncated** on reopen and everything before it is kept.
+
+The dist formats do not share this module's uvarint framing because
+they need the CRC to distinguish "torn mid-append by a killed process"
+from "intact" without trusting lengths alone, and they frame pickled
+records, not opaque payloads. What they share is shared for real (the
+segment store reuses the journal's codec); what differs — framing and
+torn-tail policy — is each format's fault model, documented at each
+site.
 """
 
 from __future__ import annotations

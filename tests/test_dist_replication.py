@@ -127,6 +127,22 @@ class TestRepBag:
         assert [cid for cid, _ in fresh] == ["c#2", "c#3"]
         assert bag.remaining() == 0 and bag.size() == 4
 
+    def test_empty_reply_is_not_recorded_in_dedup(self):
+        # remove_batch deliberately skips the dedup record when it pops
+        # nothing (the ``if pairs:`` guard): serving [] mutates no state,
+        # so a retry of the same seq must see chunks that arrived in
+        # between rather than a pinned empty reply — recording [] would
+        # starve a retrying client forever on a slow-filling bag.
+        bag = RepBag("b")
+        served, sealed = bag.remove_batch(2, "client", seq=1)
+        assert served == [] and not sealed
+        bag.insert_id("c#0", "late")
+        retry, _ = bag.remove_batch(2, "client", seq=1)
+        assert retry == [("c#0", "late")]
+        # Once a non-empty serve lands, the same seq is exactly-once.
+        again, _ = bag.remove_batch(2, "client", seq=1)
+        assert again == retry
+
     def test_apply_removals_lands_before_insert(self):
         # A shipped removal can outrun the insert fan-out: the payload
         # travels with it, the chunk lands consumed, the late insert is
