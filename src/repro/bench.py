@@ -32,8 +32,12 @@ multiplies every workload's input size (one report then holds a sweep),
 and ``--resident-bytes`` sets the shards' hot-cache budget so runs spill
 sealed segments to disk beyond it. Each dist run reports its shards' RSS
 high-water mark (``shard_rss_hwm_kb``), the number of sealed segments
-written, and whether a shard-death recovery shipped segments — all
-parity-gated like every other number here.
+written, the compaction yield of finished bags (``segments_compacted``,
+``bytes_reclaimed``), and whether a shard-death recovery shipped
+segments — all parity-gated like every other number here. Spill runs
+additionally gate on the hot-cache peak staying within the budget
+(``resident_peak_ok``): a "bounded" store that quietly blew through its
+budget fails the report, not just a dashboard.
 
 Every dist run's sink output is checked against the local baseline before
 its numbers are reported, so a "fast" engine that drops or duplicates
@@ -164,14 +168,13 @@ def _run_dist(
     shards: int,
     replication: int,
     baseline: Dict[str, Any],
-    multiplex: bool = True,
     batch_requests: Optional[int] = None,
     resident_bytes: Optional[int] = None,
     dataset_scale: float = 1.0,
 ):
     from repro.dist import DistRuntime
 
-    extra: Dict[str, Any] = {"multiplex": multiplex}
+    extra: Dict[str, Any] = {}
     if batch_requests is not None:
         extra["batch_requests"] = batch_requests
     if resident_bytes is not None:
@@ -187,12 +190,21 @@ def _run_dist(
     result = runtime.run(dict(workload.inputs), timeout=RUN_TIMEOUT)
     seconds = time.perf_counter() - started
     matches = workload.snapshot(result) == baseline["snapshot"]
+    # The hot-cache gate: the peak may legitimately exceed the budget by
+    # one in-flight frame (eviction runs after the oversized insert
+    # lands), so the allowance is a couple of chunk-sized frames — far
+    # below any unbounded-buffering regression this gate exists to catch.
+    resident_peak_ok = True
+    if resident_bytes is not None:
+        resident_peak_ok = (
+            result.resident_peak_bytes
+            <= resident_bytes + 2 * runtime.settings.chunk_size
+        )
     return {
         "engine": "dist",
         "workers": workers,
         "shards": shards,
         "replication": replication,
-        "multiplex": multiplex,
         "batch_requests": runtime.settings.batch_requests,
         "dataset_scale": dataset_scale,
         "resident_bytes": resident_bytes,
@@ -210,9 +222,12 @@ def _run_dist(
         # real kernel, and segments_written > 0 is what proves the run
         # actually exercised the disk-backed layer at this budget.
         "segments_written": result.segments_written,
+        "segments_compacted": result.segments_compacted,
+        "bytes_reclaimed": result.bytes_reclaimed,
         "segment_resync": result.segment_resync,
         "shard_rss_hwm_kb": result.shard_rss_hwm_kb,
         "resident_peak_bytes": result.resident_peak_bytes,
+        "resident_peak_ok": resident_peak_ok,
         "chunk_latency_ms": _present(result.chunk_latency_percentiles()),
         # JSON objects key on strings; shard indices survive round-trips
         # as "0", "1", ... in shard order.
@@ -231,7 +246,6 @@ def _run_failover_probe(
     shards: int,
     replication: int,
     baseline: Dict[str, Any],
-    multiplex: bool = True,
     resident_bytes: Optional[int] = None,
 ):
     """One replicated run with a shard kill: measure failover, demand parity."""
@@ -248,7 +262,6 @@ def _run_failover_probe(
         workers=workers,
         shards=shards,
         replication=replication,
-        multiplex=multiplex,
         kill_shard=victim,
         # First remove_batch against the victim: quick-mode streams are
         # short, and a later trigger can miss the run entirely.
@@ -265,7 +278,6 @@ def _run_failover_probe(
         "workers": workers,
         "shards": shards,
         "replication": replication,
-        "multiplex": multiplex,
         "resident_bytes": resident_bytes,
         "killed_shard": victim,
         "seconds": round(seconds, 4),
@@ -278,6 +290,8 @@ def _run_failover_probe(
         # chunk snapshots — the probe records which path actually ran.
         "segment_resync": result.segment_resync,
         "segments_written": result.segments_written,
+        "segments_compacted": result.segments_compacted,
+        "bytes_reclaimed": result.bytes_reclaimed,
         "shard_rss_hwm_kb": result.shard_rss_hwm_kb,
         "failover_ms": [round(ms, 3) for ms in result.failover_ms],
         "resync_ms": [round(ms, 3) for ms in result.resync_ms],
@@ -290,7 +304,6 @@ def _run_master_failover_probe(
     shards: int,
     replication: int,
     baseline: Dict[str, Any],
-    multiplex: bool = True,
 ):
     """One journaled run with a master kill: measure recovery, demand parity."""
     import shutil
@@ -304,7 +317,6 @@ def _run_master_failover_probe(
             workers=workers,
             shards=shards,
             replication=replication,
-            multiplex=multiplex,
             journal_dir=journal_dir,
         )
         started = time.perf_counter()
@@ -418,20 +430,6 @@ def _parse_args(argv):
         help="comma-separated workload subset (default: %(default)s)",
     )
     parser.add_argument(
-        "--multiplex",
-        action="store_true",
-        help="accepted for compatibility: the multiplexed storage channel "
-        "is now the default (see --legacy for the A/B arm)",
-    )
-    parser.add_argument(
-        "--legacy",
-        action="store_true",
-        help="run every dist configuration over the legacy "
-        "connection-per-caller storage channel instead of the default "
-        "multiplexed one (the explicitly-flagged A/B arm, selectable for "
-        "one more release)",
-    )
-    parser.add_argument(
         "--dataset-scale",
         default="1",
         help="comma-separated input-size multipliers; the whole matrix "
@@ -502,9 +500,6 @@ def _parse_args(argv):
         parser.error(
             f"--resident-bytes must be >= 1, got {args.resident_bytes}"
         )
-    if args.multiplex and args.legacy:
-        parser.error("--multiplex and --legacy are mutually exclusive")
-    args.use_multiplex = not args.legacy
     return args
 
 
@@ -523,8 +518,6 @@ def run_bench(argv=None) -> Dict[str, Any]:
             "shards": args.shard_counts,
             "replication": args.replication_counts,
             "workloads": args.workloads,
-            "multiplex": args.use_multiplex,
-            "legacy_channel": args.legacy,
             "dataset_scale": args.dataset_scales,
             "resident_bytes": args.resident_bytes,
             "batch_requests": args.batch_requests,
@@ -568,7 +561,6 @@ def run_bench(argv=None) -> Dict[str, Any]:
                                 shards,
                                 replication,
                                 baseline,
-                                multiplex=args.use_multiplex,
                                 batch_requests=args.batch_requests,
                                 resident_bytes=args.resident_bytes,
                                 dataset_scale=scale,
@@ -592,7 +584,6 @@ def run_bench(argv=None) -> Dict[str, Any]:
                                 shards,
                                 replication,
                                 baseline,
-                                multiplex=args.use_multiplex,
                                 resident_bytes=args.resident_bytes,
                             )
                         )
@@ -608,12 +599,12 @@ def run_bench(argv=None) -> Dict[str, Any]:
                 flush=True,
             )
             runs.append(
-                _run_master_failover_probe(
-                    workload, workers, shards, 1, baseline,
-                    multiplex=args.use_multiplex,
-                )
+                _run_master_failover_probe(workload, workers, shards, 1, baseline)
             )
-            parity_ok = all(r.get("matches_local", True) for r in runs)
+            parity_ok = all(
+                r.get("matches_local", True) and r.get("resident_peak_ok", True)
+                for r in runs
+            )
             speedups = [
                 r["speedup_vs_local"]
                 for r in runs

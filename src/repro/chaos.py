@@ -40,11 +40,11 @@ count. Spill joins the cocktail too: ~1/3 of plans (every plan with
 disk-backed segment layer is what the kills land on — segment-shipping
 resync at r=2, directory reopen at r=1 — and plans with a live copy of
 everything (r=2, or spill at any r) and neither a worker nor a master
-kill must finish with ZERO family resets. Failing spill plans preserve
-their shards' segment directories alongside the journal under
-``REPRO_CHAOS_KEEP_JOURNALS``. The storage channel defaults to the
-multiplexed dialect; ``--legacy-channel`` pins the connection-per-caller
-one (selectable for one more release). No determinism digest there: OS
+kill must finish with ZERO family resets. Spill plans may also aim the
+shard kill *inside* a segment compaction (one of the two crash windows,
+pre- or post-index-record) instead of at an op count. Failing spill
+plans preserve their shards' segment directories alongside the journal
+under ``REPRO_CHAOS_KEEP_JOURNALS``. No determinism digest there: OS
 process scheduling is not seeded, only the *outcome* is checked.
 """
 
@@ -523,7 +523,6 @@ def fuzz_one_dist(
     seed: int,
     index: int,
     master_kill: bool = False,
-    multiplex: bool = True,
     spill: bool = False,
 ) -> Tuple[bool, str]:
     """One seeded dist run with injected kills; (ok, summary line)."""
@@ -561,6 +560,16 @@ def fuzz_one_dist(
     )
     kill_shard = rng.choice(stream_homes)
     kill_ops = rng.randint(1, 4)
+    # Spill plans sometimes aim the shard kill *inside* a compaction
+    # window instead of at an op count: the victim dies between writing
+    # the compacted segments and logging the swap ("written"), or between
+    # logging it and unlinking the old files ("indexed") — the two crash
+    # windows the segment store's reopen must disambiguate. A plan whose
+    # run never compacts simply never fires the kill, which doubles as a
+    # does-nothing check (mirroring the high-tail master kills).
+    kill_in_compaction = None
+    if resident_bytes is not None and rng.random() < 1 / 3:
+        kill_in_compaction = rng.choice(["written", "indexed"])
     kill_task = None
     if rng.random() < 0.35:
         kill_task = rng.choice(sorted(app.graph.tasks))
@@ -581,8 +590,11 @@ def fuzz_one_dist(
         segment_dir = tempfile.mkdtemp(prefix="repro-chaos-segments-")
     plan_desc = (
         f"shards={shards} workers={workers} r={replication} "
-        f"kill_shard={kill_shard}@{kill_ops}ops"
-        + ("" if multiplex else " legacy")
+        + (
+            f"kill_shard={kill_shard}@compact:{kill_in_compaction}"
+            if kill_in_compaction is not None
+            else f"kill_shard={kill_shard}@{kill_ops}ops"
+        )
         + (f" spill={resident_bytes}B" if resident_bytes is not None else "")
         + (f" kill_task={kill_task}" if kill_task else "")
         + (
@@ -595,11 +607,11 @@ def fuzz_one_dist(
         workers=workers,
         shards=shards,
         replication=replication,
-        multiplex=multiplex,
         resident_bytes=resident_bytes,
         segment_dir=segment_dir,
         kill_shard=kill_shard,
         kill_shard_after_ops=kill_ops,
+        kill_shard_in_compaction=kill_in_compaction,
         kill_task=kill_task,
         kill_after_chunks=rng.randint(1, 3),
         journal_dir=journal_dir,
@@ -717,7 +729,6 @@ def _main_dist(args) -> int:
             args.seed,
             index,
             master_kill=args.master_kill,
-            multiplex=not args.legacy_channel,
             spill=args.spill,
         )
         print(f"[{index + 1:3d}/{args.runs}] {line}")
@@ -772,19 +783,6 @@ def main(argv=None) -> int:
         "~40%% of them) and resume it from its journal",
     )
     parser.add_argument(
-        "--multiplex",
-        action="store_true",
-        help="accepted for compatibility: the multiplexed storage channel "
-        "is now the default (see --legacy-channel for the A/B arm)",
-    )
-    parser.add_argument(
-        "--legacy-channel",
-        action="store_true",
-        help="with --dist: run every plan over the legacy "
-        "connection-per-caller storage channel instead of the default "
-        "multiplexed one (selectable for one more release)",
-    )
-    parser.add_argument(
         "--spill",
         action="store_true",
         help="with --dist: give every plan a tiny per-shard resident-bytes "
@@ -792,8 +790,6 @@ def main(argv=None) -> int:
         "(otherwise ~1/3 of plans draw spill from the seed)",
     )
     args = parser.parse_args(argv)
-    if args.multiplex and args.legacy_channel:
-        parser.error("--multiplex and --legacy-channel are mutually exclusive")
 
     if args.dist:
         return _main_dist(args)

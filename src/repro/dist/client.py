@@ -26,24 +26,28 @@ and re-sweeps — riding out the window where the primary is dead but the
 master has not yet pushed the promotion epochs — and only then raises
 :class:`~repro.errors.StorageNodeDown` for the master's coarse recovery.
 
-:class:`BatchChunkFetcher` is the paper's batch-sampling access path
-(Section 4.2, Eq. 1): instead of one round trip per chunk, a prefetch
-thread on its own connection requests up to ``b`` chunks per RPC and
-keeps a buffer of ``b`` chunks ahead of the consuming task — while the
-task burns CPU on buffered chunks, the next batch is already in flight,
-hiding the chunk-service latency that Eq. 1 charges per request. With
-``m`` shards, each fetcher connects to the shard homing its bag (or, with
-replication, sweeps the replica set on private connections), so a worker
-running a task plus prefetch keeps its outstanding ``remove_batch`` RPCs
-spread over the shards its bags land on — Eq. 1's ``m`` made real.
+All data-plane traffic is multiplexed: each shard gets one
+:class:`MuxShardClient` carrying every caller's frames over a single
+socket (call-id-tagged, futures resolved by the process's one
+:class:`MuxPump` selector thread). :class:`MuxBatchFetcher` is the
+paper's batch-sampling access path (Section 4.2, Eq. 1) over that link:
+instead of one round trip per chunk, a completion callback keeps a
+``remove_batch`` of ``b`` chunks in flight while up to ``b`` are
+buffered ahead of the consuming task, hiding the chunk-service latency
+Eq. 1 charges per request — with O(shards) threads, not O(streams).
+With ``m`` shards, each fetcher's RPCs land on the shard homing its bag
+(or, with replication, sweep the replica set), so a worker running a
+task plus prefetch keeps its outstanding requests spread over the
+shards its bags land on — Eq. 1's ``m`` made real. The name
+``BatchChunkFetcher`` is an alias kept for its import surface; the
+threaded per-connection implementation behind it was deleted with the
+legacy one-exchange channel (:class:`RemoteBagStore` survives as the
+plain hello-dialect client used by diagnostics and test harnesses).
 
-With ``multiplex=True`` the store drops the connection-per-caller model
-entirely: each shard gets one :class:`MuxShardClient` carrying every
-caller's frames over a single socket (call-id-tagged, futures resolved
-by the process's one :class:`MuxPump` selector thread), and
-:class:`MuxBatchFetcher` replaces the prefetch thread with a completion
-callback that re-arms the next batch — same Eq. 1 overlap, O(shards)
-threads instead of O(streams).
+Bulk reads page through ``read_page`` (see :mod:`repro.dist.protocol`)
+so a refill of a disk-backed bag never materializes the whole bag in
+any process; ``finalize_bag`` triggers server-side segment compaction
+of a finished bag, one replica at a time.
 """
 
 from __future__ import annotations
@@ -51,7 +55,6 @@ from __future__ import annotations
 import ast
 import itertools
 import os
-import queue
 import selectors
 import socket
 import threading
@@ -76,9 +79,6 @@ from repro.dist.protocol import (
 from repro.dist.sharding import ShardRouter
 from repro.errors import FetchTimeout, NotPrimary, ReproError, StorageNodeDown
 from repro.storage.policy import StorageConfig
-
-#: Sentinel queued by the fetcher when the bag is drained and sealed.
-_EOF = object()
 
 #: Poll interval while a streamed bag is empty but not yet sealed (only
 #: possible for bags filled concurrently; scheduled tasks stream sealed
@@ -151,6 +151,9 @@ class RemoteBag:
 
     def read_all(self) -> List[Any]:
         return self._store.call("read_all", self.bag_id)
+
+    def read_page(self, cursor: int, max_bytes: int) -> Tuple[List[Any], int]:
+        return self._store.call("read_page", self.bag_id, cursor, max_bytes)
 
     def seal(self) -> None:
         self._store.call("seal", self.bag_id)
@@ -657,6 +660,11 @@ class ReplicatedRemoteBag:
     def read_all(self) -> List[Any]:
         return self._store.sweep_call(self.bag_id, "read_all", self.bag_id)
 
+    def read_page(self, cursor: int, max_bytes: int) -> Tuple[List[Any], int]:
+        return self._store.sweep_call(
+            self.bag_id, "read_page", self.bag_id, cursor, max_bytes
+        )
+
     def seal(self) -> None:
         self._store.fanout(self.bag_id, "seal", self.bag_id)
 
@@ -698,7 +706,6 @@ class ShardedBagStore:
         client_id: str,
         policy: StorageConfig = DIST_STORAGE_POLICY,
         router: Optional[ShardRouter] = None,
-        multiplex: bool = False,
         replica_ops: bool = False,
     ):
         if not addresses:
@@ -713,7 +720,6 @@ class ShardedBagStore:
         self.client_id = client_id
         self.authkey = authkey
         self.policy = policy
-        self.multiplex = bool(multiplex)
         #: Speak the replicated op family (id-stamped ``rinsert``,
         #: seq-deduplicated ``rremove_batch``, sweeping reads) even when
         #: ``replication == 1``. Forced on by replication; requested by
@@ -726,19 +732,13 @@ class ShardedBagStore:
             REPLICATED_PROBE_POLICY if self.router.replication > 1 else policy
         )
         self.per_shard_policy = per_shard_policy
-        self._pump: Optional[MuxPump] = MuxPump() if self.multiplex else None
-        if self.multiplex:
-            self.stores: List[Any] = [
-                MuxShardClient(
-                    address, authkey, client_id, per_shard_policy, self._pump
-                )
-                for address in self.addresses
-            ]
-        else:
-            self.stores = [
-                RemoteBagStore(address, authkey, client_id, per_shard_policy)
-                for address in self.addresses
-            ]
+        self._pump = MuxPump()
+        self.stores: List[MuxShardClient] = [
+            MuxShardClient(
+                address, authkey, client_id, per_shard_policy, self._pump
+            )
+            for address in self.addresses
+        ]
         self._epochs: Dict[int, int] = {}
         self._epoch_lock = threading.Lock()
         self._chunk_counter = itertools.count()
@@ -759,7 +759,7 @@ class ShardedBagStore:
     def address_of(self, bag_id: str) -> StorageAddress:
         return self.addresses[self.shard_of(bag_id)]
 
-    def store_for(self, bag_id: str) -> RemoteBagStore:
+    def store_for(self, bag_id: str) -> MuxShardClient:
         return self.stores[self.shard_of(bag_id)]
 
     # -- replication state ------------------------------------------------------
@@ -881,29 +881,21 @@ class ShardedBagStore:
             time.sleep(delay)
 
     def _fanout_pass(self, bag_id: str, op: str, args: Tuple[Any, ...]) -> int:
+        # One submit round, one gather round: the replicas serve the
+        # write concurrently instead of paying r serial round trips.
         served = 0
-        if self.multiplex:
-            # One submit round, one gather round: the replicas serve the
-            # write concurrently instead of paying r serial round trips.
-            submitted: List[Tuple[int, Future]] = []
-            for shard in self.router.replicas(bag_id):
-                try:
-                    submitted.append((shard, self.stores[shard].submit(op, *args)))
-                except StorageNodeDown:
-                    self.mark_demoted(shard)
-            for shard, future in submitted:
-                try:
-                    future.result()
-                    served += 1
-                except StorageNodeDown:
-                    self.mark_demoted(shard)
-        else:
-            for shard in self.router.replicas(bag_id):
-                try:
-                    self.stores[shard].call(op, *args)
-                    served += 1
-                except StorageNodeDown:
-                    self.mark_demoted(shard)
+        submitted: List[Tuple[int, Future]] = []
+        for shard in self.router.replicas(bag_id):
+            try:
+                submitted.append((shard, self.stores[shard].submit(op, *args)))
+            except StorageNodeDown:
+                self.mark_demoted(shard)
+        for shard, future in submitted:
+            try:
+                future.result()
+                served += 1
+            except StorageNodeDown:
+                self.mark_demoted(shard)
         return served
 
     def fanout_insert(self, bag_id: str, chunk: Any) -> None:
@@ -929,6 +921,16 @@ class ShardedBagStore:
     def seg_push(self, shard: int, packages: Dict[str, Any]) -> None:
         """Install segment packages on ``shard`` (re-replication target)."""
         self.stores[shard].call("seg_push", packages)
+
+    def finalize_bag(self, shard: int, bag_id: str) -> Tuple[int, int]:
+        """Compact ``bag_id``'s segments on ``shard`` (master-only op).
+
+        Explicitly per-replica (like ``seg_pull``/``seg_push``) instead
+        of routed: the master drives each replica of a finished bag in
+        turn so every copy reclaims its dead frames. Idempotent — a
+        retry against an already-compacted bag answers ``(0, 0)``.
+        """
+        return self.stores[shard].call("finalize", bag_id)
 
     def push_epochs(self, shard: int, epochs: Dict[int, int]) -> None:
         """Install the master's demotion-epoch vector on ``shard``."""
@@ -973,23 +975,17 @@ class ShardedBagStore:
             }
         merged: Dict[str, int] = {}
         groups = sorted(self.router.partition(bag_ids).items())
-        if self.multiplex:
-            submitted = [
-                (shard, self.stores[shard].submit("remaining_many", group))
-                for shard, group in groups
-            ]
-            for _shard, future in submitted:
-                merged.update(future.result())
-            return merged
-        for shard, group in groups:
-            merged.update(self.stores[shard].call("remaining_many", group))
+        submitted = [
+            (shard, self.stores[shard].submit("remaining_many", group))
+            for shard, group in groups
+        ]
+        for _shard, future in submitted:
+            merged.update(future.result())
         return merged
 
     def stats(self) -> List[Dict[str, int]]:
         """Per-shard op-counter snapshots, indexed by shard."""
-        if self.multiplex:
-            return [f.result() for f in [s.submit("stats") for s in self.stores]]
-        return [store.call("stats") for store in self.stores]
+        return [f.result() for f in [s.submit("stats") for s in self.stores]]
 
     def fence(self, client_id: str, timeout: Optional[float]) -> int:
         """Fence ``client_id`` on **every** shard; returns leftover conns.
@@ -1062,256 +1058,22 @@ class _FetchAborted(Exception):
     """
 
 
-class _ReplicatedFetchSource:
-    """Replica-sweeping chunk source for a prefetching fetcher.
-
-    Owns one private :class:`RemoteBagStore` per replica (so fetch RPCs
-    never contend on the worker store's connection locks) but shares the
-    parent store's epoch hints and — critically — its per-bag sequence
-    counters and client id: the server's removal log is keyed by client,
-    so every remover in one process must draw from one monotone sequence.
-    """
-
-    def __init__(self, store: ShardedBagStore, bag_id: str):
-        self._parent = store
-        self.bag_id = bag_id
-        self.shard = store.serving_order(bag_id)[0]
-        self._stores: Dict[int, RemoteBagStore] = {}
-        self._aborted = False
-
-    def _store_for(self, shard: int) -> RemoteBagStore:
-        if shard not in self._stores:
-            self._stores[shard] = RemoteBagStore(
-                self._parent.addresses[shard],
-                self._parent.authkey,
-                self._parent.client_id,
-                self._parent.per_shard_policy,
-            )
-        return self._stores[shard]
-
-    def remove_batch(self, count: int) -> Tuple[List[Any], bool]:
-        seq = self._parent.next_seq(self.bag_id)
-
-        def attempt(shard: int) -> Tuple[List[Any], bool]:
-            if self._aborted:
-                raise _FetchAborted(self.bag_id)
-            result = self._store_for(shard).call(
-                "rremove_batch", self.bag_id, count, self._parent.client_id, seq
-            )
-            self.shard = shard  # tag latency samples with the server that served
-            return result
-
-        return self._parent.sweep(self.bag_id, attempt)
-
-    def abort(self) -> None:
-        """Make any in-flight or future sweep fail fast (stop() support)."""
-        self._aborted = True
-        for store in list(self._stores.values()):
-            store.abort()
-
-    def close(self) -> None:
-        for store in self._stores.values():
-            store.close()
-
-
-class BatchChunkFetcher:
-    """Prefetching chunk client for one stream-input bag.
-
-    A daemon thread on a dedicated connection — to the shard homing the
-    bag, or sweeping its replica set — issues ``remove_batch`` RPCs of
-    ``batch`` chunks and feeds a bounded queue; :meth:`get` returns the
-    next chunk or ``None`` at end-of-bag. Per-RPC latency samples
-    (seconds) accumulate in :attr:`latencies`, tagged with :attr:`shard`
-    for the benchmark's per-shard chunk-service percentiles.
-    """
-
-    def __init__(
-        self,
-        address: StorageAddress,
-        authkey: bytes,
-        client_id: str,
-        bag_id: str,
-        batch: int,
-        policy: StorageConfig = DIST_STORAGE_POLICY,
-        shard: int = 0,
-        source: Optional[_ReplicatedFetchSource] = None,
-    ):
-        if batch < 1:
-            raise ValueError(f"batch must be >= 1, got {batch}")
-        self.bag_id = bag_id
-        self.batch = batch
-        self.shard = shard
-        self.latencies: List[float] = []
-        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=batch)
-        self._stop = threading.Event()
-        self._error: Optional[BaseException] = None
-        self._source = source
-        if source is None:
-            self._store: Optional[RemoteBagStore] = RemoteBagStore(
-                address, authkey, client_id, policy
-            )
-        else:
-            self._store = None
-        self._thread = threading.Thread(
-            target=self._run, daemon=True, name=f"fetch-{bag_id}"
-        )
-        self._thread.start()
-
-    @classmethod
-    def for_bag(
-        cls,
-        store: ShardedBagStore,
-        bag_id: str,
-        batch: int,
-        policy: StorageConfig = DIST_STORAGE_POLICY,
-    ):
-        """Fetcher wired to the shard(s) serving ``bag_id``.
-
-        The pre-sharding code connected every fetcher to *the* server
-        address; this constructor is the routed replacement — connecting a
-        fetcher to any other shard would stream an eternally-empty bag.
-        With replication it wires a sweeping source over the bag's whole
-        replica set instead, so a mid-stream primary death fails over
-        inside the fetch thread without surfacing to the task. A
-        multiplexed store gets the threadless :class:`MuxBatchFetcher`
-        (same surface, no dedicated connection or thread).
-        """
-        if getattr(store, "multiplex", False):
-            return MuxBatchFetcher(store, bag_id, batch)
-        if getattr(store, "replica_ops", False):
-            source = _ReplicatedFetchSource(store, bag_id)
-            return cls(
-                store.addresses[source.shard],
-                store.authkey,
-                store.client_id,
-                bag_id,
-                batch,
-                policy,
-                shard=source.shard,
-                source=source,
-            )
-        return cls(
-            store.address_of(bag_id),
-            store.authkey,
-            store.client_id,
-            bag_id,
-            batch,
-            policy,
-            shard=store.shard_of(bag_id),
-        )
-
-    @property
-    def latencies_by_shard(self) -> Dict[int, List[float]]:
-        """Per-shard latency samples (legacy fetcher: one serving shard)."""
-        return {self.shard: self.latencies}
-
-    def _remove_batch(self) -> Tuple[List[Any], bool]:
-        if self._source is not None:
-            chunks, sealed = self._source.remove_batch(self.batch)
-            self.shard = self._source.shard
-            return chunks, sealed
-        return self._bag.remove_batch(self.batch)
-
-    def _run(self) -> None:
-        if self._store is not None:
-            self._bag = self._store.get(self.bag_id)
-        try:
-            while not self._stop.is_set():
-                started = time.perf_counter()
-                chunks, sealed = self._remove_batch()
-                self.latencies.append(time.perf_counter() - started)
-                if not chunks:
-                    if sealed:
-                        self._put(_EOF)
-                        return
-                    time.sleep(_UNSEALED_POLL_SECONDS)
-                    continue
-                for chunk in chunks:
-                    self._put(chunk)
-        except BaseException as exc:
-            self._error = exc
-            self._put(_EOF)
-        finally:
-            if self._store is not None:
-                self._store.close()
-            if self._source is not None:
-                self._source.close()
-
-    def _put(self, item: Any) -> None:
-        # Blocking put that never drops: loop on the bounded queue until
-        # the item lands, re-checking only for consumer cancellation. A
-        # timed put that gave up on Full would silently lose the chunk —
-        # exactly-once delivery ends at this queue, so the only legal ways
-        # out are "enqueued" and "nobody is listening anymore".
-        while not self._stop.is_set():
-            try:
-                self._queue.put(item, timeout=0.1)
-                return
-            except queue.Full:
-                continue
-
-    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
-        """Next chunk, or ``None`` once the bag is drained and sealed.
-
-        A ``timeout`` with nothing buffered raises
-        :class:`~repro.errors.FetchTimeout` — a typed signal that no
-        chunk was lost (the next get may well succeed) — never the
-        stdlib's bare ``queue.Empty``, which is an implementation detail
-        callers should not have to know about.
-        """
-        try:
-            item = self._queue.get(timeout=timeout)
-        except queue.Empty:
-            raise FetchTimeout(
-                f"no chunk from bag {self.bag_id!r} within {timeout}s"
-            ) from None
-        if item is _EOF:
-            if self._error is not None:
-                raise self._error
-            return None
-        return item
-
-    def stop(self) -> None:
-        """Stop the fetch thread deterministically; loud if it survives.
-
-        Setting the flag alone is not enough: a thread parked in a
-        blocked RPC (a stalled or half-dead shard) re-checks nothing
-        until the recv returns. Aborting the underlying socket(s) forces
-        that recv to fail with EOF *now*, so the join below is bounded
-        by cleanup, not by a remote process's lifetime — and if the
-        thread still survives, that is a bug worth a loud failure, not a
-        silently leaked thread per stopped stream.
-        """
-        self._stop.set()
-        if self._store is not None:
-            self._store.abort()
-        if self._source is not None:
-            self._source.abort()
-        self._thread.join(timeout=2.0)
-        if self._thread.is_alive():
-            raise ReproError(
-                f"fetcher thread for bag {self.bag_id!r} survived stop(): "
-                f"its in-flight RPC could not be interrupted"
-            )
-
-
 class MuxBatchFetcher:
-    """Threadless batch-sampling fetcher over a multiplexed store.
+    """Threadless batch-sampling fetcher over the multiplexed store.
 
-    Same surface and Eq. 1 behaviour as :class:`BatchChunkFetcher` —
-    ``get`` returns buffered chunks while the next ``remove_batch`` of
-    ``b`` chunks is already in flight — but the overlap comes from a
-    completion callback instead of a dedicated thread: each resolved
-    batch future re-arms the next request on the shared
-    :class:`MuxShardClient` link, so a worker streaming fifty bags runs
-    fifty of these on the *same* O(shards) pump threads. The only
-    thread this class ever spawns is a short-lived replicated-failover
-    sweep (primary died mid-stream), because that path must block
-    through reconnect backoffs, which the pump may not.
+    The Eq. 1 access path: ``get`` returns buffered chunks while the
+    next ``remove_batch`` of ``b`` chunks is already in flight. The
+    overlap comes from a completion callback instead of a dedicated
+    thread: each resolved batch future re-arms the next request on the
+    shared :class:`MuxShardClient` link, so a worker streaming fifty
+    bags runs fifty of these on the *same* O(shards) pump threads. The
+    only thread this class ever spawns is a short-lived
+    replicated-failover sweep (primary died mid-stream), because that
+    path must block through reconnect backoffs, which the pump may not.
 
     Latency samples are tagged per serving shard in
     :attr:`latencies_by_shard` (the flat :attr:`latencies` /
-    :attr:`shard` pair is kept for legacy consumers).
+    :attr:`shard` pair is kept for single-shard consumers).
     """
 
     def __init__(self, store: ShardedBagStore, bag_id: str, batch: int):
@@ -1341,6 +1103,25 @@ class MuxBatchFetcher:
         self._recovery: Optional[threading.Thread] = None
         with self._cond:
             self._issue_locked()
+
+    @classmethod
+    def for_bag(
+        cls,
+        store: ShardedBagStore,
+        bag_id: str,
+        batch: int,
+        policy: StorageConfig = DIST_STORAGE_POLICY,
+    ) -> "MuxBatchFetcher":
+        """Fetcher streaming ``bag_id`` over ``store``'s shared links.
+
+        The historical constructor shape from the deleted threaded
+        fetcher, kept because call sites read better naming the bag than
+        spelling the routing; ``policy`` is accepted for signature
+        compatibility but unused — the store's per-shard policy already
+        governs the shared connections.
+        """
+        del policy
+        return cls(store, bag_id, batch)
 
     @property
     def latencies_by_shard(self) -> Dict[int, List[float]]:
@@ -1557,9 +1338,10 @@ class MuxBatchFetcher:
     def get(self, timeout: Optional[float] = None) -> Optional[Any]:
         """Next chunk, or ``None`` once the bag is drained and sealed.
 
-        Same contract as :meth:`BatchChunkFetcher.get`, including the
-        typed :class:`~repro.errors.FetchTimeout` on a timeout with
-        nothing buffered.
+        A ``timeout`` with nothing buffered raises the typed
+        :class:`~repro.errors.FetchTimeout` — a signal that no chunk
+        was lost (the next get may well succeed) — never a bare
+        ``queue.Empty``-style implementation detail.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
@@ -1590,7 +1372,7 @@ class MuxBatchFetcher:
                 self._cond.wait(wait)
 
     def stop(self) -> None:
-        """Stop streaming; bounded and loud, like the legacy ``stop``.
+        """Stop streaming; bounded, and loud if cleanup hangs.
 
         There is no fetch thread to interrupt — an unresolved in-flight
         future just has its completion callback observe ``_stopped`` and
@@ -1612,3 +1394,8 @@ class MuxBatchFetcher:
                     f"failover sweep for bag {self.bag_id!r} survived "
                     f"stop(): its in-flight RPC could not be interrupted"
                 )
+
+
+#: Import-surface alias: the threaded per-connection fetcher this name
+#: used to denote was deleted with the legacy storage channel.
+BatchChunkFetcher = MuxBatchFetcher

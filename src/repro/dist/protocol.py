@@ -12,22 +12,18 @@ Two channels exist:
   master-chosen paths). A Unix socket (not localhost TCP) because
   ``multiprocessing`` sends large messages as separate header/body
   writes, which interacts with Nagle + delayed-ACK on TCP to add ~40ms
-  per chunk RPC. The channel speaks one of two dialects, chosen by the
-  client's first message after the auth handshake:
-
-  * **multiplexed** (the ``DistSettings.multiplex = True`` default):
-    the client opens with ``("mux", client_id)``, and after the
-    ``("ok", _)`` ack both sides switch from whole-pickled-message
-    exchange to the raw frame stream below. One connection per
-    (process, shard) pair then carries every caller's traffic
-    concurrently;
-  * **one-exchange** (legacy, ``DistSettings.multiplex = False``,
-    selectable for one more release): the client introduces itself
-    with ``("hello", client_id)`` and then strictly alternates —
-    requests are ``(op, *args)`` tuples, responses are
-    ``("ok", payload)`` or ``("err", (exc_type_name, message))``, and
-    each caller needs its own connection (plus a prefetch thread per
-    stream) to overlap requests.
+  per chunk RPC. Clients speak the **multiplexed** dialect: the first
+  message after the auth handshake is ``("mux", client_id)``, and after
+  the ``("ok", _)`` ack both sides switch from whole-pickled-message
+  exchange to the raw frame stream below. One connection per
+  (process, shard) pair then carries every caller's traffic
+  concurrently. (The legacy one-exchange-per-call dialect — a
+  ``("hello", client_id)`` introduction followed by strictly
+  alternating ``(op, *args)`` / ``("ok", payload)``-or-``("err", ...)``
+  messages, one connection per caller — was deleted after its one
+  release as CI's A/B arm. The server still serves the *shape*: a
+  first message that is neither ``mux`` nor ``hello`` is a raw peer op,
+  the dialect replication peers and test harnesses use.)
 
 **Mux frame format** — every frame, both directions, is::
 
@@ -95,6 +91,18 @@ and the master-only segment-transfer ops replace snapshot resync:
 open-tail chunks, ``seg_push`` installs such packages on the respawned
 replica — sealed data moves as raw file bytes, never re-pickled
 chunk-by-chunk.
+
+Bulk reads stream: ``("read_page", bag_id, cursor, max_bytes)`` returns
+``(chunks, next_cursor)`` — one bounded page of the bag's stable chunk
+order, primary-gated exactly like ``read_all``, with an empty page
+signalling the end (a cursor past the end answers empty rather than
+erroring). Refill/snapshot paths page with
+:func:`repro.engine.common.iter_bag_chunks` so no whole-bag payload is
+ever resident in one process or one reply frame. The master-only
+``("finalize", bag_id)`` op triggers segment compaction of a finished
+bag (:meth:`repro.dist.segments.SegmentBagStore.finalize_bag`) on the
+addressed replica, returning ``(segments_compacted, bytes_reclaimed)``
+— idempotent, and a no-op on stores without segments.
 
 Connections are established with :func:`connect_with_retry`, which reuses
 the :class:`~repro.storage.policy.StorageConfig` retry/timeout/backoff
@@ -256,14 +264,6 @@ class DistSettings:
     #: (shard death recovers by replay); ``r > 1`` = primary-backup with
     #: client-side failover (shard death recovers by promotion).
     replication: int = 1
-    #: Storage-channel dialect: ``True`` (the default, after a release
-    #: of A/B gating) multiplexes every caller in a process onto one
-    #: framed connection per shard (futures keyed by call id, one
-    #: selector pump thread instead of a thread+connection per stream);
-    #: ``False`` keeps the legacy one-exchange-per-call path, still
-    #: selectable for one more release as CI's explicitly-flagged A/B
-    #: arm before it is deleted.
-    multiplex: bool = True
     #: Per-shard hot-memory budget in bytes; ``None`` (the default)
     #: keeps every chunk resident, exactly the pre-spill behavior. Set,
     #: it switches the shards to the disk-backed layered store

@@ -140,6 +140,30 @@ class RepBag:
         with self._lock:
             return list(self._consumed.values()) + list(self._pending.values())
 
+    def read_page(self, cursor: int, max_bytes: int) -> Tuple[List[Any], int]:
+        """One bounded page of :meth:`read_all`'s sequence.
+
+        Pages index the same consumed-then-pending order ``read_all``
+        returns; like it, pagination is only stable while nothing moves
+        between the sets, which holds on every caller (refill/snapshot
+        paths read bags whose consumers are quiesced). Byte-sized chunks
+        bound the page; object chunks count a nominal size.
+        """
+        with self._lock:
+            ordered = list(self._consumed.values()) + list(self._pending.values())
+            cursor = max(0, int(cursor))
+            chunks: List[Any] = []
+            used = 0
+            while cursor < len(ordered):
+                chunk = ordered[cursor]
+                size = len(chunk) if isinstance(chunk, (bytes, bytearray)) else 1
+                if chunks and used + size > max_bytes:
+                    break
+                chunks.append(chunk)
+                used += size
+                cursor += 1
+            return chunks, cursor
+
     def remaining(self) -> int:
         with self._lock:
             return len(self._pending)

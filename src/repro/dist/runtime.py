@@ -70,7 +70,13 @@ from repro.dist.protocol import (
 from repro.dist.server import storage_server_main
 from repro.dist.sharding import ShardRouter
 from repro.dist.worker import worker_main
-from repro.engine.common import bag_records, emit_value, fill_bag, refill_bag
+from repro.engine.common import (
+    bag_records,
+    emit_value,
+    fill_bag,
+    iter_bag_chunks,
+    refill_bag,
+)
 from repro.errors import RemoteTaskError, ReproError, SchedulingError, StorageNodeDown
 from repro.model.application import Application
 from repro.model.execution_graph import (
@@ -255,6 +261,10 @@ class DistResult:
             (s.get("resident_peak_bytes", 0) for s in shard_stats), default=0
         )
         self.segments_written = aggregate.get("segments_written", 0)
+        #: Compaction yield, summed across shards: sealed-segment files
+        #: rewritten away, and the net bytes of dead frames reclaimed.
+        self.segments_compacted = aggregate.get("segments_compacted", 0)
+        self.bytes_reclaimed = aggregate.get("bytes_reclaimed", 0)
         #: True when at least one shard death resynced by shipping
         #: sealed segment files instead of chunk-by-chunk snapshots.
         self.segment_resync = runtime.segment_resyncs > 0
@@ -308,7 +318,6 @@ class DistRuntime:
         clone_min_chunks: int = 2,
         max_clones_per_task: Optional[int] = None,
         batch_requests: int = 4,
-        multiplex: bool = True,
         resident_bytes: Optional[int] = None,
         segment_dir: Optional[str] = None,
         storage_policy: StorageConfig = DIST_STORAGE_POLICY,
@@ -317,6 +326,7 @@ class DistRuntime:
         kill_after_chunks: int = 1,
         kill_shard: Optional[int] = None,
         kill_shard_after_ops: int = 4,
+        kill_shard_in_compaction: Optional[str] = None,
         journal_dir: Optional[str] = None,
         journal_compact_every: int = 256,
         kill_master_after_records: Optional[int] = None,
@@ -338,6 +348,21 @@ class DistRuntime:
             raise ValueError(
                 f"kill_shard {kill_shard} out of range for {shards} shards"
             )
+        if kill_shard_in_compaction is not None:
+            if kill_shard_in_compaction not in ("written", "indexed"):
+                raise ValueError(
+                    "kill_shard_in_compaction must be 'written' or 'indexed', "
+                    f"got {kill_shard_in_compaction!r}"
+                )
+            if kill_shard is None:
+                raise ValueError(
+                    "kill_shard_in_compaction needs kill_shard to name a victim"
+                )
+            if resident_bytes is None:
+                raise ValueError(
+                    "kill_shard_in_compaction without resident_bytes: "
+                    "compaction only runs on the spilling segment store"
+                )
         if resident_bytes is not None and resident_bytes < 1:
             raise ValueError(
                 f"resident_bytes must be >= 1 (or None), got {resident_bytes}"
@@ -357,7 +382,6 @@ class DistRuntime:
             chunk_size=chunk_size,
             records_per_chunk=records_per_chunk,
             batch_requests=batch_requests,
-            multiplex=multiplex,
             replication=replication,
             policy=storage_policy,
             resident_bytes=resident_bytes,
@@ -373,6 +397,7 @@ class DistRuntime:
         self.kill_after_chunks = kill_after_chunks
         self.kill_shard = kill_shard
         self.kill_shard_after_ops = kill_shard_after_ops
+        self.kill_shard_in_compaction = kill_shard_in_compaction
         if kill_master_after_records is not None and journal_dir is None:
             raise ValueError(
                 "kill_master_after_records requires journal_dir: a master "
@@ -465,6 +490,11 @@ class DistRuntime:
         #: this master's lifetime: a *re*spawn of one at replication 1
         #: reopens the directory (recovery-by-reopen) instead of wiping it.
         self._segments_opened: Set[int] = set()
+        #: Bags whose segments were compacted (spill mode): every consumer
+        #: family finished, so their dead consumed frames were rewritten
+        #: away. Journaled write-ahead — a compacted bag can no longer
+        #: serve a rewind, so recovery must escalate its loss to a refill.
+        self._finalized: Set[str] = set()
         self._shard_paths: List[str] = []
         self._shard_procs: List[Any] = []
         self._shard_addresses: List[StorageAddress] = []
@@ -488,6 +518,7 @@ class DistRuntime:
     def _spawn_shard(self, index: int) -> StorageAddress:
         """Start (or restart) shard ``index`` on its stable socket path."""
         kill_after = None
+        kill_in_compaction = None
         if self.kill_shard == index and not self._shard_kill_spent:
             # Fault injection arms the *first* incarnation only; the
             # respawned replacement must live, or recovery would livelock.
@@ -495,7 +526,10 @@ class DistRuntime:
             # the victim's next respawn and kill the same shard twice.
             self._shard_kill_spent = True
             self._jappend(("shard_kill_armed",))
-            kill_after = self.kill_shard_after_ops
+            if self.kill_shard_in_compaction is not None:
+                kill_in_compaction = self.kill_shard_in_compaction
+            else:
+                kill_after = self.kill_shard_after_ops
         segment_dir = None
         reopen = False
         if self.settings.resident_bytes is not None:
@@ -522,6 +556,7 @@ class DistRuntime:
                 segment_dir,
                 self.settings.resident_bytes,
                 reopen,
+                kill_in_compaction,
             ),
             name=f"dist-shard-{index}",
             daemon=True,
@@ -692,7 +727,6 @@ class DistRuntime:
                 "master",
                 self.settings.policy,
                 router=self.router,
-                multiplex=self.settings.multiplex,
                 replica_ops=self.settings.resident_bytes is not None,
             )
             for bag_id in self.graph.source_bags():
@@ -1075,9 +1109,9 @@ class DistRuntime:
             # about to reset this family and re-produce everything.
             values = [
                 record
-                for chunk in self._store.get(
-                    partial_bag_id(node.task_id, 0)
-                ).read_all()
+                for chunk in iter_bag_chunks(
+                    self._store, partial_bag_id(node.task_id, 0)
+                )
                 for record in chunk
             ]
             if len(values) != 1:
@@ -1107,6 +1141,41 @@ class DistRuntime:
         if family.finished:
             for bag_id in family.original.spec.outputs:
                 self._seal_if_complete(bag_id)
+            self._maybe_finalize_inputs(family)
+
+    def _maybe_finalize_inputs(self, family) -> None:
+        """Compact the finished family's fully-consumed input bags.
+
+        Spill mode only. A graph bag has at most one consumer task (a
+        validated invariant), so the moment its consumer family finishes,
+        the consumed frames of its input bags are dead weight on the
+        shards' disks — unless the result snapshot still wants to read a
+        bag back, in which case it is left alone. Journaled write-ahead
+        per bag: a compacted bag can no longer serve a rewind, so a
+        recovered master must know to escalate its loss to a refill (see
+        :meth:`_loss_closure`) even when the compaction RPCs themselves
+        never landed.
+        """
+        if self.settings.resident_bytes is None:
+            return
+        keep = set(self._snapshot_bag_ids())
+        spec = family.original.spec
+        for bag_id in spec.inputs:
+            if (
+                bag_id not in self.graph.bags
+                or bag_id in keep
+                or bag_id in self._finalized
+            ):
+                continue
+            self._finalized.add(bag_id)
+            self._jappend(("finalize", bag_id))
+            # Every replica compacts its own copy: compaction is a local
+            # disk rewrite, not a replicated mutation, so it is driven
+            # per-shard like seg_pull/seg_push rather than fanned out.
+            for index in self.router.replicas(bag_id):
+                self._retrying(
+                    lambda i=index, b=bag_id: self._store.finalize_bag(i, b)
+                )
 
     def _seal_if_complete(self, bag_id: str) -> None:
         """Seal ``bag_id``, tolerating a concurrent shard death.
@@ -1469,6 +1538,13 @@ class DistRuntime:
             if spec.needs_merge:
                 for index in range(family.clone_counter + 1):
                     push(partial_bag_id(task_id, index))
+            for bag_id in spec.inputs:
+                # A finalized (compacted) input physically dropped its
+                # consumed frames and cannot serve the replay's rewind:
+                # its loss escalates upstream exactly like a lost bag,
+                # re-producing (or refilling) it from scratch.
+                if bag_id in self._finalized:
+                    push(bag_id)
 
         for bag_id in sorted(lost_bags):
             push(bag_id)
@@ -1656,8 +1732,12 @@ class DistRuntime:
         self.exec.reset_families(tasks)
         for task_id, bags, _ in plan:
             for bag_id in sorted(bags):
+                # The discard births a fresh, un-compacted incarnation of
+                # the bag; rewinds against it are legal again.
+                self._finalized.discard(bag_id)
                 self._retrying(lambda b=bag_id: self._store.get(b).discard())
         for bag_id in sorted(refills):
+            self._finalized.discard(bag_id)
             self._retrying(
                 lambda b=bag_id: refill_bag(
                     self._store,
@@ -1778,6 +1858,8 @@ class DistRuntime:
         vector = self._epoch_vector()
         if vector:
             records.append(("epochs", vector))
+        for bag_id in sorted(self._finalized):
+            records.append(("finalize", bag_id))
         if self._recovery_tasks or self._recovery_refill:
             records.append(
                 (
@@ -1843,6 +1925,16 @@ class DistRuntime:
                     node = self.exec.nodes.get(node_id)
                     if node is None or node.state != NodeState.RUNNING:
                         running.pop(node_id, None)
+                # Mirror the live reset's un-finalize: the discarded
+                # outputs (and refilled sources) are fresh incarnations
+                # that were never compacted.
+                for task_id in record[1]:
+                    spec = self.graph.tasks.get(task_id)
+                    if spec is not None:
+                        for bag_id in spec.outputs:
+                            self._finalized.discard(bag_id)
+                for bag_id in refills:
+                    self._finalized.discard(bag_id)
                 # The reset record closes out the whole accumulated
                 # condemnation (the live master swaps the full set out
                 # atomically), so the outstanding intent is clean again.
@@ -1857,6 +1949,8 @@ class DistRuntime:
                 self._shard_kill_spent = True
             elif kind == "kill_delivered":
                 self._kill_delivered = True
+            elif kind == "finalize":
+                self._finalized.add(record[1])
             elif kind == "generation":
                 generation = max(generation, record[1])
             # Unknown kinds fall through: a journal written by a newer
@@ -1934,7 +2028,6 @@ class DistRuntime:
                 f"master.g{self._generation}",
                 self.settings.policy,
                 router=self.router,
-                multiplex=self.settings.multiplex,
                 replica_ops=self.settings.resident_bytes is not None,
             )
             for index, proc in enumerate(self._shard_procs):
@@ -2101,16 +2194,17 @@ class DistRuntime:
 
     # -- results & teardown -------------------------------------------------------
 
-    def _snapshot(self) -> Dict[str, List[Any]]:
+    def _snapshot_bag_ids(self) -> List[str]:
         if self.snapshot_bags == "all":
-            bag_ids = list(self.graph.bags)
-        elif self.snapshot_bags == "sinks":
-            bag_ids = self.graph.sink_bags()
-        else:
-            bag_ids = list(self.snapshot_bags)
+            return list(self.graph.bags)
+        if self.snapshot_bags == "sinks":
+            return self.graph.sink_bags()
+        return list(self.snapshot_bags)
+
+    def _snapshot(self) -> Dict[str, List[Any]]:
         return {
             bag_id: bag_records(self._store, self.graph, bag_id)
-            for bag_id in bag_ids
+            for bag_id in self._snapshot_bag_ids()
         }
 
     def _shutdown(self) -> None:

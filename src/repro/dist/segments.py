@@ -43,11 +43,24 @@ its files are sealed artifacts, not live append targets.)
 Durability ordering per op: chunk frames land on disk first, then the
 index record (consume markers, dedup tails) is flushed, then the RPC is
 acknowledged. Replay on reopen is tolerant and monotone — index records
-referencing ids whose frames never landed are dropped, later dedup seqs
-win — mirroring :meth:`RepBag.merge_snapshot`'s monotonicity rules. The
-index keeps a revision watermark in its snapshot header so a stale WAL
-tail (crash between snapshot rename and WAL truncation) is never
-replayed twice.
+referencing ids whose frames never landed are dropped (the op they
+describe was never acknowledged), later dedup seqs win — mirroring
+:meth:`RepBag.merge_snapshot`'s monotonicity rules. The index keeps a
+revision watermark in its snapshot header so a stale WAL tail (crash
+between snapshot rename and WAL truncation) is never replayed twice.
+
+Compaction (:meth:`SegmentBagStore.finalize_bag`) reclaims the disk a
+consumed-heavy finished bag still pins: the live frames are copied raw
+into fresh segments numbered *above* every old one, the new files are
+fsynced, a ``("compacted", bag_id, base)`` index record declares every
+segment numbered below ``base`` dead, and only then are the old files
+unlinked. Each crash window is safe by construction: before the record,
+reopen scans old files first (lower numbers win the first-occurrence
+membership race) and the half-written copies are inert duplicates;
+after the record, reopen unlinks whatever stale files the crash left
+behind. Reads page through the same layering via
+:meth:`SegmentBag.read_page`, so a refill of a spilled bag never holds
+more than one page of payloads resident.
 """
 
 from __future__ import annotations
@@ -149,7 +162,7 @@ class _BagState:
 
     __slots__ = (
         "bag_id", "safe", "pending", "consumed", "order", "sealed",
-        "dedup", "sealed_segs", "open_seg", "open_size",
+        "dedup", "sealed_segs", "open_seg", "open_size", "compact_floor",
     )
 
     def __init__(self, bag_id: str, safe: str):
@@ -164,6 +177,8 @@ class _BagState:
         self.sealed_segs: Set[int] = set()
         self.open_seg: Optional[int] = None
         self.open_size = 0
+        #: segments numbered below this are dead (compacted away).
+        self.compact_floor = 0
 
 
 class SegmentBag:
@@ -285,6 +300,32 @@ class SegmentBag:
         with store._lock:
             return [store._fetch_locked(s, cid) for cid in s.order]
 
+    def read_page(self, cursor: int, max_bytes: int) -> Tuple[List[Any], int]:
+        """One bounded page of the bag, non-destructively, in ``order``.
+
+        ``cursor`` is an index into the bag's stable chunk order; the
+        returned cursor resumes exactly where this page stopped, and an
+        empty page means the end was reached (a cursor past the end is
+        answered, not rejected — the caller may race a concurrent
+        discard). Pages are bounded by on-disk frame length but always
+        carry at least one chunk, so an oversized frame degrades to a
+        one-chunk page instead of stalling the reader.
+        """
+        store, s = self._store, self._state
+        with store._lock:
+            cursor = max(0, int(cursor))
+            chunks: List[Any] = []
+            used = 0
+            while cursor < len(s.order):
+                cid = s.order[cursor]
+                size = store._loc_of(s, cid)[2]
+                if chunks and used + size > max_bytes:
+                    break
+                chunks.append(store._fetch_locked(s, cid))
+                used += size
+                cursor += 1
+            return chunks, cursor
+
     def remaining(self) -> int:
         with self._store._lock:
             return len(self._state.pending)
@@ -317,6 +358,7 @@ class SegmentBag:
             s.sealed_segs = set()
             s.open_seg = None
             s.open_size = 0
+            s.compact_floor = 0  # numbering restarts; the old floor is moot
             store._index.append(("discard", s.bag_id))
             store._maybe_compact_locked()
 
@@ -417,6 +459,11 @@ class SegmentBagStore:
         self.spilled_bytes = 0
         self.evictions = 0
         self.faults = 0
+        self.segments_compacted = 0
+        self.bytes_reclaimed = 0
+        #: fault-injection hook: called with the stage name ("written",
+        #: "indexed") at each crash window inside finalize_bag.
+        self.compaction_kill = None
         if not reopen:
             self._wipe()
         index_records: List[Any] = []
@@ -551,6 +598,109 @@ class SegmentBagStore:
                         self._index.append(("removal", bag_id, client, seq, list(ids), sealed))
                 self._maybe_compact_locked()
 
+    # -- compaction ------------------------------------------------------------
+
+    def finalize_bag(self, bag_id: str) -> Tuple[int, int]:
+        """Compact a finished bag: rewrite only its live frames, drop the rest.
+
+        Returns ``(segments_compacted, bytes_reclaimed)`` for this call —
+        ``(0, 0)`` when there is nothing to do (unknown bag, not sealed,
+        nothing consumed yet), which makes master-side retries after a
+        shard death idempotent.
+
+        Durability order (each window crash-safe against :meth:`_reopen`):
+
+        1. live frames are copied **raw** (frames are self-contained
+           ``(chunk_id, payload)`` pickles) into fresh segments numbered
+           above every old one, and the new files are fsynced — a crash
+           here leaves inert duplicates that lose the lower-number-wins
+           membership race on reopen;
+        2. ``seg_sealed`` records for the new segments, then one
+           ``("compacted", bag_id, base)`` record marking every segment
+           below ``base`` dead — from this point reopen serves the new
+           copies and unlinks the stale files itself;
+        3. the old files are unlinked.
+
+        The caller must guarantee no consumer will ever rewind this bag
+        again without a refill: compaction physically drops the consumed
+        frames, so a later :meth:`SegmentBag.rewind` would resurrect only
+        the live ones. The dist master only finalizes bags whose every
+        consumer family finished, and escalates to a refill if one of
+        those families is later reset.
+        """
+        with self._lock:
+            s = self._states.get(bag_id)
+            if s is None or not s.sealed or not s.consumed:
+                return (0, 0)
+            old_segs = set(s.sealed_segs)
+            if s.open_seg is not None:
+                old_segs.add(s.open_seg)
+            if not old_segs:
+                return (0, 0)
+            old_bytes = 0
+            for n in old_segs:
+                try:
+                    old_bytes += os.path.getsize(self._path(s, n))
+                except OSError:
+                    pass
+            live = [cid for cid in s.order if cid in s.pending]
+            base = self._alloc_seg_locked(s)
+            new_locs: Dict[str, Loc] = {}
+            new_segs: List[int] = []
+            new_bytes = 0
+            n, size = base, 0
+            for cid in live:
+                seg, off, length = s.pending[cid]
+                frame = os.pread(self._fd_locked(s, seg), length, off)
+                if size and size + len(frame) > self._seg_target:
+                    n += 1
+                    size = 0
+                fd = self._fd_locked(s, n)
+                if size == 0:
+                    # A retry after an injected crash may find a
+                    # half-written copy from the failed attempt under the
+                    # same number; start clean so offsets stay exact.
+                    os.ftruncate(fd, 0)
+                    new_segs.append(n)
+                os.write(fd, frame)
+                new_locs[cid] = (n, size, len(frame))
+                size += len(frame)
+                new_bytes += len(frame)
+            for n2 in new_segs:
+                os.fsync(self._fds[(s.safe, n2)])
+            if self.compaction_kill is not None:
+                self.compaction_kill("written")
+            for n2 in new_segs:
+                self._index.append(("seg_sealed", bag_id, n2))
+            self._index.append(("compacted", bag_id, base))
+            s.pending = {cid: new_locs[cid] for cid in live}
+            s.consumed = {}
+            s.order = list(live)
+            s.dedup = {}  # tails reference dropped frames; consumers are done
+            s.sealed_segs = set(new_segs)
+            s.open_seg = None
+            s.open_size = 0
+            s.compact_floor = base
+            if self.compaction_kill is not None:
+                self.compaction_kill("indexed")
+            for old in old_segs:
+                fd = self._fds.pop((s.safe, old), None)
+                if fd is not None:
+                    try:
+                        os.close(fd)
+                    except OSError:
+                        pass
+                try:
+                    os.unlink(self._path(s, old))
+                except FileNotFoundError:
+                    pass
+            self.segments_compacted += len(old_segs)
+            self.bytes_reclaimed += max(0, old_bytes - new_bytes)
+            self.segments_written += len(new_segs)
+            self.spilled_bytes += new_bytes
+            self._maybe_compact_locked()
+            return (len(old_segs), max(0, old_bytes - new_bytes))
+
     # -- stats / lifecycle -----------------------------------------------------
 
     def spill_stats(self) -> Dict[str, int]:
@@ -560,6 +710,8 @@ class SegmentBagStore:
                 "spilled_bytes": self.spilled_bytes,
                 "evictions": self.evictions,
                 "faults": self.faults,
+                "segments_compacted": self.segments_compacted,
+                "bytes_reclaimed": self.bytes_reclaimed,
                 "resident_peak_bytes": self._peak,
             }
 
@@ -702,6 +854,12 @@ class SegmentBagStore:
         for bag_id in sorted(self._states):
             s = self._states[bag_id]
             records.append(("ensure", bag_id, s.safe))
+            if s.compact_floor:
+                # Normally the stale files are already unlinked by the
+                # time a fold runs, but an interrupted finalize may have
+                # left them behind; the floor keeps reopen from letting
+                # their lower-numbered frames win the membership race.
+                records.append(("compacted", bag_id, s.compact_floor))
             for n in sorted(s.sealed_segs):
                 records.append(("seg_sealed", bag_id, n))
             if s.consumed:
@@ -738,8 +896,12 @@ class SegmentBagStore:
         acknowledged) — and relies on chunk ids never being reused
         (clients stamp monotone ``client#n`` counters).
         """
-        # Pass 1: registry + segment seals (monotone, order-free).
+        # Pass 1: registry + segment seals (monotone, order-free) + the
+        # compaction floor. The floor *is* order-sensitive: a discard
+        # resets a bag's segment numbering to zero, so a floor recorded
+        # before the discard must not condemn the files written after it.
         sealed_segs: Dict[str, Set[int]] = {}
+        compact_floors: Dict[str, int] = {}
         for record in records:
             if record[0] == "ensure":
                 _, bag_id, safe = record
@@ -749,6 +911,11 @@ class SegmentBagStore:
                     self._bags[bag_id] = SegmentBag(self, state)
             elif record[0] == "seg_sealed":
                 sealed_segs.setdefault(record[1], set()).add(record[2])
+            elif record[0] == "compacted":
+                floor = compact_floors.get(record[1], 0)
+                compact_floors[record[1]] = max(floor, record[2])
+            elif record[0] == "discard":
+                compact_floors.pop(record[1], None)
         # Pass 2: scan segment files -> membership (all pending for now).
         by_safe = {s.safe: s for s in self._states.values()}
         seg_files: Dict[str, List[int]] = {}
@@ -762,6 +929,17 @@ class SegmentBagStore:
             seg_files.setdefault(s.safe, []).append(int(match.group("num")))
         for s in self._states.values():
             numbers = sorted(seg_files.get(s.safe, []))
+            floor = compact_floors.get(s.bag_id, 0)
+            if floor:
+                # Files a compaction declared dead but a crash left on
+                # disk: finish the unlink the dying process never ran.
+                s.compact_floor = floor
+                for n in [n for n in numbers if n < floor]:
+                    try:
+                        os.unlink(self._path(s, n))
+                    except OSError:
+                        pass
+                numbers = [n for n in numbers if n >= floor]
             entries: List[Tuple[int, int, int, str]] = []  # (n, off, len, cid)
             for n in numbers:
                 path = self._path(s, n)
@@ -791,7 +969,7 @@ class SegmentBagStore:
         # Pass 3: chronological metadata replay.
         for record in records:
             kind = record[0]
-            if kind in ("ensure", "seg_sealed"):
+            if kind in ("ensure", "seg_sealed", "compacted"):
                 continue
             s = self._states.get(record[1])
             if s is None:
@@ -822,6 +1000,7 @@ class SegmentBagStore:
                 s.consumed = {}
                 s.dedup = {}
                 s.sealed = False
+                s.compact_floor = 0
         # Auto-id counter: resume past any server-stamped ids.
         for s in self._states.values():
             for cid in s.order:

@@ -37,9 +37,12 @@ primary failover keeps working during the window where no master is
 alive to push promotions. A recovering master asks any shard
 ``("probe",)`` for its identity, epoch vector, and bag inventory.
 
-Connections speak one of two dialects. Legacy connections introduce
+Connections speak one of two dialects. Plain connections introduce
 themselves with ``("hello", client_id)`` and then pay one
-request/response exchange per call. A connection whose *first* message
+request/response exchange per call — since the legacy per-caller data
+plane was retired this dialect serves only diagnostics and test
+harnesses (``RemoteBagStore``), plus the introduction-free raw-op form
+replication peers use. A connection whose *first* message
 is ``("mux", client_id)`` instead switches — after the ``("ok", ...)``
 ack — to the framed multiplexed protocol of :mod:`repro.dist.protocol`:
 every request frame carries a client-chosen call id, requests are
@@ -118,6 +121,7 @@ class _ServerState:
         segment_dir: Optional[str] = None,
         resident_bytes: Optional[int] = None,
         reopen: bool = False,
+        kill_in_compaction: Optional[str] = None,
     ):
         self.shard = shard
         self.replication = replication
@@ -131,6 +135,16 @@ class _ServerState:
             self.store: Any = SegmentBagStore(
                 segment_dir, resident_bytes=resident_bytes, reopen=reopen
             )
+            if kill_in_compaction is not None:
+                # Fault injection: die like a SIGKILLed shard inside the
+                # named compaction crash window ("written" = new segments
+                # fsynced but not yet indexed; "indexed" = swap recorded
+                # but old files not yet unlinked).
+                def die_in_window(stage: str, _want=kill_in_compaction) -> None:
+                    if stage == _want:
+                        os._exit(SHARD_KILL_EXIT_CODE)
+
+                self.store.compaction_kill = die_in_window
             self.router: Optional[ShardRouter] = (
                 ShardRouter(len(self.addresses), replication)
                 if self.addresses
@@ -348,6 +362,17 @@ def _dispatch(state: _ServerState, conn_id: int, req: Tuple[Any, ...]) -> Any:
         if state.replication > 1:
             state.ensure_primary(req[1])
         return store.ensure(req[1]).read_all()
+    if op == "read_page":
+        if state.replication > 1:
+            state.ensure_primary(req[1])
+        return store.ensure(req[1]).read_page(req[2], req[3])
+    if op == "finalize":
+        # Master-only compaction trigger, addressed to one replica; a
+        # store without segments has nothing to reclaim.
+        finalize = getattr(store, "finalize_bag", None)
+        if finalize is None:
+            return (0, 0)
+        return finalize(req[1])
     if op == "seal":
         store.ensure(req[1]).seal()
         return None
@@ -639,6 +664,7 @@ def storage_server_main(
     segment_dir: Optional[str] = None,
     resident_bytes: Optional[int] = None,
     reopen: bool = False,
+    kill_in_compaction: Optional[str] = None,
 ) -> None:
     """Process entry point for shard ``shard``: listen, report, serve.
 
@@ -662,6 +688,10 @@ def storage_server_main(
     acknowledged without master refill/replay; ``reopen=False`` wipes it
     (an r>1 respawn is repopulated by resync instead, and stale segments
     must not resurrect).
+
+    ``kill_in_compaction`` arms the mid-compaction fault injection: the
+    shard hard-exits inside the named ``finalize_bag`` crash window
+    ("written" or "indexed") the first time a compaction reaches it.
     """
     state = _ServerState(
         shard=shard,
@@ -673,6 +703,7 @@ def storage_server_main(
         segment_dir=segment_dir,
         resident_bytes=resident_bytes,
         reopen=reopen,
+        kill_in_compaction=kill_in_compaction,
     )
     if socket_path is not None:
         try:

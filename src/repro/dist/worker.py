@@ -31,7 +31,12 @@ from typing import Any, List, Optional
 from repro.dist.client import BatchChunkFetcher, ShardedBagStore
 from repro.dist.protocol import DistSettings, NodeDescriptor
 from repro.dist.sharding import ShardRouter
-from repro.engine.common import emit_value, fold_partials, resolve_merge
+from repro.engine.common import (
+    emit_value,
+    fold_partials,
+    iter_bag_chunks,
+    resolve_merge,
+)
 from repro.errors import FetchTimeout, SchedulingError
 from repro.local.context import TaskContext
 from repro.model.execution_graph import partial_bag_id
@@ -212,7 +217,7 @@ def _run_merge(runtime: _WorkerRuntime, desc: NodeDescriptor) -> dict:
     for bag_id in desc.merge_inputs:
         values = [
             record
-            for chunk in runtime.store.get(bag_id).read_all()
+            for chunk in iter_bag_chunks(runtime.store, bag_id)
             for record in chunk
         ]
         if len(values) != 1:
@@ -266,7 +271,6 @@ def worker_main(
         client_id,
         settings.policy,
         router=router,
-        multiplex=settings.multiplex,
         replica_ops=settings.resident_bytes is not None,
     )
     store.adopt_epochs(epochs or {})

@@ -4,7 +4,7 @@ Every function takes the bag *store* as a duck-typed argument: a
 :class:`~repro.storage.local.LocalBagStore` in the local engine, a
 ``RemoteBagStore`` or shard-routing ``ShardedBagStore`` proxy in the
 distributed one. The store only needs ``ensure``/``get`` returning bags
-with ``insert``/``seal``/``read_all`` — notably, nothing here may assume
+with ``insert``/``seal``/``read_page`` — notably, nothing here may assume
 two bags live in the same process: each ``ensure``/``get`` resolves
 placement independently, which is what lets the same helpers drive one
 storage server or ``m`` shards.
@@ -125,6 +125,28 @@ def decode_bag_chunks(graph, bag_id: str, chunks: Iterable[Any]) -> List[Any]:
     return list(iter_chunks(chunks, codec_for(spec)))
 
 
+#: Default page budget for streamed bag reads — comfortably under the
+#: storage channel's 64 MiB frame cap with headroom for pickling.
+READ_PAGE_BYTES = 4 * 1024 * 1024
+
+
+def iter_bag_chunks(store, bag_id: str, *, page_bytes: int = READ_PAGE_BYTES):
+    """Stream a bag's chunks non-destructively, one bounded page resident.
+
+    The streamed replacement for ``bag.read_all()`` on refill/snapshot
+    paths: each ``read_page(cursor, page_bytes)`` round trip holds at
+    most one page of payloads in this process (and, for remote bags, at
+    most one page per RPC frame), so reading a spilled bag larger than
+    the shard's ``resident_bytes`` never re-materializes it anywhere.
+    """
+    cursor = 0
+    while True:
+        chunks, cursor = store.get(bag_id).read_page(cursor, page_bytes)
+        if not chunks:
+            return
+        yield from chunks
+
+
 def bag_records(store, graph, bag_id: str) -> List[Any]:
-    """Non-destructive decoded read of a whole bag."""
-    return decode_bag_chunks(graph, bag_id, store.get(bag_id).read_all())
+    """Non-destructive decoded read of a whole bag (streamed page-wise)."""
+    return decode_bag_chunks(graph, bag_id, iter_bag_chunks(store, bag_id))

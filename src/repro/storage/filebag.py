@@ -192,6 +192,29 @@ class FileBag:
         with self._lock:
             return [self._read_frame(i) for i in range(len(self._offsets))]
 
+    def read_page(self, cursor: int, max_bytes: int):
+        """One bounded page of the chunk log, non-destructively.
+
+        Same contract as ``SegmentBag.read_page``: ``cursor`` indexes the
+        append order, an empty page means done, a page always carries at
+        least one chunk, and a cursor past the end is answered with an
+        empty page rather than rejected. Byte chunks count their length;
+        pickled object chunks count a nominal size.
+        """
+        with self._lock:
+            cursor = max(0, int(cursor))
+            chunks: List[bytes] = []
+            used = 0
+            while cursor < len(self._offsets):
+                chunk = self._read_frame(cursor)
+                size = len(chunk) if isinstance(chunk, (bytes, bytearray)) else 1
+                if chunks and used + size > max_bytes:
+                    break
+                chunks.append(chunk)
+                used += size
+                cursor += 1
+            return chunks, cursor
+
     def remaining(self) -> int:
         with self._lock:
             return len(self._offsets) - self._next

@@ -86,6 +86,30 @@ class LocalBag:
         with self._lock:
             return list(self._chunks)
 
+    def read_page(self, cursor: int, max_bytes: int):
+        """One bounded page of the chunk log, non-destructively.
+
+        Same contract as ``SegmentBag.read_page``: ``cursor`` indexes the
+        append order, an empty page means done, a page always carries at
+        least one chunk (an oversized chunk travels alone), and a cursor
+        past the end is answered with an empty page rather than rejected.
+        Object-bag chunks (plain record lists) have no byte length; they
+        count a nominal size so pagination still terminates.
+        """
+        with self._lock:
+            cursor = max(0, int(cursor))
+            chunks: List[bytes] = []
+            used = 0
+            while cursor < len(self._chunks):
+                chunk = self._chunks[cursor]
+                size = len(chunk) if isinstance(chunk, (bytes, bytearray)) else 1
+                if chunks and used + size > max_bytes:
+                    break
+                chunks.append(chunk)
+                used += size
+                cursor += 1
+            return chunks, cursor
+
     def remaining(self) -> int:
         with self._lock:
             return len(self._chunks) - self._next

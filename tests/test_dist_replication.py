@@ -4,15 +4,12 @@ Covers the pieces the end-to-end shard-kill tests exercise only in
 aggregate: the replicated bag representation (id-keyed sets, removal-log
 dedup, monotone snapshot merge), the primary gate and removal shipping on
 real server processes, the client sweep's failover behavior, the fence
-sweep's continue-past-dead-shards fix, the fetcher queue's no-drop
-guarantee, and the empty-sample latency percentile contract.
+sweep's continue-past-dead-shards fix, and the empty-sample latency
+percentile contract.
 """
 
 import multiprocessing
 import os
-import queue
-import threading
-import time
 
 import pytest
 
@@ -343,41 +340,6 @@ class TestFenceSweep:
             store.close()
         finally:
             group.close()
-
-
-class TestFetcherQueue:
-    def test_put_never_drops_on_slow_consumer(self):
-        # Regression guard for the prefetch queue: a bounded put that
-        # timed out and moved on would silently lose chunks. The put must
-        # block (re-checking only for cancellation) until the consumer
-        # makes room.
-        fetcher = BatchChunkFetcher.__new__(BatchChunkFetcher)
-        fetcher._queue = queue.Queue(maxsize=1)
-        fetcher._stop = threading.Event()
-        total = 50
-        producer = threading.Thread(
-            target=lambda: [fetcher._put(i) for i in range(total)]
-        )
-        producer.start()
-        received = []
-        for _ in range(total):
-            time.sleep(0.002)  # consumer far slower than the producer
-            received.append(fetcher._queue.get(timeout=5.0))
-        producer.join(timeout=5.0)
-        assert received == list(range(total))
-
-    def test_put_unblocks_on_stop(self):
-        fetcher = BatchChunkFetcher.__new__(BatchChunkFetcher)
-        fetcher._queue = queue.Queue(maxsize=1)
-        fetcher._stop = threading.Event()
-        fetcher._put("fills the queue")
-        blocked = threading.Thread(target=lambda: fetcher._put("stuck"))
-        blocked.start()
-        time.sleep(0.05)
-        assert blocked.is_alive()  # blocking, not dropping
-        fetcher._stop.set()
-        blocked.join(timeout=5.0)
-        assert not blocked.is_alive()
 
 
 class TestEmptyPercentiles:

@@ -249,17 +249,6 @@ class TestSegmentsEndToEnd:
         assert result.segment_resync  # resync used seg_pull/seg_push
         assert counts == expected
 
-    def test_r1_kill_over_legacy_channel(self):
-        # Same reopen guarantee on the non-multiplexed transport, which
-        # stays selectable for one more release.
-        victim = ShardRouter(2).home("clicklog")
-        result, counts, expected = self.run_spill(
-            multiplex=False, kill_shard=victim, kill_shard_after_ops=3
-        )
-        assert result.shard_deaths == 1
-        assert result.family_resets == 0
-        assert counts == expected
-
     def test_caller_owned_segment_dir_is_used(self, tmp_path):
         result, counts, expected = self.run_spill(segment_dir=str(tmp_path))
         assert counts == expected

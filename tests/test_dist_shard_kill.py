@@ -130,19 +130,6 @@ class TestShardKillRecovery:
         assert result.shard_deaths == 1
         assert counts == expected
 
-    @pytest.mark.parametrize("ops", [1, 3])
-    def test_stream_shard_kill_recovers_mux(self, ops):
-        # Same kill, multiplexed transport: the death now lands on a
-        # shared connection with several callers' frames in flight, and
-        # every parked future must fail over to the recovery path at
-        # once instead of one blocked caller at a time.
-        victim = ShardRouter(2).home("clicklog")
-        result, counts, expected = clicklog_run(2, victim, ops, multiplex=True)
-        assert result.shard_deaths == 1
-        assert result.family_resets >= 1
-        assert counts == expected
-
-
 class TestReplicatedShardKill:
     """With ``replication=2`` a shard death is absorbed by failover: the
     backup replica is promoted and re-replication restores two copies —
@@ -219,20 +206,6 @@ class TestReplicatedShardKill:
         result, counts, expected = clicklog_run(3, victim, 2, replication=2)
         assert result.shard_deaths == 1
         assert result.family_resets == 0
-        assert counts == expected
-
-    @pytest.mark.parametrize("victim", [0, 1])
-    def test_kill_either_replica_zero_resets_mux(self, victim):
-        # Replicated failover over the multiplexed channel: the kill
-        # fails every in-flight future on the shared link, and each mux
-        # fetcher's one-shot sweep must converge on the promoted backup
-        # with the same seq — still zero family replays.
-        result, counts, expected = clicklog_run(
-            2, victim, 2, replication=2, multiplex=True
-        )
-        assert result.shard_deaths == 1
-        assert result.family_resets == 0
-        assert result.worker_deaths == 0
         assert counts == expected
 
     def test_replication_exceeding_shards_rejected(self):
