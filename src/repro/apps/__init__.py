@@ -18,12 +18,14 @@ from repro.apps.clicklog import (
     build_clicklog_sim,
     clicklog_region_weights,
 )
+from repro.apps.clicklog_stream import build_clicklog_stream
 from repro.apps.hashjoin import build_hashjoin_local, build_hashjoin_sim
 from repro.apps.pagerank import build_pagerank_local, build_pagerank_sim
 
 __all__ = [
     "build_clicklog_local",
     "build_clicklog_sim",
+    "build_clicklog_stream",
     "build_hashjoin_local",
     "build_hashjoin_sim",
     "build_pagerank_local",

@@ -39,6 +39,14 @@ additionally gate on the hot-cache peak staying within the budget
 (``resident_peak_ok``): a "bounded" store that quietly blew through its
 budget fails the report, not just a dashboard.
 
+``--adaptive`` adds a closed-loop arm to the matrix: every dist
+combination reruns with the per-task batch-depth controller and the
+overload clone governor armed (see :mod:`repro.dist.adaptive`), and the
+shifting-skew streaming click-log scenario (``clicklog_stream``) joins
+the workload list. Adaptive runs record each task's ``b`` trajectory
+(``(chunks_seen, depth)`` pairs) and every governor clone decision in
+the report, parity-gated like everything else.
+
 Every dist run's sink output is checked against the local baseline before
 its numbers are reported, so a "fast" engine that drops or duplicates
 chunks fails loudly instead of winning the benchmark.
@@ -67,9 +75,14 @@ from repro.apps.calibration import (
     calibration_seeds,
 )
 from repro.apps.clicklog import build_clicklog_local
+from repro.apps.clicklog_stream import build_clicklog_stream
 from repro.apps.hashjoin import build_hashjoin_local
 from repro.local import LocalRuntime
-from repro.workloads.clicklog_data import generate_clicklog, region_name
+from repro.workloads.clicklog_data import (
+    generate_clicklog,
+    generate_stream_clicklog,
+    region_name,
+)
 from repro.workloads.relations import generate_relation
 
 #: Worker counts benchmarked when ``--workers`` is not given.
@@ -110,6 +123,25 @@ def _clicklog_workload(n_records: int, region_count: int) -> _Workload:
         "clicklog",
         lambda: build_clicklog_local(regions=names),
         {"clicklog": records},
+        snapshot,
+    )
+
+
+def _clicklog_stream_workload(n_records: int, windows: int) -> _Workload:
+    records = list(
+        generate_stream_clicklog(n_records, skew=0.8, seed=11, windows=windows)
+    )
+
+    def snapshot(result):
+        return {
+            f"counts.{w}": dict(result.value(f"counts.{w}"))
+            for w in range(windows)
+        }
+
+    return _Workload(
+        "clicklog_stream",
+        lambda: build_clicklog_stream(windows=windows),
+        {"clicks": records},
         snapshot,
     )
 
@@ -171,6 +203,7 @@ def _run_dist(
     batch_requests: Optional[int] = None,
     resident_bytes: Optional[int] = None,
     dataset_scale: float = 1.0,
+    adaptive: bool = False,
 ):
     from repro.dist import DistRuntime
 
@@ -179,6 +212,8 @@ def _run_dist(
         extra["batch_requests"] = batch_requests
     if resident_bytes is not None:
         extra["resident_bytes"] = resident_bytes
+    if adaptive:
+        extra["adaptive"] = True
     runtime = DistRuntime(
         workload.build(),
         workers=workers,
@@ -200,7 +235,27 @@ def _run_dist(
             result.resident_peak_bytes
             <= resident_bytes + 2 * runtime.settings.chunk_size
         )
+    summary: Dict[str, Any] = {}
+    if adaptive:
+        # The closed-loop evidence: each task's journaled b trajectory
+        # (chunks_seen, depth) plus every governor clone evaluation —
+        # the raw material for the trajectory plots and the oracle
+        # comparison in the adaptive tests.
+        summary = {
+            "adaptive": True,
+            "adaptive_b_trajectory": {
+                task_id: [list(point) for point in trajectory]
+                for task_id, trajectory in sorted(
+                    result.adaptive_b_trajectory.items()
+                )
+            },
+            "adaptive_final_depth": dict(
+                sorted(result.adaptive_final_depth.items())
+            ),
+            "clone_decisions": result.clone_decisions,
+        }
     return {
+        **summary,
         "engine": "dist",
         "workers": workers,
         "shards": shards,
@@ -376,17 +431,22 @@ def _build_workloads(args, scale: float = 1.0) -> List[_Workload]:
     if args.quick:
         sizes = {
             "clicklog": (scaled(args.records or 2_000), 2),
+            "clicklog_stream": (scaled(args.records or 3_000), 3),
             "hashjoin": (scaled(80), scaled(args.rows or 400), 2),
             "calibration": (scaled(60), args.rounds or 200),
         }
     else:
         sizes = {
             "clicklog": (scaled(args.records or 20_000), 4),
+            "clicklog_stream": (scaled(args.records or 24_000), 4),
             "hashjoin": (scaled(300), scaled(args.rows or 2_500), 4),
             "calibration": (scaled(2_000), args.rounds or CALIBRATION_ROUNDS),
         }
     builders = {
         "clicklog": lambda: _clicklog_workload(*sizes["clicklog"]),
+        "clicklog_stream": lambda: _clicklog_stream_workload(
+            *sizes["clicklog_stream"]
+        ),
         "hashjoin": lambda: _hashjoin_workload(*sizes["hashjoin"]),
         "calibration": lambda: _calibration_workload(*sizes["calibration"]),
     }
@@ -427,7 +487,16 @@ def _parse_args(argv):
     parser.add_argument(
         "--workloads",
         default="clicklog,hashjoin,calibration",
-        help="comma-separated workload subset (default: %(default)s)",
+        help="comma-separated workload subset; clicklog_stream (the "
+        "shifting-skew windowed scenario) joins automatically under "
+        "--adaptive (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="additionally run every dist combination with the closed-loop "
+        "batch-depth controller and clone governor armed, recording each "
+        "task's b trajectory and every clone decision in the report",
     )
     parser.add_argument(
         "--dataset-scale",
@@ -454,6 +523,10 @@ def _parse_args(argv):
     parser.add_argument("--rounds", type=int, help="calibration mixing rounds")
     args = parser.parse_args(argv)
     args.workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    if args.adaptive and "clicklog_stream" not in args.workloads:
+        # The adaptive axis exists for the continuous-ingest scenario;
+        # arm it even when the caller kept the historical workload list.
+        args.workloads.append("clicklog_stream")
     try:
         args.worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
     except ValueError:
@@ -521,6 +594,7 @@ def run_bench(argv=None) -> Dict[str, Any]:
             "dataset_scale": args.dataset_scales,
             "resident_bytes": args.resident_bytes,
             "batch_requests": args.batch_requests,
+            "adaptive": args.adaptive,
         },
         "workloads": {},
     }
@@ -566,6 +640,27 @@ def run_bench(argv=None) -> Dict[str, Any]:
                                 dataset_scale=scale,
                             )
                         )
+                        if args.adaptive:
+                            print(
+                                f"[bench] {entry_key}: dist x{workers} "
+                                f"({shards} shard"
+                                f"{'s' if shards != 1 else ''}, "
+                                f"r={replication}) --adaptive ...",
+                                flush=True,
+                            )
+                            runs.append(
+                                _run_dist(
+                                    workload,
+                                    workers,
+                                    shards,
+                                    replication,
+                                    baseline,
+                                    batch_requests=args.batch_requests,
+                                    resident_bytes=args.resident_bytes,
+                                    dataset_scale=scale,
+                                    adaptive=True,
+                                )
+                            )
                     if replication > 1:
                         # Replicated topologies get a failover probe: the
                         # same workload with a shard killed mid-stream,

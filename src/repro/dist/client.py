@@ -1127,6 +1127,24 @@ class MuxBatchFetcher:
     def latencies_by_shard(self) -> Dict[int, List[float]]:
         return self._latencies_by_shard
 
+    def set_batch(self, batch: int) -> None:
+        """Re-arm the pipeline depth: the *next* request asks for ``batch``.
+
+        The adaptive controller's actuator. ``_issue_locked`` reads
+        ``self.batch`` fresh on every issue, so no in-flight request is
+        disturbed — the new depth simply governs every request armed
+        after this call. Deepening may arm a request immediately (the
+        buffer that satisfied the old bound no longer satisfies the new
+        one); shallowing lets the buffer drain to the new bound first.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        with self._cond:
+            if batch == self.batch:
+                return
+            self.batch = batch
+            self._issue_locked()
+
     # -- request pipeline --------------------------------------------------------
 
     def _issue_locked(self, from_pump: bool = False) -> None:

@@ -20,7 +20,11 @@ ends here" rather than as an exception: :func:`read_records` stops at
 the first short or corrupt frame and returns everything before it. That
 is the correct semantics for a *write-ahead* log: a record that never
 fully landed describes an effect that never happened (the append ran
-before the effect), so dropping it re-creates the pre-crash state.
+before the effect), so dropping it re-creates the pre-crash state. A
+bad frame with intact data *behind* it is a different animal — interior
+corruption, whose later effects did happen — so recovery scans run
+``strict=True`` and raise :class:`~repro.errors.JournalCorrupt` there
+instead of silently replaying a prefix of history.
 
 The snapshot is written to a temp file and atomically renamed, then the
 WAL is truncated — crash between the two leaves snapshot *plus* a stale
@@ -67,7 +71,7 @@ def pack_frame(record: Any) -> bytes:
     return _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
 
 
-def scan_frames(fobj) -> "Iterable[Tuple[int, int, Any]]":
+def scan_frames(fobj, strict: bool = False) -> "Iterable[Tuple[int, int, Any]]":
     """Yield ``(offset, end_offset, record)`` per intact frame of ``fobj``.
 
     Stops at the first short header, short payload, crc mismatch, or
@@ -75,21 +79,48 @@ def scan_frames(fobj) -> "Iterable[Tuple[int, int, Any]]":
     "log ends here" (:func:`read_records`) or "truncate the file here"
     (segment reopen). ``end_offset`` of the last yielded frame is the
     length of the intact prefix.
+
+    With ``strict=True``, only a genuinely *torn tail* — the file ends
+    inside or right after the bad frame — stops the scan. A bad frame
+    with more bytes behind it is interior corruption: later records'
+    effects already happened, so silently replaying only the prefix
+    would resurrect consumed history. That raises
+    :class:`~repro.errors.JournalCorrupt` instead. A CRC-valid frame
+    that fails to unpickle always raises in strict mode: torn writes
+    produce short or CRC-broken frames, never CRC-valid garbage, so an
+    unpicklable payload cannot be a tail artifact.
     """
+    from repro.errors import JournalCorrupt
+
+    path = getattr(fobj, "name", "<stream>")
+
+    def bad_frame(reason: str, at: int) -> "Optional[JournalCorrupt]":
+        if not strict:
+            return None
+        if reason != "unpicklable payload" and fobj.read(1) == b"":
+            return None  # nothing follows: a torn tail, legal WAL state
+        return JournalCorrupt(str(path), at, reason)
+
     offset = fobj.tell()
     while True:
         head = fobj.read(_FRAME.size)
         if len(head) < _FRAME.size:
-            return
+            return  # short header: the file physically ends mid-frame
         size, crc = _FRAME.unpack(head)
         payload = fobj.read(size)
         if len(payload) < size:
-            return
+            return  # short payload: ditto
         if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            error = bad_frame("crc mismatch", offset)
+            if error is not None:
+                raise error
             return
         try:
             record = pickle.loads(payload)
-        except Exception:
+        except Exception as exc:
+            error = bad_frame("unpicklable payload", offset)
+            if error is not None:
+                raise error from exc
             return
         end = offset + _FRAME.size + size
         yield offset, end, record
@@ -100,20 +131,23 @@ def _write_record(fobj, record: Any) -> None:
     fobj.write(pack_frame(record))
 
 
-def read_records(path: str) -> List[Any]:
-    """Every intact record in ``path``; a torn/corrupt tail ends the list.
+def read_records(path: str, strict: bool = False) -> List[Any]:
+    """Every intact record in ``path``; a torn *tail* ends the list.
 
     Tolerates a missing file (no records yet), a short header, a short
-    payload, a crc mismatch, and an unpicklable payload — all are "the
-    log ends here", never an exception, because a write-ahead record
-    that did not fully land describes an effect that never happened.
+    payload, and a bad final frame — all are "the log ends here", never
+    an exception, because a write-ahead record that did not fully land
+    describes an effect that never happened. With ``strict=True``
+    (master recovery), a bad frame *followed by more data* is interior
+    corruption and raises :class:`~repro.errors.JournalCorrupt` — see
+    :func:`scan_frames`.
     """
     try:
         fobj = open(path, "rb")
     except FileNotFoundError:
         return []
     with fobj:
-        return [record for _start, _end, record in scan_frames(fobj)]
+        return [record for _start, _end, record in scan_frames(fobj, strict=strict)]
 
 
 class MasterJournal:
@@ -177,11 +211,13 @@ class MasterJournal:
         """(snapshot header, snapshot records + WAL tail) for recovery.
 
         Returns ``(None, [])`` when the directory holds no journal yet.
-        The WAL tail is whatever parses cleanly; a torn final record is
-        silently dropped (see module docstring for why that is correct).
+        A torn final WAL record is silently dropped, but a bad frame
+        *inside* either file raises
+        :class:`~repro.errors.JournalCorrupt` rather than resuming from
+        a silently truncated history (see :func:`scan_frames`).
         """
-        snapshot = read_records(os.path.join(dirpath, SNAPSHOT_FILE))
-        wal = read_records(os.path.join(dirpath, WAL_FILE))
+        snapshot = read_records(os.path.join(dirpath, SNAPSHOT_FILE), strict=True)
+        wal = read_records(os.path.join(dirpath, WAL_FILE), strict=True)
         if not snapshot:
             return None, wal
         return snapshot[0], snapshot[1:] + wal

@@ -59,6 +59,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.dist.adaptive import AdaptiveConfig, CloneGovernor
 from repro.dist.client import ShardedBagStore
 from repro.dist.journal import MasterJournal
 from repro.dist.protocol import (
@@ -268,6 +269,27 @@ class DistResult:
         #: True when at least one shard death resynced by shipping
         #: sealed segment files instead of chunk-by-chunk snapshots.
         self.segment_resync = runtime.segment_resyncs > 0
+        #: Adaptive-control surface (all empty/False with adaptive off).
+        #: Per-family fetch-depth trajectory ``[(chunks_consumed, b),
+        #: ...]`` — the bench records it so a depth that never moved is
+        #: distinguishable from a controller that never ran — plus each
+        #: family's final depth and the governor's full clone-decision
+        #: log (every evaluation with its queue/drift inputs).
+        self.adaptive_enabled = runtime.adaptive is not None
+        self.adaptive_b_trajectory: Dict[str, List[Tuple[int, int]]] = {
+            task_id: [tuple(point) for point in (snap.get("trajectory") or [])]
+            for task_id, snap in runtime._adaptive_state.items()
+        }
+        self.adaptive_final_depth: Dict[str, int] = {
+            task_id: int(snap["depth"])
+            for task_id, snap in runtime._adaptive_state.items()
+            if snap.get("depth") is not None
+        }
+        self.clone_decisions: List[Dict[str, Any]] = (
+            [dict(d) for d in runtime._governor.decisions]
+            if runtime._governor is not None
+            else []
+        )
         self.trace_metrics = dict(runtime.tracer.metrics)
         self._snapshots = snapshots
 
@@ -318,6 +340,7 @@ class DistRuntime:
         clone_min_chunks: int = 2,
         max_clones_per_task: Optional[int] = None,
         batch_requests: int = 4,
+        adaptive: Any = None,
         resident_bytes: Optional[int] = None,
         segment_dir: Optional[str] = None,
         storage_policy: StorageConfig = DIST_STORAGE_POLICY,
@@ -378,6 +401,21 @@ class DistRuntime:
         self.replication = replication
         self.router = ShardRouter(shards, replication)
         self.cloning = cloning
+        # ``adaptive`` accepts an AdaptiveConfig, True (defaults), or
+        # None/False (static knobs, byte-identical to the pre-adaptive
+        # engine). Closed loop: tasks re-derive their fetch depth ``b``
+        # from measured latency vs. processing rate, and clone grants go
+        # through the overload governor instead of clone_min_chunks.
+        if adaptive is True:
+            adaptive = AdaptiveConfig()
+        elif adaptive is False:
+            adaptive = None
+        if adaptive is not None and not isinstance(adaptive, AdaptiveConfig):
+            raise ValueError(
+                f"adaptive must be an AdaptiveConfig, True, or None; "
+                f"got {adaptive!r}"
+            )
+        self.adaptive = adaptive
         self.settings = DistSettings(
             chunk_size=chunk_size,
             records_per_chunk=records_per_chunk,
@@ -385,6 +423,7 @@ class DistRuntime:
             replication=replication,
             policy=storage_policy,
             resident_bytes=resident_bytes,
+            adaptive=adaptive,
         )
         #: Caller-owned root for the shards' segment directories (chaos
         #: keeps it as a post-mortem artifact); None = a ``segments/``
@@ -473,6 +512,19 @@ class DistRuntime:
         self._unadopted_tasks: Set[str] = set()
         self._in_recovery = False
         self._inputs: Dict[str, List[Any]] = {}
+        #: Latest controller snapshot per task family (adaptive mode).
+        #: Journaled on change, so clones start at the learned depth and
+        #: a recovered master re-dispatches with it instead of the cold
+        #: default; replay rebuilds this dict from "adaptive" records.
+        self._adaptive_state: Dict[str, dict] = {}
+        #: Trajectory length already journaled per family — an
+        #: "adaptive" record is appended only when a *decision* moved
+        #: the depth, not on every progress heartbeat.
+        self._adaptive_journaled: Dict[str, int] = {}
+        #: Overload-driven clone governor (None = static thresholds).
+        self._governor: Optional[CloneGovernor] = (
+            CloneGovernor(self.adaptive) if self.adaptive is not None else None
+        )
         #: Master-authoritative demotion-epoch vector (replicated mode):
         #: bumped for a shard on each of its deaths, pushed to every live
         #: shard and into every spawn, and piggybacked on rebinds.
@@ -485,6 +537,12 @@ class DistRuntime:
         #: (strong refs on purpose: identity must not be recycled while a
         #: monitor thread could still report the death).
         self._promoted: Set[Any] = set()
+        #: Dead shard processes whose monitor-thread promotion *raised*
+        #: (journal I/O, a push racing another death, ...). Checked by
+        #: ``_on_shard_dead`` so the event-loop retry is observable —
+        #: the failure used to vanish into a bare ``pass``, leaving
+        #: clients to ride out their full failover patience.
+        self._promotion_failed: Set[Any] = set()
         self._socket_dir: Optional[str] = None
         #: Shards whose segment directory has been opened at least once
         #: this master's lifetime: a *re*spawn of one at replication 1
@@ -592,8 +650,24 @@ class DistRuntime:
             # to land within its bounded patience.
             try:
                 self._promote_backups(index, proc)
-            except Exception:
-                pass  # the event-loop handler re-pushes via the rebind
+            except Exception as exc:
+                # Record the failure instead of swallowing it. Crucially,
+                # un-claim the promotion: _promote_backups registers the
+                # corpse in _promoted *before* doing the work, so a
+                # swallowed failure made the event-loop retry a silent
+                # no-op and clients waited out their whole patience
+                # schedule for an epoch push that was never coming.
+                with self._epoch_lock:
+                    self._promoted.discard(proc)
+                    self._promotion_failed.add(proc)
+                self.tracer.inc("dist.promotion_failures")
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "promotion_failed",
+                        cat="dist",
+                        shard=index,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
         # Stale events (for an already-replaced process) are filtered by
         # identity in _on_shard_dead; post-shutdown events fall off the
         # queue unread.
@@ -909,6 +983,13 @@ class DistRuntime:
             merge_inputs=tuple(node.merge_inputs),
             member=self._node_member.get(node.node_id, 0),
             kill_after_chunks=kill_after,
+            # Clones and post-recovery re-dispatches continue from the
+            # family's learned controller state; merges never stream.
+            adaptive_state=(
+                self._adaptive_state.get(node.task_id)
+                if self.adaptive is not None and node.kind != NodeKind.MERGE
+                else None
+            ),
         )
 
     # -- messages ---------------------------------------------------------------
@@ -997,6 +1078,41 @@ class DistRuntime:
                 "dist_readopt", cat="dist", node=running, worker=wid
             )
 
+    def _absorb_adaptive(self, task_id: str, msg: dict) -> None:
+        """Fold a worker's controller snapshot and latency windows in.
+
+        Snapshots are journaled only when a decision actually moved the
+        depth (the trajectory grew) — journaling every progress
+        heartbeat would bloat the WAL with identical states. Among
+        concurrent family members the furthest-adapted snapshot (most
+        chunks observed) wins; a clone that just started from the
+        journaled state must not regress it.
+        """
+        if self._governor is not None:
+            for shard, samples in (msg.get("latency_window") or {}).items():
+                self._governor.observe_latencies(shard, samples)
+        snapshot = msg.get("adaptive")
+        if snapshot is None or self.adaptive is None:
+            return
+        current = self._adaptive_state.get(task_id)
+        if current is not None and current.get("chunks_seen", 0) > snapshot.get(
+            "chunks_seen", 0
+        ):
+            return
+        self._adaptive_state[task_id] = snapshot
+        trajectory = snapshot.get("trajectory") or []
+        if len(trajectory) > self._adaptive_journaled.get(task_id, 1):
+            self._adaptive_journaled[task_id] = len(trajectory)
+            self._jappend(("adaptive", task_id, snapshot))
+            self.tracer.inc("dist.adaptive_decisions")
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "adaptive_depth",
+                    cat="dist",
+                    task=task_id,
+                    depth=snapshot.get("depth"),
+                )
+
     def _on_progress(self, wid: int, msg: dict) -> None:
         node = self._assigned.get(wid)
         if node is None:
@@ -1005,6 +1121,7 @@ class DistRuntime:
             self.tracer.counter(
                 "dist_progress", chunks=float(msg.get("chunks", 0))
             )
+        self._absorb_adaptive(node.task_id, msg)
         task_id = node.task_id
         if (
             node.kind == NodeKind.TASK
@@ -1055,13 +1172,33 @@ class DistRuntime:
         remaining = self._store.remaining_many(
             [family.original.stream_input for _, family in running]
         )
-        best, best_remaining = None, self.clone_min_chunks - 1
+        # Static mode: the fixed clone_min_chunks floor. Adaptive mode:
+        # any backlog qualifies as a candidate; whether to clone is the
+        # governor's call from live overload signals below.
+        floor = 0 if self._governor is not None else self.clone_min_chunks - 1
+        best, best_remaining = None, floor
         for task_id, family in running:
             left = remaining.get(family.original.stream_input, 0)
             if left > best_remaining:
                 best, best_remaining = task_id, left
-        if best is not None:
-            self._grant_clone(best)
+        if best is None:
+            return
+        if self._governor is not None:
+            if not self._governor.evaluate(best_remaining):
+                return
+            # Journaled post-decision: a resumed master continues the
+            # governor's onset/baseline state and its decision log
+            # instead of re-warming and double-granting.
+            self._jappend(("governor", self._governor.snapshot()))
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "governor_clone",
+                    cat="dist",
+                    task=best,
+                    queue_chunks=best_remaining,
+                    p95_drift=self._governor.drift(),
+                )
+        self._grant_clone(best)
 
     def _on_done(self, wid: int, msg: dict) -> None:
         node = self._assigned.pop(wid, None)
@@ -1071,6 +1208,7 @@ class DistRuntime:
         self._node_worker.pop(node.node_id, None)
         self.records_processed += msg.get("records", 0)
         self.chunks_processed += msg.get("chunks", 0)
+        self._absorb_adaptive(node.task_id, msg)
         by_shard = msg.get("latencies_by_shard")
         if by_shard:
             # Preferred shape: the worker tagged each sample with the
@@ -1328,7 +1466,19 @@ class DistRuntime:
             # serves each affected bag and clients' sweeps land there.
             # Usually already done by the monitor thread the instant the
             # corpse was joined; this covers the client-detected path
-            # (_absorb_storage_down) that can beat the monitor here.
+            # (_absorb_storage_down) that can beat the monitor here —
+            # and the monitor path having *failed*, which it flags in
+            # _promotion_failed (the failed attempt un-claimed itself, so
+            # this call genuinely re-runs the promotion).
+            with self._epoch_lock:
+                retrying = proc in self._promotion_failed
+                self._promotion_failed.discard(proc)
+            if retrying:
+                self.tracer.inc("dist.promotion_retries")
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "promotion_retry", cat="dist", shard=index
+                    )
             self._promote_backups(index, proc)
         # Replacement next: reconnects must find a listener on the stable
         # path, and the recovery discards/resync go through it too. The
@@ -1872,6 +2022,12 @@ class DistRuntime:
             records.append(("shard_kill_armed",))
         if self._kill_delivered:
             records.append(("kill_delivered",))
+        for task_id in sorted(self._adaptive_state):
+            records.append(("adaptive", task_id, self._adaptive_state[task_id]))
+        if self._governor is not None and (
+            self._governor.decisions or self._governor.snapshot()["baseline_p95"]
+        ):
+            records.append(("governor", self._governor.snapshot()))
         return records
 
     def _replay(
@@ -1951,6 +2107,18 @@ class DistRuntime:
                 self._kill_delivered = True
             elif kind == "finalize":
                 self._finalized.add(record[1])
+            elif kind == "adaptive":
+                # Last write wins: records land in append order, so the
+                # final one per family is the furthest-adapted snapshot.
+                self._adaptive_state[record[1]] = record[2]
+                self._adaptive_journaled[record[1]] = len(
+                    record[2].get("trajectory") or []
+                )
+            elif kind == "governor":
+                if self.adaptive is not None:
+                    self._governor = CloneGovernor.restore(
+                        self.adaptive, record[1]
+                    )
             elif kind == "generation":
                 generation = max(generation, record[1])
             # Unknown kinds fall through: a journal written by a newer

@@ -25,9 +25,11 @@ died and the master is resetting the family) and unwinds with
 from __future__ import annotations
 
 import os
+import time
 import traceback
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.dist.adaptive import BatchDepthController, reservoir_sample
 from repro.dist.client import BatchChunkFetcher, ShardedBagStore
 from repro.dist.protocol import DistSettings, NodeDescriptor
 from repro.dist.sharding import ShardRouter
@@ -76,15 +78,60 @@ class _WorkerRuntime:
         self.records_per_chunk = settings.records_per_chunk
 
 
-class DistTaskContext(TaskContext):
-    """TaskContext whose stream input is served by the batch fetcher."""
+#: Cap on latency samples shipped back per task. The cap itself predates
+#: the adaptive loop; what changed is *which* samples survive it — a
+#: seeded reservoir (uniform over the whole run) instead of the first
+#: 512, which froze percentiles at warm-up behavior.
+_LATENCY_SAMPLE_CAP = 512
 
-    def __init__(self, runtime, node, fetcher, cmd_conn, desc: NodeDescriptor):
+
+class DistTaskContext(TaskContext):
+    """TaskContext whose stream input is served by the batch fetcher.
+
+    With adaptive control enabled, the context also hosts the task's
+    :class:`~repro.dist.adaptive.BatchDepthController`: it runs on the
+    consumer side of the fetch pipeline (the only place per-chunk
+    processing time is observable), drains fresh batch-RPC latency
+    samples from the fetcher between chunks, and re-arms the fetcher's
+    depth whenever a decision moves it. Controller snapshots and the
+    per-shard latency windows ride the existing progress messages so the
+    master can journal the state and feed its clone governor.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        node,
+        fetcher,
+        cmd_conn,
+        desc: NodeDescriptor,
+        controller: Optional[BatchDepthController] = None,
+    ):
         super().__init__(runtime, node)
         self._fetcher = fetcher
         self._cmd_conn = cmd_conn
         self._desc = desc
         self._progress_every = max(1, fetcher.batch)
+        self._controller = controller
+        self._latencies_seen = 0
+        self._shard_latencies_seen: Dict[int, int] = {}
+        self._service_s: Optional[float] = None
+
+    def _drain_latencies(self) -> "tuple[List[float], Dict[int, List[float]]]":
+        """Batch-RPC samples newly recorded since the previous drain.
+
+        The pump thread appends under the GIL; slicing past our cursor
+        is safe and never blocks the data plane.
+        """
+        flat = self._fetcher.latencies[self._latencies_seen:]
+        self._latencies_seen += len(flat)
+        windows: Dict[int, List[float]] = {}
+        for shard, samples in self._fetcher.latencies_by_shard.items():
+            seen = self._shard_latencies_seen.get(shard, 0)
+            if len(samples) > seen:
+                windows[shard] = samples[seen:]
+                self._shard_latencies_seen[shard] = len(samples)
+        return flat, windows
 
     def _poll_cancel(self) -> None:
         while self._cmd_conn.poll(0):
@@ -133,24 +180,43 @@ class DistTaskContext(TaskContext):
 
     def records(self):
         kill_after = self._desc.kill_after_chunks
+        pending_windows: Dict[int, List[float]] = {}
         while True:
             chunk = self._next_chunk()
             if chunk is None:
                 return
             self._poll_cancel()
             self.chunks_in += 1
-            if self.chunks_in == 1 or self.chunks_in % self._progress_every == 0:
-                self._cmd_conn.send(
-                    {
-                        "type": "progress",
-                        "node_id": self._desc.node_id,
-                        "chunks": self.chunks_in,
-                        "records": self.records_in,
-                    }
+            if self._controller is not None:
+                flat, windows = self._drain_latencies()
+                for shard, samples in windows.items():
+                    pending_windows.setdefault(shard, []).extend(samples)
+                depth = self._controller.observe(
+                    latencies=flat, service_s=self._service_s
                 )
+                if depth is not None:
+                    self._fetcher.set_batch(depth)
+            if self.chunks_in == 1 or self.chunks_in % self._progress_every == 0:
+                progress = {
+                    "type": "progress",
+                    "node_id": self._desc.node_id,
+                    "chunks": self.chunks_in,
+                    "records": self.records_in,
+                }
+                if self._controller is not None:
+                    progress["adaptive"] = self._controller.snapshot()
+                    if pending_windows:
+                        progress["latency_window"] = pending_windows
+                        pending_windows = {}
+                self._cmd_conn.send(progress)
+            serving_started = time.perf_counter()
             for record in self._decode(self._node.stream_input, chunk):
                 self.records_in += 1
                 yield record
+            # Wall time from delivery to the consumer asking for the next
+            # chunk — the controller's per-chunk service signal (applied
+            # with a one-chunk lag; the EMA does not care).
+            self._service_s = time.perf_counter() - serving_started
             if kill_after is not None and self.chunks_in >= kill_after:
                 # Fault injection: die exactly like a SIGKILLed process —
                 # no flushes, no goodbyes; the master sees EOF.
@@ -170,16 +236,29 @@ def _run_task(
             f"task {desc.task_id!r} has no fn; distributed execution needs one"
         )
     node = _NodeShim(desc, spec)
+    controller: Optional[BatchDepthController] = None
+    if settings.adaptive is not None:
+        shards = len(runtime.store.stores)
+        if desc.adaptive_state:
+            # A clone, or a post-recovery re-dispatch: continue from the
+            # journaled controller state instead of re-warming.
+            controller = BatchDepthController.restore(
+                settings.adaptive, shards, desc.adaptive_state
+            )
+        else:
+            controller = BatchDepthController(
+                settings.adaptive, shards, initial_depth=settings.batch_requests
+            )
     # Routed, not hardwired: the fetcher must connect to the shard homing
     # the stream bag — a single-address fetcher would stream an empty bag
     # whenever the router placed the input elsewhere.
     fetcher = BatchChunkFetcher.for_bag(
         runtime.store,
         desc.stream_input,
-        settings.batch_requests,
+        controller.depth if controller is not None else settings.batch_requests,
         settings.policy,
     )
-    ctx = DistTaskContext(runtime, node, fetcher, cmd_conn, desc)
+    ctx = DistTaskContext(runtime, node, fetcher, cmd_conn, desc, controller)
     try:
         result = spec.fn(ctx)
         ctx.flush()
@@ -196,19 +275,28 @@ def _run_task(
         raise SchedulingError(
             f"task {desc.task_id!r} returned a value but declares no merge"
         )
-    return {
+    stats = {
         "records": ctx.records_in,
         "chunks": ctx.chunks_in,
         # Per-shard samples are the real signal (a mux fetcher can be
         # served by several shards across a failover); the flat list and
-        # single-shard tag stay for mixed-version masters.
-        "latencies": fetcher.latencies[:512],
+        # single-shard tag stay for mixed-version masters. Capped via a
+        # seeded reservoir — a plain head slice froze the percentiles at
+        # warm-up behavior once a task streamed past the cap.
+        "latencies": reservoir_sample(
+            fetcher.latencies, _LATENCY_SAMPLE_CAP, desc.node_id
+        ),
         "latency_shard": fetcher.shard,
         "latencies_by_shard": {
-            shard: samples[:512]
+            shard: reservoir_sample(
+                samples, _LATENCY_SAMPLE_CAP, desc.node_id, shard
+            )
             for shard, samples in fetcher.latencies_by_shard.items()
         },
     }
+    if controller is not None:
+        stats["adaptive"] = controller.snapshot()
+    return stats
 
 
 def _run_merge(runtime: _WorkerRuntime, desc: NodeDescriptor) -> dict:

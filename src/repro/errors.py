@@ -78,6 +78,28 @@ class JobCrashed(ReproError):
         self.reason = reason
 
 
+class JournalCorrupt(ReproError):
+    """A write-ahead journal is damaged *inside* its record sequence.
+
+    A torn tail (the writer died mid-append) is legal WAL state and is
+    silently dropped, because a record that never fully landed describes
+    an effect that never happened. A bad frame with intact frames
+    *after* it is different: the effects of those later records did
+    happen, so stopping early would silently replay a prefix of history
+    and resurrect already-consumed work. Recovery must fail loudly
+    instead of proceeding from a truncated past.
+    """
+
+    def __init__(self, path: str, offset: int, reason: str):
+        super().__init__(
+            f"journal {path!r} corrupt at offset {offset}: {reason} "
+            f"(intact frames follow, so this is not a torn tail)"
+        )
+        self.path = path
+        self.offset = offset
+        self.reason = reason
+
+
 class RemoteTaskError(ReproError):
     """A task function raised in a distributed worker process.
 

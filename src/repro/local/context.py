@@ -14,6 +14,7 @@ A :class:`TaskContext` gives a task function:
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Iterator, Optional
 
 from repro.errors import BagError
@@ -67,14 +68,21 @@ class TaskContext:
     def records(self) -> Iterator[Any]:
         """Late-binding iteration over the stream input (exactly-once)."""
         bag = self._runtime.store.get(self._node.stream_input)
+        # Optional overload signal: a runtime exposing note_chunk_seconds
+        # (LocalRuntime in adaptive mode) gets each chunk's processing
+        # wall time, which feeds its clone governor's drift detection.
+        note = getattr(self._runtime, "note_chunk_seconds", None)
         while True:
             chunk = bag.remove()
             if chunk is None:
                 return  # input bags are sealed before the task starts
             self.chunks_in += 1
+            served = time.perf_counter() if note is not None else 0.0
             for record in self._decode(self._node.stream_input, chunk):
                 self.records_in += 1
                 yield record
+            if note is not None:
+                note(self._node.task_id, time.perf_counter() - served)
 
     def side_records(self, index: int) -> Iterator[Any]:
         """Non-destructive full read of side input ``index`` (task state)."""

@@ -1,0 +1,30 @@
+"""The adaptive policy surface for the simulated control plane.
+
+One policy module serves every engine: the closed-loop batch-depth
+controller and the overload-driven clone governor live in
+``repro.dist.adaptive`` (engine-neutral — it imports only the analysis
+layer and seeded RNG helpers), and the sim and local engines import them
+from here so that a policy change cannot diverge between the modeled
+Eq. 1 heuristic and the real fetch pipeline.  Parity between this
+surface and the dist one is pinned by ``tests/test_adaptive.py``.
+"""
+
+from repro.dist.adaptive import (
+    AdaptiveConfig,
+    BatchDepthController,
+    CloneGovernor,
+    derive_batch_depth,
+    nearest_rank,
+    reservoir_sample,
+    utilization_floor,
+)
+
+__all__ = [
+    "AdaptiveConfig",
+    "BatchDepthController",
+    "CloneGovernor",
+    "derive_batch_depth",
+    "nearest_rank",
+    "reservoir_sample",
+    "utilization_floor",
+]

@@ -14,7 +14,9 @@
 
 from repro.workloads.clicklog_data import (
     REGION_COUNT,
+    exact_windowed_counts,
     generate_clicklog,
+    generate_stream_clicklog,
     geolocate,
     region_name,
     region_of_ip,
@@ -30,9 +32,11 @@ from repro.workloads.zipf import (
 __all__ = [
     "REGION_COUNT",
     "RmatSpec",
+    "exact_windowed_counts",
     "generate_clicklog",
     "generate_relation",
     "generate_rmat_edges",
+    "generate_stream_clicklog",
     "geolocate",
     "imbalance",
     "largest_share",

@@ -75,6 +75,63 @@ def generate_clicklog(
         yield (region << _LOW_BITS) | low
 
 
+def generate_stream_clicklog(
+    n_records: int,
+    skew: float,
+    seed: int = 0,
+    windows: int = 4,
+    unique_per_region: Optional[int] = None,
+) -> Iterator[tuple]:
+    """Yield ``(window, ip)`` pairs whose hot regions *shift* mid-stream.
+
+    The continuous-ingest scenario the adaptive control loop needs:
+    records arrive in ingest order, bucketed into ``windows`` equal time
+    windows, and each window draws from the same Zipf(``skew``) region
+    weights under a *fresh seeded permutation* of the region ranking —
+    window 0's hottest region is (almost surely) not window 1's. A
+    static knob tuned on the first window's skew is mis-tuned for every
+    later one, which is exactly what mid-run adaptation exploits.
+
+    Deterministic in ``(seed, skew, windows)``; window boundaries split
+    ``n_records`` as evenly as integer division allows (earlier windows
+    take the remainder).
+    """
+    if n_records < 0:
+        raise ValueError(f"negative record count {n_records}")
+    if windows < 1:
+        raise ValueError(f"windows must be >= 1, got {windows}")
+    weights = zipf_weights(REGION_COUNT, skew)
+    unique = unique_per_region or 1024
+    base, extra = divmod(n_records, windows)
+    for window in range(windows):
+        rng = rng_from("clicklog-stream", seed, skew, windows, window)
+        # A fresh Fisher-Yates ranking per window: the Zipf weight ladder
+        # is constant, but *which* region sits on each rung rotates.
+        ranking = list(range(REGION_COUNT))
+        for i in range(REGION_COUNT - 1, 0, -1):
+            j = rng.randrange(i + 1)
+            ranking[i], ranking[j] = ranking[j], ranking[i]
+        cumulative: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            cumulative.append(acc)
+        count = base + (1 if window < extra else 0)
+        for _ in range(count):
+            r = rng.random()
+            region = ranking[_bisect(cumulative, r)]
+            low = rng.randrange(unique)
+            yield window, (region << _LOW_BITS) | low
+
+
+def exact_windowed_counts(records) -> dict:
+    """Reference for the streaming scenario: (window, region) -> distinct IPs."""
+    seen: dict = {}
+    for window, ip in records:
+        seen.setdefault((window, geolocate(ip)), set()).add(ip)
+    return {key: len(ips) for key, ips in seen.items()}
+
+
 def _bisect(cumulative: List[float], value: float) -> int:
     lo, hi = 0, len(cumulative) - 1
     while lo < hi:
